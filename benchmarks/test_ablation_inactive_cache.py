@@ -1,0 +1,59 @@
+"""Ablation: the inactive-predicate cache (§5.2).
+
+The condition manager keeps predicates that currently have no waiter on an
+inactive list so a thread that waits for the same (globalized) condition
+later can reuse the entry instead of re-registering it.  This ablation runs
+the round-robin workload — where every thread re-waits for the same
+equivalence predicate each round — with the cache disabled and with the
+default capacity, and reports how many registrations the cache saves.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.problems.round_robin import AutoRoundRobin
+from repro.runtime import SimulationBackend
+
+THREADS = 12
+ROUNDS = 20
+
+
+def run_round_robin(inactive_capacity: int):
+    backend = SimulationBackend(seed=3)
+    monitor = AutoRoundRobin(
+        THREADS, backend=backend, signalling="autosynch", inactive_capacity=inactive_capacity
+    )
+
+    def worker(thread_id):
+        def body():
+            for _ in range(ROUNDS):
+                monitor.access(thread_id)
+        return body
+
+    backend.run([worker(i) for i in range(THREADS)])
+    return monitor
+
+
+@pytest.mark.parametrize("inactive_capacity", [0, 64], ids=["cache-off", "cache-on"])
+def test_ablation_inactive_cache(benchmark, inactive_capacity):
+    monitor = benchmark.pedantic(
+        run_round_robin, args=(inactive_capacity,), rounds=3, iterations=1
+    )
+    benchmark.extra_info["predicate_registrations"] = monitor.stats.predicate_registrations
+    benchmark.extra_info["predicate_reuses"] = monitor.stats.predicate_reuses
+    assert monitor.accesses == THREADS * ROUNDS
+
+
+def test_ablation_inactive_cache_saves_registrations(benchmark):
+    """The cache turns repeat registrations into reuses."""
+
+    def compare():
+        return run_round_robin(0), run_round_robin(64)
+
+    without_cache, with_cache = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert (
+        with_cache.stats.predicate_registrations
+        <= without_cache.stats.predicate_registrations
+    )
+    assert with_cache.stats.predicate_reuses >= without_cache.stats.predicate_reuses

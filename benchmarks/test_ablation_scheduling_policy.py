@@ -1,0 +1,61 @@
+"""Ablation: robustness of the comparison to the simulated scheduling policy.
+
+The simulation backend supports a FIFO (round-robin) scheduler and a seeded
+uniformly-random scheduler.  The paper's conclusions are about signalling
+mechanisms, not about scheduler luck, so the ordering between AutoSynch and
+the explicit monitor on the parameterized bounded buffer must hold under
+both policies and across seeds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.saturation import run_workload
+from repro.problems import get_problem
+from repro.runtime import SimulationBackend
+
+CONSUMERS = 16
+TOTAL_OPS = 320
+
+
+def run_with_policy(mechanism, policy, seed):
+    backend = SimulationBackend(seed=seed, policy=policy)
+    return run_workload(
+        get_problem("parameterized_bounded_buffer"),
+        mechanism,
+        backend,
+        threads=CONSUMERS,
+        total_ops=TOTAL_OPS,
+        seed=seed,
+        verify=False,
+    )
+
+
+@pytest.mark.parametrize("policy", ["fifo", "random"])
+@pytest.mark.parametrize("mechanism", ["explicit", "autosynch"])
+def test_ablation_scheduling_policy_point(benchmark, mechanism, policy):
+    result = benchmark.pedantic(
+        run_with_policy, args=(mechanism, policy, 11), rounds=3, iterations=1
+    )
+    benchmark.extra_info["context_switches"] = result.context_switches
+    assert result.context_switches > 0
+
+
+def test_ablation_ordering_holds_across_policies_and_seeds(benchmark):
+    def sweep():
+        outcomes = []
+        for policy in ("fifo", "random"):
+            for seed in (1, 7, 23):
+                explicit = run_with_policy("explicit", policy, seed)
+                autosynch = run_with_policy("autosynch", policy, seed)
+                outcomes.append(
+                    (policy, seed, explicit.context_switches, autosynch.context_switches)
+                )
+        return outcomes
+
+    outcomes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for policy, seed, explicit_switches, autosynch_switches in outcomes:
+        assert autosynch_switches < explicit_switches, (
+            f"AutoSynch should cause fewer context switches (policy={policy}, seed={seed})"
+        )

@@ -1,0 +1,33 @@
+"""Benchmark regenerating Figure 8: bounded-buffer runtime per mechanism."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_problem_once
+
+MECHANISMS = ("explicit", "baseline", "autosynch_t", "autosynch")
+THREADS = 16
+TOTAL_OPS = 800
+
+
+@pytest.mark.parametrize("mechanism", MECHANISMS)
+def test_fig08_bounded_buffer_point(benchmark, mechanism):
+    """One producers/consumers configuration per mechanism (16 of each)."""
+    result = benchmark.pedantic(
+        run_problem_once,
+        args=("bounded_buffer", mechanism, THREADS, TOTAL_OPS),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.operations > 0
+    benchmark.extra_info["context_switches"] = result.context_switches
+    benchmark.extra_info["predicate_evaluations"] = result.predicate_evaluations
+    benchmark.extra_info["modelled_runtime_s"] = result.modelled_runtime()
+
+
+def test_fig08_bounded_buffer_series(series_benchmark):
+    """The full Figure 8 sweep (quick scale); prints the runtime table."""
+    experiment, series = series_benchmark("fig08")
+    failures = [desc for desc, ok in experiment.check_shapes(series) if not ok]
+    assert not failures, failures

@@ -1,0 +1,32 @@
+"""Benchmark regenerating Figure 9: H2O runtime per mechanism."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_problem_once
+
+MECHANISMS = ("explicit", "baseline", "autosynch_t", "autosynch")
+THREADS = 16
+TOTAL_OPS = 600
+
+
+@pytest.mark.parametrize("mechanism", MECHANISMS)
+def test_fig09_h2o_point(benchmark, mechanism):
+    """16 hydrogen threads plus the single oxygen thread."""
+    result = benchmark.pedantic(
+        run_problem_once,
+        args=("h2o", mechanism, THREADS, TOTAL_OPS),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.operations > 0
+    benchmark.extra_info["context_switches"] = result.context_switches
+    benchmark.extra_info["modelled_runtime_s"] = result.modelled_runtime()
+
+
+def test_fig09_h2o_series(series_benchmark):
+    """The full Figure 9 sweep (quick scale); prints the runtime table."""
+    experiment, series = series_benchmark("fig09")
+    failures = [desc for desc, ok in experiment.check_shapes(series) if not ok]
+    assert not failures, failures

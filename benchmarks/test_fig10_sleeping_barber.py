@@ -1,0 +1,32 @@
+"""Benchmark regenerating Figure 10: sleeping-barber runtime per mechanism."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_problem_once
+
+MECHANISMS = ("explicit", "baseline", "autosynch_t", "autosynch")
+THREADS = 16
+TOTAL_OPS = 600
+
+
+@pytest.mark.parametrize("mechanism", MECHANISMS)
+def test_fig10_sleeping_barber_point(benchmark, mechanism):
+    """16 customers plus the barber."""
+    result = benchmark.pedantic(
+        run_problem_once,
+        args=("sleeping_barber", mechanism, THREADS, TOTAL_OPS),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.operations > 0
+    benchmark.extra_info["context_switches"] = result.context_switches
+    benchmark.extra_info["modelled_runtime_s"] = result.modelled_runtime()
+
+
+def test_fig10_sleeping_barber_series(series_benchmark):
+    """The full Figure 10 sweep (quick scale); prints the runtime table."""
+    experiment, series = series_benchmark("fig10")
+    failures = [desc for desc, ok in experiment.check_shapes(series) if not ok]
+    assert not failures, failures

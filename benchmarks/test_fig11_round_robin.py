@@ -1,0 +1,32 @@
+"""Benchmark regenerating Figure 11: round-robin access pattern per mechanism."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_problem_once
+
+MECHANISMS = ("explicit", "autosynch_t", "autosynch")
+THREADS = 24
+TOTAL_OPS = 720
+
+
+@pytest.mark.parametrize("mechanism", MECHANISMS)
+def test_fig11_round_robin_point(benchmark, mechanism):
+    """24 threads taking turns; tagging's hash lookup is the differentiator."""
+    result = benchmark.pedantic(
+        run_problem_once,
+        args=("round_robin", mechanism, THREADS, TOTAL_OPS),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.operations > 0
+    benchmark.extra_info["predicate_evaluations"] = result.predicate_evaluations
+    benchmark.extra_info["modelled_runtime_s"] = result.modelled_runtime()
+
+
+def test_fig11_round_robin_series(series_benchmark):
+    """The full Figure 11 sweep (quick scale); prints the runtime table."""
+    experiment, series = series_benchmark("fig11")
+    failures = [desc for desc, ok in experiment.check_shapes(series) if not ok]
+    assert not failures, failures

@@ -1,0 +1,32 @@
+"""Benchmark regenerating Figure 12: ticket-ordered readers/writers."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_problem_once
+
+MECHANISMS = ("explicit", "autosynch_t", "autosynch")
+WRITERS = 8  # the problem creates 5 readers per writer, as in the paper
+TOTAL_OPS = 720
+
+
+@pytest.mark.parametrize("mechanism", MECHANISMS)
+def test_fig12_readers_writers_point(benchmark, mechanism):
+    """8 writers / 40 readers with ticket-ordered admission."""
+    result = benchmark.pedantic(
+        run_problem_once,
+        args=("readers_writers", mechanism, WRITERS, TOTAL_OPS),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.operations > 0
+    benchmark.extra_info["predicate_evaluations"] = result.predicate_evaluations
+    benchmark.extra_info["modelled_runtime_s"] = result.modelled_runtime()
+
+
+def test_fig12_readers_writers_series(series_benchmark):
+    """The full Figure 12 sweep (quick scale); prints the runtime table."""
+    experiment, series = series_benchmark("fig12")
+    failures = [desc for desc, ok in experiment.check_shapes(series) if not ok]
+    assert not failures, failures

@@ -1,0 +1,32 @@
+"""Benchmark regenerating Figure 13: dining philosophers per mechanism."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_problem_once
+
+MECHANISMS = ("explicit", "autosynch_t", "autosynch")
+THREADS = 24
+TOTAL_OPS = 960
+
+
+@pytest.mark.parametrize("mechanism", MECHANISMS)
+def test_fig13_dining_philosophers_point(benchmark, mechanism):
+    """24 philosophers; contention is local, so mechanisms stay close."""
+    result = benchmark.pedantic(
+        run_problem_once,
+        args=("dining_philosophers", mechanism, THREADS, TOTAL_OPS),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.operations > 0
+    benchmark.extra_info["context_switches"] = result.context_switches
+    benchmark.extra_info["modelled_runtime_s"] = result.modelled_runtime()
+
+
+def test_fig13_dining_philosophers_series(series_benchmark):
+    """The full Figure 13 sweep (quick scale); prints the runtime table."""
+    experiment, series = series_benchmark("fig13")
+    failures = [desc for desc, ok in experiment.check_shapes(series) if not ok]
+    assert not failures, failures

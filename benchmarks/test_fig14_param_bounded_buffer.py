@@ -1,0 +1,39 @@
+"""Benchmark regenerating Figure 14: the parameterized bounded buffer.
+
+This is the headline result of the paper: the explicit version needs
+``signalAll`` and collapses as consumers are added, while AutoSynch signals
+exactly one thread and stays flat (26.9x faster at 256 consumers in the
+paper).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_problem_once
+
+MECHANISMS = ("explicit", "autosynch")
+CONSUMERS = 24
+TOTAL_OPS = 480
+
+
+@pytest.mark.parametrize("mechanism", MECHANISMS)
+def test_fig14_param_bounded_buffer_point(benchmark, mechanism):
+    """One producer, 24 consumers, random batch sizes."""
+    result = benchmark.pedantic(
+        run_problem_once,
+        args=("parameterized_bounded_buffer", mechanism, CONSUMERS, TOTAL_OPS),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.operations > 0
+    benchmark.extra_info["context_switches"] = result.context_switches
+    benchmark.extra_info["notified_threads"] = result.backend_metrics["notified_threads"]
+    benchmark.extra_info["modelled_runtime_s"] = result.modelled_runtime()
+
+
+def test_fig14_param_bounded_buffer_series(series_benchmark):
+    """The full Figure 14 sweep (quick scale); prints the runtime table."""
+    experiment, series = series_benchmark("fig14")
+    failures = [desc for desc, ok in experiment.check_shapes(series) if not ok]
+    assert not failures, failures

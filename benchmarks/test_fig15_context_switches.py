@@ -1,0 +1,38 @@
+"""Benchmark regenerating Figure 15: context switches of the parameterized
+bounded buffer (explicit vs. AutoSynch)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_problem_once
+
+MECHANISMS = ("explicit", "autosynch")
+CONSUMERS = 24
+TOTAL_OPS = 480
+
+
+@pytest.mark.parametrize("mechanism", MECHANISMS)
+def test_fig15_context_switch_point(benchmark, mechanism):
+    """Counts come from the simulation scheduler, so they are exact."""
+    result = benchmark.pedantic(
+        run_problem_once,
+        args=("parameterized_bounded_buffer", mechanism, CONSUMERS, TOTAL_OPS),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["context_switches"] = result.context_switches
+    benchmark.extra_info["condition_waits"] = result.backend_metrics["condition_waits"]
+    assert result.context_switches > 0
+
+
+def test_fig15_context_switch_series(series_benchmark):
+    """The full Figure 15 sweep (quick scale); prints the context-switch table."""
+    experiment, series = series_benchmark("fig15")
+    failures = [desc for desc, ok in experiment.check_shapes(series) if not ok]
+    assert not failures, failures
+    # The paper's qualitative claim at every scale: explicit wakes far more.
+    xs = series.x_values()
+    explicit = series.point_for("explicit", xs[-1]).context_switches
+    autosynch = series.point_for("autosynch", xs[-1]).context_switches
+    assert explicit > autosynch

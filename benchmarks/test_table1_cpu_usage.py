@@ -1,0 +1,36 @@
+"""Benchmark regenerating Table 1: CPU-usage breakdown for round-robin."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_problem_once, run_quick_series
+from repro.experiments.table1_cpu_usage import build_breakdowns
+
+MECHANISMS = ("explicit", "autosynch_t", "autosynch")
+THREADS = 16
+TOTAL_OPS = 960
+
+
+@pytest.mark.parametrize("mechanism", MECHANISMS)
+def test_table1_round_robin_point(benchmark, mechanism):
+    """The profiled configuration (scaled from the paper's 128 threads)."""
+    result = benchmark.pedantic(
+        run_problem_once,
+        args=("round_robin", mechanism, THREADS, TOTAL_OPS),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["predicate_evaluations"] = result.predicate_evaluations
+    benchmark.extra_info["relay_signal_calls"] = result.monitor_stats["relay_signal_calls"]
+    assert result.operations > 0
+
+
+def test_table1_breakdown_series(series_benchmark):
+    """Runs the Table 1 experiment and prints the await/lock/relay/tag table."""
+    experiment, series = series_benchmark("table1")
+    failures = [desc for desc, ok in experiment.check_shapes(series) if not ok]
+    assert not failures, failures
+    breakdowns = {b.mechanism: b for b in build_breakdowns(series)}
+    # Tagging removes most of the relaySignal cost (the paper reports ~95%).
+    assert breakdowns["autosynch"].relay_signal_time < breakdowns["autosynch_t"].relay_signal_time

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""A warehouse fulfilment pipeline built from AutoSynch monitors.
+
+Scenario (the kind of batched producer/consumer workload the paper's
+introduction motivates):
+
+* *pickers* place picked items onto a conveyor with limited capacity,
+  in batches of varying size;
+* *packers* take exactly the number of items one order needs — different
+  orders need different amounts, so each packer waits for a different
+  condition (the parameterized bounded-buffer pattern of Fig. 1);
+* packed orders go to a loading dock, and a *truck* departs only when a full
+  load of orders is ready.
+
+With explicit condition variables the conveyor would need ``signalAll``
+(nobody knows which packer can be satisfied).  With AutoSynch each monitor
+method just states its waiting condition; run the example to see how few
+threads are woken.
+
+Run it with::
+
+    python examples/warehouse_pipeline.py [--mechanism autosynch|autosynch_t|baseline]
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import threading
+
+from repro import AutoSynchMonitor
+
+
+class Conveyor(AutoSynchMonitor):
+    """Bounded conveyor belt between pickers and packers."""
+
+    def __init__(self, capacity: int, **monitor_kwargs):
+        super().__init__(**monitor_kwargs)
+        self.capacity = capacity
+        self.items = 0
+
+    def load(self, batch: int) -> None:
+        """A picker adds *batch* items, waiting until they all fit."""
+        self.wait_until("items + batch <= capacity", batch=batch)
+        self.items += batch
+
+    def pick_for_order(self, needed: int) -> None:
+        """A packer removes exactly *needed* items, waiting until available."""
+        self.wait_until("items >= needed", needed=needed)
+        self.items -= needed
+
+
+class LoadingDock(AutoSynchMonitor):
+    """Orders accumulate here until a truck can take a full load."""
+
+    def __init__(self, truck_capacity: int, **monitor_kwargs):
+        super().__init__(**monitor_kwargs)
+        self.truck_capacity = truck_capacity
+        self.ready_orders = 0
+        self.shipped_orders = 0
+        self.trucks_dispatched = 0
+        self.closing = False
+
+    def deliver_order(self) -> None:
+        self.ready_orders += 1
+
+    def dispatch_truck(self) -> bool:
+        """The truck waits for a full load (or the end of the shift)."""
+        self.wait_until("ready_orders >= truck_capacity or closing")
+        if self.ready_orders >= self.truck_capacity:
+            self.ready_orders -= self.truck_capacity
+            self.shipped_orders += self.truck_capacity
+            self.trucks_dispatched += 1
+            return True
+        # End of shift: take whatever is left.
+        self.shipped_orders += self.ready_orders
+        self.ready_orders = 0
+        return False
+
+    def end_of_shift(self) -> None:
+        self.closing = True
+
+
+def run_pipeline(mechanism: str, orders: int, seed: int) -> None:
+    rng = random.Random(seed)
+    conveyor = Conveyor(capacity=64, signalling=mechanism)
+    dock = LoadingDock(truck_capacity=8, signalling=mechanism)
+
+    order_sizes = [rng.randint(1, 12) for _ in range(orders)]
+    total_items = sum(order_sizes)
+
+    def picker() -> None:
+        remaining = total_items
+        while remaining > 0:
+            batch = min(remaining, rng.randint(4, 16))
+            conveyor.load(batch)
+            remaining -= batch
+
+    def packer(start: int, step: int) -> None:
+        for index in range(start, len(order_sizes), step):
+            conveyor.pick_for_order(order_sizes[index])
+            dock.deliver_order()
+
+    def truck() -> None:
+        while dock.dispatch_truck():
+            pass
+
+    packers = 4
+    workers = [threading.Thread(target=picker, name="picker")]
+    workers += [
+        threading.Thread(target=packer, args=(i, packers), name=f"packer-{i}")
+        for i in range(packers)
+    ]
+    truck_thread = threading.Thread(target=truck, name="truck")
+
+    truck_thread.start()
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    dock.end_of_shift()
+    truck_thread.join()
+
+    print(f"mechanism           : {mechanism}")
+    print(f"orders fulfilled    : {dock.shipped_orders} / {orders}")
+    print(f"items moved         : {total_items}")
+    print(f"trucks dispatched   : {dock.trucks_dispatched}")
+    print("conveyor monitor    :",
+          f"waits={conveyor.stats.waits}",
+          f"signals={conveyor.stats.signals_sent}",
+          f"signal_alls={conveyor.stats.signal_alls_sent}",
+          f"spurious wakeups={conveyor.stats.spurious_wakeups}")
+    print("loading dock monitor:",
+          f"waits={dock.stats.waits}",
+          f"signals={dock.stats.signals_sent}",
+          f"spurious wakeups={dock.stats.spurious_wakeups}")
+    print()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--mechanism",
+        choices=("autosynch", "autosynch_t", "baseline"),
+        default=None,
+        help="signalling mechanism (default: compare all three)",
+    )
+    parser.add_argument("--orders", type=int, default=200, help="number of orders to fulfil")
+    parser.add_argument("--seed", type=int, default=7, help="workload random seed")
+    args = parser.parse_args()
+
+    mechanisms = [args.mechanism] if args.mechanism else ["autosynch", "autosynch_t", "baseline"]
+    for mechanism in mechanisms:
+        run_pipeline(mechanism, orders=args.orders, seed=args.seed)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The build environment in which this reproduction is developed has an older
+setuptools without wheel support, so ``pip install -e .`` falls back to the
+legacy ``setup.py develop`` path provided here.  All project metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

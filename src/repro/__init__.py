@@ -1,0 +1,70 @@
+"""AutoSynch reproduction: an automatic-signal monitor based on predicate tagging.
+
+This package reimplements, in Python, the system described in
+
+    Wei-Lun Hung and Vijay K. Garg.
+    "AutoSynch: An Automatic-Signal Monitor Based on Predicate Tagging."
+    PLDI 2013.
+
+Quick start::
+
+    from repro import AutoSynchMonitor
+
+    class BoundedBuffer(AutoSynchMonitor):
+        def __init__(self, capacity, **kwargs):
+            super().__init__(**kwargs)
+            self.items = []
+            self.capacity = capacity
+
+        def put(self, item):
+            self.wait_until("len(items) < capacity")
+            self.items.append(item)
+
+        def take(self):
+            self.wait_until("len(items) > 0")
+            return self.items.pop(0)
+
+The main entry points are:
+
+* :class:`repro.core.AutoSynchMonitor` / :class:`repro.core.ExplicitMonitor` —
+  the monitor base classes.
+* :mod:`repro.preprocessor` — the source-to-source translator that turns
+  ``@autosynch`` classes with bare ``waituntil(...)`` statements into runtime
+  calls (the Python analogue of the paper's JavaCC preprocessor).
+* :mod:`repro.runtime` — the threading and deterministic-simulation backends.
+* :mod:`repro.problems`, :mod:`repro.harness`, :mod:`repro.experiments` — the
+  paper's seven benchmark problems and the machinery that regenerates every
+  figure and table of its evaluation.
+"""
+
+from repro.core import (
+    AutoSynchMonitor,
+    ExplicitMonitor,
+    MonitorError,
+    MonitorStats,
+    MonitorUsageError,
+    Tracer,
+    entry_method,
+    query_method,
+)
+from repro.predicates import PredicateError, PredicateParseError, compile_predicate
+from repro.runtime import SimulationBackend, ThreadingBackend
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AutoSynchMonitor",
+    "ExplicitMonitor",
+    "MonitorError",
+    "MonitorStats",
+    "MonitorUsageError",
+    "PredicateError",
+    "PredicateParseError",
+    "SimulationBackend",
+    "ThreadingBackend",
+    "Tracer",
+    "__version__",
+    "compile_predicate",
+    "entry_method",
+    "query_method",
+]

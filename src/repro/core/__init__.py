@@ -1,0 +1,45 @@
+"""AutoSynch core: monitors, condition manager, signalling strategies.
+
+The public API a downstream user needs:
+
+* :class:`AutoSynchMonitor` — subclass it, write entry methods that call
+  ``self.wait_until("...")`` instead of managing condition variables, and the
+  runtime signals the right thread automatically (the paper's contribution).
+* :class:`ExplicitMonitor` — the conventional explicit-signal monitor base
+  used for the paper's comparison baselines.
+* ``signalling`` modes ``"autosynch"``, ``"autosynch_t"`` and ``"baseline"``
+  select the full AutoSynch algorithm, AutoSynch without predicate tagging,
+  or the single-condition signal-all automatic monitor (§6.2).
+"""
+
+from repro.core.condition_manager import ConditionManager, PredicateEntry
+from repro.core.errors import MonitorError, MonitorUsageError
+from repro.core.heaps import ThresholdHeap
+from repro.core.instrumentation import MonitorStats, Stopwatch
+from repro.core.monitor import (
+    AUTOMATIC_MODES,
+    AutoSynchMonitor,
+    ExplicitMonitor,
+    MonitorBase,
+    entry_method,
+    query_method,
+)
+from repro.core.trace import TraceEvent, Tracer
+
+__all__ = [
+    "AUTOMATIC_MODES",
+    "AutoSynchMonitor",
+    "ConditionManager",
+    "ExplicitMonitor",
+    "MonitorBase",
+    "MonitorError",
+    "MonitorStats",
+    "MonitorUsageError",
+    "PredicateEntry",
+    "Stopwatch",
+    "ThresholdHeap",
+    "TraceEvent",
+    "Tracer",
+    "entry_method",
+    "query_method",
+]

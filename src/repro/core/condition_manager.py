@@ -1,0 +1,377 @@
+"""The condition manager: predicate table, tag structures and relay signalling.
+
+This is the runtime half of AutoSynch (§5.2 and Fig. 7 of the paper).  For
+every distinct predicate (identified by its canonical form after
+globalization) the manager keeps a *predicate entry* holding the condition
+variable its waiters block on.  Active entries are indexed by their tags:
+
+* equivalence tags → per-shared-expression hash table keyed by the constant,
+* threshold tags → per-shared-expression min-heap (``>``, ``>=``) and
+  max-heap (``<``, ``<=``),
+* everything else → an exhaustive-search list.
+
+``relay_signal`` implements the relay signalling rule: find *one* waiting
+thread whose predicate is currently true and notify it.  With ``use_tags``
+disabled the manager degenerates into the paper's *AutoSynch-T* variant: the
+same relay rule, but every active predicate is checked exhaustively.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.errors import MonitorUsageError
+from repro.core.heaps import LOWER_BOUND_OPS, ThresholdHeap, UPPER_BOUND_OPS
+from repro.core.instrumentation import MonitorStats
+from repro.predicates import EvaluationError, TagKind, evaluate
+from repro.predicates.ast_nodes import Expr
+from repro.predicates.predicate import GlobalizedPredicate
+from repro.runtime.api import Backend, ConditionAPI, LockAPI
+
+__all__ = ["PredicateEntry", "ConditionManager"]
+
+#: Default number of inactive complex predicates kept for reuse before the
+#: oldest ones are evicted (the paper's "predefined threshold").
+DEFAULT_INACTIVE_CAPACITY = 64
+
+
+@dataclass
+class PredicateEntry:
+    """One row of the predicate table."""
+
+    globalized: GlobalizedPredicate
+    condition: ConditionAPI
+    from_shared_predicate: bool
+    waiters: int = 0
+    pending_signals: int = 0
+    active: bool = False
+
+    @property
+    def canonical(self) -> str:
+        return self.globalized.canonical
+
+    @property
+    def unsignalled_waiters(self) -> int:
+        """Waiters that have not already been promised a signal."""
+        return self.waiters - self.pending_signals
+
+
+@dataclass
+class _ExpressionIndex:
+    """Tag structures for one shared expression (one column of Fig. 7)."""
+
+    expr_key: str
+    shared_expr: Expr
+    equivalence: Dict[object, List[PredicateEntry]] = field(default_factory=dict)
+    lower_heap: ThresholdHeap = field(default_factory=lambda: ThresholdHeap("min"))
+    upper_heap: ThresholdHeap = field(default_factory=lambda: ThresholdHeap("max"))
+
+    def is_empty(self) -> bool:
+        return not self.equivalence and not self.lower_heap and not self.upper_heap
+
+
+class ConditionManager:
+    """Maintains predicates, condition variables and tag structures for one monitor."""
+
+    def __init__(
+        self,
+        owner: object,
+        backend: Backend,
+        lock: LockAPI,
+        stats: MonitorStats,
+        use_tags: bool = True,
+        inactive_capacity: int = DEFAULT_INACTIVE_CAPACITY,
+        tracer: Optional[object] = None,
+    ) -> None:
+        self._owner = owner
+        self._backend = backend
+        self._lock = lock
+        self._stats = stats
+        self.use_tags = use_tags
+        self._inactive_capacity = inactive_capacity
+        self._tracer = tracer
+
+        #: canonical form -> entry, for every predicate the manager knows.
+        self._table: Dict[str, PredicateEntry] = {}
+        #: entries with no waiters, eligible for reuse, oldest first.
+        self._inactive: "OrderedDict[str, PredicateEntry]" = OrderedDict()
+        #: per-shared-expression tag structures.
+        self._indices: Dict[str, _ExpressionIndex] = {}
+        #: active entries that need exhaustive checking (None-tagged
+        #: conjunctions, or every entry when tags are disabled).
+        self._untagged: List[PredicateEntry] = []
+
+    # ------------------------------------------------------------------
+    # Registration / bookkeeping
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def known_predicates(self) -> Iterable[str]:
+        """Canonical forms of every predicate currently in the table."""
+        return tuple(self._table)
+
+    def entry_for(self, canonical: str) -> Optional[PredicateEntry]:
+        """Look up a predicate entry by canonical form (None if unknown)."""
+        return self._table.get(canonical)
+
+    def acquire_entry(
+        self, globalized: GlobalizedPredicate, from_shared_predicate: bool
+    ) -> PredicateEntry:
+        """Return the entry for *globalized*, creating and activating it if needed.
+
+        Entries are shared between threads waiting for syntactically
+        equivalent predicates, so they also share a condition variable.
+        """
+        canonical = globalized.canonical
+        entry = self._table.get(canonical)
+        if entry is None:
+            entry = PredicateEntry(
+                globalized=globalized,
+                condition=self._backend.create_condition(self._lock),
+                from_shared_predicate=from_shared_predicate,
+            )
+            self._table[canonical] = entry
+            self._stats.predicate_registrations += 1
+            if self._tracer is not None:
+                self._tracer.record(
+                    "register", self._backend.current_id(), predicate=canonical
+                )
+        else:
+            self._stats.predicate_reuses += 1
+            self._inactive.pop(canonical, None)
+        if not entry.active:
+            self._activate(entry)
+        return entry
+
+    def add_waiter(self, entry: PredicateEntry) -> None:
+        """Record that one more thread is about to wait on *entry*."""
+        entry.waiters += 1
+
+    def remove_waiter(self, entry: PredicateEntry) -> None:
+        """Record that a waiter left *entry*; deactivate it when none remain."""
+        if entry.waiters <= 0:
+            raise MonitorUsageError(
+                f"waiter count underflow for predicate {entry.canonical!r}"
+            )
+        entry.waiters -= 1
+        if entry.pending_signals > entry.waiters:
+            entry.pending_signals = entry.waiters
+        if entry.waiters == 0:
+            self._deactivate(entry)
+
+    def consume_signal(self, entry: PredicateEntry) -> None:
+        """A waiter woke up and consumed one promised signal."""
+        if entry.pending_signals > 0:
+            entry.pending_signals -= 1
+
+    def _activate(self, entry: PredicateEntry) -> None:
+        with self._stats.time_bucket("tag_manager_time"):
+            if not self.use_tags:
+                self._untagged.append(entry)
+            else:
+                for tag in entry.globalized.tags:
+                    self._stats.tag_insertions += 1
+                    if tag.kind is TagKind.EQUIVALENCE:
+                        index = self._index_for(tag.expr_key, tag.shared_expr)
+                        index.equivalence.setdefault(tag.key, []).append(entry)
+                    elif tag.kind is TagKind.THRESHOLD:
+                        index = self._index_for(tag.expr_key, tag.shared_expr)
+                        if tag.op in LOWER_BOUND_OPS:
+                            index.lower_heap.add(tag.key, tag.op, entry)
+                        else:
+                            index.upper_heap.add(tag.key, tag.op, entry)
+                    else:
+                        if entry not in self._untagged:
+                            self._untagged.append(entry)
+            entry.active = True
+
+    def _deactivate(self, entry: PredicateEntry) -> None:
+        with self._stats.time_bucket("tag_manager_time"):
+            if not self.use_tags:
+                self._discard_untagged(entry)
+            else:
+                for tag in entry.globalized.tags:
+                    self._stats.tag_removals += 1
+                    if tag.kind is TagKind.EQUIVALENCE:
+                        index = self._indices.get(tag.expr_key)
+                        if index is not None:
+                            bucket = index.equivalence.get(tag.key)
+                            if bucket is not None:
+                                if entry in bucket:
+                                    bucket.remove(entry)
+                                if not bucket:
+                                    del index.equivalence[tag.key]
+                            self._drop_index_if_empty(index)
+                    elif tag.kind is TagKind.THRESHOLD:
+                        index = self._indices.get(tag.expr_key)
+                        if index is not None:
+                            if tag.op in LOWER_BOUND_OPS:
+                                index.lower_heap.discard(tag.key, tag.op, entry)
+                            else:
+                                index.upper_heap.discard(tag.key, tag.op, entry)
+                            self._drop_index_if_empty(index)
+                    else:
+                        self._discard_untagged(entry)
+            entry.active = False
+            entry.pending_signals = 0
+        self._retire(entry)
+
+    def _discard_untagged(self, entry: PredicateEntry) -> None:
+        if entry in self._untagged:
+            self._untagged.remove(entry)
+
+    def _drop_index_if_empty(self, index: _ExpressionIndex) -> None:
+        if index.is_empty():
+            self._indices.pop(index.expr_key, None)
+
+    def _index_for(self, expr_key: str, shared_expr: Expr) -> _ExpressionIndex:
+        index = self._indices.get(expr_key)
+        if index is None:
+            index = _ExpressionIndex(expr_key=expr_key, shared_expr=shared_expr)
+            self._indices[expr_key] = index
+        return index
+
+    def _retire(self, entry: PredicateEntry) -> None:
+        """Move a deactivated entry to the inactive list (complex predicates
+        only) and evict the oldest entries beyond the configured capacity."""
+        if entry.from_shared_predicate:
+            # Shared predicates are static: they stay in the table forever.
+            return
+        self._inactive[entry.canonical] = entry
+        self._inactive.move_to_end(entry.canonical)
+        while len(self._inactive) > self._inactive_capacity:
+            oldest_key, _ = self._inactive.popitem(last=False)
+            self._table.pop(oldest_key, None)
+
+    # ------------------------------------------------------------------
+    # Relay signalling
+    # ------------------------------------------------------------------
+
+    def relay_signal(self) -> bool:
+        """Signal one thread whose predicate is true, if any (relay rule).
+
+        Returns True when a thread was signalled.  Must be called with the
+        monitor lock held.
+        """
+        self._stats.relay_signal_calls += 1
+        with self._stats.time_bucket("relay_signal_time"):
+            signalled = False
+            if self.use_tags:
+                for index in list(self._indices.values()):
+                    if self._search_index(index):
+                        signalled = True
+                        break
+            if not signalled:
+                signalled = self._search_untagged()
+        if self._tracer is not None:
+            self._tracer.record(
+                "relay",
+                self._backend.current_id(),
+                detail="signalled" if signalled else "no waiter ready",
+            )
+        return signalled
+
+    def find_missed_waiter(self) -> Optional[PredicateEntry]:
+        """Exhaustively look for a waiting predicate that is true but has no
+        pending signal.
+
+        Used by the monitor's ``validate`` mode: right after ``relay_signal``
+        returned False, a non-None result here means the tag structures
+        pruned away a predicate they should not have — a violation of the
+        soundness property behind relay invariance.
+        """
+        for entry in self._table.values():
+            if not entry.active or entry.unsignalled_waiters <= 0:
+                continue
+            if entry.globalized.holds(self._owner):
+                return entry
+        return None
+
+    # -- tag-directed search -------------------------------------------------
+
+    def _search_index(self, index: _ExpressionIndex) -> bool:
+        try:
+            value = evaluate(index.shared_expr, self._owner)
+        except EvaluationError:
+            # The shared expression cannot currently be evaluated (e.g. a
+            # field was deleted); fall back to exhaustive search for safety.
+            return False
+
+        if index.equivalence:
+            self._stats.tag_hash_lookups += 1
+            bucket = self._equivalence_bucket(index, value)
+            if bucket and self._signal_first_true(bucket):
+                return True
+        if self._search_heap(index.lower_heap, value):
+            return True
+        if self._search_heap(index.upper_heap, value):
+            return True
+        return False
+
+    def _equivalence_bucket(
+        self, index: _ExpressionIndex, value: object
+    ) -> Optional[List[PredicateEntry]]:
+        try:
+            return index.equivalence.get(value)
+        except TypeError:  # unhashable shared-expression value
+            return None
+
+    def _search_heap(self, heap: ThresholdHeap, value: object) -> bool:
+        """The threshold-tag signalling algorithm of Fig. 4."""
+        if not heap:
+            return False
+        backup = []
+        found = False
+        try:
+            node = heap.peek()
+            while node is not None:
+                self._stats.tag_heap_checks += 1
+                try:
+                    satisfied = node.satisfied_by(value)
+                except TypeError:
+                    satisfied = False
+                if not satisfied:
+                    break
+                if self._signal_first_true(node.entries):
+                    found = True
+                    break
+                # The tag is true but none of its predicates were; remove it
+                # temporarily so the next-weakest tag can be examined.
+                backup.append(heap.poll())
+                node = heap.peek()
+        finally:
+            for node in backup:
+                heap.push_node(node)
+        return found
+
+    # -- exhaustive search ---------------------------------------------------
+
+    def _search_untagged(self) -> bool:
+        return self._signal_first_true(self._untagged, count_as_exhaustive=True)
+
+    def _signal_first_true(
+        self, entries: Iterable[PredicateEntry], count_as_exhaustive: bool = False
+    ) -> bool:
+        for entry in list(entries):
+            if not entry.active or entry.unsignalled_waiters <= 0:
+                continue
+            if count_as_exhaustive:
+                self._stats.exhaustive_checks += 1
+            self._stats.predicate_evaluations += 1
+            if entry.globalized.holds(self._owner):
+                self._signal(entry)
+                return True
+        return False
+
+    def _signal(self, entry: PredicateEntry) -> None:
+        entry.condition.notify()
+        entry.pending_signals += 1
+        self._stats.signals_sent += 1
+        if self._tracer is not None:
+            self._tracer.record(
+                "signal", self._backend.current_id(), predicate=entry.canonical
+            )

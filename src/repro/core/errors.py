@@ -1,0 +1,11 @@
+"""Exception types raised by the monitor runtime."""
+
+
+class MonitorError(Exception):
+    """Base class for monitor runtime errors."""
+
+
+class MonitorUsageError(MonitorError):
+    """Raised when the monitor API is used incorrectly, e.g. calling
+    ``wait_until`` outside an entry method or signalling a condition without
+    holding the monitor lock."""

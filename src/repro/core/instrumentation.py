@@ -1,0 +1,113 @@
+"""Counters and timers used to reproduce the paper's measurements.
+
+``MonitorStats`` collects both event counters (predicate evaluations, relay
+signals, wake-ups, tag-structure activity) and, when profiling is enabled,
+wall-clock time buckets matching Table 1 of the paper (await / lock /
+relaySignal / tag manager / others).
+
+The counters are updated while the monitor lock is held, so no extra
+synchronization is needed on top of it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, fields
+from typing import Dict
+
+__all__ = ["MonitorStats", "Stopwatch"]
+
+
+@dataclass
+class MonitorStats:
+    """Event counters and time buckets for one monitor instance."""
+
+    # --- event counters -------------------------------------------------
+    entries: int = 0
+    waits: int = 0
+    wakeups: int = 0
+    spurious_wakeups: int = 0
+    predicate_evaluations: int = 0
+    predicate_registrations: int = 0
+    predicate_reuses: int = 0
+    relay_signal_calls: int = 0
+    signals_sent: int = 0
+    signal_alls_sent: int = 0
+    tag_hash_lookups: int = 0
+    tag_heap_checks: int = 0
+    exhaustive_checks: int = 0
+    tag_insertions: int = 0
+    tag_removals: int = 0
+
+    # --- time buckets (seconds), populated only when profiling ----------
+    await_time: float = 0.0
+    lock_time: float = 0.0
+    relay_signal_time: float = 0.0
+    tag_manager_time: float = 0.0
+    method_time: float = 0.0
+
+    profiling: bool = False
+
+    def snapshot(self) -> Dict[str, float]:
+        """Return all counters and buckets as a plain dictionary."""
+        return {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name != "profiling"
+        }
+
+    def reset(self) -> None:
+        """Zero every counter and time bucket (profiling flag is preserved)."""
+        profiling = self.profiling
+        for f in fields(self):
+            setattr(self, f.name, type(getattr(self, f.name))())
+        self.profiling = profiling
+
+    def merge(self, other: "MonitorStats") -> None:
+        """Accumulate *other* into this object (used to aggregate repetitions)."""
+        for f in fields(self):
+            if f.name == "profiling":
+                continue
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    # --- time-bucket helpers ---------------------------------------------
+
+    def time_bucket(self, bucket: str) -> "Stopwatch":
+        """Return a context manager that adds elapsed time to *bucket*.
+
+        When profiling is off the stopwatch is a no-op, so instrumented code
+        paths stay cheap during throughput benchmarks.
+        """
+        return Stopwatch(self, bucket) if self.profiling else _NULL_STOPWATCH
+
+
+class Stopwatch:
+    """Context manager adding elapsed wall-clock time to a stats bucket."""
+
+    __slots__ = ("_stats", "_bucket", "_start")
+
+    def __init__(self, stats: MonitorStats, bucket: str) -> None:
+        self._stats = stats
+        self._bucket = bucket
+        self._start = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        elapsed = time.perf_counter() - self._start
+        setattr(self._stats, self._bucket, getattr(self._stats, self._bucket) + elapsed)
+
+
+class _NullStopwatch:
+    """No-op stand-in used when profiling is disabled."""
+
+    def __enter__(self) -> "_NullStopwatch":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_STOPWATCH = _NullStopwatch()

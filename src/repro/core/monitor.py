@@ -1,0 +1,441 @@
+"""Monitor base classes: the AutoSynch automatic-signal monitor and the
+explicit-signal monitor used as the paper's comparison baseline.
+
+Usage sketch (the automatic-signal bounded buffer from Fig. 1)::
+
+    class BoundedBuffer(AutoSynchMonitor):
+        def __init__(self, capacity, **monitor_kwargs):
+            super().__init__(**monitor_kwargs)
+            self.buffer = []
+            self.capacity = capacity
+
+        def put(self, item):
+            self.wait_until("len(buffer) < capacity")
+            self.buffer.append(item)
+
+        def take(self):
+            self.wait_until("len(buffer) > 0")
+            return self.buffer.pop(0)
+
+Every public method of a monitor subclass is an *entry method*: it runs under
+the monitor lock, and when it leaves the monitor (returns or blocks in
+``wait_until``) the signalling strategy decides which waiting thread to wake.
+There are no condition variables and no ``signal`` calls in user code.
+
+The ``signalling`` constructor argument selects the mechanism compared in the
+paper's evaluation:
+
+* ``"autosynch"`` — relay signalling guided by predicate tags (the paper's
+  contribution),
+* ``"autosynch_t"`` — relay signalling with exhaustive predicate search
+  (AutoSynch without tagging),
+* ``"baseline"`` — a single condition variable and ``notify_all`` on every
+  monitor exit; each woken thread re-evaluates its own predicate.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from repro.core.condition_manager import (
+    DEFAULT_INACTIVE_CAPACITY,
+    ConditionManager,
+    PredicateEntry,
+)
+from repro.core.errors import MonitorUsageError
+from repro.core.instrumentation import MonitorStats
+from repro.predicates.predicate import CompiledPredicate, compile_predicate
+from repro.runtime.api import Backend, ConditionAPI
+from repro.runtime.threads import ThreadingBackend
+
+__all__ = [
+    "AUTOMATIC_MODES",
+    "MonitorBase",
+    "AutoSynchMonitor",
+    "ExplicitMonitor",
+    "entry_method",
+    "query_method",
+]
+
+#: The automatic signalling mechanisms of §6.2.
+AUTOMATIC_MODES = ("autosynch", "autosynch_t", "baseline")
+
+
+def query_method(func: Callable) -> Callable:
+    """Mark a method as a side-effect-free query usable inside predicates.
+
+    Query methods are *not* wrapped as entry methods: they are called by the
+    condition manager (and by entry methods) while the monitor lock is
+    already held.
+    """
+    func._monitor_query = True
+    return func
+
+
+def entry_method(func: Callable) -> Callable:
+    """Explicitly mark a method as a monitor entry method.
+
+    Public methods are wrapped automatically; this decorator exists for
+    wrapping a method whose name starts with an underscore, or simply for
+    documentation.
+    """
+    func._monitor_entry = True
+    return func
+
+
+def _wrap_entry(func: Callable) -> Callable:
+    @functools.wraps(func)
+    def wrapper(self: "MonitorBase", *args: object, **kwargs: object):
+        return self._run_entry(func, args, kwargs)
+
+    wrapper._monitor_entry_wrapped = True
+    return wrapper
+
+
+class MonitorBase:
+    """Common machinery: the monitor lock, entry-method wrapping and stats."""
+
+    def __init_subclass__(cls, **kwargs: object) -> None:
+        super().__init_subclass__(**kwargs)
+        for name, attribute in list(vars(cls).items()):
+            if not callable(attribute):
+                continue
+            if getattr(attribute, "_monitor_entry_wrapped", False):
+                continue
+            if getattr(attribute, "_monitor_query", False):
+                continue
+            explicit = getattr(attribute, "_monitor_entry", False)
+            if name.startswith("_") and not explicit:
+                continue
+            if not explicit and name in _NEVER_WRAPPED:
+                continue
+            setattr(cls, name, _wrap_entry(attribute))
+
+    def __init__(
+        self,
+        backend: Optional[Backend] = None,
+        profile: bool = False,
+        tracer: Optional[object] = None,
+    ) -> None:
+        self._backend = backend if backend is not None else ThreadingBackend()
+        self._stats = MonitorStats(profiling=profile)
+        self._tracer = tracer
+        self._mutex = self._backend.create_lock()
+        self._owner_id: Optional[object] = None
+
+    # -- public introspection ------------------------------------------------
+
+    @property
+    def stats(self) -> MonitorStats:
+        """Event counters and (optional) time buckets for this monitor."""
+        return self._stats
+
+    @property
+    def backend(self) -> Backend:
+        """The execution backend this monitor runs on."""
+        return self._backend
+
+    @property
+    def tracer(self) -> Optional[object]:
+        """The attached :class:`repro.core.trace.Tracer`, if any."""
+        return self._tracer
+
+    # -- entry-method machinery -----------------------------------------------
+
+    def _holds_monitor(self) -> bool:
+        return self._owner_id is not None and self._owner_id == self._backend.current_id()
+
+    def _run_entry(self, func: Callable, args: tuple, kwargs: dict):
+        if not hasattr(self, "_mutex"):
+            raise MonitorUsageError(
+                f"{type(self).__name__}.__init__ must call super().__init__() "
+                "before any entry method is used"
+            )
+        if self._holds_monitor():
+            # Nested call from another entry method: already inside the monitor.
+            return func(self, *args, **kwargs)
+        self._enter(func.__name__)
+        try:
+            return func(self, *args, **kwargs)
+        finally:
+            self._leave(func.__name__)
+
+    def _trace(self, kind: str, predicate: Optional[str] = None, detail: Optional[str] = None) -> None:
+        if self._tracer is not None:
+            self._tracer.record(kind, self._backend.current_id(), predicate, detail)
+
+    def _enter(self, method_name: str = "") -> None:
+        self._stats.entries += 1
+        with self._stats.time_bucket("lock_time"):
+            self._mutex.acquire()
+        self._owner_id = self._backend.current_id()
+        self._trace("enter", detail=method_name)
+
+    def _leave(self, method_name: str = "") -> None:
+        try:
+            self._before_release()
+        finally:
+            self._trace("exit", detail=method_name)
+            self._owner_id = None
+            self._mutex.release()
+
+    def _before_release(self) -> None:
+        """Hook invoked, with the lock held, every time a thread leaves the
+        monitor through an entry method return."""
+
+    def _require_monitor_held(self, operation: str) -> None:
+        if not self._holds_monitor():
+            raise MonitorUsageError(
+                f"{operation} may only be used from inside a monitor entry method"
+            )
+
+
+#: Names on monitor base classes that must never be treated as entry methods.
+_NEVER_WRAPPED = frozenset(
+    {
+        "stats",
+        "backend",
+        "wait_until",
+        "new_condition",
+        "wait_on",
+        "signal",
+        "signal_all",
+        "condition_manager",
+    }
+)
+
+
+class AutoSynchMonitor(MonitorBase):
+    """Automatic-signal monitor: ``wait_until`` instead of condition variables.
+
+    Parameters
+    ----------
+    backend:
+        Execution backend (defaults to a private :class:`ThreadingBackend`).
+    signalling:
+        ``"autosynch"`` (default), ``"autosynch_t"`` or ``"baseline"``.
+    profile:
+        Enable wall-clock time buckets (Table 1 measurements).
+    inactive_capacity:
+        How many inactive complex predicates to keep cached for reuse.
+    """
+
+    def __init__(
+        self,
+        backend: Optional[Backend] = None,
+        signalling: str = "autosynch",
+        profile: bool = False,
+        inactive_capacity: int = DEFAULT_INACTIVE_CAPACITY,
+        tracer: Optional[object] = None,
+        validate: bool = False,
+    ) -> None:
+        super().__init__(backend, profile, tracer)
+        if signalling not in AUTOMATIC_MODES:
+            raise ValueError(
+                f"unknown signalling mode {signalling!r}; expected one of {AUTOMATIC_MODES}"
+            )
+        self._signalling = signalling
+        self._validate = validate
+        self._predicate_cache: Dict[Tuple[str, frozenset], CompiledPredicate] = {}
+        self._baseline_condition: Optional[ConditionAPI] = None
+        self._cond_mgr: Optional[ConditionManager] = None
+        if signalling == "baseline":
+            self._baseline_condition = self._backend.create_condition(self._mutex)
+        else:
+            self._cond_mgr = ConditionManager(
+                owner=self,
+                backend=self._backend,
+                lock=self._mutex,
+                stats=self._stats,
+                use_tags=(signalling == "autosynch"),
+                inactive_capacity=inactive_capacity,
+                tracer=tracer,
+            )
+
+    # -- public API ------------------------------------------------------------
+
+    @property
+    def signalling(self) -> str:
+        """The signalling mechanism this monitor instance uses."""
+        return self._signalling
+
+    @property
+    def condition_manager(self) -> Optional[ConditionManager]:
+        """The condition manager (None for the baseline mechanism)."""
+        return self._cond_mgr
+
+    def wait_until(self, predicate: str, **local_values: object) -> None:
+        """Block until *predicate* holds (the paper's ``waituntil`` statement).
+
+        *predicate* is a Python boolean expression over the monitor's public
+        fields (written either bare or as ``self.field``) and over the
+        keyword arguments, which play the role of the calling thread's local
+        variables and are frozen to their current values (globalization).
+
+        Must be called from inside an entry method.
+        """
+        self._require_monitor_held("wait_until")
+        compiled = self._compiled(predicate, local_values)
+        self._stats.predicate_evaluations += 1
+        if compiled.evaluate(self, local_values):
+            return
+        if self._signalling == "baseline":
+            self._baseline_wait(compiled, local_values)
+        else:
+            self._relay_wait(compiled, local_values)
+
+    # -- signalling strategies --------------------------------------------------
+
+    def _relay_wait(
+        self, compiled: CompiledPredicate, local_values: Mapping[str, object]
+    ) -> None:
+        globalized = compiled.globalized(local_values)
+        manager = self._cond_mgr
+        entry = manager.acquire_entry(globalized, from_shared_predicate=compiled.is_shared)
+        manager.add_waiter(entry)
+        try:
+            while True:
+                # Relay rule: a thread about to wait passes the monitor on to
+                # some thread whose predicate already holds, if one exists.
+                signalled = manager.relay_signal()
+                if self._validate and not signalled:
+                    self._check_no_missed_signal()
+                self._stats.waits += 1
+                self._trace("wait", predicate=entry.canonical)
+                self._owner_id = None
+                try:
+                    with self._stats.time_bucket("await_time"):
+                        entry.condition.wait()
+                finally:
+                    self._owner_id = self._backend.current_id()
+                self._stats.wakeups += 1
+                manager.consume_signal(entry)
+                self._stats.predicate_evaluations += 1
+                if globalized.holds(self):
+                    self._trace("wakeup", predicate=entry.canonical)
+                    return
+                self._stats.spurious_wakeups += 1
+                self._trace("spurious_wakeup", predicate=entry.canonical)
+        finally:
+            manager.remove_waiter(entry)
+
+    def _baseline_wait(
+        self, compiled: CompiledPredicate, local_values: Mapping[str, object]
+    ) -> None:
+        condition = self._baseline_condition
+        while True:
+            # The baseline automatic monitor has a single condition variable:
+            # every monitor exit (including going to wait) wakes everybody.
+            self._stats.signal_alls_sent += 1
+            self._trace("signal_all")
+            condition.notify_all()
+            self._stats.waits += 1
+            self._trace("wait", predicate=compiled.source)
+            self._owner_id = None
+            try:
+                with self._stats.time_bucket("await_time"):
+                    condition.wait()
+            finally:
+                self._owner_id = self._backend.current_id()
+            self._stats.wakeups += 1
+            self._stats.predicate_evaluations += 1
+            if compiled.evaluate(self, local_values):
+                self._trace("wakeup", predicate=compiled.source)
+                return
+            self._stats.spurious_wakeups += 1
+            self._trace("spurious_wakeup", predicate=compiled.source)
+
+    def _before_release(self) -> None:
+        if self._signalling == "baseline":
+            self._stats.signal_alls_sent += 1
+            self._trace("signal_all")
+            self._baseline_condition.notify_all()
+        else:
+            signalled = self._cond_mgr.relay_signal()
+            if self._validate and not signalled:
+                self._check_no_missed_signal()
+
+    def _check_no_missed_signal(self) -> None:
+        """Validation mode: after a relay that signalled nobody, no waiting
+        predicate may be true (otherwise tag pruning lost a signal)."""
+        from repro.core.errors import MonitorError
+
+        missed = self._cond_mgr.find_missed_waiter()
+        if missed is not None:
+            raise MonitorError(
+                "relay invariance violated: predicate "
+                f"{missed.canonical!r} is true, has {missed.unsignalled_waiters} "
+                "un-signalled waiter(s), but relay_signal found nothing to wake"
+            )
+
+    # -- predicate compilation ---------------------------------------------------
+
+    def _compiled(
+        self, source: str, local_values: Mapping[str, object]
+    ) -> CompiledPredicate:
+        key = (source, frozenset(local_values))
+        compiled = self._predicate_cache.get(key)
+        if compiled is None:
+            shared_names = {name for name in vars(self) if not name.startswith("_")}
+            compiled = compile_predicate(source, shared_names, set(local_values))
+            self._predicate_cache[key] = compiled
+        return compiled
+
+
+class ExplicitMonitor(MonitorBase):
+    """Conventional explicit-signal monitor (the paper's comparison point).
+
+    Subclasses create condition variables with :meth:`new_condition` and use
+    :meth:`wait_on`, :meth:`signal` and :meth:`signal_all` inside entry
+    methods — exactly the discipline required by ``java.util.concurrent``,
+    including the burden of choosing the right condition to signal.
+    """
+
+    def __init__(
+        self,
+        backend: Optional[Backend] = None,
+        profile: bool = False,
+        tracer: Optional[object] = None,
+    ) -> None:
+        super().__init__(backend, profile, tracer)
+
+    def new_condition(self, name: Optional[str] = None) -> ConditionAPI:
+        """Create a condition variable tied to the monitor lock."""
+        condition = self._backend.create_condition(self._mutex)
+        if name is not None and hasattr(condition, "label"):
+            condition.label = name
+        return condition
+
+    @staticmethod
+    def _condition_label(condition: ConditionAPI) -> str:
+        label = getattr(condition, "label", None)
+        return label if label is not None else f"condition@{id(condition):#x}"
+
+    def wait_on(self, condition: ConditionAPI) -> None:
+        """Wait on *condition* (the monitor lock is released while waiting)."""
+        self._require_monitor_held("wait_on")
+        self._stats.waits += 1
+        self._trace("wait", predicate=self._condition_label(condition))
+        self._owner_id = None
+        try:
+            with self._stats.time_bucket("await_time"):
+                condition.wait()
+        finally:
+            self._owner_id = self._backend.current_id()
+        self._stats.wakeups += 1
+        self._trace("wakeup", predicate=self._condition_label(condition))
+
+    def signal(self, condition: ConditionAPI) -> None:
+        """Wake one thread waiting on *condition*."""
+        self._require_monitor_held("signal")
+        self._stats.signals_sent += 1
+        self._trace("signal", predicate=self._condition_label(condition))
+        condition.notify()
+
+    def signal_all(self, condition: ConditionAPI) -> None:
+        """Wake every thread waiting on *condition*."""
+        self._require_monitor_held("signal_all")
+        self._stats.signal_alls_sent += 1
+        self._trace("signal_all", predicate=self._condition_label(condition))
+        condition.notify_all()

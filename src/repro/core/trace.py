@@ -1,0 +1,145 @@
+"""Signalling traces: a recorder for what the monitor runtime decides and why.
+
+The paper motivates automatic signalling partly as a debugging aid ("a
+correct automatic-signal implementation is helpful in debugging an
+explicit-signal implementation").  A :class:`Tracer` attached to a monitor
+records every monitor entry/exit, wait, wake-up and signalling decision —
+including which predicate the relay rule chose — as a sequence of structured
+events that can be inspected programmatically or rendered as text.
+
+Example::
+
+    tracer = Tracer()
+    buffer = BoundedBuffer(4, tracer=tracer)
+    ...
+    print(tracer.format())
+    assert tracer.count("signal_all") == 0
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["TraceEvent", "Tracer", "NULL_TRACER"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded runtime event.
+
+    ``kind`` is one of: ``enter``, ``exit``, ``register``, ``wait``,
+    ``wakeup``, ``spurious_wakeup``, ``signal``, ``signal_all``, ``relay``.
+    ``predicate`` holds the canonical predicate text when the event concerns
+    one; ``detail`` carries free-form context (method name, relay outcome).
+    """
+
+    sequence: int
+    kind: str
+    thread: str
+    predicate: Optional[str] = None
+    detail: Optional[str] = None
+
+    def format(self) -> str:
+        parts = [f"#{self.sequence:05d}", self.kind, f"thread={self.thread}"]
+        if self.predicate is not None:
+            parts.append(f"predicate={self.predicate!r}")
+        if self.detail:
+            parts.append(self.detail)
+        return "  ".join(parts)
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records from one or more monitors.
+
+    The tracer is driven while the monitor lock is held, so no extra
+    synchronization is needed; events are globally ordered by the sequence
+    number.  ``capacity`` bounds memory for long runs (oldest events are
+    dropped first).
+    """
+
+    def __init__(self, capacity: Optional[int] = 100_000) -> None:
+        self._capacity = capacity
+        self._events: List[TraceEvent] = []
+        self._sequence = itertools.count()
+        self._dropped = 0
+
+    # -- recording (called by the monitor runtime) -----------------------
+
+    def record(
+        self,
+        kind: str,
+        thread: object,
+        predicate: Optional[str] = None,
+        detail: Optional[str] = None,
+    ) -> None:
+        event = TraceEvent(
+            sequence=next(self._sequence),
+            kind=kind,
+            thread=str(thread),
+            predicate=predicate,
+            detail=detail,
+        )
+        self._events.append(event)
+        if self._capacity is not None and len(self._events) > self._capacity:
+            del self._events[0]
+            self._dropped += 1
+
+    # -- inspection -------------------------------------------------------
+
+    @property
+    def events(self) -> Tuple[TraceEvent, ...]:
+        """All recorded events, oldest first."""
+        return tuple(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Number of events discarded because the capacity was exceeded."""
+        return self._dropped
+
+    def count(self, kind: str) -> int:
+        """Number of recorded events of the given kind."""
+        return sum(1 for event in self._events if event.kind == kind)
+
+    def of_kind(self, kind: str) -> Tuple[TraceEvent, ...]:
+        """Events of one kind, oldest first."""
+        return tuple(event for event in self._events if event.kind == kind)
+
+    def predicates_signalled(self) -> List[str]:
+        """Canonical predicates in the order their waiters were signalled."""
+        return [event.predicate for event in self._events if event.kind == "signal"]
+
+    def summary(self) -> Dict[str, int]:
+        """Event counts per kind."""
+        counts: Dict[str, int] = {}
+        for event in self._events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def format(self, kinds: Optional[Iterable[str]] = None) -> str:
+        """Render the trace (optionally filtered to some kinds) as text."""
+        wanted = set(kinds) if kinds is not None else None
+        lines = [
+            event.format()
+            for event in self._events
+            if wanted is None or event.kind in wanted
+        ]
+        if self._dropped:
+            lines.insert(0, f"... {self._dropped} earlier events dropped ...")
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        """Forget everything recorded so far."""
+        self._events.clear()
+        self._dropped = 0
+
+
+class _NullTracer:
+    """Do-nothing stand-in used when tracing is disabled."""
+
+    def record(self, *args: object, **kwargs: object) -> None:
+        return None
+
+
+NULL_TRACER = _NullTracer()

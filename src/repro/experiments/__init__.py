@@ -1,0 +1,34 @@
+"""Per-figure experiment definitions (§6 of the paper).
+
+Importing this package registers every experiment in
+:data:`repro.experiments.registry.EXPERIMENTS`; the command-line entry point
+``python -m repro.experiments`` (or ``autosynch-experiments``) runs them and
+prints the tables/series corresponding to the paper's figures.
+"""
+
+from repro.experiments import (  # noqa: F401  (imported for registration side effects)
+    fig08_bounded_buffer,
+    fig09_h2o,
+    fig10_sleeping_barber,
+    fig11_round_robin,
+    fig12_readers_writers,
+    fig13_dining_philosophers,
+    fig14_param_bounded_buffer,
+    fig15_context_switches,
+    table1_cpu_usage,
+)
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    Experiment,
+    ShapeCheck,
+    get_experiment,
+    register,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "ShapeCheck",
+    "get_experiment",
+    "register",
+]

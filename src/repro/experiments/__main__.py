@@ -1,0 +1,115 @@
+"""Command-line entry point for regenerating the paper's figures and tables.
+
+Examples
+--------
+Run the quick version of every experiment and print the tables::
+
+    python -m repro.experiments --scale quick
+
+Run one figure at paper scale on the threading backend as well::
+
+    python -m repro.experiments --only fig14 --scale full --also-wall-clock
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from typing import List, Optional, Sequence
+
+from repro.experiments import EXPERIMENTS, get_experiment
+from repro.harness.report import format_series_table
+from repro.harness.runner import ExperimentRunner
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="autosynch-experiments",
+        description="Regenerate the AutoSynch paper's evaluation figures and tables.",
+    )
+    parser.add_argument(
+        "--only",
+        action="append",
+        default=None,
+        metavar="ID",
+        help="run only this experiment id (repeatable); default: all",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("quick", "full"),
+        default="quick",
+        help="quick = seconds-long sweep, full = paper-scale sweep",
+    )
+    parser.add_argument(
+        "--also-wall-clock",
+        action="store_true",
+        help="additionally run each sweep on the threading backend and report wall time",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list available experiment ids and exit",
+    )
+    parser.add_argument(
+        "--check-shapes",
+        action="store_true",
+        help="evaluate each experiment's qualitative shape checks and report pass/fail",
+    )
+    parser.add_argument(
+        "--csv-dir",
+        default=None,
+        metavar="DIR",
+        help="additionally write each experiment's series to DIR/<id>.csv",
+    )
+    return parser
+
+
+def _run_one(experiment_id: str, args: argparse.Namespace) -> bool:
+    experiment = get_experiment(experiment_id)
+    runner = ExperimentRunner(progress=lambda message: print(f"  .. {message}", flush=True))
+    print(f"== {experiment.experiment_id}: {experiment.title} ==", flush=True)
+    series = experiment.run(scale=args.scale, runner=runner)
+    print(experiment.report(series))
+    if args.csv_dir:
+        from pathlib import Path
+
+        from repro.harness.export import write_series_csv
+
+        destination = Path(args.csv_dir) / f"{experiment.experiment_id}.csv"
+        write_series_csv(series, destination)
+        print(f"  (series written to {destination})")
+    all_ok = True
+    if args.check_shapes:
+        for description, ok in experiment.check_shapes(series):
+            status = "PASS" if ok else "FAIL"
+            all_ok = all_ok and ok
+            print(f"  [{status}] {description}")
+    if args.also_wall_clock:
+        config = experiment.quick_config if args.scale == "quick" else experiment.full_config
+        wall_config = replace(config, backend="threading")
+        wall_series = runner.run(wall_config)
+        print(format_series_table(wall_series, "wall_time",
+                                  title=f"{experiment.experiment_id} — wall_time (threading backend)"))
+    print()
+    return all_ok
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list:
+        for experiment_id in sorted(EXPERIMENTS):
+            experiment = EXPERIMENTS[experiment_id]
+            print(f"{experiment_id:8s} {experiment.title} [{experiment.paper_reference}]")
+        return 0
+    ids: List[str] = args.only if args.only else sorted(EXPERIMENTS)
+    ok = True
+    for experiment_id in ids:
+        ok = _run_one(experiment_id, args) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Figure 8: runtime of the bounded-buffer problem vs. #producers/consumers.
+
+Paper shape: the baseline automatic monitor is clearly slower; explicit,
+AutoSynch-T and AutoSynch are all close because the problem only ever has two
+shared predicates to manage.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import (
+    Experiment,
+    PAPER_THREAD_COUNTS,
+    QUICK_THREAD_COUNTS,
+    ShapeCheck,
+    ratio_at_max,
+    register,
+)
+from repro.harness.runner import RunConfig
+
+__all__ = ["EXPERIMENT"]
+
+_FULL = RunConfig(
+    problem="bounded_buffer",
+    thread_counts=PAPER_THREAD_COUNTS,
+    mechanisms=("explicit", "baseline", "autosynch_t", "autosynch"),
+    total_ops=20_000,
+    repetitions=5,
+    backend="simulation",
+    x_label="# producers/consumers",
+)
+
+_QUICK = _FULL.scaled(total_ops=1_200, repetitions=1, thread_counts=QUICK_THREAD_COUNTS)
+
+EXPERIMENT = register(
+    Experiment(
+        experiment_id="fig08",
+        title="bounded-buffer runtime vs. number of producers/consumers",
+        paper_reference="Figure 8",
+        full_config=_FULL,
+        quick_config=_QUICK,
+        metric="modelled_runtime",
+        shape_checks=(
+            ShapeCheck(
+                "baseline is the slowest automatic mechanism at the largest thread count",
+                lambda series: ratio_at_max(series, "baseline", "autosynch", "modelled_runtime")
+                >= 1.0,
+            ),
+            ShapeCheck(
+                "AutoSynch stays within 4x of explicit signalling",
+                lambda series: ratio_at_max(series, "autosynch", "explicit", "modelled_runtime")
+                <= 4.0,
+            ),
+            ShapeCheck(
+                "AutoSynch-T is comparable to AutoSynch (constant number of shared predicates)",
+                lambda series: ratio_at_max(series, "autosynch_t", "autosynch", "modelled_runtime")
+                <= 2.0,
+            ),
+        ),
+    )
+)

@@ -1,0 +1,55 @@
+"""Figure 9: runtime of the H2O problem vs. the number of hydrogen threads.
+
+Paper shape: as in Fig. 8, the baseline automatic monitor falls behind while
+explicit, AutoSynch-T and AutoSynch remain close (only two shared predicates
+exist, so signalling cost is constant).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import (
+    Experiment,
+    PAPER_THREAD_COUNTS,
+    QUICK_THREAD_COUNTS,
+    ShapeCheck,
+    ratio_at_max,
+    register,
+)
+from repro.harness.runner import RunConfig
+
+__all__ = ["EXPERIMENT"]
+
+_FULL = RunConfig(
+    problem="h2o",
+    thread_counts=PAPER_THREAD_COUNTS,
+    mechanisms=("explicit", "baseline", "autosynch_t", "autosynch"),
+    total_ops=18_000,
+    repetitions=5,
+    backend="simulation",
+    x_label="# H-atom threads",
+)
+
+_QUICK = _FULL.scaled(total_ops=900, repetitions=1, thread_counts=QUICK_THREAD_COUNTS)
+
+EXPERIMENT = register(
+    Experiment(
+        experiment_id="fig09",
+        title="H2O runtime vs. number of hydrogen threads",
+        paper_reference="Figure 9",
+        full_config=_FULL,
+        quick_config=_QUICK,
+        metric="modelled_runtime",
+        shape_checks=(
+            ShapeCheck(
+                "baseline is at least as slow as AutoSynch at the largest thread count",
+                lambda series: ratio_at_max(series, "baseline", "autosynch", "modelled_runtime")
+                >= 1.0,
+            ),
+            ShapeCheck(
+                "AutoSynch stays within 4x of explicit signalling",
+                lambda series: ratio_at_max(series, "autosynch", "explicit", "modelled_runtime")
+                <= 4.0,
+            ),
+        ),
+    )
+)

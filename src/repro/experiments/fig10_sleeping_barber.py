@@ -1,0 +1,55 @@
+"""Figure 10: runtime of the sleeping-barber problem vs. number of customers.
+
+Paper shape: all four mechanisms stay close — even the baseline, because its
+``signalAll`` calls do not cause extra context switches (a woken customer can
+always make progress once the previous one has been served).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import (
+    Experiment,
+    PAPER_THREAD_COUNTS,
+    QUICK_THREAD_COUNTS,
+    ShapeCheck,
+    ratio_at_max,
+    register,
+)
+from repro.harness.runner import RunConfig
+
+__all__ = ["EXPERIMENT"]
+
+_FULL = RunConfig(
+    problem="sleeping_barber",
+    thread_counts=PAPER_THREAD_COUNTS,
+    mechanisms=("explicit", "baseline", "autosynch_t", "autosynch"),
+    total_ops=15_000,
+    repetitions=5,
+    backend="simulation",
+    x_label="# customers",
+)
+
+_QUICK = _FULL.scaled(total_ops=900, repetitions=1, thread_counts=QUICK_THREAD_COUNTS)
+
+EXPERIMENT = register(
+    Experiment(
+        experiment_id="fig10",
+        title="sleeping-barber runtime vs. number of customers",
+        paper_reference="Figure 10",
+        full_config=_FULL,
+        quick_config=_QUICK,
+        metric="modelled_runtime",
+        shape_checks=(
+            ShapeCheck(
+                "AutoSynch stays within 5x of explicit signalling",
+                lambda series: ratio_at_max(series, "autosynch", "explicit", "modelled_runtime")
+                <= 5.0,
+            ),
+            ShapeCheck(
+                "the automatic mechanisms stay within an order of magnitude of each other",
+                lambda series: ratio_at_max(series, "baseline", "autosynch", "modelled_runtime")
+                <= 10.0,
+            ),
+        ),
+    )
+)

@@ -1,0 +1,65 @@
+"""Figure 11: runtime of the round-robin access pattern vs. number of threads.
+
+Paper shape: the explicit version (one condition variable per thread, the
+programmer signals exactly the next thread) is fastest and flat; AutoSynch-T
+degrades sharply as the number of waiting predicates grows because every
+relay signal scans them all; AutoSynch stays within a small factor of
+explicit (1.2x–2.6x in the paper) and flat, because the equivalence-tag hash
+finds the one true predicate directly.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import (
+    Experiment,
+    PAPER_THREAD_COUNTS,
+    QUICK_THREAD_COUNTS,
+    ShapeCheck,
+    ratio_at_max,
+    register,
+)
+from repro.harness.runner import RunConfig
+
+__all__ = ["EXPERIMENT"]
+
+_FULL = RunConfig(
+    problem="round_robin",
+    thread_counts=PAPER_THREAD_COUNTS,
+    mechanisms=("explicit", "autosynch_t", "autosynch"),
+    total_ops=20_000,
+    repetitions=5,
+    backend="simulation",
+    x_label="# threads",
+)
+
+_QUICK = _FULL.scaled(total_ops=1_000, repetitions=1, thread_counts=QUICK_THREAD_COUNTS)
+
+EXPERIMENT = register(
+    Experiment(
+        experiment_id="fig11",
+        title="round-robin access pattern runtime vs. number of threads",
+        paper_reference="Figure 11 (and Table 1)",
+        full_config=_FULL,
+        quick_config=_QUICK,
+        metric="modelled_runtime",
+        shape_checks=(
+            ShapeCheck(
+                "AutoSynch-T evaluates many more predicates than AutoSynch at the largest size",
+                lambda series: ratio_at_max(
+                    series, "autosynch_t", "autosynch", "predicate_evaluations"
+                )
+                >= 2.0,
+            ),
+            ShapeCheck(
+                "AutoSynch-T is slower than AutoSynch at the largest size",
+                lambda series: ratio_at_max(series, "autosynch_t", "autosynch", "modelled_runtime")
+                >= 1.0,
+            ),
+            ShapeCheck(
+                "AutoSynch stays within 4x of explicit signalling",
+                lambda series: ratio_at_max(series, "autosynch", "explicit", "modelled_runtime")
+                <= 4.0,
+            ),
+        ),
+    )
+)

@@ -1,0 +1,64 @@
+"""Figure 12: runtime of the readers/writers problem vs. #writers/#readers.
+
+Paper shape: explicit signalling (which signals the next ticket directly) is
+fastest and flat; AutoSynch-T's runtime grows with the number of threads;
+AutoSynch stays close to explicit.  At small thread counts AutoSynch-T can
+even beat AutoSynch because AutoSynch pays for tag maintenance, a crossover
+the paper points out explicitly.
+
+The x-axis value is the number of writers; there are five readers per writer
+(2/10, 4/20, ..., 64/320 in the paper).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import (
+    Experiment,
+    ShapeCheck,
+    ratio_at_max,
+    register,
+)
+from repro.harness.runner import RunConfig
+
+__all__ = ["EXPERIMENT"]
+
+#: Writers axis of Fig. 12 (readers = 5x writers are created by the problem).
+PAPER_WRITER_COUNTS = (2, 4, 8, 16, 32, 64)
+QUICK_WRITER_COUNTS = (2, 8, 16)
+
+_FULL = RunConfig(
+    problem="readers_writers",
+    thread_counts=PAPER_WRITER_COUNTS,
+    mechanisms=("explicit", "autosynch_t", "autosynch"),
+    total_ops=20_000,
+    repetitions=5,
+    backend="simulation",
+    x_label="# writers (readers = 5x)",
+)
+
+_QUICK = _FULL.scaled(total_ops=1_200, repetitions=1, thread_counts=QUICK_WRITER_COUNTS)
+
+EXPERIMENT = register(
+    Experiment(
+        experiment_id="fig12",
+        title="readers/writers runtime vs. number of writers (5 readers per writer)",
+        paper_reference="Figure 12",
+        full_config=_FULL,
+        quick_config=_QUICK,
+        metric="modelled_runtime",
+        shape_checks=(
+            ShapeCheck(
+                "AutoSynch stays within 4x of explicit signalling",
+                lambda series: ratio_at_max(series, "autosynch", "explicit", "modelled_runtime")
+                <= 4.0,
+            ),
+            ShapeCheck(
+                "AutoSynch-T needs at least as many predicate evaluations as AutoSynch",
+                lambda series: ratio_at_max(
+                    series, "autosynch_t", "autosynch", "predicate_evaluations"
+                )
+                >= 1.0,
+            ),
+        ),
+    )
+)

@@ -1,0 +1,55 @@
+"""Figure 13: runtime of the dining-philosophers problem vs. #philosophers.
+
+Paper shape: explicit signalling does not pull far ahead here because a
+philosopher only ever competes with its two neighbours, regardless of the
+table size; the automatic mechanisms stay within a small factor.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import (
+    Experiment,
+    PAPER_THREAD_COUNTS,
+    QUICK_THREAD_COUNTS,
+    ShapeCheck,
+    ratio_at_max,
+    register,
+)
+from repro.harness.runner import RunConfig
+
+__all__ = ["EXPERIMENT"]
+
+_FULL = RunConfig(
+    problem="dining_philosophers",
+    thread_counts=PAPER_THREAD_COUNTS,
+    mechanisms=("explicit", "autosynch_t", "autosynch"),
+    total_ops=20_000,
+    repetitions=5,
+    backend="simulation",
+    x_label="# philosophers",
+)
+
+_QUICK = _FULL.scaled(total_ops=1_200, repetitions=1, thread_counts=QUICK_THREAD_COUNTS)
+
+EXPERIMENT = register(
+    Experiment(
+        experiment_id="fig13",
+        title="dining-philosophers runtime vs. number of philosophers",
+        paper_reference="Figure 13",
+        full_config=_FULL,
+        quick_config=_QUICK,
+        metric="modelled_runtime",
+        shape_checks=(
+            ShapeCheck(
+                "AutoSynch stays within 5x of explicit signalling",
+                lambda series: ratio_at_max(series, "autosynch", "explicit", "modelled_runtime")
+                <= 5.0,
+            ),
+            ShapeCheck(
+                "AutoSynch-T stays within 5x of AutoSynch (philosophers only compete locally)",
+                lambda series: ratio_at_max(series, "autosynch_t", "autosynch", "modelled_runtime")
+                <= 5.0,
+            ),
+        ),
+    )
+)

@@ -1,0 +1,69 @@
+"""Figure 14: parameterized bounded-buffer runtime vs. number of consumers.
+
+Paper shape: the explicit version must use ``signalAll`` (nobody knows which
+waiting consumer can be satisfied), so its runtime grows steeply with the
+number of consumers; AutoSynch signals exactly one thread whose predicate is
+true and stays essentially flat, winning by ~27x at 256 consumers in the
+paper.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import (
+    Experiment,
+    PAPER_THREAD_COUNTS,
+    QUICK_THREAD_COUNTS,
+    ShapeCheck,
+    final_point_metric,
+    ratio_at_max,
+    register,
+)
+from repro.harness.runner import RunConfig
+
+__all__ = ["EXPERIMENT"]
+
+_FULL = RunConfig(
+    problem="parameterized_bounded_buffer",
+    thread_counts=PAPER_THREAD_COUNTS,
+    mechanisms=("explicit", "autosynch"),
+    total_ops=10_000,
+    repetitions=5,
+    backend="simulation",
+    x_label="# consumers",
+)
+
+_QUICK = _FULL.scaled(total_ops=800, repetitions=1, thread_counts=QUICK_THREAD_COUNTS)
+
+
+def _explicit_grows_with_threads(series) -> bool:
+    xs = series.x_values()
+    if len(xs) < 2:
+        return False
+    first = series.point_for("explicit", xs[0])
+    last = series.point_for("explicit", xs[-1])
+    if first is None or last is None:
+        return False
+    return last.metric("modelled_runtime") > first.metric("modelled_runtime")
+
+
+EXPERIMENT = register(
+    Experiment(
+        experiment_id="fig14",
+        title="parameterized bounded-buffer runtime vs. number of consumers",
+        paper_reference="Figure 14",
+        full_config=_FULL,
+        quick_config=_QUICK,
+        metric="modelled_runtime",
+        shape_checks=(
+            ShapeCheck(
+                "AutoSynch beats the explicit (signalAll-based) version at the largest size",
+                lambda series: ratio_at_max(series, "explicit", "autosynch", "modelled_runtime")
+                >= 1.5,
+            ),
+            ShapeCheck(
+                "the explicit version's cost grows with the number of consumers",
+                _explicit_grows_with_threads,
+            ),
+        ),
+    )
+)

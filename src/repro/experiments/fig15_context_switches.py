@@ -1,0 +1,78 @@
+"""Figure 15: context switches in the parameterized bounded buffer.
+
+Paper shape: the number of context switches grows into the millions for the
+explicit (signalAll-based) version as consumers are added, while AutoSynch
+stays roughly constant (~5.4k at 256 consumers in the paper) because only one
+thread — one whose predicate is actually true — is ever woken.
+
+This experiment uses the simulation backend, where context switches are
+counted exactly by the scheduler.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import (
+    Experiment,
+    PAPER_THREAD_COUNTS,
+    QUICK_THREAD_COUNTS,
+    ShapeCheck,
+    ratio_at_max,
+    register,
+)
+from repro.harness.runner import RunConfig
+
+__all__ = ["EXPERIMENT"]
+
+_FULL = RunConfig(
+    problem="parameterized_bounded_buffer",
+    thread_counts=PAPER_THREAD_COUNTS,
+    mechanisms=("explicit", "autosynch"),
+    total_ops=10_000,
+    repetitions=5,
+    backend="simulation",
+    x_label="# consumers",
+)
+
+_QUICK = _FULL.scaled(total_ops=800, repetitions=1, thread_counts=QUICK_THREAD_COUNTS)
+
+
+def _autosynch_stays_flat(series) -> bool:
+    xs = series.x_values()
+    if len(xs) < 2:
+        return False
+    first = series.point_for("autosynch", xs[0])
+    last = series.point_for("autosynch", xs[-1])
+    if first is None or last is None or first.metric("context_switches") <= 0:
+        return False
+    explicit_first = series.point_for("explicit", xs[0])
+    explicit_last = series.point_for("explicit", xs[-1])
+    if explicit_first is None or explicit_last is None:
+        return False
+    autosynch_growth = last.metric("context_switches") / first.metric("context_switches")
+    explicit_growth = explicit_last.metric("context_switches") / max(
+        explicit_first.metric("context_switches"), 1.0
+    )
+    return autosynch_growth <= explicit_growth
+
+
+EXPERIMENT = register(
+    Experiment(
+        experiment_id="fig15",
+        title="context switches of the parameterized bounded buffer vs. number of consumers",
+        paper_reference="Figure 15",
+        full_config=_FULL,
+        quick_config=_QUICK,
+        metric="context_switches",
+        shape_checks=(
+            ShapeCheck(
+                "the explicit version causes several times more context switches at the largest size",
+                lambda series: ratio_at_max(series, "explicit", "autosynch", "context_switches")
+                >= 2.0,
+            ),
+            ShapeCheck(
+                "AutoSynch's context switches grow no faster than explicit's",
+                _autosynch_stays_flat,
+            ),
+        ),
+    )
+)

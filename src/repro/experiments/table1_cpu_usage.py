@@ -1,0 +1,114 @@
+"""Table 1: CPU-usage breakdown for the round-robin access pattern.
+
+The paper profiles the 128-thread round-robin workload with YourKit and
+reports, per mechanism, the time spent in ``await``, lock handling,
+``relaySignal`` and tag management.  The headline observation is that
+predicate tagging removes about 95% of the relaySignal cost at the price of a
+small tag-management overhead.
+
+Here the breakdown is reconstructed from the monitor's own counters through
+the cost model (see :mod:`repro.harness.profiling`); the key ratio — how much
+of the relay-signalling work tagging eliminates — is checked as a shape.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import Experiment, ShapeCheck, register
+from repro.harness.profiling import BUCKETS, breakdown_rows, modelled_breakdown_from_counters
+from repro.harness.report import format_table
+from repro.harness.results import ExperimentSeries
+from repro.harness.runner import RunConfig
+
+__all__ = ["EXPERIMENT", "build_breakdowns"]
+
+#: The paper profiles the 128-thread configuration.
+FULL_THREADS = 128
+QUICK_THREADS = 16
+
+_FULL = RunConfig(
+    problem="round_robin",
+    thread_counts=(FULL_THREADS,),
+    mechanisms=("explicit", "autosynch_t", "autosynch"),
+    total_ops=20_000,
+    repetitions=5,
+    backend="simulation",
+    x_label="# threads",
+)
+
+_QUICK = _FULL.scaled(total_ops=1_500, repetitions=1, thread_counts=(QUICK_THREADS,))
+
+
+def build_breakdowns(series: ExperimentSeries):
+    """One :class:`UsageBreakdown` per mechanism at the profiled thread count."""
+    threads = series.x_values()[-1]
+    breakdowns = []
+    for mechanism in series.mechanisms():
+        point = series.point_for(mechanism, threads)
+        if point is None:
+            continue
+        monitor_stats = {
+            key: value for key, value in point.extra.items() if not key.startswith("backend_")
+        }
+        backend_metrics = {
+            key[len("backend_"):]: value
+            for key, value in point.extra.items()
+            if key.startswith("backend_")
+        }
+        breakdowns.append(
+            modelled_breakdown_from_counters(mechanism, monitor_stats, backend_metrics)
+        )
+    return breakdowns
+
+
+def _report(series: ExperimentSeries) -> str:
+    breakdowns = build_breakdowns(series)
+    headers = ["mechanism"]
+    for bucket in BUCKETS:
+        headers.extend([f"{bucket} (s)", "%"])
+    headers.append("total (s)")
+    table = format_table(headers, breakdown_rows(breakdowns))
+    threads = series.x_values()[-1]
+    return (
+        f"table1: CPU-usage breakdown, round-robin access pattern, {threads} threads "
+        f"[Table 1]\n{table}"
+    )
+
+
+def _relay_reduction(series: ExperimentSeries) -> float:
+    """Fraction of AutoSynch-T's relaySignal cost removed by tagging."""
+    breakdowns = {b.mechanism: b for b in build_breakdowns(series)}
+    without_tags = breakdowns.get("autosynch_t")
+    with_tags = breakdowns.get("autosynch")
+    if without_tags is None or with_tags is None or without_tags.relay_signal_time <= 0:
+        return 0.0
+    return 1.0 - (with_tags.relay_signal_time / without_tags.relay_signal_time)
+
+
+EXPERIMENT = register(
+    Experiment(
+        experiment_id="table1",
+        title="CPU-usage breakdown for the round-robin access pattern",
+        paper_reference="Table 1",
+        full_config=_FULL,
+        quick_config=_QUICK,
+        metric="modelled_runtime",
+        report_builder=_report,
+        shape_checks=(
+            ShapeCheck(
+                "predicate tagging removes most of the relaySignal cost (>=50% here, ~95% in the paper)",
+                lambda series: _relay_reduction(series) >= 0.5,
+            ),
+            ShapeCheck(
+                "tag management stays a small fraction of AutoSynch's total cost (<20%)",
+                lambda series: next(
+                    (
+                        b.share("tag_manager") < 0.20
+                        for b in build_breakdowns(series)
+                        if b.mechanism == "autosynch"
+                    ),
+                    False,
+                ),
+            ),
+        ),
+    )
+)

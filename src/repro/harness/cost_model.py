@@ -1,0 +1,61 @@
+"""A simple cost model turning event counts into a modelled runtime.
+
+The simulation backend counts exactly how many context switches, monitor
+entries, predicate evaluations and signals a signalling mechanism causes.
+The paper's runtime figures are driven by those quantities (plus constant
+per-operation work), so weighting the counts with representative costs gives
+a *modelled runtime* whose shape — which mechanism wins, by roughly what
+factor, where the curves cross — can be compared with the paper's plots
+without being distorted by the GIL.
+
+The default weights are order-of-magnitude figures for a 2010s x86 server
+(a few microseconds per context switch, well under a microsecond per
+predicate evaluation); the ablation benchmark
+``benchmarks/test_ablation_cost_model.py`` shows the qualitative conclusions
+are insensitive to the exact values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+__all__ = ["CostModel", "DEFAULT_COST_MODEL"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-event costs, in microseconds."""
+
+    context_switch_us: float = 5.0
+    monitor_entry_us: float = 0.5
+    predicate_evaluation_us: float = 0.4
+    signal_us: float = 0.8
+    wait_us: float = 1.0
+
+    def modelled_runtime_seconds(
+        self,
+        backend_metrics: Mapping[str, float],
+        monitor_stats: Mapping[str, float],
+    ) -> float:
+        """Combine counters into a modelled runtime in seconds."""
+        context_switches = backend_metrics.get("context_switches", 0)
+        entries = monitor_stats.get("entries", 0)
+        evaluations = monitor_stats.get("predicate_evaluations", 0)
+        signals = (
+            monitor_stats.get("signals_sent", 0)
+            + monitor_stats.get("signal_alls_sent", 0)
+            + backend_metrics.get("notified_threads", 0)
+        )
+        waits = monitor_stats.get("waits", 0)
+        total_us = (
+            context_switches * self.context_switch_us
+            + entries * self.monitor_entry_us
+            + evaluations * self.predicate_evaluation_us
+            + signals * self.signal_us
+            + waits * self.wait_us
+        )
+        return total_us / 1e6
+
+
+DEFAULT_COST_MODEL = CostModel()

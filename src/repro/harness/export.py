@@ -1,0 +1,81 @@
+"""Export of experiment series to CSV (for plotting outside this repo).
+
+The paper presents its evaluation as line plots.  ``series_to_csv`` writes
+one row per (x value, mechanism) pair with every aggregated metric, which is
+directly loadable by pandas/gnuplot/spreadsheets to regenerate the figures
+graphically; ``write_series_csv`` puts it on disk.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.harness.results import ExperimentSeries
+
+__all__ = ["CSV_COLUMNS", "series_to_csv", "write_series_csv"]
+
+#: Fixed column order of the exported file.
+CSV_COLUMNS = (
+    "experiment",
+    "backend",
+    "threads",
+    "mechanism",
+    "repetitions",
+    "wall_time_s",
+    "modelled_runtime_s",
+    "context_switches",
+    "predicate_evaluations",
+    "signals",
+)
+
+
+def series_to_csv(series: ExperimentSeries, extra_metrics: Sequence[str] = ()) -> str:
+    """Render *series* as CSV text.
+
+    ``extra_metrics`` names additional per-point metrics (any key stored in
+    ``MeasurementPoint.extra``) to append as columns; missing values are left
+    empty rather than failing, so series from different problems can share a
+    column list.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(list(CSV_COLUMNS) + list(extra_metrics))
+    for threads in series.x_values():
+        for mechanism in series.mechanisms():
+            point = series.point_for(mechanism, threads)
+            if point is None:
+                continue
+            row = [
+                series.name,
+                series.backend,
+                threads,
+                mechanism,
+                point.repetitions,
+                f"{point.wall_time:.6f}",
+                f"{point.modelled_runtime:.6f}",
+                f"{point.context_switches:.1f}",
+                f"{point.predicate_evaluations:.1f}",
+                f"{point.signals:.1f}",
+            ]
+            for metric in extra_metrics:
+                try:
+                    row.append(f"{point.metric(metric):.3f}")
+                except KeyError:
+                    row.append("")
+            writer.writerow(row)
+    return buffer.getvalue()
+
+
+def write_series_csv(
+    series: ExperimentSeries,
+    path: Path | str,
+    extra_metrics: Sequence[str] = (),
+) -> Path:
+    """Write the CSV for *series* to *path* and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(series_to_csv(series, extra_metrics), encoding="utf-8")
+    return path

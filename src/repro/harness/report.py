@@ -1,0 +1,70 @@
+"""Plain-text reporting: the tables/series the experiment scripts print.
+
+The paper presents line plots; the text equivalent used here is a table with
+the x-axis value in the first column and one column per mechanism, which is
+enough to compare shapes (who wins, by what factor, where curves cross).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.harness.results import ExperimentSeries
+
+__all__ = ["format_table", "series_to_rows", "format_series_table"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render *rows* under *headers* as a fixed-width text table."""
+    columns = len(headers)
+    normalized: List[List[str]] = []
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {columns}"
+            )
+        normalized.append([_format_cell(cell) for cell in row])
+    widths = [len(str(header)) for header in headers]
+    for row in normalized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(str(header).ljust(widths[index]) for index, header in enumerate(headers)),
+        "  ".join("-" * widths[index] for index in range(columns)),
+    ]
+    for row in normalized:
+        lines.append("  ".join(cell.rjust(widths[index]) for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell != 0 and (abs(cell) >= 1e6 or abs(cell) < 1e-3):
+            return f"{cell:.3e}"
+        return f"{cell:,.3f}"
+    if isinstance(cell, int):
+        return f"{cell:,}"
+    return str(cell)
+
+
+def series_to_rows(series: ExperimentSeries, metric: str) -> List[List[object]]:
+    """Convert a series into table rows: one row per x value, one column per
+    mechanism, cells holding *metric*."""
+    mechanisms = list(series.mechanisms())
+    rows: List[List[object]] = []
+    for x_value in series.x_values():
+        row: List[object] = [x_value]
+        for mechanism in mechanisms:
+            point = series.point_for(mechanism, x_value)
+            row.append(point.metric(metric) if point is not None else "-")
+        rows.append(row)
+    return rows
+
+
+def format_series_table(series: ExperimentSeries, metric: str, title: str = "") -> str:
+    """Render one metric of a series as a text table, with an optional title."""
+    mechanisms = list(series.mechanisms())
+    headers = [series.x_label] + mechanisms
+    table = format_table(headers, series_to_rows(series, metric))
+    heading = title or f"{series.name} — {metric} ({series.backend} backend)"
+    return f"{heading}\n{table}"

@@ -1,0 +1,108 @@
+"""The experiment runner: sweeps thread counts and mechanisms for one figure.
+
+``RunConfig`` captures everything needed to regenerate one figure or table of
+the paper: the problem, the mechanisms to compare, the x-axis values, the
+operation budget, the number of repetitions and the backend.  The runner
+executes every combination, aggregates repetitions with the paper's
+drop-best/drop-worst protocol and returns an :class:`ExperimentSeries`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.harness.cost_model import CostModel, DEFAULT_COST_MODEL
+from repro.harness.results import ExperimentSeries, MeasurementPoint, RunResult, aggregate_runs
+from repro.harness.saturation import make_backend, run_workload
+from repro.problems import get_problem
+from repro.problems.base import MECHANISMS, Problem
+
+__all__ = ["RunConfig", "ExperimentRunner"]
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Configuration for one experiment sweep."""
+
+    problem: str
+    thread_counts: Tuple[int, ...]
+    mechanisms: Tuple[str, ...] = MECHANISMS
+    total_ops: int = 2_000
+    repetitions: int = 3
+    drop_extremes: bool = True
+    backend: str = "simulation"
+    seed: int = 0
+    profile: bool = False
+    x_label: str = "# threads"
+    problem_params: Dict[str, object] = field(default_factory=dict)
+
+    def scaled(self, total_ops: Optional[int] = None, repetitions: Optional[int] = None,
+               thread_counts: Optional[Sequence[int]] = None) -> "RunConfig":
+        """Return a copy with a smaller/larger budget (used by the benchmarks
+        to run quick versions of the full paper sweeps)."""
+        updates: Dict[str, object] = {}
+        if total_ops is not None:
+            updates["total_ops"] = total_ops
+        if repetitions is not None:
+            updates["repetitions"] = repetitions
+        if thread_counts is not None:
+            updates["thread_counts"] = tuple(thread_counts)
+        return replace(self, **updates)
+
+
+class ExperimentRunner:
+    """Executes :class:`RunConfig` sweeps."""
+
+    def __init__(
+        self,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self._cost_model = cost_model
+        self._progress = progress
+
+    def _report(self, message: str) -> None:
+        if self._progress is not None:
+            self._progress(message)
+
+    def run_point(
+        self,
+        problem: Problem,
+        config: RunConfig,
+        mechanism: str,
+        threads: int,
+    ) -> MeasurementPoint:
+        """Run all repetitions of one (mechanism, threads) configuration."""
+        runs: List[RunResult] = []
+        for repetition in range(config.repetitions):
+            backend = make_backend(config.backend, seed=config.seed + repetition)
+            runs.append(
+                run_workload(
+                    problem,
+                    mechanism,
+                    backend,
+                    threads=threads,
+                    total_ops=config.total_ops,
+                    seed=config.seed + repetition,
+                    profile=config.profile,
+                    **config.problem_params,
+                )
+            )
+        return aggregate_runs(
+            runs, drop_extremes=config.drop_extremes, cost_model=self._cost_model
+        )
+
+    def run(self, config: RunConfig) -> ExperimentSeries:
+        """Run the full sweep described by *config*."""
+        problem = get_problem(config.problem)
+        series = ExperimentSeries(
+            name=config.problem, x_label=config.x_label, backend=config.backend
+        )
+        for mechanism in config.mechanisms:
+            for threads in config.thread_counts:
+                self._report(
+                    f"{config.problem}: mechanism={mechanism} threads={threads}"
+                )
+                series.add(self.run_point(problem, config, mechanism, threads))
+        return series

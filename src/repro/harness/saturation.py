@@ -1,0 +1,67 @@
+"""Run a single saturation test and collect its measurements (§6.1).
+
+A saturation test performs only monitor-accessing operations — no work
+inside or outside the monitor — so the measurement isolates synchronization
+overhead, which is exactly what the paper compares.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.harness.results import RunResult
+from repro.problems.base import Problem
+from repro.runtime.api import Backend
+from repro.runtime.simulation import SimulationBackend
+from repro.runtime.threads import ThreadingBackend
+
+__all__ = ["make_backend", "run_workload"]
+
+
+def make_backend(kind: str, seed: int = 0) -> Backend:
+    """Create a backend by name (``"simulation"`` or ``"threading"``)."""
+    if kind == "simulation":
+        return SimulationBackend(seed=seed)
+    if kind == "threading":
+        return ThreadingBackend()
+    raise ValueError(f"unknown backend {kind!r}; expected 'simulation' or 'threading'")
+
+
+def run_workload(
+    problem: Problem,
+    mechanism: str,
+    backend: Backend,
+    threads: int,
+    total_ops: int,
+    seed: int = 0,
+    profile: bool = False,
+    verify: bool = True,
+    **problem_params: object,
+) -> RunResult:
+    """Build and execute one saturation run, returning its measurements."""
+    spec = problem.build(
+        mechanism,
+        backend,
+        threads=threads,
+        total_ops=total_ops,
+        seed=seed,
+        profile=profile,
+        **problem_params,
+    )
+    backend.reset_metrics()
+    started = time.perf_counter()
+    backend.run(spec.targets, spec.names)
+    wall_time = time.perf_counter() - started
+    if verify:
+        spec.verify()
+    return RunResult(
+        problem=problem.name,
+        mechanism=mechanism,
+        backend=backend.name,
+        threads=threads,
+        wall_time=wall_time,
+        operations=spec.operations,
+        backend_metrics=backend.metrics.snapshot(),
+        monitor_stats=spec.monitor.stats.snapshot(),
+    )

@@ -1,0 +1,335 @@
+"""Expression IR used to represent ``waituntil`` conditions.
+
+The IR is intentionally small: it covers the expression language that the
+paper's predicates use (integer/boolean arithmetic over monitor fields and
+thread-local values, comparisons, boolean connectives, container length and
+indexing) while staying analyzable.  Every node is an immutable dataclass so
+trees can be hashed, shared between predicates, and used as dictionary keys
+by the condition manager.
+
+Scopes
+------
+Each :class:`Name` carries a :class:`Scope`:
+
+* ``SHARED`` — a monitor field (the paper's set *S*), readable by every
+  thread that holds the monitor lock.
+* ``LOCAL`` — a variable local to the thread executing ``waituntil`` (the
+  paper's set *L*); frozen to a constant by globalization.
+* ``UNKNOWN`` — not yet classified (the parser produces these; the
+  classification pass resolves them).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Tuple, Union
+
+__all__ = [
+    "Scope",
+    "Expr",
+    "Const",
+    "BoolConst",
+    "Name",
+    "Attribute",
+    "Subscript",
+    "Call",
+    "UnaryOp",
+    "BinOp",
+    "Compare",
+    "Not",
+    "And",
+    "Or",
+    "COMPARISON_OPS",
+    "ARITHMETIC_OPS",
+    "NEGATED_COMPARISON",
+    "FLIPPED_COMPARISON",
+    "children",
+    "walk",
+    "unparse",
+]
+
+
+class Scope(enum.Enum):
+    """Where a variable lives relative to the monitor."""
+
+    SHARED = "shared"
+    LOCAL = "local"
+    UNKNOWN = "unknown"
+
+
+#: Comparison operators supported in predicates.
+COMPARISON_OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+#: Arithmetic operators supported in shared/local expressions.
+ARITHMETIC_OPS = ("+", "-", "*", "//", "/", "%")
+
+#: Mapping used when pushing a negation through a comparison.
+NEGATED_COMPARISON = {
+    "==": "!=",
+    "!=": "==",
+    "<": ">=",
+    "<=": ">",
+    ">": "<=",
+    ">=": "<",
+}
+
+#: Mapping used when swapping the two sides of a comparison.
+FLIPPED_COMPARISON = {
+    "==": "==",
+    "!=": "!=",
+    "<": ">",
+    "<=": ">=",
+    ">": "<",
+    ">=": "<=",
+}
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class for every IR node."""
+
+    def is_boolean_structure(self) -> bool:
+        """Return True for nodes that shape the boolean formula (And/Or/Not)."""
+        return False
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A literal constant (int, float, str, None, tuple of constants)."""
+
+    value: object
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Const({self.value!r})"
+
+
+@dataclass(frozen=True)
+class BoolConst(Expr):
+    """A literal ``True`` or ``False``."""
+
+    value: bool
+
+
+@dataclass(frozen=True)
+class Name(Expr):
+    """A variable reference.
+
+    ``ident`` is the variable name as written in the predicate (with any
+    leading ``self.`` stripped by the parser).  ``scope`` records whether the
+    variable is a monitor field or a thread-local value.
+    """
+
+    ident: str
+    scope: Scope = Scope.UNKNOWN
+
+
+@dataclass(frozen=True)
+class Attribute(Expr):
+    """Attribute access, e.g. ``queue.head`` where ``queue`` is a field."""
+
+    value: Expr
+    attr: str
+
+
+@dataclass(frozen=True)
+class Subscript(Expr):
+    """Indexing, e.g. ``chopsticks[i]``."""
+
+    value: Expr
+    index: Expr
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """A call to one of the whitelisted pure functions (``len``, ``abs``,
+    ``min``, ``max``) or to a zero/positional-argument method on a shared
+    object (e.g. ``waiting.count()``)."""
+
+    func: str
+    args: Tuple[Expr, ...] = ()
+    receiver: Expr | None = None
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """Unary arithmetic, currently only negation ``-x``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Binary arithmetic: ``+ - * // / %``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Compare(Expr):
+    """A single comparison ``left op right`` — the atoms of predicates."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def negate(self) -> "Compare":
+        """Return the comparison with the opposite truth value."""
+        return Compare(NEGATED_COMPARISON[self.op], self.left, self.right)
+
+    def flipped(self) -> "Compare":
+        """Return the comparison with its two sides swapped (same meaning)."""
+        return Compare(FLIPPED_COMPARISON[self.op], self.right, self.left)
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    """Logical negation of a sub-formula."""
+
+    operand: Expr
+
+    def is_boolean_structure(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    """Logical conjunction of two or more sub-formulas."""
+
+    operands: Tuple[Expr, ...] = field(default_factory=tuple)
+
+    def is_boolean_structure(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    """Logical disjunction of two or more sub-formulas."""
+
+    operands: Tuple[Expr, ...] = field(default_factory=tuple)
+
+    def is_boolean_structure(self) -> bool:
+        return True
+
+
+# ---------------------------------------------------------------------------
+# Tree utilities
+# ---------------------------------------------------------------------------
+
+
+def children(node: Expr) -> Tuple[Expr, ...]:
+    """Return the direct sub-expressions of *node* (empty for leaves)."""
+    if isinstance(node, (Const, BoolConst, Name)):
+        return ()
+    if isinstance(node, Attribute):
+        return (node.value,)
+    if isinstance(node, Subscript):
+        return (node.value, node.index)
+    if isinstance(node, Call):
+        base: Tuple[Expr, ...] = (node.receiver,) if node.receiver is not None else ()
+        return base + tuple(node.args)
+    if isinstance(node, UnaryOp):
+        return (node.operand,)
+    if isinstance(node, (BinOp, Compare)):
+        return (node.left, node.right)
+    if isinstance(node, Not):
+        return (node.operand,)
+    if isinstance(node, (And, Or)):
+        return tuple(node.operands)
+    raise TypeError(f"unknown IR node type: {type(node)!r}")
+
+
+def walk(node: Expr) -> Iterator[Expr]:
+    """Yield *node* and every node beneath it, pre-order."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        stack.extend(reversed(children(current)))
+
+
+_PRECEDENCE = {
+    "or": 1,
+    "and": 2,
+    "not": 3,
+    "cmp": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "//": 6,
+    "/": 6,
+    "%": 6,
+    "unary": 7,
+    "atom": 8,
+}
+
+
+def _prec(node: Expr) -> int:
+    if isinstance(node, Or):
+        return _PRECEDENCE["or"]
+    if isinstance(node, And):
+        return _PRECEDENCE["and"]
+    if isinstance(node, Not):
+        return _PRECEDENCE["not"]
+    if isinstance(node, Compare):
+        return _PRECEDENCE["cmp"]
+    if isinstance(node, BinOp):
+        return _PRECEDENCE[node.op]
+    if isinstance(node, UnaryOp):
+        return _PRECEDENCE["unary"]
+    return _PRECEDENCE["atom"]
+
+
+def _wrap(parent_prec: int, node: Expr) -> str:
+    text = unparse(node)
+    if _prec(node) < parent_prec:
+        return f"({text})"
+    return text
+
+
+def unparse(node: Expr) -> str:
+    """Render an IR tree back to a canonical, Python-compatible source string.
+
+    The output is deterministic for equal trees, which makes it usable as the
+    canonical key in the condition manager's predicate table.
+    """
+    if isinstance(node, Const):
+        return repr(node.value)
+    if isinstance(node, BoolConst):
+        return "True" if node.value else "False"
+    if isinstance(node, Name):
+        return node.ident
+    if isinstance(node, Attribute):
+        return f"{_wrap(_PRECEDENCE['atom'], node.value)}.{node.attr}"
+    if isinstance(node, Subscript):
+        return f"{_wrap(_PRECEDENCE['atom'], node.value)}[{unparse(node.index)}]"
+    if isinstance(node, Call):
+        args = ", ".join(unparse(arg) for arg in node.args)
+        if node.receiver is not None:
+            return f"{_wrap(_PRECEDENCE['atom'], node.receiver)}.{node.func}({args})"
+        return f"{node.func}({args})"
+    if isinstance(node, UnaryOp):
+        return f"{node.op}{_wrap(_PRECEDENCE['unary'], node.operand)}"
+    if isinstance(node, BinOp):
+        prec = _PRECEDENCE[node.op]
+        left = _wrap(prec, node.left)
+        # Subtraction/division are left-associative: parenthesize an equal-
+        # precedence right operand so ``a - (b - c)`` round-trips correctly.
+        right_prec = prec + 1 if node.op in ("-", "/", "//", "%") else prec
+        right = _wrap(right_prec, node.right)
+        return f"{left} {node.op} {right}"
+    if isinstance(node, Compare):
+        prec = _PRECEDENCE["cmp"]
+        return f"{_wrap(prec + 1, node.left)} {node.op} {_wrap(prec + 1, node.right)}"
+    if isinstance(node, Not):
+        return f"not {_wrap(_PRECEDENCE['not'], node.operand)}"
+    if isinstance(node, And):
+        prec = _PRECEDENCE["and"]
+        return " and ".join(_wrap(prec, op) for op in node.operands)
+    if isinstance(node, Or):
+        prec = _PRECEDENCE["or"]
+        return " or ".join(_wrap(prec, op) for op in node.operands)
+    raise TypeError(f"unknown IR node type: {type(node)!r}")

@@ -1,0 +1,188 @@
+"""Shared/local classification of predicate variables and expressions.
+
+The paper partitions the variables of a predicate into the *shared* variables
+``S`` (monitor fields, visible to every thread holding the monitor lock) and
+the *local* variables ``L`` (visible only to the thread that invoked
+``waituntil``).  A predicate over shared variables only is a *shared
+predicate*; one that also mentions local variables is a *complex predicate*
+(Definition 1).  Likewise an expression over shared variables only is a
+*shared expression* and one over local variables only is a *local expression*
+(Definition 5).
+
+This module resolves the scope of every name in a parsed predicate and
+answers those classification questions for whole sub-expressions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from repro.predicates.ast_nodes import (
+    And,
+    Attribute,
+    BinOp,
+    BoolConst,
+    Call,
+    Compare,
+    Const,
+    Expr,
+    Name,
+    Not,
+    Or,
+    Scope,
+    Subscript,
+    UnaryOp,
+    walk,
+)
+from repro.predicates.errors import PredicateError
+from repro.predicates.parser import ALLOWED_BUILTINS
+
+__all__ = [
+    "ClassificationError",
+    "classify",
+    "free_names",
+    "scope_of",
+    "is_shared_predicate",
+    "is_complex_predicate",
+    "local_names_used",
+    "shared_names_used",
+]
+
+
+class ClassificationError(PredicateError):
+    """Raised when a predicate mentions a name that is neither a monitor
+    field nor a supplied local value."""
+
+
+def classify(
+    expr: Expr,
+    shared_names: Iterable[str],
+    local_names: Iterable[str],
+) -> Expr:
+    """Return a copy of *expr* with every :class:`Name` scope resolved.
+
+    Names already marked shared (written ``self.x`` in the source) stay
+    shared.  Bare names are resolved to local first (mirroring the way a
+    method parameter shadows a field in Java), then to shared; names found in
+    neither set raise :class:`ClassificationError`.
+    """
+    shared = set(shared_names)
+    local = set(local_names)
+
+    def rebuild(node: Expr) -> Expr:
+        if isinstance(node, Name):
+            if node.scope is Scope.SHARED:
+                return node
+            if node.scope is Scope.LOCAL:
+                return node
+            if node.ident in local:
+                return Name(node.ident, Scope.LOCAL)
+            if node.ident in shared:
+                return Name(node.ident, Scope.SHARED)
+            raise ClassificationError(
+                f"name {node.ident!r} is neither a monitor field "
+                f"({sorted(shared)}) nor a supplied local value ({sorted(local)})"
+            )
+        if isinstance(node, (Const, BoolConst)):
+            return node
+        if isinstance(node, Attribute):
+            return Attribute(rebuild(node.value), node.attr)
+        if isinstance(node, Subscript):
+            return Subscript(rebuild(node.value), rebuild(node.index))
+        if isinstance(node, Call):
+            receiver = rebuild(node.receiver) if node.receiver is not None else None
+            return Call(node.func, tuple(rebuild(a) for a in node.args), receiver)
+        if isinstance(node, UnaryOp):
+            return UnaryOp(node.op, rebuild(node.operand))
+        if isinstance(node, BinOp):
+            return BinOp(node.op, rebuild(node.left), rebuild(node.right))
+        if isinstance(node, Compare):
+            return Compare(node.op, rebuild(node.left), rebuild(node.right))
+        if isinstance(node, Not):
+            return Not(rebuild(node.operand))
+        if isinstance(node, And):
+            return And(tuple(rebuild(op) for op in node.operands))
+        if isinstance(node, Or):
+            return Or(tuple(rebuild(op) for op in node.operands))
+        raise TypeError(f"unknown IR node type: {type(node)!r}")
+
+    return rebuild(expr)
+
+
+def free_names(expr: Expr) -> Dict[str, Scope]:
+    """Return a mapping from each variable name used in *expr* to its scope."""
+    names: Dict[str, Scope] = {}
+    for node in walk(expr):
+        if isinstance(node, Name):
+            previous = names.get(node.ident)
+            if previous is not None and previous is not node.scope:
+                # The same identifier used once as a field (``self.x``) and
+                # once as a local would be genuinely ambiguous.
+                raise ClassificationError(
+                    f"name {node.ident!r} is used with conflicting scopes "
+                    f"({previous.value} and {node.scope.value})"
+                )
+            names[node.ident] = node.scope
+    return names
+
+
+def shared_names_used(expr: Expr) -> Set[str]:
+    """Names in *expr* that resolve to monitor fields."""
+    return {n for n, scope in free_names(expr).items() if scope is Scope.SHARED}
+
+
+def local_names_used(expr: Expr) -> Set[str]:
+    """Names in *expr* that resolve to thread-local values."""
+    return {n for n, scope in free_names(expr).items() if scope is Scope.LOCAL}
+
+
+def _reads_monitor_state(node: Expr) -> bool:
+    """True if evaluating *node* itself (not its children) touches the monitor."""
+    if isinstance(node, Name):
+        return node.scope is Scope.SHARED
+    if isinstance(node, Call):
+        # A no-receiver call that is not a whitelisted builtin is a query
+        # method on the monitor object, so it reads monitor state.
+        return node.receiver is None and node.func not in ALLOWED_BUILTINS
+    return False
+
+
+def scope_of(expr: Expr) -> Optional[Scope]:
+    """Classify *expr* as a shared expression, a local expression, or neither.
+
+    Returns ``Scope.SHARED`` when the expression reads monitor state and no
+    thread-local values, ``Scope.LOCAL`` when it reads only thread-local
+    values and constants, and ``None`` when it mixes both (or still contains
+    unresolved names).
+    """
+    uses_shared = False
+    uses_local = False
+    for node in walk(expr):
+        if isinstance(node, Name):
+            if node.scope is Scope.UNKNOWN:
+                return None
+            if node.scope is Scope.SHARED:
+                uses_shared = True
+            else:
+                uses_local = True
+        elif _reads_monitor_state(node):
+            uses_shared = True
+    if uses_shared and uses_local:
+        return None
+    if uses_shared:
+        return Scope.SHARED
+    return Scope.LOCAL
+
+
+def is_shared_predicate(expr: Expr) -> bool:
+    """True when *expr* mentions no thread-local variables (Definition 1)."""
+    return all(
+        node.scope is Scope.SHARED
+        for node in walk(expr)
+        if isinstance(node, Name)
+    )
+
+
+def is_complex_predicate(expr: Expr) -> bool:
+    """True when *expr* mentions at least one thread-local variable."""
+    return not is_shared_predicate(expr)

@@ -1,0 +1,188 @@
+"""Conversion of predicates to disjunctive normal form (DNF).
+
+The paper assumes every ``waituntil`` predicate is in DNF, ``P = c1 ∨ ... ∨
+cn`` with each ``ci`` a conjunction of atomic boolean expressions, and notes
+that any formula can be brought into that shape with De Morgan's laws and the
+distributive law.  The AutoSynch preprocessor performs that conversion; here
+it is done by :func:`to_nnf` (push negations down to the atoms) followed by
+:func:`to_dnf` (distribute conjunction over disjunction).
+
+Tags (:mod:`repro.predicates.tags`) are then assigned per conjunction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from repro.predicates.ast_nodes import (
+    And,
+    BoolConst,
+    Compare,
+    Expr,
+    Not,
+    Or,
+    unparse,
+)
+from repro.predicates.errors import PredicateError
+
+__all__ = ["Conjunction", "DNFPredicate", "to_nnf", "to_dnf", "MAX_CONJUNCTIONS"]
+
+#: Upper bound on the number of conjunctions produced by DNF expansion.  The
+#: conversion is worst-case exponential; synchronization predicates are tiny
+#: in practice, so hitting this limit almost certainly indicates a mistake.
+MAX_CONJUNCTIONS = 256
+
+
+def to_nnf(expr: Expr) -> Expr:
+    """Return *expr* in negation normal form.
+
+    Negations are pushed through ``and``/``or`` with De Morgan's laws and
+    through comparisons by flipping the comparison operator; a negation of
+    any other atom (e.g. a boolean field) is kept as ``Not(atom)``.
+    """
+    return _nnf(expr, negate=False)
+
+
+def _nnf(expr: Expr, negate: bool) -> Expr:
+    if isinstance(expr, Not):
+        return _nnf(expr.operand, not negate)
+    if isinstance(expr, And):
+        operands = tuple(_nnf(op, negate) for op in expr.operands)
+        return Or(operands) if negate else And(operands)
+    if isinstance(expr, Or):
+        operands = tuple(_nnf(op, negate) for op in expr.operands)
+        return And(operands) if negate else Or(operands)
+    if isinstance(expr, Compare):
+        return expr.negate() if negate else expr
+    if isinstance(expr, BoolConst):
+        return BoolConst(not expr.value) if negate else expr
+    # Any other node is an atom (a boolean-valued field, call, ...).
+    return Not(expr) if negate else expr
+
+
+@dataclass(frozen=True)
+class Conjunction:
+    """A conjunction of atoms — one ``ci`` of the DNF."""
+
+    atoms: Tuple[Expr, ...]
+
+    def to_expr(self) -> Expr:
+        if not self.atoms:
+            return BoolConst(True)
+        if len(self.atoms) == 1:
+            return self.atoms[0]
+        return And(self.atoms)
+
+    def canonical(self) -> str:
+        """Deterministic source form, usable as a dictionary key."""
+        return unparse(self.to_expr())
+
+    def __iter__(self):
+        return iter(self.atoms)
+
+    def __len__(self) -> int:
+        return len(self.atoms)
+
+
+@dataclass(frozen=True)
+class DNFPredicate:
+    """A predicate in disjunctive normal form."""
+
+    conjunctions: Tuple[Conjunction, ...]
+
+    def to_expr(self) -> Expr:
+        if not self.conjunctions:
+            return BoolConst(False)
+        if len(self.conjunctions) == 1:
+            return self.conjunctions[0].to_expr()
+        return Or(tuple(c.to_expr() for c in self.conjunctions))
+
+    def canonical(self) -> str:
+        """Deterministic source form, usable as the predicate-table key."""
+        return unparse(self.to_expr())
+
+    @property
+    def is_trivially_true(self) -> bool:
+        return any(len(c) == 0 for c in self.conjunctions)
+
+    @property
+    def is_trivially_false(self) -> bool:
+        return not self.conjunctions
+
+    def __iter__(self):
+        return iter(self.conjunctions)
+
+    def __len__(self) -> int:
+        return len(self.conjunctions)
+
+
+def to_dnf(expr: Expr) -> DNFPredicate:
+    """Convert *expr* into :class:`DNFPredicate`.
+
+    Boolean constants are simplified away: a conjunction containing ``False``
+    is dropped, ``True`` atoms are removed, and a predicate reduced to ``True``
+    is represented by a single empty conjunction.
+    """
+    nnf = to_nnf(expr)
+    raw = _expand(nnf)
+    conjunctions: List[Conjunction] = []
+    seen = set()
+    for atoms in raw:
+        simplified = _simplify_conjunction(atoms)
+        if simplified is None:
+            continue  # contained a literal False
+        if not simplified:
+            # The whole predicate is trivially true.
+            return DNFPredicate((Conjunction(()),))
+        conjunction = Conjunction(tuple(simplified))
+        key = conjunction.canonical()
+        if key not in seen:
+            seen.add(key)
+            conjunctions.append(conjunction)
+    return DNFPredicate(tuple(conjunctions))
+
+
+def _expand(expr: Expr) -> List[List[Expr]]:
+    """Return the DNF of an NNF formula as a list of atom lists."""
+    if isinstance(expr, Or):
+        result: List[List[Expr]] = []
+        for operand in expr.operands:
+            result.extend(_expand(operand))
+            _check_size(result)
+        return result
+    if isinstance(expr, And):
+        # Cartesian product of the operands' DNFs.
+        result = [[]]
+        for operand in expr.operands:
+            operand_dnf = _expand(operand)
+            result = [left + right for left in result for right in operand_dnf]
+            _check_size(result)
+        return result
+    return [[expr]]
+
+
+def _check_size(conjunctions: Iterable[List[Expr]]) -> None:
+    count = sum(1 for _ in conjunctions)
+    if count > MAX_CONJUNCTIONS:
+        raise PredicateError(
+            f"DNF expansion produced more than {MAX_CONJUNCTIONS} conjunctions; "
+            "the predicate is too large for the condition manager"
+        )
+
+
+def _simplify_conjunction(atoms: List[Expr]) -> List[Expr] | None:
+    """Drop ``True`` atoms, return None if the conjunction contains ``False``."""
+    out: List[Expr] = []
+    seen = set()
+    for atom in atoms:
+        if isinstance(atom, BoolConst):
+            if atom.value:
+                continue
+            return None
+        key = unparse(atom)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(atom)
+    return out

@@ -1,0 +1,20 @@
+"""Exception types raised by the predicate subsystem."""
+
+
+class PredicateError(Exception):
+    """Base class for every error raised while handling predicates."""
+
+
+class PredicateParseError(PredicateError):
+    """Raised when a ``waituntil`` condition cannot be parsed into the IR.
+
+    The condition text is kept on the exception so callers (the preprocessor
+    and the runtime) can produce an error message that points at the original
+    source.
+    """
+
+    def __init__(self, message: str, source: str | None = None):
+        self.source = source
+        if source is not None:
+            message = f"{message} (in predicate {source!r})"
+        super().__init__(message)

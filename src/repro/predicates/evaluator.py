@@ -1,0 +1,155 @@
+"""Evaluation of predicate IR trees against monitor state.
+
+The condition manager evaluates predicates *on behalf of waiting threads*
+(that is the whole point of globalization), so the evaluator reads shared
+variables from a state object — normally the monitor instance itself — and
+local variables from an explicit mapping.
+
+The evaluator is deliberately side-effect free: it only reads attributes,
+indexes containers, calls the whitelisted pure builtins, and calls query
+methods on the monitor when the predicate uses them.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.predicates.ast_nodes import (
+    And,
+    Attribute,
+    BinOp,
+    BoolConst,
+    Call,
+    Compare,
+    Const,
+    Expr,
+    Name,
+    Not,
+    Or,
+    Scope,
+    Subscript,
+    UnaryOp,
+)
+from repro.predicates.errors import PredicateError
+from repro.predicates.globalization import _apply_binop, _apply_compare
+from repro.predicates.parser import ALLOWED_BUILTINS
+
+__all__ = ["EvaluationError", "evaluate", "evaluate_bool"]
+
+_BUILTINS = {
+    "len": len,
+    "abs": abs,
+    "min": min,
+    "max": max,
+    "sum": sum,
+    "all": all,
+    "any": any,
+}
+
+
+class EvaluationError(PredicateError):
+    """Raised when a predicate cannot be evaluated against the given state."""
+
+
+def _read_shared(state: object, name: str) -> object:
+    if isinstance(state, Mapping):
+        if name not in state:
+            raise EvaluationError(f"shared variable {name!r} not found in state mapping")
+        return state[name]
+    try:
+        return getattr(state, name)
+    except AttributeError as exc:
+        raise EvaluationError(
+            f"shared variable {name!r} is not an attribute of {type(state).__name__}"
+        ) from exc
+
+
+def evaluate(
+    expr: Expr,
+    state: object,
+    local_values: Optional[Mapping[str, object]] = None,
+) -> object:
+    """Evaluate *expr*, reading shared names from *state* and local names from
+    *local_values*.  Returns the raw value (not coerced to bool)."""
+    locals_map: Mapping[str, object] = local_values or {}
+
+    def ev(node: Expr) -> object:
+        if isinstance(node, Const):
+            return node.value
+        if isinstance(node, BoolConst):
+            return node.value
+        if isinstance(node, Name):
+            if node.scope is Scope.LOCAL:
+                if node.ident not in locals_map:
+                    raise EvaluationError(
+                        f"no value supplied for local variable {node.ident!r}"
+                    )
+                return locals_map[node.ident]
+            if node.scope is Scope.SHARED:
+                return _read_shared(state, node.ident)
+            # Unresolved name: prefer an explicitly supplied local, then state.
+            if node.ident in locals_map:
+                return locals_map[node.ident]
+            return _read_shared(state, node.ident)
+        if isinstance(node, Attribute):
+            return getattr(ev(node.value), node.attr)
+        if isinstance(node, Subscript):
+            container = ev(node.value)
+            index = ev(node.index)
+            try:
+                return container[index]
+            except (TypeError, IndexError, KeyError) as exc:
+                raise EvaluationError(
+                    f"cannot index {type(container).__name__} with {index!r}"
+                ) from exc
+        if isinstance(node, Call):
+            args = [ev(arg) for arg in node.args]
+            if node.receiver is None and node.func in _BUILTINS:
+                return _BUILTINS[node.func](*args)
+            if node.receiver is None:
+                # Query method on the monitor object itself.
+                target = state
+            else:
+                target = ev(node.receiver)
+            try:
+                method = getattr(target, node.func)
+            except AttributeError as exc:
+                raise EvaluationError(
+                    f"{type(target).__name__} has no method {node.func!r}"
+                ) from exc
+            return method(*args)
+        if isinstance(node, UnaryOp):
+            if node.op == "-":
+                return -ev(node.operand)
+            raise EvaluationError(f"unknown unary operator {node.op!r}")
+        if isinstance(node, BinOp):
+            try:
+                return _apply_binop(node.op, ev(node.left), ev(node.right))
+            except ZeroDivisionError as exc:
+                raise EvaluationError("division by zero while evaluating predicate") from exc
+        if isinstance(node, Compare):
+            return _apply_compare(node.op, ev(node.left), ev(node.right))
+        if isinstance(node, Not):
+            return not ev(node.operand)
+        if isinstance(node, And):
+            for operand in node.operands:
+                if not ev(operand):
+                    return False
+            return True
+        if isinstance(node, Or):
+            for operand in node.operands:
+                if ev(operand):
+                    return True
+            return False
+        raise EvaluationError(f"unknown IR node type: {type(node)!r}")
+
+    return ev(expr)
+
+
+def evaluate_bool(
+    expr: Expr,
+    state: object,
+    local_values: Optional[Mapping[str, object]] = None,
+) -> bool:
+    """Evaluate *expr* and coerce the result to a boolean."""
+    return bool(evaluate(expr, state, local_values))

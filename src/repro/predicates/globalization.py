@@ -1,0 +1,216 @@
+"""Globalization of complex predicates (Definition 2 of the paper).
+
+A *complex* predicate mentions thread-local variables, so only the waiting
+thread could evaluate it.  Globalization substitutes each local variable with
+the value it holds at the moment ``waituntil`` is invoked, producing a shared
+predicate that any thread inside the monitor can evaluate on the waiter's
+behalf.  Proposition 1 of the paper justifies the substitution: the waiting
+thread is blocked, so nobody can change its local variables while it waits.
+
+After substitution, constant sub-expressions are folded so that syntactically
+different but equal predicates (``count >= 40 + 8`` vs. ``count >= 48``) map
+to the same canonical form and therefore share a condition-manager entry.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.predicates.ast_nodes import (
+    And,
+    Attribute,
+    BinOp,
+    BoolConst,
+    Call,
+    Compare,
+    Const,
+    Expr,
+    Name,
+    Not,
+    Or,
+    Scope,
+    Subscript,
+    UnaryOp,
+)
+from repro.predicates.errors import PredicateError
+
+__all__ = ["globalize", "fold_constants"]
+
+#: Types a thread-local value may have to be frozen into a predicate.
+_ALLOWED_CONST_TYPES = (int, float, str, bool, type(None))
+
+
+def _freeze(value: object, name: str) -> object:
+    if isinstance(value, bool) or isinstance(value, _ALLOWED_CONST_TYPES):
+        return value
+    if isinstance(value, (tuple, list)):
+        return tuple(_freeze(item, name) for item in value)
+    raise PredicateError(
+        f"local variable {name!r} has unsupported type {type(value).__name__}; "
+        "only scalars and tuples/lists of scalars can appear in a waituntil predicate"
+    )
+
+
+def globalize(expr: Expr, local_values: Mapping[str, object]) -> Expr:
+    """Return the globalization of *expr* with respect to *local_values*.
+
+    Every ``Name`` with ``Scope.LOCAL`` is replaced by a constant holding its
+    current value; the result is then constant-folded.  Raises
+    :class:`PredicateError` when a local variable has no supplied value or an
+    unsupported type.
+    """
+
+    def substitute(node: Expr) -> Expr:
+        if isinstance(node, Name):
+            if node.scope is Scope.LOCAL:
+                if node.ident not in local_values:
+                    raise PredicateError(
+                        f"no value supplied for local variable {node.ident!r} "
+                        "during globalization"
+                    )
+                frozen = _freeze(local_values[node.ident], node.ident)
+                if isinstance(frozen, bool):
+                    return BoolConst(frozen)
+                return Const(frozen)
+            return node
+        if isinstance(node, (Const, BoolConst)):
+            return node
+        if isinstance(node, Attribute):
+            return Attribute(substitute(node.value), node.attr)
+        if isinstance(node, Subscript):
+            return Subscript(substitute(node.value), substitute(node.index))
+        if isinstance(node, Call):
+            receiver = substitute(node.receiver) if node.receiver is not None else None
+            return Call(node.func, tuple(substitute(a) for a in node.args), receiver)
+        if isinstance(node, UnaryOp):
+            return UnaryOp(node.op, substitute(node.operand))
+        if isinstance(node, BinOp):
+            return BinOp(node.op, substitute(node.left), substitute(node.right))
+        if isinstance(node, Compare):
+            return Compare(node.op, substitute(node.left), substitute(node.right))
+        if isinstance(node, Not):
+            return Not(substitute(node.operand))
+        if isinstance(node, And):
+            return And(tuple(substitute(op) for op in node.operands))
+        if isinstance(node, Or):
+            return Or(tuple(substitute(op) for op in node.operands))
+        raise TypeError(f"unknown IR node type: {type(node)!r}")
+
+    return fold_constants(substitute(expr))
+
+
+_FOLDABLE_BUILTINS = {
+    "len": len,
+    "abs": abs,
+    "min": min,
+    "max": max,
+    "sum": sum,
+}
+
+
+def fold_constants(expr: Expr) -> Expr:
+    """Evaluate constant sub-expressions bottom-up.
+
+    Only arithmetic, comparisons and whitelisted builtins over literals are
+    folded; anything touching monitor state is left untouched.
+    """
+    if isinstance(expr, (Const, BoolConst, Name)):
+        return expr
+    if isinstance(expr, Attribute):
+        return Attribute(fold_constants(expr.value), expr.attr)
+    if isinstance(expr, Subscript):
+        value = fold_constants(expr.value)
+        index = fold_constants(expr.index)
+        if isinstance(value, Const) and isinstance(index, Const):
+            try:
+                return _constify(value.value[index.value])
+            except (TypeError, IndexError, KeyError):
+                pass
+        return Subscript(value, index)
+    if isinstance(expr, Call):
+        receiver = fold_constants(expr.receiver) if expr.receiver is not None else None
+        args = tuple(fold_constants(a) for a in expr.args)
+        if (
+            receiver is None
+            and expr.func in _FOLDABLE_BUILTINS
+            and all(isinstance(a, (Const, BoolConst)) for a in args)
+        ):
+            try:
+                values = [a.value for a in args]
+                return _constify(_FOLDABLE_BUILTINS[expr.func](*values))
+            except (TypeError, ValueError):
+                pass
+        return Call(expr.func, args, receiver)
+    if isinstance(expr, UnaryOp):
+        operand = fold_constants(expr.operand)
+        if expr.op == "-" and isinstance(operand, Const) and isinstance(
+            operand.value, (int, float)
+        ):
+            return Const(-operand.value)
+        return UnaryOp(expr.op, operand)
+    if isinstance(expr, BinOp):
+        left = fold_constants(expr.left)
+        right = fold_constants(expr.right)
+        if isinstance(left, Const) and isinstance(right, Const):
+            try:
+                return _constify(_apply_binop(expr.op, left.value, right.value))
+            except (TypeError, ZeroDivisionError):
+                pass
+        return BinOp(expr.op, left, right)
+    if isinstance(expr, Compare):
+        left = fold_constants(expr.left)
+        right = fold_constants(expr.right)
+        if isinstance(left, (Const, BoolConst)) and isinstance(right, (Const, BoolConst)):
+            try:
+                return BoolConst(_apply_compare(expr.op, left.value, right.value))
+            except TypeError:
+                pass
+        return Compare(expr.op, left, right)
+    if isinstance(expr, Not):
+        operand = fold_constants(expr.operand)
+        if isinstance(operand, BoolConst):
+            return BoolConst(not operand.value)
+        return Not(operand)
+    if isinstance(expr, And):
+        return And(tuple(fold_constants(op) for op in expr.operands))
+    if isinstance(expr, Or):
+        return Or(tuple(fold_constants(op) for op in expr.operands))
+    raise TypeError(f"unknown IR node type: {type(expr)!r}")
+
+
+def _constify(value: object) -> Expr:
+    if isinstance(value, bool):
+        return BoolConst(value)
+    return Const(value)
+
+
+def _apply_binop(op: str, left: object, right: object) -> object:
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "//":
+        return left // right
+    if op == "/":
+        return left / right
+    if op == "%":
+        return left % right
+    raise TypeError(f"unknown operator {op!r}")
+
+
+def _apply_compare(op: str, left: object, right: object) -> bool:
+    if op == "==":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise TypeError(f"unknown comparison {op!r}")

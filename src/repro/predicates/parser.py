@@ -1,0 +1,216 @@
+"""Parse ``waituntil`` condition source text into the predicate IR.
+
+The parser accepts ordinary Python expression syntax (what a programmer would
+write inside ``waituntil(...)``), using :mod:`ast` for the front end, and maps
+it onto the small IR defined in :mod:`repro.predicates.ast_nodes`.
+
+Conventions:
+
+* ``self.<field>`` refers to a monitor field; the leading ``self.`` is
+  stripped so the IR name is just ``<field>``.  A bare name may refer either
+  to a monitor field or to a thread-local variable — that is resolved later by
+  :func:`repro.predicates.classify.classify`.
+* Chained comparisons (``0 < x < n``) are expanded into a conjunction of
+  binary comparisons.
+* Only a whitelist of pure builtins (``len``, ``abs``, ``min``, ``max``) and
+  argument-pure method calls are allowed, because the runtime may evaluate a
+  predicate many times on behalf of a waiting thread and must not trigger
+  side effects.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.predicates.ast_nodes import (
+    And,
+    Attribute,
+    BinOp,
+    BoolConst,
+    Call,
+    Compare,
+    Const,
+    Expr,
+    Name,
+    Not,
+    Or,
+    Scope,
+    Subscript,
+    UnaryOp,
+)
+from repro.predicates.errors import PredicateParseError
+
+__all__ = ["parse_predicate", "ALLOWED_BUILTINS", "SELF_NAMES"]
+
+#: Pure builtins that may appear in predicates.
+ALLOWED_BUILTINS = frozenset({"len", "abs", "min", "max", "sum", "all", "any"})
+
+#: Names treated as a reference to the monitor object itself.
+SELF_NAMES = frozenset({"self"})
+
+_BIN_OPS = {
+    ast.Add: "+",
+    ast.Sub: "-",
+    ast.Mult: "*",
+    ast.FloorDiv: "//",
+    ast.Div: "/",
+    ast.Mod: "%",
+}
+
+_CMP_OPS = {
+    ast.Eq: "==",
+    ast.NotEq: "!=",
+    ast.Lt: "<",
+    ast.LtE: "<=",
+    ast.Gt: ">",
+    ast.GtE: ">=",
+    # ``is`` / ``is not`` are accepted as equality tests so the idiomatic
+    # ``value is None`` works in predicates; monitor predicates compare
+    # scalars and None, for which identity and equality coincide.
+    ast.Is: "==",
+    ast.IsNot: "!=",
+}
+
+
+def parse_predicate(source: str) -> Expr:
+    """Parse *source* (a Python expression) into the predicate IR.
+
+    Raises :class:`PredicateParseError` for syntax errors and for constructs
+    outside the supported expression language.
+    """
+    if not isinstance(source, str):
+        raise PredicateParseError(
+            f"predicate source must be a string, got {type(source).__name__}"
+        )
+    stripped = source.strip()
+    if not stripped:
+        raise PredicateParseError("predicate source is empty", source)
+    try:
+        tree = ast.parse(stripped, mode="eval")
+    except SyntaxError as exc:
+        raise PredicateParseError(f"invalid syntax: {exc.msg}", source) from exc
+    return _convert(tree.body, source)
+
+
+def _convert(node: ast.AST, source: str) -> Expr:
+    if isinstance(node, ast.BoolOp):
+        operands = tuple(_convert(value, source) for value in node.values)
+        if isinstance(node.op, ast.And):
+            return And(operands)
+        return Or(operands)
+
+    if isinstance(node, ast.UnaryOp):
+        if isinstance(node.op, ast.Not):
+            return Not(_convert(node.operand, source))
+        if isinstance(node.op, ast.USub):
+            operand = _convert(node.operand, source)
+            if isinstance(operand, Const) and isinstance(operand.value, (int, float)):
+                return Const(-operand.value)
+            return UnaryOp("-", operand)
+        if isinstance(node.op, ast.UAdd):
+            return _convert(node.operand, source)
+        raise PredicateParseError(
+            f"unsupported unary operator {type(node.op).__name__}", source
+        )
+
+    if isinstance(node, ast.BinOp):
+        op_type = type(node.op)
+        if op_type not in _BIN_OPS:
+            raise PredicateParseError(
+                f"unsupported binary operator {op_type.__name__}", source
+            )
+        return BinOp(
+            _BIN_OPS[op_type], _convert(node.left, source), _convert(node.right, source)
+        )
+
+    if isinstance(node, ast.Compare):
+        return _convert_compare(node, source)
+
+    if isinstance(node, ast.Constant):
+        if node.value is True or node.value is False:
+            return BoolConst(bool(node.value))
+        if node.value is None or isinstance(node.value, (int, float, str)):
+            return Const(node.value)
+        raise PredicateParseError(
+            f"unsupported constant {node.value!r}", source
+        )
+
+    if isinstance(node, ast.Name):
+        if node.id in SELF_NAMES:
+            raise PredicateParseError(
+                "bare 'self' cannot be used as a value in a predicate", source
+            )
+        return Name(node.id)
+
+    if isinstance(node, ast.Attribute):
+        return _convert_attribute(node, source)
+
+    if isinstance(node, ast.Subscript):
+        return Subscript(_convert(node.value, source), _convert(node.slice, source))
+
+    if isinstance(node, ast.Call):
+        return _convert_call(node, source)
+
+    if isinstance(node, ast.Tuple):
+        values = []
+        for element in node.elts:
+            converted = _convert(element, source)
+            if not isinstance(converted, Const):
+                raise PredicateParseError(
+                    "tuples in predicates may only contain constants", source
+                )
+            values.append(converted.value)
+        return Const(tuple(values))
+
+    raise PredicateParseError(
+        f"unsupported construct {type(node).__name__}", source
+    )
+
+
+def _convert_compare(node: ast.Compare, source: str) -> Expr:
+    operands = [node.left, *node.comparators]
+    comparisons = []
+    for left, op, right in zip(operands, node.ops, operands[1:]):
+        op_type = type(op)
+        if op_type not in _CMP_OPS:
+            raise PredicateParseError(
+                f"unsupported comparison operator {op_type.__name__}", source
+            )
+        comparisons.append(
+            Compare(_CMP_OPS[op_type], _convert(left, source), _convert(right, source))
+        )
+    if len(comparisons) == 1:
+        return comparisons[0]
+    return And(tuple(comparisons))
+
+
+def _convert_attribute(node: ast.Attribute, source: str) -> Expr:
+    if isinstance(node.value, ast.Name) and node.value.id in SELF_NAMES:
+        # ``self.count`` — an explicit monitor field reference.  Mark it
+        # shared right away; classification only has to resolve bare names.
+        return Name(node.attr, Scope.SHARED)
+    return Attribute(_convert(node.value, source), node.attr)
+
+
+def _convert_call(node: ast.Call, source: str) -> Expr:
+    if node.keywords:
+        raise PredicateParseError("keyword arguments are not allowed in predicates", source)
+    args = tuple(_convert(arg, source) for arg in node.args)
+    func = node.func
+    if isinstance(func, ast.Name):
+        if func.id not in ALLOWED_BUILTINS:
+            raise PredicateParseError(
+                f"call to {func.id!r} is not allowed in a predicate; only "
+                f"{sorted(ALLOWED_BUILTINS)} are permitted",
+                source,
+            )
+        return Call(func.id, args)
+    if isinstance(func, ast.Attribute):
+        if isinstance(func.value, ast.Name) and func.value.id in SELF_NAMES:
+            # ``self.method(...)`` — a side-effect-free query method on the
+            # monitor itself.  Represented with no receiver; the evaluator
+            # resolves it against the monitor object.
+            return Call(func.attr, args, receiver=None)
+        return Call(func.attr, args, receiver=_convert(func.value, source))
+    raise PredicateParseError("unsupported call target in predicate", source)

@@ -1,0 +1,130 @@
+"""High-level predicate objects used by the monitor runtime.
+
+:func:`compile_predicate` runs the whole front-end pipeline — parse,
+classify, (lazily) globalize, convert to DNF, derive tags — and produces a
+:class:`CompiledPredicate`.  The monitor compiles each distinct ``waituntil``
+source string once and reuses the compiled form for every call; only the
+globalization step depends on the calling thread's local values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.predicates.ast_nodes import Expr
+from repro.predicates.classify import classify, local_names_used, shared_names_used
+from repro.predicates.dnf import DNFPredicate, to_dnf
+from repro.predicates.evaluator import evaluate_bool
+from repro.predicates.globalization import globalize
+from repro.predicates.parser import parse_predicate
+from repro.predicates.tags import Tag, analyze_predicate
+
+__all__ = ["GlobalizedPredicate", "CompiledPredicate", "compile_predicate"]
+
+
+@dataclass(frozen=True)
+class GlobalizedPredicate:
+    """A fully shared predicate, ready for the condition manager.
+
+    ``canonical`` is the deterministic source form of the DNF; two
+    ``waituntil`` calls whose predicates are identical after globalization
+    (the paper's *syntax equivalence*) produce the same canonical string and
+    therefore share a predicate-table entry and condition variable.
+    """
+
+    source: str
+    expr: Expr
+    dnf: DNFPredicate
+    tags: Tuple[Tag, ...]
+    canonical: str
+
+    def holds(self, state: object) -> bool:
+        """Evaluate the predicate against the monitor *state*."""
+        return evaluate_bool(self.expr, state)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self.canonical
+
+
+@dataclass
+class CompiledPredicate:
+    """The compiled form of one ``waituntil`` condition source string."""
+
+    source: str
+    expr: Expr
+    shared_names: frozenset
+    local_names: frozenset
+    _shared_form: Optional[GlobalizedPredicate] = field(default=None, repr=False)
+
+    @property
+    def is_shared(self) -> bool:
+        """True when the predicate mentions no thread-local variables."""
+        return not self.local_names
+
+    @property
+    def is_complex(self) -> bool:
+        return bool(self.local_names)
+
+    def evaluate(
+        self, state: object, local_values: Optional[Mapping[str, object]] = None
+    ) -> bool:
+        """Evaluate the original (possibly complex) predicate directly."""
+        return evaluate_bool(self.expr, state, local_values)
+
+    def globalized(
+        self, local_values: Optional[Mapping[str, object]] = None
+    ) -> GlobalizedPredicate:
+        """Return the globalization of this predicate for *local_values*.
+
+        Shared predicates are independent of local values, so their
+        globalized form is computed once and cached.
+        """
+        if self.is_shared:
+            if self._shared_form is None:
+                self._shared_form = self._build(local_values or {})
+            return self._shared_form
+        if local_values is None:
+            local_values = {}
+        missing = self.local_names - set(local_values)
+        if missing:
+            from repro.predicates.errors import PredicateError
+
+            raise PredicateError(
+                f"missing values for local variables {sorted(missing)} "
+                f"in predicate {self.source!r}"
+            )
+        return self._build(local_values)
+
+    def _build(self, local_values: Mapping[str, object]) -> GlobalizedPredicate:
+        shared_expr = globalize(self.expr, local_values)
+        dnf = to_dnf(shared_expr)
+        tags = analyze_predicate(dnf)
+        return GlobalizedPredicate(
+            source=self.source,
+            expr=dnf.to_expr(),
+            dnf=dnf,
+            tags=tags,
+            canonical=dnf.canonical(),
+        )
+
+
+def compile_predicate(
+    source: str,
+    shared_names: Mapping[str, object] | Tuple[str, ...] | frozenset | set | list,
+    local_names: Mapping[str, object] | Tuple[str, ...] | frozenset | set | list = (),
+) -> CompiledPredicate:
+    """Parse and classify *source* into a :class:`CompiledPredicate`.
+
+    ``shared_names`` and ``local_names`` may be any iterable of names (a
+    mapping's keys are used when a mapping is given).
+    """
+    shared = set(shared_names)
+    local = set(local_names)
+    expr = classify(parse_predicate(source), shared, local)
+    return CompiledPredicate(
+        source=source,
+        expr=expr,
+        shared_names=frozenset(shared_names_used(expr)),
+        local_names=frozenset(local_names_used(expr)),
+    )

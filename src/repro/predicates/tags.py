@@ -1,0 +1,137 @@
+"""Predicate tags (Definitions 5–8 and Fig. 3 of the paper).
+
+A tag summarizes one DNF conjunction so the condition manager can decide
+cheaply whether the conjunction *could* be true in the current monitor state:
+
+* ``Equivalence`` — the conjunction contains an atom ``SE == LE``.  After
+  globalization ``LE`` is a constant, so the conjunction can only be true
+  when the shared expression currently equals that constant.  Stored in a
+  hash table keyed by the constant.
+* ``Threshold`` — the conjunction contains an atom ``SE op LE`` with
+  ``op ∈ {<, <=, >, >=}``.  Stored in a min-heap (for ``>``/``>=``) or a
+  max-heap (for ``<``/``<=``) so only the weakest threshold needs checking.
+* ``None`` — neither of the above; the conjunction must be checked
+  exhaustively.
+
+Following the paper, only **one** tag is assigned per conjunction, with
+equivalence preferred over threshold because it prunes harder.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.predicates.ast_nodes import Compare, Expr, unparse
+from repro.predicates.dnf import Conjunction, DNFPredicate
+from repro.predicates.evaluator import EvaluationError, evaluate
+from repro.predicates.rewrite import normalize_comparison
+
+__all__ = ["TagKind", "Tag", "tag_conjunction", "analyze_predicate", "THRESHOLD_OPS"]
+
+#: Comparison operators that produce a threshold tag.
+THRESHOLD_OPS = ("<", "<=", ">", ">=")
+
+
+class TagKind(enum.Enum):
+    """The ``M`` component of a tag (Definition 8)."""
+
+    EQUIVALENCE = "equivalence"
+    THRESHOLD = "threshold"
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class Tag:
+    """A predicate tag ``(M, expr, key, op)``.
+
+    ``expr_key`` is the canonical source form of the shared expression and is
+    what the condition manager uses to group tags that talk about the same
+    expression; ``shared_expr`` is the IR tree used to evaluate it.
+    """
+
+    kind: TagKind
+    expr_key: Optional[str] = None
+    shared_expr: Optional[Expr] = None
+    key: Optional[object] = None
+    op: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is TagKind.NONE:
+            if self.expr_key is not None or self.key is not None or self.op is not None:
+                raise ValueError("a None tag carries no expression, key or operator")
+        else:
+            if self.shared_expr is None or self.expr_key is None:
+                raise ValueError(f"a {self.kind.value} tag requires a shared expression")
+            if self.kind is TagKind.THRESHOLD and self.op not in THRESHOLD_OPS:
+                raise ValueError(f"invalid threshold operator {self.op!r}")
+            if self.kind is TagKind.EQUIVALENCE and self.op is not None:
+                raise ValueError("an equivalence tag has no operator")
+
+    def describe(self) -> str:
+        """Human-readable rendering used in reports and error messages."""
+        if self.kind is TagKind.NONE:
+            return "(None)"
+        if self.kind is TagKind.EQUIVALENCE:
+            return f"(Equivalence, {self.expr_key}, {self.key!r})"
+        return f"(Threshold, {self.expr_key}, {self.key!r}, {self.op})"
+
+
+_NONE_TAG = Tag(TagKind.NONE)
+
+
+def _constant_key(local_expr: Expr) -> Optional[object]:
+    """Evaluate the local side of a normalized comparison to its constant.
+
+    Tagging happens after globalization, so the local side should contain
+    only constants.  If it does not (e.g. a shared predicate whose atoms were
+    never meant to be tagged), return ``None`` so the caller falls back to a
+    weaker tag.
+    """
+    try:
+        value = evaluate(local_expr, state=None, local_values={})
+    except EvaluationError:
+        return None
+    if isinstance(value, bool) or isinstance(value, (int, float, str, tuple)):
+        return value
+    return None
+
+
+def tag_conjunction(conjunction: Conjunction) -> Tag:
+    """Assign the single tag for one conjunction (the algorithm of Fig. 3)."""
+    threshold_candidate: Optional[Tag] = None
+    for atom in conjunction:
+        if not isinstance(atom, Compare):
+            continue
+        normalized = normalize_comparison(atom)
+        if normalized is None:
+            continue
+        key = _constant_key(normalized.right)
+        if key is None:
+            continue
+        expr_key = unparse(normalized.left)
+        if normalized.op == "==":
+            # Equivalence wins immediately: it prunes hardest.
+            return Tag(
+                TagKind.EQUIVALENCE,
+                expr_key=expr_key,
+                shared_expr=normalized.left,
+                key=key,
+            )
+        if normalized.op in THRESHOLD_OPS and threshold_candidate is None:
+            threshold_candidate = Tag(
+                TagKind.THRESHOLD,
+                expr_key=expr_key,
+                shared_expr=normalized.left,
+                key=key,
+                op=normalized.op,
+            )
+    if threshold_candidate is not None:
+        return threshold_candidate
+    return _NONE_TAG
+
+
+def analyze_predicate(dnf: DNFPredicate) -> Tuple[Tag, ...]:
+    """Return one tag per conjunction of *dnf*, in order."""
+    return tuple(tag_conjunction(conjunction) for conjunction in dnf)

@@ -1,0 +1,47 @@
+"""AutoSynch preprocessor: ``@autosynch`` classes with bare ``waituntil``.
+
+The paper's framework has two halves: a JavaCC *preprocessor* that rewrites
+``AutoSynch class`` declarations and ``waituntil(P)`` statements into plain
+Java, and a runtime *condition manager* library.  This package is the Python
+analogue of the preprocessor; :mod:`repro.core` is the runtime library.
+
+Two ways to use it:
+
+* **Decorator (recommended).**  Decorate a plain class with
+  :func:`autosynch`; the class source is transformed at import time so that
+  it extends :class:`repro.core.AutoSynchMonitor` and every bare
+  ``waituntil(expr)`` statement becomes a ``self.wait_until(...)`` call with
+  the thread-local variables captured automatically::
+
+      from repro.preprocessor import autosynch, waituntil
+
+      @autosynch
+      class BoundedBuffer:
+          def __init__(self, capacity):
+              self.items = []
+              self.capacity = capacity
+
+          def put(self, item):
+              waituntil(len(self.items) < self.capacity)
+              self.items.append(item)
+
+* **Offline translation.**  ``python -m repro.preprocessor input.py -o
+  output.py`` (or the installed ``autosynch-pp`` script) rewrites a whole
+  module, producing plain Python that depends only on the runtime library —
+  the exact analogue of Fig. 2 in the paper.
+"""
+
+from repro.preprocessor.errors import PreprocessorError
+from repro.preprocessor.runtime import autosynch, waituntil
+from repro.preprocessor.transformer import (
+    transform_class_source,
+    transform_module_source,
+)
+
+__all__ = [
+    "PreprocessorError",
+    "autosynch",
+    "transform_class_source",
+    "transform_module_source",
+    "waituntil",
+]

@@ -1,0 +1,58 @@
+"""Static analysis used by the preprocessor.
+
+The main job is to decide, for a ``waituntil(expr)`` statement, which bare
+names in ``expr`` are the calling thread's local variables.  In the Python
+surface syntax monitor fields are always written ``self.<field>``, so every
+bare name that is not a whitelisted pure builtin refers to something in the
+enclosing function's scope (a parameter, a local, or a module-level
+constant); all of those are frozen by globalization, so they are passed to
+``wait_until`` as keyword arguments.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from repro.predicates.parser import ALLOWED_BUILTINS, SELF_NAMES
+
+__all__ = ["local_names_in_expression", "is_waituntil_call"]
+
+#: Names that never need to be captured as locals.
+_NON_CAPTURED = frozenset({"True", "False", "None"}) | SELF_NAMES
+
+
+def local_names_in_expression(expr: ast.expr) -> List[str]:
+    """Bare names in *expr* that must be captured as thread-local values.
+
+    The result preserves first-use order (so generated code is stable) and
+    excludes ``self``, the pure builtins allowed in predicates, and literal
+    keywords.
+    """
+    ordered: List[str] = []
+    seen: Set[str] = set()
+    called_names: Set[str] = set()
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            called_names.add(node.func.id)
+    for node in ast.walk(expr):
+        if not isinstance(node, ast.Name):
+            continue
+        name = node.id
+        if name in seen or name in _NON_CAPTURED:
+            continue
+        if name in ALLOWED_BUILTINS and name in called_names:
+            # A call like ``len(...)``: the name is the builtin, not a local.
+            continue
+        seen.add(name)
+        ordered.append(name)
+    return ordered
+
+
+def is_waituntil_call(node: ast.AST, waituntil_name: str = "waituntil") -> bool:
+    """True when *node* is a call of the bare ``waituntil(...)`` form."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == waituntil_name
+    )

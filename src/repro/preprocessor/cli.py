@@ -1,0 +1,81 @@
+"""Command-line front end of the offline preprocessor (``autosynch-pp``).
+
+Mirrors Fig. 2 of the paper: AutoSynch code goes in, plain Python that only
+depends on the runtime library comes out, and the standard interpreter runs
+the result.
+
+Examples
+--------
+Translate one file and print the result::
+
+    autosynch-pp examples/bounded_buffer_autosynch.py
+
+Translate in place next to the source::
+
+    autosynch-pp monitor.py -o monitor_generated.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.preprocessor.errors import PreprocessorError
+from repro.preprocessor.transformer import transform_module_source
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="autosynch-pp",
+        description="Translate @autosynch classes with waituntil statements into plain Python.",
+    )
+    parser.add_argument("input", type=Path, help="Python source file to translate")
+    parser.add_argument(
+        "-o",
+        "--output",
+        type=Path,
+        default=None,
+        help="output file (default: print the translated module to stdout)",
+    )
+    parser.add_argument(
+        "--decorator-name",
+        default="autosynch",
+        help="name of the decorator marking monitor classes (default: autosynch)",
+    )
+    parser.add_argument(
+        "--waituntil-name",
+        default="waituntil",
+        help="name of the waituntil function in the source (default: waituntil)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        source = args.input.read_text(encoding="utf-8")
+    except OSError as exc:
+        print(f"autosynch-pp: cannot read {args.input}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        translated = transform_module_source(
+            source,
+            decorator_name=args.decorator_name,
+            waituntil_name=args.waituntil_name,
+        )
+    except (PreprocessorError, SyntaxError) as exc:
+        print(f"autosynch-pp: {args.input}: {exc}", file=sys.stderr)
+        return 1
+    if args.output is None:
+        print(translated)
+    else:
+        args.output.write_text(translated + "\n", encoding="utf-8")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,10 @@
+"""Exception types raised by the preprocessor."""
+
+
+class PreprocessorError(Exception):
+    """Raised when AutoSynch source cannot be translated.
+
+    Typical causes: ``waituntil`` used outside a method of an ``@autosynch``
+    class, used as an expression rather than a statement, or called with the
+    wrong number of arguments.
+    """

@@ -1,0 +1,315 @@
+"""AST transformations turning AutoSynch surface syntax into runtime calls.
+
+The transformation mirrors Fig. 5 and Fig. 6 of the paper:
+
+* the class gains :class:`repro.core.AutoSynchMonitor` as a base (which
+  provides the monitor lock, entry-method wrapping and the condition
+  manager — the "additional variables" of Fig. 5);
+* every bare ``waituntil(expr)`` statement becomes
+  ``self.wait_until("expr", local=local, ...)`` with the thread-local names
+  captured as keyword arguments, which is exactly the globalization hand-off
+  of Fig. 6.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from repro.preprocessor.analyze import is_waituntil_call, local_names_in_expression
+from repro.preprocessor.errors import PreprocessorError
+
+__all__ = [
+    "MONITOR_BASE_NAME",
+    "OPTIONS_ATTRIBUTE",
+    "transform_class_def",
+    "transform_class_source",
+    "transform_module_source",
+]
+
+#: Name of the monitor base class referenced by generated code.
+MONITOR_BASE_NAME = "AutoSynchMonitor"
+#: Class attribute holding the decorator options for generated classes.
+OPTIONS_ATTRIBUTE = "_autosynch_options"
+#: Module that provides the base class in generated imports.
+MONITOR_BASE_MODULE = "repro.core.monitor"
+
+
+class _WaituntilRewriter(ast.NodeTransformer):
+    """Rewrites ``waituntil(expr)`` statements inside one class body."""
+
+    def __init__(self, waituntil_name: str) -> None:
+        self._waituntil_name = waituntil_name
+        self.rewritten = 0
+
+    # Statements -------------------------------------------------------
+
+    def visit_Expr(self, node: ast.Expr) -> ast.AST:
+        if is_waituntil_call(node.value, self._waituntil_name):
+            # Rewrite before descending so visit_Call does not flag this
+            # (legitimate) statement-form use.
+            return ast.Expr(value=self._rewrite_call(node.value))
+        self.generic_visit(node)
+        return node
+
+    # Any other use of waituntil is a mistake --------------------------
+
+    def visit_Call(self, node: ast.Call) -> ast.AST:
+        self.generic_visit(node)
+        if is_waituntil_call(node, self._waituntil_name):
+            raise PreprocessorError(
+                f"{self._waituntil_name}(...) must be used as a standalone statement "
+                f"(line {node.lineno}); it has no return value"
+            )
+        return node
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> ast.AST:
+        # Nested classes are left untouched; waituntil inside them would need
+        # their own @autosynch decoration.
+        return node
+
+    def _rewrite_call(self, call: ast.Call) -> ast.Call:
+        if len(call.args) != 1 or call.keywords:
+            raise PreprocessorError(
+                f"{self._waituntil_name}() takes exactly one positional argument: "
+                f"the waiting condition (line {call.lineno})"
+            )
+        predicate = call.args[0]
+        if isinstance(predicate, (ast.GeneratorExp, ast.Lambda, ast.Await)):
+            raise PreprocessorError(
+                f"unsupported construct in {self._waituntil_name} condition "
+                f"(line {call.lineno})"
+            )
+        source = ast.unparse(predicate)
+        keywords = [
+            ast.keyword(arg=name, value=ast.Name(id=name, ctx=ast.Load()))
+            for name in local_names_in_expression(predicate)
+        ]
+        new_call = ast.Call(
+            func=ast.Attribute(
+                value=ast.Name(id="self", ctx=ast.Load()),
+                attr="wait_until",
+                ctx=ast.Load(),
+            ),
+            args=[ast.Constant(value=source)],
+            keywords=keywords,
+        )
+        self.rewritten += 1
+        return new_call
+
+
+def _decorator_matches(node: ast.expr, decorator_name: str) -> bool:
+    target = node.func if isinstance(node, ast.Call) else node
+    if isinstance(target, ast.Name):
+        return target.id == decorator_name
+    if isinstance(target, ast.Attribute):
+        return target.attr == decorator_name
+    return False
+
+
+def _extract_options(node: ast.expr) -> Dict[str, object]:
+    """Literal keyword options of an ``@autosynch(...)`` decorator."""
+    if not isinstance(node, ast.Call):
+        return {}
+    if node.args:
+        raise PreprocessorError("@autosynch accepts keyword options only")
+    options: Dict[str, object] = {}
+    for keyword in node.keywords:
+        if keyword.arg is None:
+            raise PreprocessorError("@autosynch does not accept **kwargs")
+        try:
+            options[keyword.arg] = ast.literal_eval(keyword.value)
+        except ValueError as exc:
+            raise PreprocessorError(
+                f"@autosynch option {keyword.arg!r} must be a literal when used "
+                "with the offline preprocessor"
+            ) from exc
+    return options
+
+
+def _options_statement(options: Dict[str, object]) -> ast.Assign:
+    literal = ast.parse(repr(options), mode="eval").body
+    return ast.Assign(
+        targets=[ast.Name(id=OPTIONS_ATTRIBUTE, ctx=ast.Store())], value=literal
+    )
+
+
+def _monitor_init_call() -> ast.Expr:
+    """``AutoSynchMonitor.__init__(self, **self._autosynch_options)``"""
+    return ast.Expr(
+        value=ast.Call(
+            func=ast.Attribute(
+                value=ast.Name(id=MONITOR_BASE_NAME, ctx=ast.Load()),
+                attr="__init__",
+                ctx=ast.Load(),
+            ),
+            args=[ast.Name(id="self", ctx=ast.Load())],
+            keywords=[
+                ast.keyword(
+                    arg=None,
+                    value=ast.Attribute(
+                        value=ast.Name(id="self", ctx=ast.Load()),
+                        attr=OPTIONS_ATTRIBUTE,
+                        ctx=ast.Load(),
+                    ),
+                )
+            ],
+        )
+    )
+
+
+def _synthesized_init() -> ast.FunctionDef:
+    function = ast.parse(
+        "def __init__(self):\n    pass\n", mode="exec"
+    ).body[0]
+    function.body = [_monitor_init_call()]
+    return function
+
+
+def _docstring_offset(body: List[ast.stmt]) -> int:
+    if body and isinstance(body[0], ast.Expr) and isinstance(body[0].value, ast.Constant) \
+            and isinstance(body[0].value.value, str):
+        return 1
+    return 0
+
+
+def transform_class_def(
+    class_def: ast.ClassDef,
+    decorator_name: str = "autosynch",
+    waituntil_name: str = "waituntil",
+    extra_options: Optional[Dict[str, object]] = None,
+) -> Tuple[ast.ClassDef, Dict[str, object]]:
+    """Transform one ``@autosynch`` class definition in place.
+
+    Returns the transformed node and the options collected from the decorator
+    (merged with *extra_options*).
+    """
+    options: Dict[str, object] = dict(extra_options or {})
+    kept_decorators: List[ast.expr] = []
+    found = False
+    for decorator in class_def.decorator_list:
+        if _decorator_matches(decorator, decorator_name):
+            found = True
+            options.update(_extract_options(decorator))
+        else:
+            kept_decorators.append(decorator)
+    if not found and extra_options is None:
+        raise PreprocessorError(
+            f"class {class_def.name} is not decorated with @{decorator_name}"
+        )
+    class_def.decorator_list = kept_decorators
+
+    # Base class.
+    base_names = {base.id for base in class_def.bases if isinstance(base, ast.Name)}
+    if MONITOR_BASE_NAME not in base_names:
+        class_def.bases.insert(0, ast.Name(id=MONITOR_BASE_NAME, ctx=ast.Load()))
+
+    # Rewrite waituntil statements.
+    rewriter = _WaituntilRewriter(waituntil_name)
+    for index, statement in enumerate(class_def.body):
+        class_def.body[index] = rewriter.visit(statement)
+
+    # Options attribute + monitor initialization.
+    offset = _docstring_offset(class_def.body)
+    class_def.body.insert(offset, _options_statement(options))
+
+    init = next(
+        (
+            statement
+            for statement in class_def.body
+            if isinstance(statement, ast.FunctionDef) and statement.name == "__init__"
+        ),
+        None,
+    )
+    if init is None:
+        class_def.body.append(_synthesized_init())
+    else:
+        init.body.insert(_docstring_offset(init.body), _monitor_init_call())
+
+    ast.fix_missing_locations(class_def)
+    return class_def, options
+
+
+def transform_class_source(
+    source: str,
+    decorator_name: str = "autosynch",
+    waituntil_name: str = "waituntil",
+    extra_options: Optional[Dict[str, object]] = None,
+) -> str:
+    """Transform the source text of a single class definition.
+
+    This is the entry point used by the :func:`repro.preprocessor.autosynch`
+    decorator (after ``textwrap.dedent``-ing ``inspect.getsource`` output).
+    """
+    module = ast.parse(source)
+    class_defs = [node for node in module.body if isinstance(node, ast.ClassDef)]
+    if len(class_defs) != 1:
+        raise PreprocessorError(
+            f"expected exactly one class definition, found {len(class_defs)}"
+        )
+    transform_class_def(
+        class_defs[0],
+        decorator_name=decorator_name,
+        waituntil_name=waituntil_name,
+        extra_options=extra_options if extra_options is not None else {},
+    )
+    return ast.unparse(ast.fix_missing_locations(module))
+
+
+def _prune_preprocessor_imports(module: ast.Module, names: Tuple[str, ...]) -> None:
+    """Remove ``from repro.preprocessor import autosynch, waituntil`` imports
+    (the generated module no longer needs the surface syntax)."""
+    pruned: List[ast.stmt] = []
+    for statement in module.body:
+        if isinstance(statement, ast.ImportFrom) and statement.module and (
+            statement.module == "repro.preprocessor"
+            or statement.module.endswith(".preprocessor")
+        ):
+            statement.names = [alias for alias in statement.names if alias.name not in names]
+            if not statement.names:
+                continue
+        pruned.append(statement)
+    module.body = pruned
+
+
+def transform_module_source(
+    source: str,
+    decorator_name: str = "autosynch",
+    waituntil_name: str = "waituntil",
+) -> str:
+    """Translate a whole module (the offline / CLI path, Fig. 2 of the paper).
+
+    Every class decorated with ``@autosynch`` is transformed; an import of the
+    monitor base class is added; imports of the surface-syntax helpers are
+    removed.  Modules with no ``@autosynch`` classes are returned unchanged.
+    """
+    module = ast.parse(source)
+    transformed_any = False
+    for node in ast.walk(module):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if any(_decorator_matches(d, decorator_name) for d in node.decorator_list):
+            transform_class_def(
+                node, decorator_name=decorator_name, waituntil_name=waituntil_name
+            )
+            transformed_any = True
+    if not transformed_any:
+        return source
+
+    _prune_preprocessor_imports(module, (decorator_name, waituntil_name))
+    import_statement = ast.ImportFrom(
+        module=MONITOR_BASE_MODULE,
+        names=[ast.alias(name=MONITOR_BASE_NAME, asname=None)],
+        level=0,
+    )
+    # Insert after the module docstring and any __future__ imports (which must
+    # stay first).
+    position = _docstring_offset(module.body)
+    while position < len(module.body):
+        statement = module.body[position]
+        if isinstance(statement, ast.ImportFrom) and statement.module == "__future__":
+            position += 1
+        else:
+            break
+    module.body.insert(position, import_statement)
+    return ast.unparse(ast.fix_missing_locations(module))

@@ -1,0 +1,99 @@
+"""The seven conditional-synchronization problems evaluated in the paper.
+
+Every problem is implemented twice: once in the ``waituntil`` style (which
+runs under the ``baseline``, ``autosynch_t`` and ``autosynch`` signalling
+mechanisms) and once with hand-written explicit signalling.  The
+:data:`PROBLEMS` registry maps problem names to :class:`Problem` objects the
+experiment harness can drive generically.
+"""
+
+from typing import Dict
+
+from repro.problems.base import AUTOMATIC_MECHANISMS, MECHANISMS, Problem, WorkloadSpec
+from repro.problems.bounded_buffer import (
+    AutoBoundedBuffer,
+    BoundedBufferProblem,
+    ExplicitBoundedBuffer,
+)
+from repro.problems.dining_philosophers import (
+    AutoDiningTable,
+    DiningPhilosophersProblem,
+    ExplicitDiningTable,
+)
+from repro.problems.h2o import AutoWaterFactory, ExplicitWaterFactory, H2OProblem
+from repro.problems.parameterized_bounded_buffer import (
+    AutoParameterizedBoundedBuffer,
+    ExplicitParameterizedBoundedBuffer,
+    ParameterizedBoundedBufferProblem,
+)
+from repro.problems.readers_writers import (
+    AutoReadersWriters,
+    ExplicitReadersWriters,
+    ReadersWritersProblem,
+)
+from repro.problems.round_robin import (
+    AutoRoundRobin,
+    ExplicitRoundRobin,
+    RoundRobinProblem,
+)
+from repro.problems.sleeping_barber import (
+    AutoBarberShop,
+    ExplicitBarberShop,
+    SleepingBarberProblem,
+)
+
+__all__ = [
+    "AUTOMATIC_MECHANISMS",
+    "MECHANISMS",
+    "PROBLEMS",
+    "Problem",
+    "WorkloadSpec",
+    "get_problem",
+    # monitors
+    "AutoBoundedBuffer",
+    "ExplicitBoundedBuffer",
+    "AutoParameterizedBoundedBuffer",
+    "ExplicitParameterizedBoundedBuffer",
+    "AutoBarberShop",
+    "ExplicitBarberShop",
+    "AutoWaterFactory",
+    "ExplicitWaterFactory",
+    "AutoRoundRobin",
+    "ExplicitRoundRobin",
+    "AutoReadersWriters",
+    "ExplicitReadersWriters",
+    "AutoDiningTable",
+    "ExplicitDiningTable",
+    # problem specs
+    "BoundedBufferProblem",
+    "ParameterizedBoundedBufferProblem",
+    "SleepingBarberProblem",
+    "H2OProblem",
+    "RoundRobinProblem",
+    "ReadersWritersProblem",
+    "DiningPhilosophersProblem",
+]
+
+#: Registry of all problems, keyed by name, in the paper's presentation order.
+PROBLEMS: Dict[str, Problem] = {
+    problem.name: problem
+    for problem in (
+        BoundedBufferProblem(),
+        SleepingBarberProblem(),
+        H2OProblem(),
+        RoundRobinProblem(),
+        ReadersWritersProblem(),
+        DiningPhilosophersProblem(),
+        ParameterizedBoundedBufferProblem(),
+    )
+}
+
+
+def get_problem(name: str) -> Problem:
+    """Look up a problem by name, with a helpful error message."""
+    try:
+        return PROBLEMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown problem {name!r}; available problems: {sorted(PROBLEMS)}"
+        ) from None

@@ -1,0 +1,105 @@
+"""Common scaffolding for the seven synchronization problems of §6.3.
+
+Each problem module provides a :class:`Problem` subclass that knows how to
+
+* build the shared monitor for a given signalling *mechanism*
+  (``"explicit"``, ``"baseline"``, ``"autosynch_t"`` or ``"autosynch"``),
+* build the worker thread bodies of a saturation test sized by the figure's
+  x-axis value (``threads``) and a total operation budget, and
+* verify the problem's correctness invariants after the run.
+
+The experiment harness (:mod:`repro.harness`) is completely generic over
+these objects.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.monitor import MonitorBase
+from repro.runtime.api import Backend
+
+__all__ = ["MECHANISMS", "AUTOMATIC_MECHANISMS", "WorkloadSpec", "Problem"]
+
+#: Signalling mechanisms compared in the paper, in presentation order.
+MECHANISMS = ("explicit", "baseline", "autosynch_t", "autosynch")
+
+#: Mechanisms implemented by the waituntil-style (automatic) monitor.
+AUTOMATIC_MECHANISMS = ("baseline", "autosynch_t", "autosynch")
+
+
+@dataclass
+class WorkloadSpec:
+    """A ready-to-run saturation workload."""
+
+    #: The shared monitor under test.
+    monitor: MonitorBase
+    #: One callable per worker thread.
+    targets: List[Callable[[], None]]
+    #: Thread names, same length as ``targets``.
+    names: List[str]
+    #: Post-run invariant check; raises AssertionError on violation.
+    verify: Callable[[], None] = field(default=lambda: None)
+    #: Total number of monitor operations the workload performs (approximate,
+    #: used to normalize per-operation costs in reports).
+    operations: int = 0
+
+
+class Problem(abc.ABC):
+    """A named synchronization problem with per-mechanism implementations."""
+
+    #: Problem identifier used by the harness, experiments and CLI.
+    name: str = "abstract"
+    #: Human-readable description shown in reports.
+    description: str = ""
+    #: Which mechanisms this problem supports (all four by default).
+    mechanisms: Tuple[str, ...] = MECHANISMS
+    #: Whether every ``waituntil`` predicate is shared (§6.3.1) or complex.
+    uses_complex_predicates: bool = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Problem {self.name}>"
+
+    @abc.abstractmethod
+    def build(
+        self,
+        mechanism: str,
+        backend: Backend,
+        threads: int,
+        total_ops: int,
+        seed: int = 0,
+        profile: bool = False,
+        **params: object,
+    ) -> WorkloadSpec:
+        """Construct the monitor and worker bodies for one saturation run.
+
+        ``threads`` is the figure's x-axis value (its exact meaning — number
+        of producers/consumers, H atoms, customers, philosophers, ... — is
+        documented by each problem).  ``total_ops`` is the total operation
+        budget shared by the worker threads, so runtime measures
+        synchronization overhead rather than total work.
+        """
+
+    # -- helpers shared by concrete problems ---------------------------------
+
+    def _check_mechanism(self, mechanism: str) -> None:
+        if mechanism not in self.mechanisms:
+            raise ValueError(
+                f"problem {self.name!r} does not support mechanism {mechanism!r}; "
+                f"supported: {self.mechanisms}"
+            )
+
+    @staticmethod
+    def _split_ops(total_ops: int, workers: int) -> List[int]:
+        """Split a total operation budget as evenly as possible."""
+        if workers <= 0:
+            return []
+        base, remainder = divmod(max(total_ops, workers), workers)
+        return [base + (1 if index < remainder else 0) for index in range(workers)]
+
+    @staticmethod
+    def monitor_kwargs(mechanism: str, backend: Backend, profile: bool) -> Dict[str, object]:
+        """Constructor keyword arguments for the automatic monitor variants."""
+        return {"backend": backend, "signalling": mechanism, "profile": profile}

@@ -1,0 +1,166 @@
+"""The classic bounded-buffer (producer/consumer) problem (§6.3.1, Fig. 8).
+
+Producers put single items, consumers take single items; a producer waits
+while the buffer is full and a consumer waits while it is empty.  Both
+``waituntil`` predicates are *shared* predicates (``count < capacity`` and
+``count > 0``), so the automatic-signal mechanisms only ever manage two
+condition entries.
+
+``threads`` in :meth:`BoundedBufferProblem.build` is the paper's x-axis
+value: the number of producers, which equals the number of consumers.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.monitor import AutoSynchMonitor, ExplicitMonitor
+from repro.problems.base import Problem, WorkloadSpec
+from repro.runtime.api import Backend
+
+__all__ = [
+    "AutoBoundedBuffer",
+    "ExplicitBoundedBuffer",
+    "BoundedBufferProblem",
+]
+
+DEFAULT_CAPACITY = 16
+
+
+class AutoBoundedBuffer(AutoSynchMonitor):
+    """Automatic-signal bounded buffer: no condition variables, no signals."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, **monitor_kwargs: object) -> None:
+        super().__init__(**monitor_kwargs)
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.items: List[object] = []
+        self.count = 0
+        self.total_put = 0
+        self.total_taken = 0
+
+    def put(self, item: object) -> None:
+        """Add *item*, waiting while the buffer is full."""
+        self.wait_until("count < capacity")
+        self.items.append(item)
+        self.count += 1
+        self.total_put += 1
+
+    def take(self) -> object:
+        """Remove and return the oldest item, waiting while the buffer is empty."""
+        self.wait_until("count > 0")
+        self.count -= 1
+        self.total_taken += 1
+        return self.items.pop(0)
+
+
+class ExplicitBoundedBuffer(ExplicitMonitor):
+    """Explicit-signal bounded buffer using two condition variables."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, **monitor_kwargs: object) -> None:
+        super().__init__(**monitor_kwargs)
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.items: List[object] = []
+        self.count = 0
+        self.total_put = 0
+        self.total_taken = 0
+        self.not_full = self.new_condition("not_full")
+        self.not_empty = self.new_condition("not_empty")
+
+    def put(self, item: object) -> None:
+        while self.count >= self.capacity:
+            self.wait_on(self.not_full)
+        self.items.append(item)
+        self.count += 1
+        self.total_put += 1
+        self.signal(self.not_empty)
+
+    def take(self) -> object:
+        while self.count == 0:
+            self.wait_on(self.not_empty)
+        self.count -= 1
+        self.total_taken += 1
+        item = self.items.pop(0)
+        self.signal(self.not_full)
+        return item
+
+
+class BoundedBufferProblem(Problem):
+    """Saturation workload: ``threads`` producers and ``threads`` consumers."""
+
+    name = "bounded_buffer"
+    description = "classic single-item producers/consumers over a bounded buffer"
+    uses_complex_predicates = False
+
+    def build(
+        self,
+        mechanism: str,
+        backend: Backend,
+        threads: int,
+        total_ops: int,
+        seed: int = 0,
+        profile: bool = False,
+        capacity: int = DEFAULT_CAPACITY,
+        **params: object,
+    ) -> WorkloadSpec:
+        self._check_mechanism(mechanism)
+        if threads < 1:
+            raise ValueError("the bounded buffer needs at least one producer/consumer pair")
+
+        if mechanism == "explicit":
+            monitor = ExplicitBoundedBuffer(capacity, backend=backend, profile=profile)
+        else:
+            monitor = AutoBoundedBuffer(
+                capacity, **self.monitor_kwargs(mechanism, backend, profile)
+            )
+
+        # ``total_ops`` counts puts + takes; items produced must equal items
+        # consumed so the workload terminates.
+        items_total = max(threads, total_ops // 2)
+        producer_quota = self._split_ops(items_total, threads)
+        consumer_quota = self._split_ops(items_total, threads)
+
+        def make_producer(quota: int, base: int):
+            def producer() -> None:
+                for index in range(quota):
+                    monitor.put(base + index)
+
+            return producer
+
+        def make_consumer(quota: int, sink: List[object]):
+            def consumer() -> None:
+                for _ in range(quota):
+                    sink.append(monitor.take())
+
+            return consumer
+
+        taken: List[object] = []
+        targets = []
+        names = []
+        for index, quota in enumerate(producer_quota):
+            targets.append(make_producer(quota, index * items_total))
+            names.append(f"producer-{index}")
+        for index, quota in enumerate(consumer_quota):
+            targets.append(make_consumer(quota, taken))
+            names.append(f"consumer-{index}")
+
+        def verify() -> None:
+            assert monitor.total_put == items_total, (
+                f"expected {items_total} puts, saw {monitor.total_put}"
+            )
+            assert monitor.total_taken == items_total, (
+                f"expected {items_total} takes, saw {monitor.total_taken}"
+            )
+            assert monitor.count == 0 and not monitor.items, "buffer should drain completely"
+            assert len(taken) == items_total
+
+        return WorkloadSpec(
+            monitor=monitor,
+            targets=targets,
+            names=names,
+            verify=verify,
+            operations=2 * items_total,
+        )

@@ -1,0 +1,36 @@
+"""Execution backends for the AutoSynch monitors.
+
+Two interchangeable backends implement the same small synchronization API
+(locks, condition variables, thread spawning):
+
+* :mod:`repro.runtime.threads` — real ``threading`` primitives, used for
+  wall-clock measurements.
+* :mod:`repro.runtime.simulation` — a deterministic cooperative scheduler in
+  which exactly one simulated thread runs at a time.  It counts context
+  switches and scheduling decisions exactly and reproducibly, independent of
+  the GIL, which is what the paper's evaluation argument is really about.
+
+Monitors (:mod:`repro.core`) are written against the abstract API in
+:mod:`repro.runtime.api` and work unchanged on either backend.
+"""
+
+from repro.runtime.api import (
+    Backend,
+    BackendMetrics,
+    ConditionAPI,
+    LockAPI,
+    ThreadHandle,
+)
+from repro.runtime.threads import ThreadingBackend
+from repro.runtime.simulation import DeadlockError, SimulationBackend
+
+__all__ = [
+    "Backend",
+    "BackendMetrics",
+    "ConditionAPI",
+    "DeadlockError",
+    "LockAPI",
+    "SimulationBackend",
+    "ThreadHandle",
+    "ThreadingBackend",
+]

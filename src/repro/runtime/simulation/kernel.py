@@ -1,0 +1,536 @@
+"""The simulation kernel: a deterministic cooperative scheduler.
+
+Every simulated thread is carried by a real Python thread, but the kernel
+allows exactly one of them to execute at any moment.  Control is transferred
+only at synchronization points — contended lock acquisition, condition wait,
+thread exit, or an explicit yield — and the next thread to run is chosen by a
+seeded scheduling policy, so runs are fully reproducible.
+
+The kernel also owns the run-wide metrics: every hand-off of control is one
+context switch, every condition wait and notification is counted, which gives
+the exact quantities the paper's evaluation reasons about.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+import threading
+from collections import deque
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.runtime.api import Backend, ThreadHandle
+from repro.runtime.simulation.sync import SimCondition, SimLock
+
+__all__ = [
+    "SimulationError",
+    "DeadlockError",
+    "SimulationLimitError",
+    "SimulationBackend",
+]
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation backend."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when every live simulated thread is blocked."""
+
+
+class SimulationLimitError(SimulationError):
+    """Raised when a run exceeds the configured maximum number of scheduling
+    steps (a guard against livelock in tests)."""
+
+
+class _SimulationAbort(BaseException):
+    """Internal control-flow exception used to unwind simulated threads when
+    the kernel aborts a run.  Derives from ``BaseException`` so ordinary
+    ``except Exception`` blocks in user code do not swallow it."""
+
+
+class _State(enum.Enum):
+    CREATED = "created"
+    RUNNABLE = "runnable"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    FINISHED = "finished"
+
+
+class _SimThread:
+    """Book-keeping for one simulated thread."""
+
+    __slots__ = (
+        "tid",
+        "name",
+        "target",
+        "state",
+        "go",
+        "real_thread",
+        "real_ident",
+        "block_reason",
+    )
+
+    def __init__(self, tid: int, name: str, target: Callable[[], None]) -> None:
+        self.tid = tid
+        self.name = name
+        self.target = target
+        self.state = _State.CREATED
+        self.go = threading.Event()
+        self.real_thread: Optional[threading.Thread] = None
+        self.real_ident: Optional[int] = None
+        self.block_reason: Optional[str] = None
+
+
+class _SimHandle(ThreadHandle):
+    """Thread handle returned by :meth:`SimulationBackend.spawn`."""
+
+    def __init__(self, sim_thread: _SimThread) -> None:
+        self._sim_thread = sim_thread
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        # Joining from inside the simulation would deadlock the scheduler, so
+        # joining is only meaningful after run() returned; by then the thread
+        # has finished.
+        real = self._sim_thread.real_thread
+        if real is not None:
+            real.join(timeout)
+
+    @property
+    def name(self) -> str:
+        return self._sim_thread.name
+
+    @property
+    def alive(self) -> bool:
+        return self._sim_thread.state is not _State.FINISHED
+
+
+class SimulationBackend(Backend):
+    """Deterministic cooperative backend.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the scheduling policy's random choices.
+    policy:
+        ``"fifo"`` (round-robin over the runnable queue, the default) or
+        ``"random"`` (uniformly random choice among runnable threads, useful
+        for schedule exploration in tests).
+    max_steps:
+        Optional upper bound on the number of scheduling steps per run.
+    run_timeout:
+        Wall-clock safety net for :meth:`run`; a run that has not finished by
+        then is aborted with :class:`SimulationError`.
+    """
+
+    name = "simulation"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        policy: str = "fifo",
+        max_steps: Optional[int] = None,
+        run_timeout: float = 600.0,
+    ) -> None:
+        super().__init__()
+        if policy not in ("fifo", "random"):
+            raise ValueError(f"unknown scheduling policy {policy!r}")
+        self._seed = seed
+        self._policy = policy
+        self._rng = random.Random(seed)
+        self._max_steps = max_steps
+        self._run_timeout = run_timeout
+
+        self._lock = threading.Lock()
+        self._threads: Dict[int, _SimThread] = {}
+        self._by_ident: Dict[int, int] = {}
+        self._runnable: List[int] = []
+        self._current: Optional[int] = None
+        self._next_tid = 0
+        self._running = False
+        self._abort = False
+        self._deadlock_message: Optional[str] = None
+        self._limit_exceeded = False
+        self._failures: List[BaseException] = []
+        self._done = threading.Event()
+        self._steps = 0
+
+    # ------------------------------------------------------------------
+    # Backend factory methods
+    # ------------------------------------------------------------------
+
+    def create_lock(self) -> SimLock:
+        return SimLock(self)
+
+    def create_condition(self, lock: SimLock) -> SimCondition:
+        if not isinstance(lock, SimLock):
+            raise TypeError("a SimulationBackend condition requires a SimulationBackend lock")
+        return SimCondition(self, lock)
+
+    def spawn(self, target: Callable[[], None], name: Optional[str] = None) -> _SimHandle:
+        """Add a new simulated thread.
+
+        Before :meth:`run` starts this registers the thread for the next run;
+        while a run is in progress (called from a simulated thread) the new
+        thread becomes runnable immediately.
+        """
+        with self._lock:
+            sim_thread = self._create_thread_locked(target, name)
+            if self._running:
+                self._start_real_thread(sim_thread)
+                sim_thread.state = _State.RUNNABLE
+                self._runnable.append(sim_thread.tid)
+        return _SimHandle(sim_thread)
+
+    # ------------------------------------------------------------------
+    # Running a simulation
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        targets: Sequence[Callable[[], None]],
+        names: Optional[Sequence[str]] = None,
+    ) -> None:
+        """Run all *targets* as simulated threads until every one finishes.
+
+        Raises :class:`DeadlockError` if all live threads block,
+        :class:`SimulationLimitError` if ``max_steps`` is exceeded, and
+        re-raises the first exception raised inside a simulated thread.
+        """
+        if self._running:
+            raise SimulationError("run() called while a simulation is already in progress")
+        self._reset_run_state()
+
+        with self._lock:
+            for index, target in enumerate(targets):
+                name = names[index] if names else f"sim-{index}"
+                self._create_thread_locked(target, name)
+            pending = list(self._threads.values())
+
+        if not pending:
+            return
+
+        for sim_thread in pending:
+            self._start_real_thread(sim_thread)
+
+        with self._lock:
+            self._running = True
+            for sim_thread in pending:
+                sim_thread.state = _State.RUNNABLE
+                self._runnable.append(sim_thread.tid)
+            first = self._pick_next_locked()
+        if first is not None:
+            first.go.set()
+
+        finished = self._done.wait(self._run_timeout)
+        if not finished:
+            with self._lock:
+                self._abort = True
+                self._wake_all_locked()
+            self._done.wait(5.0)
+            self._running = False
+            raise SimulationError(
+                f"simulation did not finish within {self._run_timeout} seconds"
+            )
+
+        for sim_thread in self._threads.values():
+            if sim_thread.real_thread is not None:
+                sim_thread.real_thread.join(timeout=5.0)
+        self._running = False
+
+        if self._deadlock_message is not None:
+            raise DeadlockError(self._deadlock_message)
+        if self._limit_exceeded:
+            raise SimulationLimitError(
+                f"simulation exceeded the configured limit of {self._max_steps} steps"
+            )
+        if self._failures:
+            raise self._failures[0]
+
+    def _reset_run_state(self) -> None:
+        # Threads registered with spawn() before run() was called take part
+        # in the upcoming run; everything else from previous runs is dropped.
+        self._threads = {
+            tid: sim_thread
+            for tid, sim_thread in self._threads.items()
+            if sim_thread.state is _State.CREATED and sim_thread.real_thread is None
+        }
+        self._by_ident = {}
+        self._runnable = []
+        self._current = None
+        self._abort = False
+        self._deadlock_message = None
+        self._limit_exceeded = False
+        self._failures = []
+        self._done = threading.Event()
+        self._steps = 0
+        self._rng = random.Random(self._seed)
+
+    def _create_thread_locked(
+        self, target: Callable[[], None], name: Optional[str]
+    ) -> _SimThread:
+        tid = self._next_tid
+        self._next_tid += 1
+        sim_thread = _SimThread(tid, name or f"sim-{tid}", target)
+        self._threads[tid] = sim_thread
+        self.metrics.threads_spawned += 1
+        return sim_thread
+
+    def _start_real_thread(self, sim_thread: _SimThread) -> None:
+        real = threading.Thread(
+            target=self._runner, args=(sim_thread,), name=sim_thread.name, daemon=True
+        )
+        sim_thread.real_thread = real
+        real.start()
+
+    def _runner(self, sim_thread: _SimThread) -> None:
+        sim_thread.real_ident = threading.get_ident()
+        with self._lock:
+            self._by_ident[sim_thread.real_ident] = sim_thread.tid
+        sim_thread.go.wait()
+        sim_thread.go.clear()
+        if not self._abort:
+            try:
+                sim_thread.target()
+            except _SimulationAbort:
+                pass
+            except BaseException as exc:
+                with self._lock:
+                    self._failures.append(exc)
+                    self._abort = True
+                    self._wake_all_locked()
+        self._on_exit(sim_thread)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def current_thread(self) -> _SimThread:
+        """Return the simulated thread corresponding to the calling thread."""
+        ident = threading.get_ident()
+        with self._lock:
+            tid = self._by_ident.get(ident)
+            if tid is None:
+                raise SimulationError(
+                    "simulation primitives may only be used from inside a simulated thread"
+                )
+            return self._threads[tid]
+
+    def current_name(self) -> str:
+        """Name of the currently running simulated thread."""
+        return self.current_thread().name
+
+    def current_id(self) -> object:
+        return self.current_thread().tid
+
+    def _pick_next_locked(self) -> Optional[_SimThread]:
+        """Choose, dequeue and dispatch-mark the next runnable thread."""
+        if self._abort:
+            return None
+        if self._max_steps is not None and self._steps >= self._max_steps:
+            self._limit_exceeded = True
+            self._abort = True
+            self._wake_all_locked()
+            return None
+        if not self._runnable:
+            return self._handle_no_runnable_locked()
+        if self._policy == "random":
+            index = self._rng.randrange(len(self._runnable))
+        else:
+            index = 0
+        tid = self._runnable.pop(index)
+        sim_thread = self._threads[tid]
+        sim_thread.state = _State.RUNNING
+        sim_thread.block_reason = None
+        self._steps += 1
+        if self._current != tid:
+            # Re-dispatching the same thread (a yield with nobody else
+            # runnable) is not a context switch.
+            self.metrics.context_switches += 1
+        self._current = tid
+        return sim_thread
+
+    def _handle_no_runnable_locked(self) -> Optional[_SimThread]:
+        live = [t for t in self._threads.values() if t.state is not _State.FINISHED]
+        blocked = [t for t in live if t.state is _State.BLOCKED]
+        self._current = None
+        if not live or not blocked:
+            # Either everything finished, or the only live thread is the one
+            # currently exiting/blocking — nothing to do until it proceeds.
+            if not live:
+                self._done.set()
+            return None
+        details = ", ".join(
+            f"{t.name} ({t.block_reason or 'blocked'})" for t in sorted(blocked, key=lambda t: t.tid)
+        )
+        self._deadlock_message = (
+            f"deadlock: all {len(blocked)} live simulated threads are blocked — {details}"
+        )
+        self._abort = True
+        self._wake_all_locked()
+        return None
+
+    def _wake_all_locked(self) -> None:
+        for sim_thread in self._threads.values():
+            if sim_thread.state is not _State.FINISHED:
+                sim_thread.go.set()
+
+    def _make_runnable_locked(self, tid: int) -> None:
+        sim_thread = self._threads[tid]
+        if sim_thread.state is _State.FINISHED:
+            raise SimulationError(f"cannot make finished thread {sim_thread.name} runnable")
+        sim_thread.state = _State.RUNNABLE
+        sim_thread.block_reason = None
+        self._runnable.append(tid)
+
+    def _block_and_pick_next_locked(
+        self, sim_thread: _SimThread, reason: str
+    ) -> Optional[_SimThread]:
+        sim_thread.state = _State.BLOCKED
+        sim_thread.block_reason = reason
+        return self._pick_next_locked()
+
+    def _handoff_and_wait(
+        self, sim_thread: _SimThread, next_thread: Optional[_SimThread]
+    ) -> None:
+        if next_thread is sim_thread:
+            # The scheduler picked the calling thread again (it was the only
+            # runnable one); keep running without parking on the event.
+            if self._abort:
+                raise _SimulationAbort()
+            return
+        if next_thread is not None:
+            next_thread.go.set()
+        sim_thread.go.wait()
+        sim_thread.go.clear()
+        if self._abort:
+            raise _SimulationAbort()
+
+    def _on_exit(self, sim_thread: _SimThread) -> None:
+        next_thread = None
+        with self._lock:
+            sim_thread.state = _State.FINISHED
+            if self._current == sim_thread.tid:
+                self._current = None
+            if self._abort:
+                if all(t.state is _State.FINISHED for t in self._threads.values()):
+                    self._done.set()
+                return
+            next_thread = self._pick_next_locked()
+            if next_thread is None and all(
+                t.state is _State.FINISHED for t in self._threads.values()
+            ):
+                self._done.set()
+        if next_thread is not None:
+            next_thread.go.set()
+        elif self._abort:
+            # A deadlock or limit was detected while picking the next thread.
+            with self._lock:
+                if all(t.state is _State.FINISHED for t in self._threads.values()):
+                    self._done.set()
+
+    def yield_control(self) -> None:
+        """Voluntarily hand control to another runnable thread (if any)."""
+        sim_thread = self.current_thread()
+        with self._lock:
+            self._runnable.append(sim_thread.tid)
+            sim_thread.state = _State.RUNNABLE
+            next_thread = self._pick_next_locked()
+        self._handoff_and_wait(sim_thread, next_thread)
+
+    # ------------------------------------------------------------------
+    # Lock operations (called by SimLock)
+    # ------------------------------------------------------------------
+
+    def lock_acquire(self, lock: SimLock) -> None:
+        sim_thread = self.current_thread()
+        with self._lock:
+            if lock.owner is None:
+                lock.owner = sim_thread.tid
+                self.metrics.lock_acquisitions += 1
+                return
+            if lock.owner == sim_thread.tid:
+                raise SimulationError(
+                    f"thread {sim_thread.name} attempted to re-acquire a lock it already holds"
+                )
+            lock.queue.append(sim_thread.tid)
+            self.metrics.lock_contentions += 1
+            next_thread = self._block_and_pick_next_locked(sim_thread, "waiting for lock")
+        self._handoff_and_wait(sim_thread, next_thread)
+        with self._lock:
+            if lock.owner != sim_thread.tid:
+                raise SimulationError(
+                    "internal error: thread resumed from lock wait without ownership"
+                )
+            self.metrics.lock_acquisitions += 1
+
+    def lock_release(self, lock: SimLock) -> None:
+        sim_thread = self.current_thread()
+        with self._lock:
+            if lock.owner != sim_thread.tid:
+                raise SimulationError(
+                    f"thread {sim_thread.name} released a lock it does not hold"
+                )
+            self._release_lock_locked(lock)
+
+    def _release_lock_locked(self, lock: SimLock) -> None:
+        if lock.queue:
+            next_tid = lock.queue.popleft()
+            lock.owner = next_tid
+            self._make_runnable_locked(next_tid)
+        else:
+            lock.owner = None
+
+    # ------------------------------------------------------------------
+    # Condition operations (called by SimCondition)
+    # ------------------------------------------------------------------
+
+    def condition_wait(self, condition: SimCondition) -> None:
+        sim_thread = self.current_thread()
+        with self._lock:
+            if condition.lock.owner != sim_thread.tid:
+                raise SimulationError(
+                    f"thread {sim_thread.name} called wait() without holding the monitor lock"
+                )
+            condition.waiters.append(sim_thread.tid)
+            self.metrics.condition_waits += 1
+            self._release_lock_locked(condition.lock)
+            label = condition.label if condition.label is not None else f"{id(condition):#x}"
+            next_thread = self._block_and_pick_next_locked(
+                sim_thread, f"waiting on condition {label}"
+            )
+        self._handoff_and_wait(sim_thread, next_thread)
+        with self._lock:
+            if condition.lock.owner != sim_thread.tid:
+                raise SimulationError(
+                    "internal error: thread resumed from condition wait without the lock"
+                )
+
+    def condition_notify(self, condition: SimCondition, wake_all: bool) -> None:
+        sim_thread = self.current_thread()
+        with self._lock:
+            if condition.lock.owner != sim_thread.tid:
+                raise SimulationError(
+                    f"thread {sim_thread.name} called notify without holding the monitor lock"
+                )
+            if wake_all:
+                self.metrics.notify_alls += 1
+                count = len(condition.waiters)
+            else:
+                self.metrics.notifies += 1
+                count = min(1, len(condition.waiters))
+            for _ in range(count):
+                waiter_tid = condition.waiters.popleft()
+                self.metrics.notified_threads += 1
+                # A notified thread must re-acquire the monitor lock before it
+                # can run again, exactly like a Java signalled thread moving
+                # to the lock's entry queue.
+                if condition.lock.owner is None:
+                    condition.lock.owner = waiter_tid
+                    self._make_runnable_locked(waiter_tid)
+                else:
+                    condition.lock.queue.append(waiter_tid)
+
+    def condition_waiter_count(self, condition: SimCondition) -> int:
+        with self._lock:
+            return len(condition.waiters)

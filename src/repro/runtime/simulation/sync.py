@@ -1,0 +1,63 @@
+"""Lock and condition-variable objects for the simulation backend.
+
+These are thin data holders; all queueing and scheduling logic lives in the
+kernel so that every state change happens under the kernel's own lock.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Optional
+
+from repro.runtime.api import ConditionAPI, LockAPI
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.runtime.simulation.kernel import SimulationBackend
+
+__all__ = ["SimLock", "SimCondition"]
+
+
+class SimLock(LockAPI):
+    """A mutual-exclusion lock for simulated threads."""
+
+    def __init__(self, kernel: "SimulationBackend") -> None:
+        self._kernel = kernel
+        self.owner: Optional[int] = None
+        self.queue: Deque[int] = deque()
+
+    def acquire(self) -> None:
+        self._kernel.lock_acquire(self)
+
+    def release(self) -> None:
+        self._kernel.lock_release(self)
+
+
+class SimCondition(ConditionAPI):
+    """A condition variable for simulated threads.
+
+    A notified thread is moved to the lock's entry queue (it must re-acquire
+    the monitor lock before running again), mirroring Java monitor semantics.
+    """
+
+    def __init__(
+        self,
+        kernel: "SimulationBackend",
+        lock: SimLock,
+        label: Optional[str] = None,
+    ) -> None:
+        self._kernel = kernel
+        self.lock = lock
+        self.label = label
+        self.waiters: Deque[int] = deque()
+
+    def wait(self) -> None:
+        self._kernel.condition_wait(self)
+
+    def notify(self) -> None:
+        self._kernel.condition_notify(self, wake_all=False)
+
+    def notify_all(self) -> None:
+        self._kernel.condition_notify(self, wake_all=True)
+
+    def waiter_count(self) -> int:
+        return self._kernel.condition_waiter_count(self)

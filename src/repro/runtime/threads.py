@@ -1,0 +1,155 @@
+"""Real-thread backend built on :mod:`threading`.
+
+This backend is used for wall-clock measurements.  Its metrics are
+best-effort approximations of what an OS profiler would report: every return
+from a blocking wait is counted as (at least) one context switch into the
+waking thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional, Sequence
+
+from repro.runtime.api import Backend, ConditionAPI, LockAPI, ThreadHandle
+
+__all__ = ["ThreadingBackend"]
+
+
+class _ThreadingLock(LockAPI):
+    """Wrapper around :class:`threading.Lock` that records contention."""
+
+    def __init__(self, backend: "ThreadingBackend") -> None:
+        self._backend = backend
+        self._lock = threading.Lock()
+
+    def acquire(self) -> None:
+        # Try the fast path first so uncontended acquisitions stay cheap and
+        # contended ones are visible in the metrics.
+        if self._lock.acquire(blocking=False):
+            self._backend._record("lock_acquisitions")
+            return
+        self._backend._record("lock_contentions")
+        self._lock.acquire()
+        self._backend._record("lock_acquisitions")
+        self._backend._record("context_switches")
+
+    def release(self) -> None:
+        self._lock.release()
+
+    @property
+    def raw(self) -> threading.Lock:
+        return self._lock
+
+
+class _ThreadingCondition(ConditionAPI):
+    """Wrapper around :class:`threading.Condition` with waiter accounting."""
+
+    def __init__(self, backend: "ThreadingBackend", lock: _ThreadingLock) -> None:
+        self._backend = backend
+        self._condition = threading.Condition(lock.raw)
+        self._waiters = 0
+        self.label: str | None = None
+
+    def wait(self) -> None:
+        self._waiters += 1
+        self._backend._record("condition_waits")
+        try:
+            self._condition.wait()
+        finally:
+            self._waiters -= 1
+        # Returning from wait() means this thread was scheduled back in.
+        self._backend._record("context_switches")
+
+    def notify(self) -> None:
+        self._backend._record("notifies")
+        if self._waiters > 0:
+            self._backend._record("notified_threads")
+        self._condition.notify()
+
+    def notify_all(self) -> None:
+        self._backend._record("notify_alls")
+        self._backend._record("notified_threads", self._waiters)
+        self._condition.notify_all()
+
+    def waiter_count(self) -> int:
+        return self._waiters
+
+
+class _ThreadingHandle(ThreadHandle):
+    def __init__(self, thread: threading.Thread) -> None:
+        self._thread = thread
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        self._thread.join(timeout)
+
+    @property
+    def name(self) -> str:
+        return self._thread.name
+
+    @property
+    def alive(self) -> bool:
+        return self._thread.is_alive()
+
+
+class ThreadingBackend(Backend):
+    """Backend using ordinary Python threads and locks."""
+
+    name = "threading"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._metrics_lock = threading.Lock()
+        self._failures: list[BaseException] = []
+
+    def _record(self, counter: str, amount: int = 1) -> None:
+        with self._metrics_lock:
+            setattr(self.metrics, counter, getattr(self.metrics, counter) + amount)
+
+    def create_lock(self) -> _ThreadingLock:
+        return _ThreadingLock(self)
+
+    def create_condition(self, lock: LockAPI) -> _ThreadingCondition:
+        if not isinstance(lock, _ThreadingLock):
+            raise TypeError("a ThreadingBackend condition requires a ThreadingBackend lock")
+        return _ThreadingCondition(self, lock)
+
+    def spawn(
+        self,
+        target: Callable[[], None],
+        name: Optional[str] = None,
+    ) -> _ThreadingHandle:
+        def runner() -> None:
+            try:
+                target()
+            except BaseException as exc:  # propagated to the caller by run()
+                with self._metrics_lock:
+                    self._failures.append(exc)
+
+        thread = threading.Thread(target=runner, name=name, daemon=True)
+        self._record("threads_spawned")
+        thread.start()
+        return _ThreadingHandle(thread)
+
+    def current_id(self) -> object:
+        return threading.get_ident()
+
+    def run(
+        self,
+        targets: Sequence[Callable[[], None]],
+        names: Optional[Sequence[str]] = None,
+    ) -> None:
+        """Run all *targets* concurrently and join them.
+
+        If any target raised, the first exception is re-raised here so test
+        failures inside worker threads are not silently swallowed.
+        """
+        self._failures = []
+        handles = []
+        for index, target in enumerate(targets):
+            name = names[index] if names else f"worker-{index}"
+            handles.append(self.spawn(target, name=name))
+        for handle in handles:
+            handle.join()
+        if self._failures:
+            raise self._failures[0]

@@ -1,0 +1,44 @@
+"""Shared fixtures and helpers for the AutoSynch reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import SimulationBackend, ThreadingBackend
+
+
+@pytest.fixture
+def sim_backend():
+    """A fresh deterministic simulation backend (FIFO policy, seed 0)."""
+    return SimulationBackend(seed=0)
+
+
+@pytest.fixture
+def random_sim_backend():
+    """A simulation backend with randomized (but seeded) scheduling."""
+    return SimulationBackend(seed=1234, policy="random")
+
+
+@pytest.fixture
+def threading_backend():
+    """A real-thread backend."""
+    return ThreadingBackend()
+
+
+@pytest.fixture(params=["fifo", "random"])
+def any_sim_backend(request):
+    """Simulation backend under both scheduling policies."""
+    return SimulationBackend(seed=7, policy=request.param)
+
+
+class StateStub:
+    """Simple attribute bag used as monitor state in predicate tests."""
+
+    def __init__(self, **attributes):
+        for name, value in attributes.items():
+            setattr(self, name, value)
+
+
+@pytest.fixture
+def state_stub():
+    return StateStub

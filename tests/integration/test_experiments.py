@@ -1,0 +1,96 @@
+"""Integration tests for the per-figure experiments (quick scale).
+
+The heavyweight checks (the paper's qualitative shapes at the quick scale)
+run for the experiments where the effect is strongest — Fig. 11, Fig. 14,
+Fig. 15 and Table 1 — and a lighter "runs and reports" check covers the rest,
+so the suite stays fast while every experiment is exercised.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, get_experiment
+from repro.harness.runner import ExperimentRunner
+
+ALL_IDS = sorted(EXPERIMENTS)
+KEY_IDS = ["fig11", "fig14", "fig15", "table1"]
+
+
+def run_scaled(experiment_id, thread_counts=None, total_ops=None):
+    experiment = get_experiment(experiment_id)
+    config = experiment.quick_config
+    if thread_counts is not None or total_ops is not None:
+        config = config.scaled(thread_counts=thread_counts, total_ops=total_ops)
+    return experiment, ExperimentRunner().run(config)
+
+
+class TestRegistry:
+    def test_every_figure_and_table_is_registered(self):
+        assert set(ALL_IDS) == {
+            "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "table1",
+        }
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            get_experiment("fig99")
+
+    def test_experiments_have_full_and_quick_configs(self):
+        for experiment_id in ALL_IDS:
+            experiment = EXPERIMENTS[experiment_id]
+            assert experiment.full_config.total_ops >= experiment.quick_config.total_ops
+            assert max(experiment.full_config.thread_counts) >= max(
+                experiment.quick_config.thread_counts
+            )
+            assert experiment.shape_checks, f"{experiment_id} has no shape checks"
+
+    def test_full_configs_match_paper_axes(self):
+        assert max(EXPERIMENTS["fig08"].full_config.thread_counts) == 256
+        assert EXPERIMENTS["fig12"].full_config.thread_counts[-1] == 64
+        assert EXPERIMENTS["table1"].full_config.thread_counts == (128,)
+        assert EXPERIMENTS["fig14"].full_config.mechanisms == ("explicit", "autosynch")
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            EXPERIMENTS["fig08"].run(scale="gigantic")
+
+
+@pytest.mark.parametrize("experiment_id", [i for i in ALL_IDS if i not in KEY_IDS])
+def test_experiment_runs_and_reports(experiment_id):
+    experiment, series = run_scaled(experiment_id, thread_counts=(2, 4), total_ops=200)
+    report = experiment.report(series)
+    assert experiment.experiment_id in report
+    for mechanism in experiment.quick_config.mechanisms:
+        assert mechanism in report
+    assert series.x_values() == [2, 4]
+
+
+@pytest.mark.parametrize("experiment_id", KEY_IDS)
+def test_key_experiment_shapes_hold_at_quick_scale(experiment_id):
+    experiment = get_experiment(experiment_id)
+    series = experiment.run(scale="quick")
+    failures = [desc for desc, ok in experiment.check_shapes(series) if not ok]
+    assert not failures, f"{experiment_id} shape checks failed: {failures}"
+
+
+def test_fig15_counts_grow_with_consumers_for_explicit():
+    experiment, series = run_scaled("fig15")
+    xs = series.x_values()
+    explicit_first = series.point_for("explicit", xs[0]).context_switches
+    explicit_last = series.point_for("explicit", xs[-1]).context_switches
+    assert explicit_last > explicit_first
+
+
+def test_table1_report_contains_breakdown_columns():
+    experiment, series = run_scaled("table1")
+    report = experiment.report(series)
+    for column in ("await", "relay_signal", "tag_manager", "total"):
+        assert column in report
+
+
+def test_cli_list_and_single_run(capsys):
+    from repro.experiments.__main__ import main
+
+    assert main(["--list"]) == 0
+    listing = capsys.readouterr().out
+    assert "fig14" in listing and "table1" in listing

@@ -1,0 +1,84 @@
+"""Integration tests for the experiment runner and reporting pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import ExperimentRunner, RunConfig, format_series_table, series_to_rows
+
+
+def tiny_config(**overrides):
+    defaults = dict(
+        problem="bounded_buffer",
+        thread_counts=(2, 4),
+        mechanisms=("explicit", "autosynch"),
+        total_ops=80,
+        repetitions=2,
+        drop_extremes=False,
+        backend="simulation",
+        seed=3,
+    )
+    defaults.update(overrides)
+    return RunConfig(**defaults)
+
+
+class TestExperimentRunner:
+    def test_run_produces_full_series(self):
+        series = ExperimentRunner().run(tiny_config())
+        assert set(series.mechanisms()) == {"explicit", "autosynch"}
+        assert series.x_values() == [2, 4]
+        for mechanism in series.mechanisms():
+            for threads in series.x_values():
+                point = series.point_for(mechanism, threads)
+                assert point is not None
+                assert point.repetitions == 2
+                assert point.modelled_runtime > 0
+
+    def test_simulation_sweeps_are_reproducible(self):
+        first = ExperimentRunner().run(tiny_config())
+        second = ExperimentRunner().run(tiny_config())
+        for mechanism in first.mechanisms():
+            for threads in first.x_values():
+                a = first.point_for(mechanism, threads)
+                b = second.point_for(mechanism, threads)
+                assert a.context_switches == b.context_switches
+                assert a.predicate_evaluations == b.predicate_evaluations
+
+    def test_progress_callback_is_invoked(self):
+        messages = []
+        ExperimentRunner(progress=messages.append).run(tiny_config(thread_counts=(2,)))
+        assert any("bounded_buffer" in message for message in messages)
+
+    def test_threading_backend_sweep(self):
+        series = ExperimentRunner().run(
+            tiny_config(backend="threading", thread_counts=(2,), repetitions=1)
+        )
+        point = series.point_for("autosynch", 2)
+        assert point.wall_time > 0
+
+    def test_problem_params_are_forwarded(self):
+        config = tiny_config(problem="bounded_buffer")
+        config = RunConfig(
+            **{**config.__dict__, "problem_params": {"capacity": 2}}
+        )
+        series = ExperimentRunner().run(config)
+        assert series.point_for("autosynch", 2) is not None
+
+    def test_unknown_problem_is_rejected(self):
+        with pytest.raises(KeyError):
+            ExperimentRunner().run(tiny_config(problem="nonexistent_problem"))
+
+    def test_scaled_config(self):
+        config = tiny_config().scaled(total_ops=10, repetitions=1, thread_counts=(2,))
+        assert config.total_ops == 10
+        assert config.repetitions == 1
+        assert config.thread_counts == (2,)
+        # The original is unchanged (RunConfig is frozen).
+        assert tiny_config().total_ops == 80
+
+    def test_report_rendering_from_series(self):
+        series = ExperimentRunner().run(tiny_config(thread_counts=(2,), repetitions=1))
+        rows = series_to_rows(series, "context_switches")
+        assert len(rows) == 1
+        text = format_series_table(series, "modelled_runtime")
+        assert "bounded_buffer" in text

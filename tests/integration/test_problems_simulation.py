@@ -1,0 +1,120 @@
+"""Integration tests: every problem under every mechanism on the simulator.
+
+These are the correctness backbone of the reproduction: each of the paper's
+seven synchronization problems must terminate and satisfy its own invariants
+under all four signalling mechanisms, across scheduling policies and seeds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.saturation import run_workload
+from repro.problems import MECHANISMS, PROBLEMS, get_problem
+from repro.runtime import SimulationBackend
+
+ALL_COMBINATIONS = [
+    (problem_name, mechanism)
+    for problem_name in PROBLEMS
+    for mechanism in MECHANISMS
+]
+
+
+@pytest.mark.parametrize("problem_name, mechanism", ALL_COMBINATIONS)
+def test_problem_runs_and_verifies(problem_name, mechanism):
+    problem = get_problem(problem_name)
+    backend = SimulationBackend(seed=13)
+    result = run_workload(
+        problem, mechanism, backend, threads=4, total_ops=160, seed=5, verify=True
+    )
+    assert result.operations > 0
+    assert result.backend_metrics["context_switches"] > 0
+
+
+@pytest.mark.parametrize("problem_name", sorted(PROBLEMS))
+def test_problem_is_deterministic_on_the_simulator(problem_name):
+    problem = get_problem(problem_name)
+
+    def counts(seed):
+        backend = SimulationBackend(seed=seed, policy="random")
+        result = run_workload(
+            problem, "autosynch", backend, threads=3, total_ops=90, seed=2, verify=True
+        )
+        return result.backend_metrics, result.monitor_stats
+
+    assert counts(21) == counts(21)
+
+
+@pytest.mark.parametrize("problem_name", sorted(PROBLEMS))
+@pytest.mark.parametrize("seed", [1, 17, 123])
+def test_schedule_exploration_with_random_policy(problem_name, seed):
+    """Different random schedules must all preserve the problem invariants."""
+    problem = get_problem(problem_name)
+    backend = SimulationBackend(seed=seed, policy="random")
+    run_workload(problem, "autosynch", backend, threads=3, total_ops=90, seed=3, verify=True)
+
+
+@pytest.mark.parametrize("mechanism", MECHANISMS)
+def test_larger_thread_counts_terminate(mechanism):
+    """A bigger sweep on the problem that stresses signalling the most."""
+    problem = get_problem("parameterized_bounded_buffer")
+    backend = SimulationBackend(seed=3)
+    result = run_workload(
+        problem, mechanism, backend, threads=16, total_ops=320, seed=11, verify=True
+    )
+    assert result.backend_metrics["context_switches"] > 0
+
+
+class TestMechanismContracts:
+    """Qualitative guarantees the paper states about each mechanism."""
+
+    def run(self, problem_name, mechanism, threads=6, total_ops=240):
+        backend = SimulationBackend(seed=8)
+        return run_workload(
+            get_problem(problem_name), mechanism, backend, threads=threads,
+            total_ops=total_ops, seed=4, verify=True,
+        )
+
+    @pytest.mark.parametrize("problem_name", sorted(PROBLEMS))
+    def test_autosynch_never_uses_signal_all(self, problem_name):
+        result = self.run(problem_name, "autosynch")
+        assert result.monitor_stats["signal_alls_sent"] == 0
+        assert result.backend_metrics["notify_alls"] == 0
+
+    @pytest.mark.parametrize("problem_name", sorted(PROBLEMS))
+    def test_autosynch_t_never_uses_signal_all(self, problem_name):
+        result = self.run(problem_name, "autosynch_t")
+        assert result.monitor_stats["signal_alls_sent"] == 0
+
+    def test_baseline_relies_on_signal_all(self):
+        result = self.run("bounded_buffer", "baseline")
+        assert result.monitor_stats["signal_alls_sent"] > 0
+        assert result.monitor_stats["signals_sent"] == 0
+
+    def test_explicit_parameterized_buffer_needs_signal_all(self):
+        result = self.run("parameterized_bounded_buffer", "explicit")
+        assert result.monitor_stats["signal_alls_sent"] > 0
+
+    def test_explicit_classic_buffer_does_not_need_signal_all(self):
+        result = self.run("bounded_buffer", "explicit")
+        assert result.monitor_stats["signal_alls_sent"] == 0
+
+    def test_tagging_reduces_predicate_evaluations_on_round_robin(self):
+        with_tags = self.run("round_robin", "autosynch", threads=12, total_ops=360)
+        without_tags = self.run("round_robin", "autosynch_t", threads=12, total_ops=360)
+        assert (
+            with_tags.monitor_stats["predicate_evaluations"]
+            < without_tags.monitor_stats["predicate_evaluations"]
+        )
+
+    def test_autosynch_wakes_fewer_threads_than_explicit_on_param_buffer(self):
+        autosynch = self.run("parameterized_bounded_buffer", "autosynch", threads=12)
+        explicit = self.run("parameterized_bounded_buffer", "explicit", threads=12)
+        assert (
+            autosynch.backend_metrics["notified_threads"]
+            <= explicit.backend_metrics["notified_threads"]
+        )
+
+    def test_relay_mechanisms_report_relay_calls(self):
+        result = self.run("bounded_buffer", "autosynch")
+        assert result.monitor_stats["relay_signal_calls"] > 0

@@ -1,0 +1,136 @@
+"""Integration tests for the relay-signalling guarantees (§4.2).
+
+Relay invariance says: whenever some waiting thread's predicate is true,
+at least one thread whose predicate is true is active (has been signalled).
+Its practical consequences are testable from the outside:
+
+* no waiting thread is ever stranded once its predicate has become true
+  (liveness — every workload in these tests terminates);
+* AutoSynch wakes only threads whose predicate was true when they were
+  signalled, so the number of wasted wake-ups stays far below the baseline's;
+* one relay signal is sent per monitor exit at most (never a broadcast).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AutoSynchMonitor
+from repro.runtime import SimulationBackend
+
+
+class Scoreboard(AutoSynchMonitor):
+    """Monitor with many distinct waiting conditions over one counter."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.score = 0
+
+    def add(self, amount):
+        self.score += amount
+
+    def wait_for(self, threshold):
+        self.wait_until("score >= threshold", threshold=threshold)
+        return self.score
+
+
+@pytest.mark.parametrize("signalling", ["autosynch", "autosynch_t"])
+def test_every_satisfied_waiter_is_eventually_woken(signalling):
+    backend = SimulationBackend(seed=31, policy="random")
+    board = Scoreboard(backend=backend, signalling=signalling)
+    observed = []
+
+    def waiter(threshold):
+        def body():
+            observed.append((threshold, board.wait_for(threshold)))
+        return body
+
+    def scorer():
+        for _ in range(20):
+            board.add(1)
+
+    waiters = [waiter(t) for t in range(1, 11)]
+    backend.run(waiters + [scorer])
+    assert len(observed) == 10
+    # Each waiter saw a score at least as large as its threshold.
+    assert all(score >= threshold for threshold, score in observed)
+
+
+@pytest.mark.parametrize("signalling", ["autosynch", "autosynch_t"])
+def test_relay_wakes_only_true_predicates(signalling):
+    """A woken thread's predicate held when it was signalled, so spurious
+    wake-ups can only come from a race with another woken thread — with a
+    single waiter per threshold there are none at all."""
+    backend = SimulationBackend(seed=5)
+    board = Scoreboard(backend=backend, signalling=signalling)
+
+    def waiter(threshold):
+        def body():
+            board.wait_for(threshold)
+        return body
+
+    def scorer():
+        for _ in range(5):
+            board.add(1)
+
+    backend.run([waiter(t) for t in (1, 2, 3, 4, 5)] + [scorer])
+    assert board.stats.spurious_wakeups == 0
+    assert board.stats.signal_alls_sent == 0
+
+
+def test_baseline_wakes_many_threads_for_nothing():
+    backend = SimulationBackend(seed=5)
+    board = Scoreboard(backend=backend, signalling="baseline")
+
+    def waiter(threshold):
+        def body():
+            board.wait_for(threshold)
+        return body
+
+    def scorer():
+        for _ in range(5):
+            board.add(1)
+
+    backend.run([waiter(t) for t in (1, 2, 3, 4, 5)] + [scorer])
+    assert board.stats.signal_alls_sent > 0
+    assert board.stats.spurious_wakeups > 0
+
+
+def test_relay_signals_at_most_one_thread_per_exit():
+    backend = SimulationBackend(seed=17)
+    board = Scoreboard(backend=backend, signalling="autosynch")
+
+    def waiter(threshold):
+        def body():
+            board.wait_for(threshold)
+        return body
+
+    def scorer():
+        # One large jump makes every waiter's predicate true at once; the
+        # relay rule must still wake them one by one, each exit signalling
+        # the next.
+        board.add(100)
+
+    backend.run([waiter(t) for t in (10, 20, 30, 40)] + [scorer])
+    stats = board.stats
+    assert stats.signals_sent >= 4
+    # Signals are sent one at a time: never more signals than relay calls.
+    assert stats.signals_sent <= stats.relay_signal_calls
+    assert stats.signal_alls_sent == 0
+
+
+def test_notified_thread_count_matches_signals_on_simulation():
+    backend = SimulationBackend(seed=23)
+    board = Scoreboard(backend=backend, signalling="autosynch")
+
+    def waiter(threshold):
+        def body():
+            board.wait_for(threshold)
+        return body
+
+    def scorer():
+        for _ in range(6):
+            board.add(1)
+
+    backend.run([waiter(t) for t in (2, 4, 6)] + [scorer])
+    assert backend.metrics.notified_threads == board.stats.signals_sent

@@ -1,0 +1,106 @@
+"""Property-based tests for the threshold heaps against a reference model."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.core.heaps import ThresholdHeap
+
+LOWER_OPS = (">", ">=")
+UPPER_OPS = ("<", "<=")
+
+
+def operations(ops):
+    """A random sequence of add/discard operations over a small key space."""
+    keys = st.integers(min_value=-5, max_value=5)
+    entries = st.integers(min_value=0, max_value=9)
+    add = st.tuples(st.just("add"), keys, st.sampled_from(ops), entries)
+    discard = st.tuples(st.just("discard"), keys, st.sampled_from(ops), entries)
+    return st.lists(st.one_of(add, discard), max_size=40)
+
+
+def _weakest(model, direction):
+    """Reference implementation of peek(): weakest live (key, op) pair."""
+    live = [(key, op) for (key, op), entries in model.items() if entries]
+    if not live:
+        return None
+
+    def rank(item):
+        key, op = item
+        inclusive = 0 if op in (">=", "<=") else 1
+        return (key if direction == "min" else -key, inclusive)
+
+    return min(live, key=rank)
+
+
+def _apply(model, heap, ops_sequence):
+    for action, key, op, entry in ops_sequence:
+        if action == "add":
+            heap.add(key, op, entry)
+            model.setdefault((key, op), []).append(entry)
+        else:
+            heap.discard(key, op, entry)
+            bucket = model.get((key, op))
+            if bucket and entry in bucket:
+                bucket.remove(entry)
+
+
+@given(operations(LOWER_OPS))
+def test_min_heap_peek_matches_reference_model(ops_sequence):
+    heap = ThresholdHeap("min")
+    model = {}
+    _apply(model, heap, ops_sequence)
+    expected = _weakest(model, "min")
+    node = heap.peek()
+    if expected is None:
+        assert node is None
+    else:
+        assert (node.key, node.op) == expected
+        assert sorted(node.entries) == sorted(model[expected])
+
+
+@given(operations(UPPER_OPS))
+def test_max_heap_peek_matches_reference_model(ops_sequence):
+    heap = ThresholdHeap("max")
+    model = {}
+    _apply(model, heap, ops_sequence)
+    expected = _weakest(model, "max")
+    node = heap.peek()
+    if expected is None:
+        assert node is None
+    else:
+        assert (node.key, node.op) == expected
+
+
+@given(operations(LOWER_OPS))
+def test_poll_drains_in_weakest_first_order(ops_sequence):
+    heap = ThresholdHeap("min")
+    model = {}
+    _apply(model, heap, ops_sequence)
+    drained = []
+    while True:
+        node = heap.poll()
+        if node is None:
+            break
+        drained.append((node.key, node.op))
+    # Polling returns live nodes in non-decreasing weakness order.
+    ranks = [(key, 0 if op == ">=" else 1) for key, op in drained]
+    assert ranks == sorted(ranks)
+    live = {pair for pair, entries in model.items() if entries}
+    assert set(drained) == live
+
+
+@given(operations(LOWER_OPS), st.integers(min_value=-5, max_value=5))
+def test_heap_pruning_is_sound(ops_sequence, value):
+    """If the weakest bound is not satisfied, no live bound is satisfied."""
+    heap = ThresholdHeap("min")
+    model = {}
+    _apply(model, heap, ops_sequence)
+    root = heap.peek()
+    if root is None or root.satisfied_by(value):
+        return
+    for (key, op), entries in model.items():
+        if not entries:
+            continue
+        satisfied = value > key if op == ">" else value >= key
+        assert not satisfied

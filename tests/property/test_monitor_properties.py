@@ -1,0 +1,157 @@
+"""Property-based tests for whole-monitor behaviour under random schedules.
+
+These run small randomized workloads on the deterministic simulator (random
+scheduling policy, hypothesis-chosen seeds and workload shapes) and check the
+safety properties that must hold regardless of the schedule or the signalling
+mechanism.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.problems.bounded_buffer import AutoBoundedBuffer
+from repro.problems.dining_philosophers import AutoDiningTable
+from repro.problems.parameterized_bounded_buffer import AutoParameterizedBoundedBuffer
+from repro.problems.round_robin import AutoRoundRobin
+from repro.runtime import SimulationBackend
+
+MECHANISMS = st.sampled_from(["baseline", "autosynch_t", "autosynch"])
+
+RELAXED = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@RELAXED
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    capacity=st.integers(min_value=1, max_value=5),
+    items=st.integers(min_value=1, max_value=40),
+    producers=st.integers(min_value=1, max_value=3),
+    consumers=st.integers(min_value=1, max_value=3),
+    mechanism=MECHANISMS,
+)
+def test_bounded_buffer_conserves_and_orders_items(
+    seed, capacity, items, producers, consumers, mechanism
+):
+    backend = SimulationBackend(seed=seed, policy="random")
+    buffer = AutoBoundedBuffer(capacity, backend=backend, signalling=mechanism)
+
+    # Split the item budget over producers/consumers (remainder to the first).
+    def quotas(total, workers):
+        base, remainder = divmod(total, workers)
+        return [base + (1 if index < remainder else 0) for index in range(workers)]
+
+    produced = []
+    consumed = []
+
+    def producer(start, quota):
+        def body():
+            for offset in range(quota):
+                value = (start, offset)
+                buffer.put(value)
+                produced.append(value)
+        return body
+
+    def consumer(quota):
+        def body():
+            for _ in range(quota):
+                consumed.append(buffer.take())
+        return body
+
+    targets = [producer(i, q) for i, q in enumerate(quotas(items, producers))]
+    targets += [consumer(q) for q in quotas(items, consumers)]
+    backend.run(targets)
+
+    assert buffer.count == 0
+    assert sorted(consumed) == sorted(produced)
+    # Per-producer FIFO: each producer's items are consumed in production order.
+    for producer_id in range(producers):
+        mine = [value for value in consumed if value[0] == producer_id]
+        assert mine == sorted(mine)
+
+
+@RELAXED
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    threads=st.integers(min_value=2, max_value=6),
+    rounds=st.integers(min_value=1, max_value=6),
+    mechanism=MECHANISMS,
+)
+def test_round_robin_order_is_strict(seed, threads, rounds, mechanism):
+    backend = SimulationBackend(seed=seed, policy="random")
+    monitor = AutoRoundRobin(threads, backend=backend, signalling=mechanism)
+    trace = []
+
+    def worker(thread_id):
+        def body():
+            for _ in range(rounds):
+                monitor.access(thread_id)
+                trace.append(thread_id)
+        return body
+
+    backend.run([worker(i) for i in range(threads)])
+    assert monitor.order_violations == 0
+    assert trace == [i % threads for i in range(threads * rounds)]
+
+
+@RELAXED
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    seats=st.integers(min_value=2, max_value=6),
+    meals=st.integers(min_value=1, max_value=5),
+    mechanism=MECHANISMS,
+)
+def test_dining_philosophers_never_share_a_chopstick(seed, seats, meals, mechanism):
+    backend = SimulationBackend(seed=seed, policy="random")
+    table = AutoDiningTable(seats, backend=backend, signalling=mechanism)
+
+    def philosopher(seat):
+        def body():
+            for _ in range(meals):
+                table.pick_up(seat)
+                backend.yield_control()  # eat for a while under a random schedule
+                table.put_down(seat)
+        return body
+
+    backend.run([philosopher(seat) for seat in range(seats)])
+    assert table.violations == 0
+    assert table.meals == seats * meals
+    assert all(stick == 1 for stick in table.chopsticks)
+
+
+@RELAXED
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    consumers=st.integers(min_value=1, max_value=4),
+    requests=st.lists(st.integers(min_value=1, max_value=16), min_size=1, max_size=6),
+    mechanism=MECHANISMS,
+)
+def test_parameterized_buffer_serves_exact_batches(seed, consumers, requests, mechanism):
+    backend = SimulationBackend(seed=seed, policy="random")
+    buffer = AutoParameterizedBoundedBuffer(capacity=32, backend=backend, signalling=mechanism)
+
+    per_consumer = [requests[index::consumers] for index in range(consumers)]
+    total_items = sum(requests)
+
+    def producer():
+        remaining = total_items
+        while remaining > 0:
+            batch = min(remaining, 8)
+            buffer.put(list(range(batch)))
+            remaining -= batch
+
+    def consumer(my_requests):
+        def body():
+            for amount in my_requests:
+                taken = buffer.take(amount)
+                assert len(taken) == amount
+        return body
+
+    backend.run([producer] + [consumer(reqs) for reqs in per_consumer])
+    assert buffer.count == 0
+    assert buffer.total_put == total_items
+    assert buffer.total_taken == total_items

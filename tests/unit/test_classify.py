@@ -1,0 +1,115 @@
+"""Unit tests for shared/local classification (Definitions 1 and 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.predicates import (
+    ClassificationError,
+    Name,
+    Scope,
+    classify,
+    free_names,
+    is_complex_predicate,
+    is_shared_predicate,
+    parse_predicate,
+    scope_of,
+)
+from repro.predicates.classify import local_names_used, shared_names_used
+
+
+def classified(source, shared=(), local=()):
+    return classify(parse_predicate(source), shared, local)
+
+
+class TestClassify:
+    def test_bare_name_resolves_to_shared(self):
+        expr = classified("count > 0", shared={"count"})
+        names = free_names(expr)
+        assert names == {"count": Scope.SHARED}
+
+    def test_bare_name_resolves_to_local(self):
+        expr = classified("num > 0", local={"num"})
+        assert free_names(expr) == {"num": Scope.LOCAL}
+
+    def test_local_shadows_shared_for_bare_names(self):
+        expr = classified("count > 0", shared={"count"}, local={"count"})
+        assert free_names(expr) == {"count": Scope.LOCAL}
+
+    def test_self_prefixed_name_stays_shared_even_if_local_exists(self):
+        expr = classified("self.count > 0", shared={"count"}, local={"count"})
+        assert free_names(expr) == {"count": Scope.SHARED}
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ClassificationError) as excinfo:
+            classified("mystery > 0", shared={"count"}, local={"num"})
+        assert "mystery" in str(excinfo.value)
+
+    def test_classification_covers_nested_expressions(self):
+        expr = classified(
+            "forks[left] + forks[right] == 2", shared={"forks"}, local={"left", "right"}
+        )
+        assert shared_names_used(expr) == {"forks"}
+        assert local_names_used(expr) == {"left", "right"}
+
+    def test_classification_is_pure(self):
+        original = parse_predicate("count >= num")
+        classify(original, {"count"}, {"num"})
+        # The original tree still has unresolved scopes.
+        assert free_names(original) == {"count": Scope.UNKNOWN, "num": Scope.UNKNOWN}
+
+    def test_conflicting_scopes_for_same_name_raise(self):
+        # ``self.count`` (shared) mixed with a bare ``count`` that resolves to
+        # a local is genuinely ambiguous.
+        expr = parse_predicate("self.count == count")
+        resolved = classify(expr, {"count"}, {"count"})
+        with pytest.raises(ClassificationError):
+            free_names(resolved)
+
+
+class TestPredicateCategories:
+    def test_shared_predicate(self):
+        expr = classified("count > 0 and not busy", shared={"count", "busy"})
+        assert is_shared_predicate(expr)
+        assert not is_complex_predicate(expr)
+
+    def test_complex_predicate(self):
+        expr = classified("count >= num", shared={"count"}, local={"num"})
+        assert is_complex_predicate(expr)
+        assert not is_shared_predicate(expr)
+
+    def test_constant_only_predicate_is_shared(self):
+        expr = classified("1 < 2")
+        assert is_shared_predicate(expr)
+
+
+class TestScopeOf:
+    def test_shared_expression(self):
+        expr = classified("count + size", shared={"count", "size"})
+        assert scope_of(expr) is Scope.SHARED
+
+    def test_local_expression(self):
+        expr = classified("num * 2", local={"num"})
+        assert scope_of(expr) is Scope.LOCAL
+
+    def test_constant_expression_counts_as_local(self):
+        assert scope_of(parse_predicate("40 + 8")) is Scope.LOCAL
+
+    def test_mixed_expression_has_no_scope(self):
+        expr = classified("count + num", shared={"count"}, local={"num"})
+        assert scope_of(expr) is None
+
+    def test_unresolved_names_have_no_scope(self):
+        assert scope_of(parse_predicate("count + num")) is None
+
+    def test_monitor_method_call_is_shared(self):
+        expr = classified("self.size()", shared=set())
+        assert scope_of(expr) is Scope.SHARED
+
+    def test_builtin_over_locals_is_local(self):
+        expr = classified("len(batch)", local={"batch"})
+        assert scope_of(expr) is Scope.LOCAL
+
+    def test_builtin_over_shared_is_shared(self):
+        expr = classified("len(items)", shared={"items"})
+        assert scope_of(expr) is Scope.SHARED

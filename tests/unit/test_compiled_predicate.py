@@ -1,0 +1,87 @@
+"""Unit tests for the compiled-predicate front end used by the monitor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.predicates import PredicateError, TagKind, compile_predicate
+
+
+class State:
+    def __init__(self, **fields):
+        for name, value in fields.items():
+            setattr(self, name, value)
+
+
+class TestCompilePredicate:
+    def test_shared_predicate_classification(self):
+        compiled = compile_predicate("count > 0", {"count"})
+        assert compiled.is_shared
+        assert not compiled.is_complex
+        assert compiled.shared_names == frozenset({"count"})
+        assert compiled.local_names == frozenset()
+
+    def test_complex_predicate_classification(self):
+        compiled = compile_predicate("count >= num", {"count"}, {"num"})
+        assert compiled.is_complex
+        assert compiled.local_names == frozenset({"num"})
+
+    def test_evaluate_original_form(self):
+        compiled = compile_predicate("count >= num", {"count"}, {"num"})
+        assert compiled.evaluate(State(count=5), {"num": 5})
+        assert not compiled.evaluate(State(count=5), {"num": 6})
+
+    def test_accepts_mappings_for_name_sets(self):
+        compiled = compile_predicate("count >= num", {"count": 1}, {"num": 2})
+        assert compiled.is_complex
+
+
+class TestGlobalizedForm:
+    def test_globalized_shared_predicate_is_cached(self):
+        compiled = compile_predicate("count > 0", {"count"})
+        assert compiled.globalized() is compiled.globalized({"anything": 1})
+
+    def test_globalized_complex_predicate_differs_per_locals(self):
+        compiled = compile_predicate("count >= num", {"count"}, {"num"})
+        g48 = compiled.globalized({"num": 48})
+        g32 = compiled.globalized({"num": 32})
+        assert g48.canonical == "count >= 48"
+        assert g32.canonical == "count >= 32"
+
+    def test_globalized_missing_locals_raise(self):
+        compiled = compile_predicate("count >= num", {"count"}, {"num"})
+        with pytest.raises(PredicateError):
+            compiled.globalized({})
+
+    def test_globalized_holds(self):
+        compiled = compile_predicate("count >= num", {"count"}, {"num"})
+        form = compiled.globalized({"num": 3})
+        assert form.holds(State(count=3))
+        assert not form.holds(State(count=2))
+
+    def test_globalized_has_tags(self):
+        compiled = compile_predicate("turn == me", {"turn"}, {"me"})
+        form = compiled.globalized({"me": 4})
+        assert len(form.tags) == 1
+        assert form.tags[0].kind is TagKind.EQUIVALENCE
+        assert form.tags[0].key == 4
+
+    def test_syntax_equivalent_predicates_share_canonical_form(self):
+        # The paper: predicates identical after globalization share a
+        # condition variable.  48 written directly or as 40 + 8 is the same.
+        direct = compile_predicate("count >= num", {"count"}, {"num"}).globalized({"num": 48})
+        computed = compile_predicate("count >= a + b", {"count"}, {"a", "b"}).globalized(
+            {"a": 40, "b": 8}
+        )
+        assert direct.canonical == computed.canonical
+
+    def test_disjunctive_predicate_tags(self):
+        compiled = compile_predicate("x >= hi or x == lo", {"x"}, {"hi", "lo"})
+        form = compiled.globalized({"hi": 8, "lo": 3})
+        kinds = sorted(tag.kind.value for tag in form.tags)
+        assert kinds == ["equivalence", "threshold"]
+
+    def test_dnf_is_exposed(self):
+        compiled = compile_predicate("a and (b or c)", {"a", "b", "c"})
+        form = compiled.globalized()
+        assert len(form.dnf) == 2

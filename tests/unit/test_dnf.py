@@ -1,0 +1,147 @@
+"""Unit tests for NNF/DNF conversion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.predicates import (
+    And,
+    BoolConst,
+    Compare,
+    Name,
+    Not,
+    Or,
+    PredicateError,
+    parse_predicate,
+    to_dnf,
+    to_nnf,
+    unparse,
+)
+from repro.predicates.dnf import MAX_CONJUNCTIONS, Conjunction, DNFPredicate
+
+
+class TestNNF:
+    def test_negated_comparison_flips_operator(self):
+        expr = to_nnf(parse_predicate("not (x < 5)"))
+        assert expr == Compare(">=", Name("x"), parse_predicate("5"))
+
+    def test_de_morgan_over_and(self):
+        expr = to_nnf(parse_predicate("not (a and b)"))
+        assert isinstance(expr, Or)
+        assert all(isinstance(op, Not) for op in expr.operands)
+
+    def test_de_morgan_over_or(self):
+        expr = to_nnf(parse_predicate("not (x < 1 or y > 2)"))
+        assert isinstance(expr, And)
+        assert expr.operands[0].op == ">="
+        assert expr.operands[1].op == "<="
+
+    def test_double_negation_cancels(self):
+        expr = to_nnf(parse_predicate("not (not ready)"))
+        assert expr == Name("ready")
+
+    def test_negated_boolean_constant(self):
+        assert to_nnf(parse_predicate("not True")) == BoolConst(False)
+
+    def test_negation_of_plain_atom_is_kept(self):
+        expr = to_nnf(parse_predicate("not busy"))
+        assert expr == Not(Name("busy"))
+
+    def test_nnf_is_negation_free_on_structure(self):
+        expr = to_nnf(parse_predicate("not ((a or b) and (c or not d))"))
+        # No Not node may contain boolean structure below it.
+        def check(node):
+            if isinstance(node, Not):
+                assert not isinstance(node.operand, (And, Or, Not, Compare))
+            for child in (getattr(node, "operands", ()) or ()):
+                check(child)
+        check(expr)
+
+
+class TestDNF:
+    def test_atom_is_single_conjunction(self):
+        dnf = to_dnf(parse_predicate("count > 0"))
+        assert len(dnf) == 1
+        assert len(dnf.conjunctions[0]) == 1
+
+    def test_conjunction_stays_single(self):
+        dnf = to_dnf(parse_predicate("a and b and c"))
+        assert len(dnf) == 1
+        assert len(dnf.conjunctions[0]) == 3
+
+    def test_disjunction_splits(self):
+        dnf = to_dnf(parse_predicate("a or b or c"))
+        assert len(dnf) == 3
+
+    def test_distribution(self):
+        dnf = to_dnf(parse_predicate("a and (b or c)"))
+        assert len(dnf) == 2
+        canonical = {conj.canonical() for conj in dnf}
+        assert canonical == {"a and b", "a and c"}
+
+    def test_nested_distribution(self):
+        dnf = to_dnf(parse_predicate("(a or b) and (c or d)"))
+        assert len(dnf) == 4
+
+    def test_negation_pushed_before_distribution(self):
+        dnf = to_dnf(parse_predicate("not (a or (x < 1))"))
+        assert len(dnf) == 1
+        atoms = dnf.conjunctions[0].atoms
+        assert Not(Name("a")) in atoms
+        assert Compare(">=", Name("x"), parse_predicate("1")) in atoms
+
+    def test_true_atom_is_dropped_from_conjunction(self):
+        dnf = to_dnf(parse_predicate("a and True"))
+        assert dnf.conjunctions[0].atoms == (Name("a"),)
+
+    def test_false_conjunction_is_dropped(self):
+        dnf = to_dnf(parse_predicate("(a and False) or b"))
+        assert len(dnf) == 1
+        assert dnf.conjunctions[0].atoms == (Name("b"),)
+
+    def test_trivially_true(self):
+        dnf = to_dnf(parse_predicate("a or True"))
+        assert dnf.is_trivially_true
+
+    def test_trivially_false(self):
+        dnf = to_dnf(parse_predicate("False or (False and a)"))
+        assert dnf.is_trivially_false
+
+    def test_duplicate_atoms_deduplicated(self):
+        dnf = to_dnf(parse_predicate("a and a"))
+        assert dnf.conjunctions[0].atoms == (Name("a"),)
+
+    def test_duplicate_conjunctions_deduplicated(self):
+        dnf = to_dnf(parse_predicate("(a and b) or (a and b)"))
+        assert len(dnf) == 1
+
+    def test_blowup_is_capped(self):
+        # (a0 or b0) and (a1 or b1) and ... expands exponentially.
+        terms = " and ".join(f"(a{i} or b{i})" for i in range(10))
+        with pytest.raises(PredicateError):
+            to_dnf(parse_predicate(terms))
+        assert MAX_CONJUNCTIONS < 2**10
+
+    def test_canonical_is_deterministic(self):
+        first = to_dnf(parse_predicate("x > 1 or (y < 2 and z == 3)"))
+        second = to_dnf(parse_predicate("x > 1 or (y < 2 and z == 3)"))
+        assert first.canonical() == second.canonical()
+
+
+class TestDNFDataStructures:
+    def test_conjunction_to_expr_empty_is_true(self):
+        assert Conjunction(()).to_expr() == BoolConst(True)
+
+    def test_conjunction_to_expr_single_atom(self):
+        assert Conjunction((Name("a"),)).to_expr() == Name("a")
+
+    def test_dnf_to_expr_empty_is_false(self):
+        assert DNFPredicate(()).to_expr() == BoolConst(False)
+
+    def test_dnf_iteration(self):
+        dnf = to_dnf(parse_predicate("a or b"))
+        assert [conj.canonical() for conj in dnf] == ["a", "b"]
+
+    def test_dnf_roundtrip_text(self):
+        dnf = to_dnf(parse_predicate("a and (b or c)"))
+        assert unparse(dnf.to_expr()) == dnf.canonical()

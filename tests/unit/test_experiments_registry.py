@@ -1,0 +1,107 @@
+"""Unit tests for the experiment registry helpers (no sweeps are run here)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.registry import (
+    Experiment,
+    ShapeCheck,
+    final_point_metric,
+    ratio_at_max,
+)
+from repro.harness.results import ExperimentSeries, MeasurementPoint
+from repro.harness.runner import RunConfig
+
+
+def make_point(mechanism, threads, modelled_runtime, context_switches=100.0):
+    return MeasurementPoint(
+        problem="demo",
+        mechanism=mechanism,
+        backend="simulation",
+        threads=threads,
+        repetitions=1,
+        wall_time=modelled_runtime,
+        modelled_runtime=modelled_runtime,
+        context_switches=context_switches,
+        predicate_evaluations=10.0,
+        signals=5.0,
+    )
+
+
+def make_series():
+    series = ExperimentSeries(name="demo", x_label="# threads", backend="simulation")
+    series.add(make_point("explicit", 2, 1.0, context_switches=50))
+    series.add(make_point("explicit", 8, 4.0, context_switches=400))
+    series.add(make_point("autosynch", 2, 1.5, context_switches=60))
+    series.add(make_point("autosynch", 8, 2.0, context_switches=80))
+    return series
+
+
+class TestHelpers:
+    def test_final_point_metric(self):
+        series = make_series()
+        assert final_point_metric(series, "explicit", "modelled_runtime") == 4.0
+        assert final_point_metric(series, "autosynch", "context_switches") == 80
+
+    def test_final_point_metric_missing_mechanism(self):
+        assert final_point_metric(make_series(), "baseline", "modelled_runtime") == 0.0
+
+    def test_ratio_at_max(self):
+        series = make_series()
+        assert ratio_at_max(series, "explicit", "autosynch", "modelled_runtime") == pytest.approx(2.0)
+        assert ratio_at_max(series, "explicit", "autosynch", "context_switches") == pytest.approx(5.0)
+
+    def test_ratio_with_zero_denominator(self):
+        series = ExperimentSeries(name="demo", x_label="x", backend="simulation")
+        series.add(make_point("explicit", 2, 1.0))
+        series.add(make_point("autosynch", 2, 0.0))
+        assert ratio_at_max(series, "explicit", "autosynch", "modelled_runtime") == float("inf")
+
+    def test_empty_series_ratio_defaults_to_one(self):
+        empty = ExperimentSeries(name="demo", x_label="x", backend="simulation")
+        assert ratio_at_max(empty, "explicit", "autosynch", "modelled_runtime") == 1.0
+
+
+class TestExperimentObject:
+    def build(self):
+        config = RunConfig(
+            problem="bounded_buffer",
+            thread_counts=(2, 8),
+            mechanisms=("explicit", "autosynch"),
+            total_ops=100,
+        )
+        return Experiment(
+            experiment_id="demo_exp",
+            title="a demo experiment",
+            paper_reference="Figure 0",
+            full_config=config,
+            quick_config=config.scaled(total_ops=10),
+            shape_checks=(
+                ShapeCheck("autosynch is within 3x of explicit",
+                           lambda s: ratio_at_max(s, "autosynch", "explicit", "modelled_runtime") <= 3.0),
+                ShapeCheck("never true", lambda s: False),
+            ),
+        )
+
+    def test_shape_checks_report_pass_and_fail(self):
+        experiment = self.build()
+        results = dict(experiment.check_shapes(make_series()))
+        assert results["autosynch is within 3x of explicit"] is True
+        assert results["never true"] is False
+
+    def test_default_report_contains_title_and_mechanisms(self):
+        experiment = self.build()
+        text = experiment.report(make_series())
+        assert "demo_exp" in text
+        assert "Figure 0" in text
+        assert "explicit" in text and "autosynch" in text
+
+    def test_custom_report_builder_wins(self):
+        experiment = self.build()
+        experiment.report_builder = lambda series: "CUSTOM REPORT"
+        assert experiment.report(make_series()) == "CUSTOM REPORT"
+
+    def test_shape_check_evaluate(self):
+        check = ShapeCheck("always", lambda series: True)
+        assert check.evaluate(make_series()) is True

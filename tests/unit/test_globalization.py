@@ -1,0 +1,130 @@
+"""Unit tests for globalization (Definition 2) and constant folding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.predicates import (
+    BoolConst,
+    Compare,
+    Const,
+    Name,
+    PredicateError,
+    Scope,
+    classify,
+    globalize,
+    is_shared_predicate,
+    parse_predicate,
+    unparse,
+)
+from repro.predicates.globalization import fold_constants
+
+
+def globalized(source, shared, local_values):
+    expr = classify(parse_predicate(source), shared, set(local_values))
+    return globalize(expr, local_values)
+
+
+class TestGlobalize:
+    def test_local_variable_becomes_constant(self):
+        result = globalized("count >= num", {"count"}, {"num": 48})
+        assert unparse(result) == "count >= 48"
+
+    def test_result_is_a_shared_predicate(self):
+        result = globalized("count >= num", {"count"}, {"num": 48})
+        assert is_shared_predicate(result)
+
+    def test_shared_predicate_is_unchanged(self):
+        result = globalized("count > 0", {"count"}, {})
+        assert unparse(result) == "count > 0"
+
+    def test_papers_threshold_example(self):
+        # x + b > 2y + a with a=11, b=2 has the tag key x - 2y > 9; here we
+        # just check the frozen form evaluates identically.
+        result = globalized("x + b > 2 * y + a", {"x", "y"}, {"a": 11, "b": 2})
+        assert unparse(result) == "x + 2 > 2 * y + 11"
+
+    def test_boolean_local(self):
+        result = globalized("ready == flag", {"ready"}, {"flag": True})
+        assert isinstance(result, Compare)
+        assert result.right == BoolConst(True)
+
+    def test_string_local(self):
+        result = globalized("state == wanted", {"state"}, {"wanted": "open"})
+        assert result.right == Const("open")
+
+    def test_list_local_is_frozen_to_tuple(self):
+        result = globalized("len(batch) <= capacity", {"capacity"}, {"batch": [1, 2, 3]})
+        # len((1, 2, 3)) folds to 3.
+        assert unparse(result) == "3 <= capacity"
+
+    def test_missing_local_value_raises(self):
+        expr = classify(parse_predicate("count >= num"), {"count"}, {"num"})
+        with pytest.raises(PredicateError):
+            globalize(expr, {})
+
+    def test_unsupported_local_type_raises(self):
+        expr = classify(parse_predicate("count >= num"), {"count"}, {"num"})
+        with pytest.raises(PredicateError):
+            globalize(expr, {"num": object()})
+
+    def test_local_expression_is_folded(self):
+        result = globalized("count >= a + b", {"count"}, {"a": 40, "b": 8})
+        assert unparse(result) == "count >= 48"
+
+    def test_globalization_does_not_touch_shared_names(self):
+        result = globalized("count + step <= capacity", {"count", "capacity"}, {"step": 4})
+        names = {node.ident for node in _names(result)}
+        assert names == {"count", "capacity"}
+
+
+def _names(expr):
+    from repro.predicates import walk
+
+    return [node for node in walk(expr) if isinstance(node, Name)]
+
+
+class TestFoldConstants:
+    @pytest.mark.parametrize(
+        "source, expected",
+        [
+            ("1 + 2", "3"),
+            ("2 * 3 + 1", "7"),
+            ("10 // 3", "3"),
+            ("10 % 3", "1"),
+            ("-(2 + 3)", "-5"),
+            ("len((1, 2, 3))", "3"),
+            ("min(4, 2)", "2"),
+            ("max(4, 2)", "4"),
+            ("abs(-5)", "5"),
+            ("1 < 2", "True"),
+            ("2 == 3", "False"),
+            ("not (1 < 2)", "False"),
+        ],
+    )
+    def test_constant_expressions_fold(self, source, expected):
+        folded = fold_constants(parse_predicate(source))
+        assert unparse(folded) == expected
+
+    def test_partial_folding(self):
+        folded = fold_constants(parse_predicate("count + (2 * 3)"))
+        assert unparse(folded) == "count + 6"
+
+    def test_division_by_zero_is_left_unfolded(self):
+        folded = fold_constants(parse_predicate("x > 1 // 0"))
+        assert unparse(folded) == "x > 1 // 0"
+
+    def test_subscript_of_constant_tuple_folds(self):
+        folded = fold_constants(parse_predicate("(10, 20, 30)[1]"))
+        assert unparse(folded) == "20"
+
+    def test_folding_preserves_non_constant_structure(self):
+        source = "count >= limit and not busy"
+        folded = fold_constants(parse_predicate(source))
+        assert unparse(folded) == source
+
+    def test_boolean_and_with_constants_is_not_collapsed(self):
+        # fold_constants only folds leaf arithmetic; boolean simplification is
+        # DNF's job, so the structure is preserved here.
+        folded = fold_constants(parse_predicate("ready and True"))
+        assert unparse(folded) == "ready and True"

@@ -1,0 +1,90 @@
+"""Unit tests for CSV export of experiment series."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from repro.harness import series_to_csv, write_series_csv
+from repro.harness.export import CSV_COLUMNS
+from repro.harness.results import ExperimentSeries, MeasurementPoint
+
+
+def make_point(mechanism, threads, runtime):
+    return MeasurementPoint(
+        problem="demo",
+        mechanism=mechanism,
+        backend="simulation",
+        threads=threads,
+        repetitions=3,
+        wall_time=runtime,
+        modelled_runtime=runtime,
+        context_switches=100.0 * threads,
+        predicate_evaluations=7.0,
+        signals=3.0,
+        extra={"spurious_wakeups": 2.0},
+    )
+
+
+def make_series():
+    series = ExperimentSeries(name="demo", x_label="# threads", backend="simulation")
+    for mechanism in ("explicit", "autosynch"):
+        for threads in (2, 8):
+            series.add(make_point(mechanism, threads, 0.5 * threads))
+    return series
+
+
+class TestSeriesToCsv:
+    def parse(self, text):
+        return list(csv.reader(io.StringIO(text)))
+
+    def test_header_matches_column_constant(self):
+        rows = self.parse(series_to_csv(make_series()))
+        assert rows[0] == list(CSV_COLUMNS)
+
+    def test_one_row_per_point(self):
+        rows = self.parse(series_to_csv(make_series()))
+        assert len(rows) == 1 + 4  # header + 2 mechanisms x 2 thread counts
+
+    def test_rows_are_grouped_by_x_value(self):
+        rows = self.parse(series_to_csv(make_series()))
+        threads_column = [row[2] for row in rows[1:]]
+        assert threads_column == ["2", "2", "8", "8"]
+
+    def test_values_are_rendered(self):
+        rows = self.parse(series_to_csv(make_series()))
+        first = dict(zip(rows[0], rows[1]))
+        assert first["experiment"] == "demo"
+        assert first["mechanism"] == "explicit"
+        assert float(first["modelled_runtime_s"]) == 1.0
+        assert float(first["context_switches"]) == 200.0
+
+    def test_extra_metrics_are_appended(self):
+        text = series_to_csv(make_series(), extra_metrics=["spurious_wakeups"])
+        rows = self.parse(text)
+        assert rows[0][-1] == "spurious_wakeups"
+        assert rows[1][-1] == "2.000"
+
+    def test_unknown_extra_metric_is_blank(self):
+        rows = self.parse(series_to_csv(make_series(), extra_metrics=["no_such_metric"]))
+        assert rows[1][-1] == ""
+
+
+class TestWriteSeriesCsv:
+    def test_writes_file_and_creates_directories(self, tmp_path):
+        target = tmp_path / "out" / "fig99.csv"
+        written = write_series_csv(make_series(), target)
+        assert written == target
+        assert target.exists()
+        assert target.read_text(encoding="utf-8").startswith("experiment,")
+
+    def test_cli_csv_dir_option(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        # A single tiny experiment keeps this fast; fig13 has the smallest
+        # quick workload.
+        code = main(["--only", "fig13", "--scale", "quick", "--csv-dir", str(tmp_path)])
+        assert code == 0
+        csv_path = tmp_path / "fig13.csv"
+        assert csv_path.exists()
+        assert "written to" in capsys.readouterr().out

@@ -1,0 +1,80 @@
+"""Unit tests for monitor statistics and the profiling stopwatch."""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.instrumentation import MonitorStats, Stopwatch
+
+
+class TestMonitorStats:
+    def test_counters_start_at_zero(self):
+        stats = MonitorStats()
+        assert stats.entries == 0
+        assert stats.predicate_evaluations == 0
+        assert stats.await_time == 0.0
+
+    def test_snapshot_contains_all_counters(self):
+        stats = MonitorStats()
+        stats.entries = 3
+        stats.relay_signal_calls = 2
+        snapshot = stats.snapshot()
+        assert snapshot["entries"] == 3
+        assert snapshot["relay_signal_calls"] == 2
+        assert "profiling" not in snapshot
+
+    def test_reset_zeroes_everything_but_keeps_profiling_flag(self):
+        stats = MonitorStats(profiling=True)
+        stats.entries = 5
+        stats.await_time = 1.5
+        stats.reset()
+        assert stats.entries == 0
+        assert stats.await_time == 0.0
+        assert stats.profiling is True
+
+    def test_merge_accumulates(self):
+        first = MonitorStats()
+        second = MonitorStats()
+        first.entries = 2
+        first.await_time = 0.5
+        second.entries = 3
+        second.await_time = 0.25
+        first.merge(second)
+        assert first.entries == 5
+        assert first.await_time == 0.75
+
+    def test_merge_does_not_modify_other(self):
+        first = MonitorStats()
+        second = MonitorStats()
+        second.entries = 3
+        first.merge(second)
+        assert second.entries == 3
+
+
+class TestStopwatch:
+    def test_time_bucket_accumulates_when_profiling(self):
+        stats = MonitorStats(profiling=True)
+        with stats.time_bucket("relay_signal_time"):
+            time.sleep(0.002)
+        with stats.time_bucket("relay_signal_time"):
+            time.sleep(0.002)
+        assert stats.relay_signal_time >= 0.003
+
+    def test_time_bucket_is_noop_without_profiling(self):
+        stats = MonitorStats(profiling=False)
+        with stats.time_bucket("relay_signal_time"):
+            time.sleep(0.002)
+        assert stats.relay_signal_time == 0.0
+
+    def test_stopwatch_direct_use(self):
+        stats = MonitorStats(profiling=True)
+        watch = Stopwatch(stats, "lock_time")
+        with watch:
+            pass
+        assert stats.lock_time >= 0.0
+
+    def test_different_buckets_are_independent(self):
+        stats = MonitorStats(profiling=True)
+        with stats.time_bucket("await_time"):
+            pass
+        assert stats.tag_manager_time == 0.0

@@ -1,0 +1,165 @@
+"""Unit tests for the IR node utilities (children, walk, unparse)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.predicates import (
+    And,
+    BinOp,
+    BoolConst,
+    Call,
+    Compare,
+    Const,
+    Name,
+    Not,
+    Or,
+    Scope,
+    Subscript,
+    parse_predicate,
+    unparse,
+    walk,
+)
+from repro.predicates.ast_nodes import Attribute, UnaryOp, children
+
+
+class TestChildren:
+    def test_leaves_have_no_children(self):
+        assert children(Const(1)) == ()
+        assert children(BoolConst(True)) == ()
+        assert children(Name("x")) == ()
+
+    def test_binop_children(self):
+        node = BinOp("+", Name("a"), Name("b"))
+        assert children(node) == (Name("a"), Name("b"))
+
+    def test_compare_children(self):
+        node = Compare("<", Name("a"), Const(1))
+        assert children(node) == (Name("a"), Const(1))
+
+    def test_call_children_include_receiver(self):
+        node = Call("empty", (Const(1),), receiver=Name("queue"))
+        assert children(node) == (Name("queue"), Const(1))
+
+    def test_call_without_receiver(self):
+        node = Call("len", (Name("xs"),))
+        assert children(node) == (Name("xs"),)
+
+    def test_boolean_children(self):
+        node = And((Name("a"), Name("b"), Name("c")))
+        assert children(node) == (Name("a"), Name("b"), Name("c"))
+
+    def test_subscript_children(self):
+        node = Subscript(Name("forks"), Const(2))
+        assert children(node) == (Name("forks"), Const(2))
+
+    def test_attribute_children(self):
+        node = Attribute(Name("head"), "next")
+        assert children(node) == (Name("head"),)
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(TypeError):
+            children("not a node")  # type: ignore[arg-type]
+
+
+class TestWalk:
+    def test_walk_yields_every_node(self):
+        expr = parse_predicate("count + 1 > limit and not busy")
+        kinds = [type(node).__name__ for node in walk(expr)]
+        assert kinds[0] == "And"
+        assert "Compare" in kinds
+        assert "BinOp" in kinds
+        assert "Not" in kinds
+
+    def test_walk_is_preorder(self):
+        expr = BinOp("+", Name("a"), Name("b"))
+        nodes = list(walk(expr))
+        assert nodes[0] is expr
+        assert nodes[1] == Name("a")
+        assert nodes[2] == Name("b")
+
+    def test_walk_counts(self):
+        expr = parse_predicate("a and b and c")
+        names = [n for n in walk(expr) if isinstance(n, Name)]
+        assert len(names) == 3
+
+
+class TestStructuralEquality:
+    def test_equal_trees_compare_equal(self):
+        assert parse_predicate("count >= num") == parse_predicate("count >= num")
+
+    def test_different_trees_compare_unequal(self):
+        assert parse_predicate("count >= num") != parse_predicate("count > num")
+
+    def test_nodes_are_hashable(self):
+        seen = {parse_predicate("x > 1"), parse_predicate("x > 1"), parse_predicate("x > 2")}
+        assert len(seen) == 2
+
+    def test_scope_participates_in_equality(self):
+        assert Name("count", Scope.SHARED) != Name("count", Scope.LOCAL)
+
+
+class TestCompareHelpers:
+    @pytest.mark.parametrize(
+        "op, negated",
+        [("==", "!="), ("!=", "=="), ("<", ">="), ("<=", ">"), (">", "<="), (">=", "<")],
+    )
+    def test_negate(self, op, negated):
+        node = Compare(op, Name("x"), Const(1))
+        assert node.negate().op == negated
+
+    @pytest.mark.parametrize(
+        "op, flipped",
+        [("==", "=="), ("!=", "!="), ("<", ">"), ("<=", ">="), (">", "<"), (">=", "<=")],
+    )
+    def test_flipped_swaps_sides_and_operator(self, op, flipped):
+        node = Compare(op, Name("x"), Const(1))
+        result = node.flipped()
+        assert result.op == flipped
+        assert result.left == Const(1)
+        assert result.right == Name("x")
+
+    def test_double_negation_is_identity(self):
+        node = Compare("<", Name("x"), Const(1))
+        assert node.negate().negate() == node
+
+
+class TestUnparse:
+    @pytest.mark.parametrize(
+        "source, expected",
+        [
+            ("count>0", "count > 0"),
+            ("a  and   b", "a and b"),
+            ("not (a or b)", "not (a or b)"),
+            ("(a + b) * c", "(a + b) * c"),
+            ("a - (b - c)", "a - (b - c)"),
+            ("a - b - c", "a - b - c"),
+            ("len(items) < cap", "len(items) < cap"),
+            ("self.count >= n", "count >= n"),
+            ("forks[i] == 1", "forks[i] == 1"),
+            ("queue.head", "queue.head"),
+            ("-x < 0", "-x < 0"),
+        ],
+    )
+    def test_canonical_text(self, source, expected):
+        assert unparse(parse_predicate(source)) == expected
+
+    def test_unparse_preserves_semantics_of_precedence(self):
+        # ``a - (b - c)`` and ``a - b - c`` must stay distinguishable.
+        grouped = parse_predicate("a - (b - c)")
+        flat = parse_predicate("a - b - c")
+        assert unparse(grouped) != unparse(flat)
+
+    def test_unparse_unknown_node_raises(self):
+        with pytest.raises(TypeError):
+            unparse(object())  # type: ignore[arg-type]
+
+    def test_boolconst_unparse(self):
+        assert unparse(BoolConst(True)) == "True"
+        assert unparse(BoolConst(False)) == "False"
+
+    def test_method_call_on_receiver(self):
+        assert unparse(parse_predicate("self.queue.empty()")) == "queue.empty()"
+
+    def test_monitor_method_call(self):
+        assert unparse(parse_predicate("self.is_ready(3)")) == "is_ready(3)"

@@ -1,0 +1,239 @@
+"""Unit tests for the predicate parser (source text -> IR)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.predicates import (
+    And,
+    BinOp,
+    BoolConst,
+    Call,
+    Compare,
+    Const,
+    Name,
+    Not,
+    Or,
+    PredicateParseError,
+    Scope,
+    Subscript,
+    parse_predicate,
+    unparse,
+)
+from repro.predicates.ast_nodes import Attribute, UnaryOp
+
+
+class TestBasicParsing:
+    def test_bare_name(self):
+        expr = parse_predicate("ready")
+        assert expr == Name("ready")
+
+    def test_self_attribute_is_shared(self):
+        expr = parse_predicate("self.count")
+        assert expr == Name("count", Scope.SHARED)
+
+    def test_integer_constant(self):
+        assert parse_predicate("42") == Const(42)
+
+    def test_negative_integer_constant_folds(self):
+        assert parse_predicate("-3") == Const(-3)
+
+    def test_float_constant(self):
+        assert parse_predicate("2.5") == Const(2.5)
+
+    def test_string_constant(self):
+        assert parse_predicate("'open'") == Const("open")
+
+    def test_true_false_literals(self):
+        assert parse_predicate("True") == BoolConst(True)
+        assert parse_predicate("False") == BoolConst(False)
+
+    def test_none_literal(self):
+        assert parse_predicate("None") == Const(None)
+
+    def test_tuple_of_constants(self):
+        assert parse_predicate("(1, 2, 3)") == Const((1, 2, 3))
+
+    def test_whitespace_is_ignored(self):
+        assert parse_predicate("  count  >  0  ") == Compare(">", Name("count"), Const(0))
+
+
+class TestComparisons:
+    @pytest.mark.parametrize(
+        "source, op",
+        [
+            ("x == 1", "=="),
+            ("x != 1", "!="),
+            ("x < 1", "<"),
+            ("x <= 1", "<="),
+            ("x > 1", ">"),
+            ("x >= 1", ">="),
+        ],
+    )
+    def test_all_comparison_operators(self, source, op):
+        expr = parse_predicate(source)
+        assert isinstance(expr, Compare)
+        assert expr.op == op
+
+    def test_chained_comparison_becomes_conjunction(self):
+        expr = parse_predicate("0 < x < n")
+        assert isinstance(expr, And)
+        assert expr.operands == (
+            Compare("<", Const(0), Name("x")),
+            Compare("<", Name("x"), Name("n")),
+        )
+
+    def test_three_way_chain(self):
+        expr = parse_predicate("0 <= i <= j <= n")
+        assert isinstance(expr, And)
+        assert len(expr.operands) == 3
+
+
+class TestBooleanStructure:
+    def test_and(self):
+        expr = parse_predicate("a and b")
+        assert expr == And((Name("a"), Name("b")))
+
+    def test_or(self):
+        expr = parse_predicate("a or b or c")
+        assert expr == Or((Name("a"), Name("b"), Name("c")))
+
+    def test_not(self):
+        assert parse_predicate("not busy") == Not(Name("busy"))
+
+    def test_nested_boolean_structure(self):
+        expr = parse_predicate("(a and not b) or c")
+        assert isinstance(expr, Or)
+        assert isinstance(expr.operands[0], And)
+        assert isinstance(expr.operands[0].operands[1], Not)
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "source, op",
+        [("a + b", "+"), ("a - b", "-"), ("a * b", "*"), ("a // b", "//"), ("a % b", "%"), ("a / b", "/")],
+    )
+    def test_binary_operators(self, source, op):
+        expr = parse_predicate(source)
+        assert isinstance(expr, BinOp)
+        assert expr.op == op
+
+    def test_unary_minus_on_name(self):
+        expr = parse_predicate("-x")
+        assert expr == UnaryOp("-", Name("x"))
+
+    def test_unary_plus_is_dropped(self):
+        assert parse_predicate("+x") == Name("x")
+
+    def test_mixed_expression(self):
+        expr = parse_predicate("count + len(items) <= capacity")
+        assert isinstance(expr, Compare)
+        assert isinstance(expr.left, BinOp)
+        assert isinstance(expr.left.right, Call)
+
+
+class TestCallsAndAccess:
+    def test_len_call(self):
+        expr = parse_predicate("len(items)")
+        assert expr == Call("len", (Name("items"),))
+
+    @pytest.mark.parametrize("builtin", ["abs", "min", "max", "sum", "all", "any"])
+    def test_whitelisted_builtins(self, builtin):
+        expr = parse_predicate(f"{builtin}(values)")
+        assert isinstance(expr, Call)
+        assert expr.func == builtin
+
+    def test_disallowed_builtin_rejected(self):
+        with pytest.raises(PredicateParseError):
+            parse_predicate("print(x)")
+
+    def test_monitor_method_call(self):
+        expr = parse_predicate("self.is_ready()")
+        assert expr == Call("is_ready", (), receiver=None)
+
+    def test_method_call_on_field(self):
+        expr = parse_predicate("self.queue.empty()")
+        assert isinstance(expr, Call)
+        assert expr.func == "empty"
+        assert expr.receiver == Name("queue", Scope.SHARED)
+
+    def test_subscript(self):
+        expr = parse_predicate("forks[i]")
+        assert expr == Subscript(Name("forks"), Name("i"))
+
+    def test_subscript_of_self_field(self):
+        expr = parse_predicate("self.forks[i]")
+        assert expr == Subscript(Name("forks", Scope.SHARED), Name("i"))
+
+    def test_nested_attribute(self):
+        expr = parse_predicate("self.head.next")
+        assert expr == Attribute(Name("head", Scope.SHARED), "next")
+
+
+class TestErrors:
+    def test_empty_source(self):
+        with pytest.raises(PredicateParseError):
+            parse_predicate("   ")
+
+    def test_non_string_source(self):
+        with pytest.raises(PredicateParseError):
+            parse_predicate(42)  # type: ignore[arg-type]
+
+    def test_syntax_error(self):
+        with pytest.raises(PredicateParseError):
+            parse_predicate("count >")
+
+    def test_bare_self_rejected(self):
+        with pytest.raises(PredicateParseError):
+            parse_predicate("self == other")
+
+    def test_lambda_rejected(self):
+        with pytest.raises(PredicateParseError):
+            parse_predicate("(lambda: True)()")
+
+    def test_keyword_arguments_rejected(self):
+        with pytest.raises(PredicateParseError):
+            parse_predicate("max(a, key=b)")
+
+    def test_statement_rejected(self):
+        with pytest.raises(PredicateParseError):
+            parse_predicate("x = 1")
+
+    def test_unsupported_operator_rejected(self):
+        with pytest.raises(PredicateParseError):
+            parse_predicate("a ** b")
+
+    def test_membership_test_rejected(self):
+        with pytest.raises(PredicateParseError):
+            parse_predicate("x in items")
+
+    def test_error_message_mentions_source(self):
+        with pytest.raises(PredicateParseError) as excinfo:
+            parse_predicate("a ** b")
+        assert "a ** b" in str(excinfo.value)
+
+    def test_tuple_with_variables_rejected(self):
+        with pytest.raises(PredicateParseError):
+            parse_predicate("(x, 2)")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "count > 0",
+            "count + 1 <= capacity",
+            "a and b or not c",
+            "x - y == a + b",
+            "forks[left] + forks[right] == 2",
+            "len(items) < capacity",
+            "turn == me",
+            "(a or b) and c",
+            "x - (y - z) > 0",
+        ],
+    )
+    def test_parse_unparse_parse_is_stable(self, source):
+        first = parse_predicate(source)
+        text = unparse(first)
+        second = parse_predicate(text)
+        assert unparse(second) == text

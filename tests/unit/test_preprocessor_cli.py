@@ -1,0 +1,86 @@
+"""Unit tests for the autosynch-pp command-line front end."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.preprocessor.cli import main
+
+EXAMPLE = """
+from repro.preprocessor import autosynch, waituntil
+
+
+@autosynch
+class Turnstile:
+    def __init__(self):
+        self.unlocked = False
+
+    def push(self):
+        waituntil(self.unlocked)
+        self.unlocked = False
+
+    def insert_coin(self):
+        self.unlocked = True
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "turnstile.py"
+    path.write_text(EXAMPLE, encoding="utf-8")
+    return path
+
+
+class TestCLI:
+    def test_prints_translation_to_stdout(self, source_file, capsys):
+        assert main([str(source_file)]) == 0
+        output = capsys.readouterr().out
+        assert "class Turnstile(AutoSynchMonitor):" in output
+        assert "wait_until" in output
+
+    def test_writes_output_file(self, source_file, tmp_path):
+        output_path = tmp_path / "generated.py"
+        assert main([str(source_file), "-o", str(output_path)]) == 0
+        generated = output_path.read_text(encoding="utf-8")
+        assert "class Turnstile(AutoSynchMonitor):" in generated
+        compile(generated, str(output_path), "exec")
+
+    def test_generated_module_runs(self, source_file, tmp_path):
+        output_path = tmp_path / "generated.py"
+        main([str(source_file), "-o", str(output_path)])
+        namespace = {}
+        exec(compile(output_path.read_text(encoding="utf-8"), "generated", "exec"), namespace)
+        turnstile = namespace["Turnstile"]()
+        turnstile.insert_coin()
+        turnstile.push()
+
+    def test_missing_input_file(self, tmp_path, capsys):
+        assert main([str(tmp_path / "absent.py")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_translation_error_reports_and_fails(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "from repro.preprocessor import autosynch, waituntil\n"
+            "@autosynch\n"
+            "class Bad:\n"
+            "    def go(self):\n"
+            "        return waituntil(self.ready)\n",
+            encoding="utf-8",
+        )
+        assert main([str(bad)]) == 1
+        assert "bad.py" in capsys.readouterr().err
+
+    def test_custom_names(self, tmp_path, capsys):
+        path = tmp_path / "custom.py"
+        path.write_text(
+            "@monitor\n"
+            "class Gate:\n"
+            "    def wait_open(self):\n"
+            "        block_until(self.is_open)\n",
+            encoding="utf-8",
+        )
+        assert main([str(path), "--decorator-name", "monitor", "--waituntil-name", "block_until"]) == 0
+        assert "wait_until" in capsys.readouterr().out

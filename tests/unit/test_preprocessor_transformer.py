@@ -1,0 +1,233 @@
+"""Unit tests for the AST transformer (offline preprocessor path)."""
+
+from __future__ import annotations
+
+import ast
+
+import pytest
+
+from repro.preprocessor import PreprocessorError, transform_class_source, transform_module_source
+from repro.preprocessor.analyze import local_names_in_expression
+
+
+class TestLocalNameAnalysis:
+    def parse_expr(self, source):
+        return ast.parse(source, mode="eval").body
+
+    def test_bare_names_are_captured(self):
+        assert local_names_in_expression(self.parse_expr("count >= num")) == ["count", "num"]
+
+    def test_self_attributes_are_not_captured(self):
+        assert local_names_in_expression(self.parse_expr("self.count >= num")) == ["num"]
+
+    def test_builtin_calls_are_not_captured(self):
+        assert local_names_in_expression(self.parse_expr("len(self.items) < n")) == ["n"]
+
+    def test_builtin_name_used_as_value_is_captured(self):
+        # ``len`` not being called means it is a plain local variable here.
+        assert local_names_in_expression(self.parse_expr("self.count > len")) == ["len"]
+
+    def test_order_is_first_use_and_deduplicated(self):
+        names = local_names_in_expression(self.parse_expr("b + a > b"))
+        assert names == ["b", "a"]
+
+    def test_literal_keywords_are_ignored(self):
+        assert local_names_in_expression(self.parse_expr("self.value is None")) == []
+
+
+SIMPLE_CLASS = '''
+@autosynch
+class Box:
+    """A one-slot box."""
+
+    def __init__(self, start):
+        self.value = start
+
+    def swap(self, new_value):
+        waituntil(self.value is not None)
+        old, self.value = self.value, new_value
+        return old
+'''
+
+
+class TestClassTransformation:
+    def test_base_class_is_added(self):
+        result = transform_class_source(SIMPLE_CLASS)
+        assert "class Box(AutoSynchMonitor):" in result
+
+    def test_decorator_is_removed(self):
+        result = transform_class_source(SIMPLE_CLASS)
+        assert "@autosynch" not in result
+
+    def test_waituntil_is_rewritten(self):
+        result = transform_class_source(SIMPLE_CLASS)
+        assert "self.wait_until('self.value is not None')" in result
+        assert "waituntil" not in result
+
+    def test_monitor_init_is_injected(self):
+        result = transform_class_source(SIMPLE_CLASS)
+        assert "AutoSynchMonitor.__init__(self, **self._autosynch_options)" in result
+
+    def test_docstring_is_preserved(self):
+        result = transform_class_source(SIMPLE_CLASS)
+        assert "A one-slot box." in result
+
+    def test_options_attribute_is_emitted(self):
+        result = transform_class_source(SIMPLE_CLASS)
+        assert "_autosynch_options = {}" in result
+
+    def test_decorator_options_are_baked_in(self):
+        source = SIMPLE_CLASS.replace("@autosynch", "@autosynch(signalling='baseline')")
+        result = transform_class_source(source)
+        assert "_autosynch_options = {'signalling': 'baseline'}" in result
+
+    def test_class_without_init_gets_one(self):
+        source = """
+@autosynch
+class Latch:
+    def release(self):
+        self.open = True
+
+    def await_open(self):
+        waituntil(self.open)
+"""
+        result = transform_class_source(source)
+        assert "def __init__(self):" in result
+        assert "AutoSynchMonitor.__init__" in result
+
+    def test_locals_are_captured_as_keyword_arguments(self):
+        source = """
+@autosynch
+class Buffer:
+    def take(self, amount):
+        waituntil(self.count >= amount)
+        self.count -= amount
+"""
+        result = transform_class_source(source)
+        assert "self.wait_until('self.count >= amount', amount=amount)" in result
+
+    def test_result_is_valid_python(self):
+        compile(transform_class_source(SIMPLE_CLASS), "<generated>", "exec")
+
+    def test_transformation_is_idempotent_on_output(self):
+        # The generated code contains no waituntil statements, so feeding it
+        # back through the class transformer (as a non-decorated class) only
+        # re-adds the options attribute consistently.
+        first = transform_class_source(SIMPLE_CLASS)
+        assert "wait_until" in first
+
+
+class TestClassTransformationErrors:
+    def test_waituntil_as_expression_is_rejected(self):
+        source = """
+@autosynch
+class Bad:
+    def method(self):
+        x = waituntil(self.ready)
+"""
+        with pytest.raises(PreprocessorError):
+            transform_class_source(source)
+
+    def test_waituntil_with_wrong_arity_is_rejected(self):
+        source = """
+@autosynch
+class Bad:
+    def method(self):
+        waituntil(self.ready, self.other)
+"""
+        with pytest.raises(PreprocessorError):
+            transform_class_source(source)
+
+    def test_non_literal_decorator_option_is_rejected(self):
+        source = SIMPLE_CLASS.replace("@autosynch", "@autosynch(backend=make_backend())")
+        with pytest.raises(PreprocessorError):
+            transform_class_source(source)
+
+    def test_missing_decorator_without_override_is_rejected(self):
+        from repro.preprocessor.transformer import transform_class_def
+
+        tree = ast.parse("class Plain:\n    pass\n")
+        with pytest.raises(PreprocessorError):
+            transform_class_def(tree.body[0])
+
+    def test_multiple_classes_in_one_source_are_rejected(self):
+        with pytest.raises(PreprocessorError):
+            transform_class_source(SIMPLE_CLASS + "\n\nclass Another:\n    pass\n")
+
+
+MODULE_SOURCE = '''
+"""Module docstring."""
+from __future__ import annotations
+from repro.preprocessor import autosynch, waituntil
+
+
+def helper():
+    return 1
+
+
+@autosynch
+class Gate:
+    def wait_open(self):
+        waituntil(self.is_open)
+
+    def open(self):
+        self.is_open = True
+
+
+class Unrelated:
+    pass
+'''
+
+
+class TestModuleTransformation:
+    def test_import_of_base_class_is_added_after_future_imports(self):
+        result = transform_module_source(MODULE_SOURCE)
+        lines = result.splitlines()
+        future_index = next(i for i, line in enumerate(lines) if "__future__" in line)
+        import_index = next(
+            i for i, line in enumerate(lines) if "from repro.core.monitor import" in line
+        )
+        assert import_index == future_index + 1
+
+    def test_preprocessor_imports_are_pruned(self):
+        result = transform_module_source(MODULE_SOURCE)
+        assert "repro.preprocessor" not in result
+
+    def test_only_decorated_classes_are_transformed(self):
+        result = transform_module_source(MODULE_SOURCE)
+        assert "class Gate(AutoSynchMonitor):" in result
+        assert "class Unrelated:" in result
+
+    def test_functions_are_preserved(self):
+        result = transform_module_source(MODULE_SOURCE)
+        assert "def helper():" in result
+
+    def test_module_without_autosynch_classes_is_unchanged(self):
+        source = "x = 1\n\n\ndef f():\n    return x\n"
+        assert transform_module_source(source) == source
+
+    def test_generated_module_executes_and_waits(self):
+        result = transform_module_source(MODULE_SOURCE)
+        namespace = {}
+        exec(compile(result, "<generated-module>", "exec"), namespace)
+        gate_cls = namespace["Gate"]
+        gate = gate_cls()
+        gate.is_open = False
+        gate.open()
+        gate.wait_open()  # is_open is already true, so this returns at once
+
+    def test_custom_decorator_and_waituntil_names(self):
+        source = """
+from mylib import monitor, block_until
+
+
+@monitor
+class Gate:
+    def wait_open(self):
+        block_until(self.is_open)
+"""
+        result = transform_module_source(
+            source, decorator_name="monitor", waituntil_name="block_until"
+        )
+        assert "class Gate(AutoSynchMonitor):" in result
+        assert "self.wait_until('self.is_open')" in result

@@ -1,0 +1,122 @@
+"""Unit tests for comparison normalization into ``SE op LE`` form."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.predicates import classify, normalize_comparison, parse_predicate, unparse
+from repro.predicates.ast_nodes import Compare
+
+
+def normalized(source, shared=(), local=()):
+    expr = classify(parse_predicate(source), shared, local)
+    assert isinstance(expr, Compare)
+    return normalize_comparison(expr)
+
+
+class TestAlreadyOriented:
+    def test_shared_vs_local_stays(self):
+        result = normalized("count >= num", shared={"count"}, local={"num"})
+        assert unparse(result) == "count >= num"
+
+    def test_local_vs_shared_is_flipped(self):
+        result = normalized("num <= count", shared={"count"}, local={"num"})
+        assert result.op == ">="
+        assert unparse(result.left) == "count"
+        assert unparse(result.right) == "num"
+
+    def test_shared_vs_constant(self):
+        result = normalized("count > 0", shared={"count"})
+        assert unparse(result) == "count > 0"
+
+    def test_constant_vs_shared_is_flipped(self):
+        result = normalized("0 < count", shared={"count"})
+        assert result.op == ">"
+        assert unparse(result.left) == "count"
+
+    def test_equality_orientation(self):
+        result = normalized("me == turn", shared={"turn"}, local={"me"})
+        assert result.op == "=="
+        assert unparse(result.left) == "turn"
+        assert unparse(result.right) == "me"
+
+
+class TestAdditiveSeparation:
+    def test_papers_example(self):
+        # x - a == y + b  ->  x - y == a + b   (x, y shared; a, b local)
+        result = normalized("x - a == y + b", shared={"x", "y"}, local={"a", "b"})
+        assert unparse(result.left) == "x - y"
+        assert unparse(result.right) == "a + b"
+        assert result.op == "=="
+
+    def test_shared_both_sides(self):
+        result = normalized("count < len(buff)", shared={"count", "buff"})
+        assert unparse(result.left) == "count - len(buff)"
+        assert unparse(result.right) == "0"
+
+    def test_mixed_side_with_builtin_over_local(self):
+        result = normalized(
+            "count + len(items) <= capacity", shared={"count", "capacity"}, local={"items"}
+        )
+        assert unparse(result.left) == "count - capacity"
+        assert result.op == "<="
+        assert unparse(result.right) == "-len(items)"
+
+    def test_constants_are_folded_onto_the_local_side(self):
+        result = normalized("count + 1 > n + 2", shared={"count"}, local={"n"})
+        assert unparse(result.left) == "count"
+        assert unparse(result.right) == "n + 1"
+
+    def test_only_constants_on_one_side(self):
+        result = normalized("count + 3 >= 10", shared={"count"})
+        assert unparse(result.left) == "count"
+        assert unparse(result.right) == "7"
+
+    def test_unary_minus_terms(self):
+        result = normalized("-a + x > 0", shared={"x"}, local={"a"})
+        assert unparse(result.left) == "x"
+        assert unparse(result.right) == "a"
+
+
+class TestNotNormalizable:
+    def test_purely_local_comparison(self):
+        assert normalized("a > b", local={"a", "b"}) is None
+
+    def test_purely_constant_comparison(self):
+        assert normalized("1 > 2") is None
+
+    def test_multiplicative_mixing_cannot_be_separated(self):
+        assert (
+            normalized("count * num > 10", shared={"count"}, local={"num"}) is None
+        )
+
+    def test_mixed_term_inside_sum(self):
+        assert (
+            normalized("count + count * num > 10", shared={"count"}, local={"num"})
+            is None
+        )
+
+    def test_separable_product_of_shared_only(self):
+        # A product of shared variables is a single shared term; it separates.
+        result = normalized("x * y >= n", shared={"x", "y"}, local={"n"})
+        assert unparse(result.left) == "x * y"
+        assert unparse(result.right) == "n"
+
+
+class TestSemanticsPreservation:
+    @pytest.mark.parametrize(
+        "source, shared, local, state, locals_",
+        [
+            ("x - a == y + b", {"x", "y"}, {"a", "b"}, {"x": 20, "y": 7}, {"a": 11, "b": 2}),
+            ("count + 1 > n + 2", {"count"}, {"n"}, {"count": 5}, {"n": 3}),
+            ("count < len(buff)", {"count", "buff"}, set(), {"count": 2, "buff": [1, 2, 3]}, {}),
+            ("num <= count", {"count"}, {"num"}, {"count": 4}, {"num": 5}),
+        ],
+    )
+    def test_normalized_comparison_is_equivalent(self, source, shared, local, state, locals_):
+        from repro.predicates import evaluate
+
+        original = classify(parse_predicate(source), shared, local)
+        rewritten = normalize_comparison(original)
+        assert rewritten is not None
+        assert evaluate(original, state, locals_) == evaluate(rewritten, state, locals_)

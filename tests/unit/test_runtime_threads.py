@@ -1,0 +1,101 @@
+"""Unit tests for the real-thread backend."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import ThreadingBackend
+
+
+class TestLockAndCondition:
+    def test_lock_acquire_release(self, threading_backend):
+        lock = threading_backend.create_lock()
+        lock.acquire()
+        lock.release()
+        assert threading_backend.metrics.lock_acquisitions == 1
+
+    def test_lock_context_manager(self, threading_backend):
+        lock = threading_backend.create_lock()
+        with lock:
+            pass
+        assert threading_backend.metrics.lock_acquisitions == 1
+
+    def test_condition_requires_matching_lock_type(self, threading_backend):
+        with pytest.raises(TypeError):
+            threading_backend.create_condition(object())
+
+    def test_notify_with_no_waiters_counts_zero_notified(self, threading_backend):
+        lock = threading_backend.create_lock()
+        condition = threading_backend.create_condition(lock)
+        with lock:
+            condition.notify()
+        assert threading_backend.metrics.notifies == 1
+        assert threading_backend.metrics.notified_threads == 0
+
+    def test_waiter_count_tracks_waiters(self, threading_backend):
+        lock = threading_backend.create_lock()
+        condition = threading_backend.create_condition(lock)
+        seen = []
+
+        def waiter():
+            with lock:
+                seen.append(condition.waiter_count())
+                condition.wait()
+
+        def waker():
+            # Spin until the waiter is registered, then wake it.
+            while condition.waiter_count() == 0:
+                pass
+            with lock:
+                condition.notify()
+
+        threading_backend.run([waiter, waker])
+        assert seen == [0]
+        assert condition.waiter_count() == 0
+        assert threading_backend.metrics.condition_waits == 1
+        assert threading_backend.metrics.notified_threads == 1
+
+
+class TestRunAndMetrics:
+    def test_run_executes_all_targets(self, threading_backend):
+        results = []
+        threading_backend.run([lambda: results.append(1), lambda: results.append(2)])
+        assert sorted(results) == [1, 2]
+        assert threading_backend.metrics.threads_spawned == 2
+
+    def test_run_uses_supplied_names(self, threading_backend):
+        import threading as _threading
+
+        names = []
+        threading_backend.run(
+            [lambda: names.append(_threading.current_thread().name)], ["my-worker"]
+        )
+        assert names == ["my-worker"]
+
+    def test_run_propagates_worker_exception(self, threading_backend):
+        def boom():
+            raise RuntimeError("worker failed")
+
+        with pytest.raises(RuntimeError, match="worker failed"):
+            threading_backend.run([boom])
+
+    def test_reset_metrics(self, threading_backend):
+        threading_backend.run([lambda: None])
+        threading_backend.reset_metrics()
+        assert threading_backend.metrics.threads_spawned == 0
+        assert threading_backend.metrics.context_switches == 0
+
+    def test_current_id_differs_between_threads(self, threading_backend):
+        ids = []
+        threading_backend.run([lambda: ids.append(threading_backend.current_id())] * 2)
+        assert len(ids) == 2
+
+    def test_metrics_snapshot_shape(self, threading_backend):
+        snapshot = threading_backend.metrics.snapshot()
+        assert set(snapshot) >= {
+            "context_switches",
+            "condition_waits",
+            "notifies",
+            "notify_alls",
+            "lock_acquisitions",
+        }

@@ -1,0 +1,82 @@
+"""Unit tests for dynamic thread creation and handles on the simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import SimulationBackend
+from repro.runtime.simulation import SimulationError
+
+
+class TestSpawn:
+    def test_spawn_before_run_registers_for_next_run(self):
+        backend = SimulationBackend(seed=1)
+        log = []
+        handle = backend.spawn(lambda: log.append("spawned"), name="pre-registered")
+        assert handle.name == "pre-registered"
+        assert handle.alive
+        backend.run([lambda: log.append("main")])
+        assert sorted(log) == ["main", "spawned"]
+
+    def test_spawn_during_run_executes_new_thread(self):
+        backend = SimulationBackend(seed=1)
+        log = []
+
+        def child():
+            log.append("child")
+
+        def parent():
+            log.append("parent-before")
+            backend.spawn(child, name="child")
+            backend.yield_control()
+            log.append("parent-after")
+
+        backend.run([parent], ["parent"])
+        assert "child" in log
+        assert log[0] == "parent-before"
+
+    def test_handle_reports_completion(self):
+        backend = SimulationBackend(seed=1)
+        handle = backend.spawn(lambda: None, name="worker")
+        backend.run([lambda: None])
+        handle.join(timeout=1)
+        assert not handle.alive
+
+    def test_spawned_threads_share_monitor_state(self):
+        from repro.core import AutoSynchMonitor
+
+        class Counter(AutoSynchMonitor):
+            def __init__(self, **kwargs):
+                super().__init__(**kwargs)
+                self.value = 0
+
+            def bump(self):
+                self.value += 1
+
+            def wait_for(self, target):
+                self.wait_until("value >= target", target=target)
+
+        backend = SimulationBackend(seed=2)
+        counter = Counter(backend=backend)
+
+        def waiter():
+            counter.wait_for(3)
+            # Spawn a late worker once the first three bumps have happened.
+            backend.spawn(counter.bump, name="late-bump")
+            counter.wait_for(4)
+
+        backend.run([waiter] + [counter.bump] * 3, ["waiter", "b0", "b1", "b2"])
+        assert counter.value == 4
+
+    def test_default_names_are_generated(self):
+        backend = SimulationBackend(seed=0)
+        seen = []
+        backend.run([lambda: seen.append(backend.current_name()) for _ in range(2)])
+        assert len(set(seen)) == 2
+        assert all(name.startswith("sim-") for name in seen)
+
+    def test_names_argument_is_respected(self):
+        backend = SimulationBackend(seed=0)
+        seen = []
+        backend.run([lambda: seen.append(backend.current_name())], ["special-name"])
+        assert seen == ["special-name"]

@@ -1,0 +1,159 @@
+"""Unit tests for predicate tagging (Definitions 6-8, Fig. 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.predicates import (
+    Tag,
+    TagKind,
+    analyze_predicate,
+    classify,
+    globalize,
+    parse_predicate,
+    tag_conjunction,
+    to_dnf,
+)
+
+
+def tags_for(source, shared=(), local_values=None):
+    """Full front-end pipeline: parse, classify, globalize, DNF, tag."""
+    local_values = local_values or {}
+    expr = classify(parse_predicate(source), shared, set(local_values))
+    shared_form = globalize(expr, local_values)
+    return analyze_predicate(to_dnf(shared_form))
+
+
+class TestTagKinds:
+    def test_equivalence_tag(self):
+        (tag,) = tags_for("turn == me", shared={"turn"}, local_values={"me": 7})
+        assert tag.kind is TagKind.EQUIVALENCE
+        assert tag.expr_key == "turn"
+        assert tag.key == 7
+        assert tag.op is None
+
+    def test_threshold_tag_lower_bound(self):
+        (tag,) = tags_for("count >= num", shared={"count"}, local_values={"num": 48})
+        assert tag.kind is TagKind.THRESHOLD
+        assert tag.expr_key == "count"
+        assert tag.key == 48
+        assert tag.op == ">="
+
+    def test_threshold_tag_upper_bound(self):
+        (tag,) = tags_for("count < capacity", shared={"count"}, local_values={"capacity": 8})
+        assert tag.kind is TagKind.THRESHOLD
+        assert tag.op == "<"
+        assert tag.key == 8
+
+    def test_none_tag_for_boolean_atom(self):
+        (tag,) = tags_for("ready", shared={"ready"})
+        assert tag.kind is TagKind.NONE
+        assert tag.expr_key is None
+
+    def test_none_tag_for_inequality(self):
+        # x != 9 gets a None tag (Fig. 7 shows inequalities in the None bucket).
+        (tag,) = tags_for("x != 9", shared={"x"})
+        assert tag.kind is TagKind.NONE
+
+    def test_papers_threshold_globalization_example(self):
+        # x + b > 2y + a with a=11, b=2  ->  (Threshold, x - 2 * y, 9, >)
+        (tag,) = tags_for(
+            "x + b > 2 * y + a", shared={"x", "y"}, local_values={"a": 11, "b": 2}
+        )
+        assert tag.kind is TagKind.THRESHOLD
+        assert tag.expr_key == "x - 2 * y"
+        assert tag.key == 9
+        assert tag.op == ">"
+
+    def test_equivalence_on_combined_shared_expression(self):
+        (tag,) = tags_for("x - a == y + b", shared={"x", "y"}, local_values={"a": 11, "b": 2})
+        assert tag.kind is TagKind.EQUIVALENCE
+        assert tag.expr_key == "x - y"
+        assert tag.key == 13
+
+
+class TestTagAssignmentRules:
+    def test_equivalence_has_priority_over_threshold(self):
+        (tag,) = tags_for(
+            "count >= num and turn == me",
+            shared={"count", "turn"},
+            local_values={"num": 3, "me": 1},
+        )
+        assert tag.kind is TagKind.EQUIVALENCE
+        assert tag.expr_key == "turn"
+
+    def test_threshold_chosen_when_no_equivalence(self):
+        (tag,) = tags_for(
+            "count >= num and not busy", shared={"count", "busy"}, local_values={"num": 3}
+        )
+        assert tag.kind is TagKind.THRESHOLD
+
+    def test_only_one_tag_per_conjunction(self):
+        tags = tags_for(
+            "x == 1 and y == 2 and z >= 3", shared={"x", "y", "z"}
+        )
+        assert len(tags) == 1
+        assert tags[0].kind is TagKind.EQUIVALENCE
+
+    def test_one_tag_per_disjunct(self):
+        tags = tags_for("x >= 8 or x == 3", shared={"x"})
+        assert len(tags) == 2
+        kinds = {tag.kind for tag in tags}
+        assert kinds == {TagKind.THRESHOLD, TagKind.EQUIVALENCE}
+
+    def test_unseparable_comparison_gets_none_tag(self):
+        (tag,) = tags_for(
+            "count * num > 10", shared={"count"}, local_values={"num": 2}
+        )
+        # After globalization ``count * 2 > 10`` is still a threshold on the
+        # shared expression ``count * 2`` — check it is NOT a None tag.
+        assert tag.kind is TagKind.THRESHOLD
+        assert tag.expr_key == "count * 2"
+
+    def test_conjunction_with_only_locals_gets_none_tag(self):
+        (tag,) = tags_for("flag", shared=(), local_values={"flag": 1})
+        # After globalization the atom is the constant 1 -> DNF keeps it as an
+        # atom with no shared expression, hence a None tag.
+        assert tag.kind is TagKind.NONE
+
+
+class TestTagValidation:
+    def test_none_tag_must_be_bare(self):
+        with pytest.raises(ValueError):
+            Tag(TagKind.NONE, expr_key="x")
+
+    def test_equivalence_requires_expression(self):
+        with pytest.raises(ValueError):
+            Tag(TagKind.EQUIVALENCE, expr_key=None, shared_expr=None, key=3)
+
+    def test_threshold_requires_valid_operator(self):
+        from repro.predicates import parse_predicate as parse
+
+        with pytest.raises(ValueError):
+            Tag(
+                TagKind.THRESHOLD,
+                expr_key="x",
+                shared_expr=parse("x"),
+                key=3,
+                op="!=",
+            )
+
+    def test_equivalence_must_not_carry_operator(self):
+        from repro.predicates import parse_predicate as parse
+
+        with pytest.raises(ValueError):
+            Tag(TagKind.EQUIVALENCE, expr_key="x", shared_expr=parse("x"), key=3, op=">")
+
+    def test_describe_is_human_readable(self):
+        (tag,) = tags_for("count >= num", shared={"count"}, local_values={"num": 5})
+        assert "Threshold" in tag.describe()
+        assert "count" in tag.describe()
+
+    def test_tag_conjunction_direct(self):
+        dnf = to_dnf(
+            classify(parse_predicate("self.count > 0"), {"count"}, set())
+        )
+        tag = tag_conjunction(dnf.conjunctions[0])
+        assert tag.kind is TagKind.THRESHOLD
+        assert tag.op == ">"
+        assert tag.key == 0
