@@ -1,0 +1,157 @@
+"""Ablation: batched relay vs. per-wait relay (the signalling-policy layer).
+
+The per-wait relay (``autosynch``) signals at most one thread per search, so
+draining *n* ready waiters takes a chain of *n* searches, each hop gated on
+the previously woken thread being scheduled.  The batched policy
+(``relay_batched``) collapses the chain: one search per exit signals up to
+*k* ready waiters, so the whole round becomes runnable after a single
+search.  The FIFO-fair policy (``relay_fifo``) sits at the other end of the
+trade-off — it gives up tag pruning entirely to pick the longest-waiting
+thread, paying one predicate evaluation per active entry per relay.
+
+The workload is the one the batching targets: a barrier-like scoreboard
+where one scorer repeatedly makes every waiter ready at once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AutoSynchMonitor
+from repro.core.signalling import BatchedRelayPolicy
+from repro.runtime import SimulationBackend
+
+WAITERS = 16
+ROUNDS = 10
+#: Each round bumps the score past every waiter's threshold.
+JUMP = WAITERS + 1
+
+
+class Scoreboard(AutoSynchMonitor):
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.score = 0
+        self.arrived = 0
+
+    def wait_ready(self, threshold):
+        """Announce arrival, then sleep until the score reaches *threshold*.
+
+        ``arrived`` and the wait happen in one entry method, so once the
+        scorer sees every waiter arrived, they are all asleep.
+        """
+        self.arrived += 1
+        self.wait_until("score >= threshold", threshold=threshold)
+
+    def release_when(self, waiting, amount):
+        """Wait for *waiting* cumulative arrivals, then jump the score."""
+        self.wait_until("arrived >= waiting", waiting=waiting)
+        self.score += amount
+
+
+def run_scoreboard(signalling):
+    backend = SimulationBackend(seed=5)
+    board = Scoreboard(backend=backend, signalling=signalling)
+
+    def waiter(index):
+        def body():
+            for round_number in range(ROUNDS):
+                board.wait_ready(round_number * JUMP + index + 1)
+        return body
+
+    def scorer():
+        for round_number in range(ROUNDS):
+            # Every round all WAITERS threads are asleep before the jump
+            # makes all of their predicates true at once.
+            board.release_when((round_number + 1) * WAITERS, JUMP)
+
+    backend.run([waiter(i) for i in range(WAITERS)] + [scorer])
+    assert board.score == ROUNDS * JUMP
+    assert board.arrived == ROUNDS * WAITERS
+    return board, backend
+
+
+POLICIES = {
+    "relay_per_wait": "autosynch",
+    "relay_batched_k4": BatchedRelayPolicy,  # default batch limit
+    "relay_batched_k16": lambda: BatchedRelayPolicy(batch_limit=WAITERS),
+    "relay_fifo": "relay_fifo",
+}
+
+
+def make_signalling(spec):
+    return spec() if callable(spec) else spec
+
+
+@pytest.mark.parametrize("label", list(POLICIES), ids=list(POLICIES))
+def test_ablation_batched_relay(benchmark, label):
+    board, backend = benchmark.pedantic(
+        lambda: run_scoreboard(make_signalling(POLICIES[label])),
+        rounds=3,
+        iterations=1,
+    )
+    stats = board.stats
+    benchmark.extra_info["signals_sent"] = stats.signals_sent
+    benchmark.extra_info["relay_signal_calls"] = stats.relay_signal_calls
+    benchmark.extra_info["predicate_evaluations"] = stats.predicate_evaluations
+    benchmark.extra_info["spurious_wakeups"] = stats.spurious_wakeups
+    benchmark.extra_info["context_switches"] = backend.metrics.context_switches
+
+
+def max_signals_per_search(signalling):
+    """Largest number of waiters any single relay search signalled."""
+    from repro.core.trace import Tracer
+
+    backend = SimulationBackend(seed=5)
+    tracer = Tracer(capacity=100_000)
+    board = Scoreboard(backend=backend, signalling=signalling, tracer=tracer)
+
+    def waiter(index):
+        def body():
+            for round_number in range(ROUNDS):
+                board.wait_ready(round_number * JUMP + index + 1)
+        return body
+
+    def scorer():
+        for round_number in range(ROUNDS):
+            board.release_when((round_number + 1) * WAITERS, JUMP)
+
+    backend.run([waiter(i) for i in range(WAITERS)] + [scorer])
+    largest = 0
+    for event in tracer.events:
+        if event.kind == "relay" and event.detail and event.detail.startswith("signalled"):
+            count = int(event.detail.rsplit(None, 1)[1]) if event.detail[-1].isdigit() else 1
+            largest = max(largest, count)
+    return largest
+
+
+def test_batched_relay_wakes_the_round_in_one_search(benchmark):
+    """Per-wait relay signals one thread per search — draining a round of 16
+    ready waiters takes a 16-search chain, each hop gated on the previously
+    woken thread being scheduled.  The batched policy collapses the chain:
+    one search signals the whole round."""
+
+    def compare():
+        return (
+            max_signals_per_search("autosynch"),
+            max_signals_per_search(BatchedRelayPolicy(batch_limit=WAITERS)),
+        )
+
+    per_wait_max, batched_max = benchmark.pedantic(compare, rounds=1, iterations=1)
+    benchmark.extra_info["per_wait_max_batch"] = per_wait_max
+    benchmark.extra_info["batched_max_batch"] = batched_max
+    assert per_wait_max == 1
+    assert batched_max == WAITERS
+
+
+def test_fifo_fairness_costs_tag_pruning(benchmark):
+    """The FIFO-fair policy evaluates every active predicate per relay (no
+    tag pruning), which is the measured price of its fairness guarantee."""
+
+    def compare():
+        tagged, _ = run_scoreboard("autosynch")
+        fifo, _ = run_scoreboard("relay_fifo")
+        return tagged.stats, fifo.stats
+
+    tagged, fifo = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert fifo.predicate_evaluations > tagged.predicate_evaluations
+    assert fifo.signals_sent == tagged.signals_sent

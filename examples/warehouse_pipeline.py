@@ -19,7 +19,10 @@ threads are woken.
 
 Run it with::
 
-    python examples/warehouse_pipeline.py [--mechanism autosynch|autosynch_t|baseline]
+    python examples/warehouse_pipeline.py [--mechanism NAME]
+
+where ``NAME`` is any registered signalling policy (``autosynch``,
+``autosynch_t``, ``baseline``, ``relay_batched``, ``relay_fifo``, ...).
 """
 
 from __future__ import annotations
@@ -139,11 +142,13 @@ def run_pipeline(mechanism: str, orders: int, seed: int) -> None:
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    from repro.core.signalling import available_policies
+
     parser.add_argument(
         "--mechanism",
-        choices=("autosynch", "autosynch_t", "baseline"),
+        choices=available_policies(),
         default=None,
-        help="signalling mechanism (default: compare all three)",
+        help="signalling policy (default: compare the paper's three mechanisms)",
     )
     parser.add_argument("--orders", type=int, default=200, help="number of orders to fulfil")
     parser.add_argument("--seed", type=int, default=7, help="workload random seed")

@@ -43,9 +43,12 @@ from repro.core import (
     MonitorError,
     MonitorStats,
     MonitorUsageError,
+    SignallingPolicy,
     Tracer,
+    available_policies,
     entry_method,
     query_method,
+    register_policy,
 )
 from repro.predicates import PredicateError, PredicateParseError, compile_predicate
 from repro.runtime import SimulationBackend, ThreadingBackend
@@ -60,11 +63,14 @@ __all__ = [
     "MonitorUsageError",
     "PredicateError",
     "PredicateParseError",
+    "SignallingPolicy",
     "SimulationBackend",
     "ThreadingBackend",
     "Tracer",
     "__version__",
+    "available_policies",
     "compile_predicate",
     "entry_method",
     "query_method",
+    "register_policy",
 ]

@@ -7,9 +7,12 @@ The public API a downstream user needs:
   runtime signals the right thread automatically (the paper's contribution).
 * :class:`ExplicitMonitor` — the conventional explicit-signal monitor base
   used for the paper's comparison baselines.
-* ``signalling`` modes ``"autosynch"``, ``"autosynch_t"`` and ``"baseline"``
-  select the full AutoSynch algorithm, AutoSynch without predicate tagging,
-  or the single-condition signal-all automatic monitor (§6.2).
+* ``signalling`` selects a policy from the pluggable registry
+  (:mod:`repro.core.signalling`): ``"autosynch"``, ``"autosynch_t"`` and
+  ``"baseline"`` are the paper's §6.2 mechanisms (full AutoSynch, AutoSynch
+  without predicate tagging, single-condition signal-all); ``"relay_batched"``
+  and ``"relay_fifo"`` are extension policies, and custom policies register
+  with :func:`~repro.core.signalling.register_policy`.
 """
 
 from repro.core.condition_manager import ConditionManager, PredicateEntry
@@ -24,6 +27,13 @@ from repro.core.monitor import (
     entry_method,
     query_method,
 )
+from repro.core.signalling import (
+    SignallingPolicy,
+    available_policies,
+    describe_policy,
+    get_policy,
+    register_policy,
+)
 from repro.core.trace import TraceEvent, Tracer
 
 __all__ = [
@@ -36,10 +46,15 @@ __all__ = [
     "MonitorStats",
     "MonitorUsageError",
     "PredicateEntry",
+    "SignallingPolicy",
     "Stopwatch",
     "ThresholdHeap",
     "TraceEvent",
     "Tracer",
+    "available_policies",
+    "describe_policy",
     "entry_method",
+    "get_policy",
     "query_method",
+    "register_policy",
 ]

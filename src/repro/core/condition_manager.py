@@ -14,13 +14,20 @@ variable its waiters block on.  Active entries are indexed by their tags:
 thread whose predicate is currently true and notify it.  With ``use_tags``
 disabled the manager degenerates into the paper's *AutoSynch-T* variant: the
 same relay rule, but every active predicate is checked exhaustively.
+
+Two generalizations serve the pluggable signalling policies
+(:mod:`repro.core.signalling`): ``signal_many(limit)`` amortizes one search
+pass over up to *limit* wake-ups (the batched-relay policy), and
+``relay_signal_fifo`` breaks ties among true predicates by the longest
+waiting thread, using the per-waiter enqueue sequence numbers stamped by
+``add_waiter`` (the FIFO-fair policy).
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Deque, Dict, Iterable, List, Optional
 
 from repro.core.errors import MonitorUsageError
 from repro.core.heaps import LOWER_BOUND_OPS, ThresholdHeap, UPPER_BOUND_OPS
@@ -47,6 +54,10 @@ class PredicateEntry:
     waiters: int = 0
     pending_signals: int = 0
     active: bool = False
+    #: Enqueue sequence numbers of the current waiters, oldest first
+    #: (stamped by :meth:`ConditionManager.add_waiter`; used by the
+    #: FIFO-fair relay policy to find the longest-waiting thread).
+    waiter_seqs: Deque[int] = field(default_factory=deque)
 
     @property
     def canonical(self) -> str:
@@ -56,6 +67,19 @@ class PredicateEntry:
     def unsignalled_waiters(self) -> int:
         """Waiters that have not already been promised a signal."""
         return self.waiters - self.pending_signals
+
+    @property
+    def next_unsignalled_seq(self) -> Optional[int]:
+        """Enqueue sequence of the oldest waiter without a promised signal.
+
+        The first ``pending_signals`` sequence numbers belong to waiters a
+        signal has already been promised to, so the candidate for the next
+        signal is the one right after them (None when every waiter has been
+        promised a signal already).
+        """
+        if self.pending_signals < len(self.waiter_seqs):
+            return self.waiter_seqs[self.pending_signals]
+        return None
 
 
 @dataclass
@@ -100,8 +124,12 @@ class ConditionManager:
         #: per-shared-expression tag structures.
         self._indices: Dict[str, _ExpressionIndex] = {}
         #: active entries that need exhaustive checking (None-tagged
-        #: conjunctions, or every entry when tags are disabled).
-        self._untagged: List[PredicateEntry] = []
+        #: conjunctions, or every entry when tags are disabled), keyed by
+        #: canonical form in insertion order — O(1) add/remove instead of the
+        #: list scans a plain list would need on every activate/deactivate.
+        self._untagged: Dict[str, PredicateEntry] = {}
+        #: monotonically increasing enqueue stamp handed to waiters.
+        self._enqueue_seq: int = 0
 
     # ------------------------------------------------------------------
     # Registration / bookkeeping
@@ -150,6 +178,8 @@ class ConditionManager:
     def add_waiter(self, entry: PredicateEntry) -> None:
         """Record that one more thread is about to wait on *entry*."""
         entry.waiters += 1
+        self._enqueue_seq += 1
+        entry.waiter_seqs.append(self._enqueue_seq)
 
     def remove_waiter(self, entry: PredicateEntry) -> None:
         """Record that a waiter left *entry*; deactivate it when none remain."""
@@ -158,6 +188,11 @@ class ConditionManager:
                 f"waiter count underflow for predicate {entry.canonical!r}"
             )
         entry.waiters -= 1
+        if entry.waiter_seqs:
+            # The departing waiter is (approximately) the oldest one; waiters
+            # on the same entry are interchangeable, so dropping the oldest
+            # stamp keeps the FIFO ordering meaningful.
+            entry.waiter_seqs.popleft()
         if entry.pending_signals > entry.waiters:
             entry.pending_signals = entry.waiters
         if entry.waiters == 0:
@@ -171,7 +206,7 @@ class ConditionManager:
     def _activate(self, entry: PredicateEntry) -> None:
         with self._stats.time_bucket("tag_manager_time"):
             if not self.use_tags:
-                self._untagged.append(entry)
+                self._untagged[entry.canonical] = entry
             else:
                 for tag in entry.globalized.tags:
                     self._stats.tag_insertions += 1
@@ -185,8 +220,7 @@ class ConditionManager:
                         else:
                             index.upper_heap.add(tag.key, tag.op, entry)
                     else:
-                        if entry not in self._untagged:
-                            self._untagged.append(entry)
+                        self._untagged[entry.canonical] = entry
             entry.active = True
 
     def _deactivate(self, entry: PredicateEntry) -> None:
@@ -221,8 +255,7 @@ class ConditionManager:
         self._retire(entry)
 
     def _discard_untagged(self, entry: PredicateEntry) -> None:
-        if entry in self._untagged:
-            self._untagged.remove(entry)
+        self._untagged.pop(entry.canonical, None)
 
     def _drop_index_if_empty(self, index: _ExpressionIndex) -> None:
         if index.is_empty():
@@ -257,23 +290,84 @@ class ConditionManager:
         Returns True when a thread was signalled.  Must be called with the
         monitor lock held.
         """
+        return self._relay_search(1) > 0
+
+    def signal_many(self, limit: int) -> int:
+        """Signal up to *limit* ready waiters in one search pass.
+
+        The batched-relay primitive: a single walk over the tag structures
+        (and the untagged entries) wakes every waiter whose predicate holds,
+        up to *limit*, so the search cost is amortized over the batch.
+        Returns the number of waiters signalled.  Like :meth:`relay_signal`,
+        a return value of 0 means the search exhaustively established that
+        no waiting predicate currently holds.
+        """
+        if limit < 1:
+            raise ValueError(f"signal_many limit must be >= 1, got {limit}")
+        return self._relay_search(limit)
+
+    def _relay_search(self, limit: int) -> int:
         self._stats.relay_signal_calls += 1
         with self._stats.time_bucket("relay_signal_time"):
-            signalled = False
+            signalled = 0
             if self.use_tags:
-                for index in list(self._indices.values()):
-                    if self._search_index(index):
-                        signalled = True
+                for index in self._indices.values():
+                    signalled += self._search_index(index, limit - signalled)
+                    if signalled >= limit:
                         break
-            if not signalled:
-                signalled = self._search_untagged()
+            if signalled < limit:
+                signalled += self._search_untagged(limit - signalled)
         if self._tracer is not None:
             self._tracer.record(
                 "relay",
                 self._backend.current_id(),
-                detail="signalled" if signalled else "no waiter ready",
+                detail=f"signalled {signalled}" if signalled else "no waiter ready",
             )
         return signalled
+
+    def relay_signal_fifo(self) -> bool:
+        """Signal the true-predicate entry with the longest-waiting thread.
+
+        The FIFO-fair relay primitive: evaluates every active predicate with
+        un-signalled waiters and, among the true ones, signals the entry
+        whose oldest un-promised waiter has the smallest enqueue sequence
+        number.  Exhaustive by construction (no tag pruning), so relay
+        invariance holds exactly as for :meth:`relay_signal`.
+        """
+        self._stats.relay_signal_calls += 1
+        with self._stats.time_bucket("relay_signal_time"):
+            best: Optional[PredicateEntry] = None
+            best_seq: Optional[int] = None
+            # Without tags every active entry lives in _untagged, which skips
+            # the retired/shared entries _table keeps around; with tags the
+            # table is the only complete view.
+            entries = (
+                self._table.values() if self.use_tags else self._untagged.values()
+            )
+            for entry in entries:
+                if not entry.active or entry.unsignalled_waiters <= 0:
+                    continue
+                self._stats.exhaustive_checks += 1
+                self._stats.predicate_evaluations += 1
+                if not entry.globalized.holds(self._owner):
+                    continue
+                seq = entry.next_unsignalled_seq
+                if best is None or (
+                    seq is not None and (best_seq is None or seq < best_seq)
+                ):
+                    best, best_seq = entry, seq
+            if best is not None:
+                self._signal(best)
+        if self._tracer is not None:
+            self._tracer.record(
+                "relay",
+                self._backend.current_id(),
+                detail=(
+                    f"signalled (fifo seq {best_seq})" if best is not None
+                    else "no waiter ready"
+                ),
+            )
+        return best is not None
 
     def find_missed_waiter(self) -> Optional[PredicateEntry]:
         """Exhaustively look for a waiting predicate that is true but has no
@@ -293,24 +387,25 @@ class ConditionManager:
 
     # -- tag-directed search -------------------------------------------------
 
-    def _search_index(self, index: _ExpressionIndex) -> bool:
+    def _search_index(self, index: _ExpressionIndex, limit: int) -> int:
         try:
             value = evaluate(index.shared_expr, self._owner)
         except EvaluationError:
             # The shared expression cannot currently be evaluated (e.g. a
             # field was deleted); fall back to exhaustive search for safety.
-            return False
+            return 0
 
+        signalled = 0
         if index.equivalence:
             self._stats.tag_hash_lookups += 1
             bucket = self._equivalence_bucket(index, value)
-            if bucket and self._signal_first_true(bucket):
-                return True
-        if self._search_heap(index.lower_heap, value):
-            return True
-        if self._search_heap(index.upper_heap, value):
-            return True
-        return False
+            if bucket:
+                signalled += self._signal_true(bucket, limit)
+        if signalled < limit:
+            signalled += self._search_heap(index.lower_heap, value, limit - signalled)
+        if signalled < limit:
+            signalled += self._search_heap(index.upper_heap, value, limit - signalled)
+        return signalled
 
     def _equivalence_bucket(
         self, index: _ExpressionIndex, value: object
@@ -320,15 +415,15 @@ class ConditionManager:
         except TypeError:  # unhashable shared-expression value
             return None
 
-    def _search_heap(self, heap: ThresholdHeap, value: object) -> bool:
+    def _search_heap(self, heap: ThresholdHeap, value: object, limit: int) -> int:
         """The threshold-tag signalling algorithm of Fig. 4."""
         if not heap:
-            return False
+            return 0
         backup = []
-        found = False
+        signalled = 0
         try:
             node = heap.peek()
-            while node is not None:
+            while node is not None and signalled < limit:
                 self._stats.tag_heap_checks += 1
                 try:
                     satisfied = node.satisfied_by(value)
@@ -336,36 +431,55 @@ class ConditionManager:
                     satisfied = False
                 if not satisfied:
                     break
-                if self._signal_first_true(node.entries):
-                    found = True
+                signalled += self._signal_true(node.entries, limit - signalled)
+                if signalled >= limit:
                     break
-                # The tag is true but none of its predicates were; remove it
-                # temporarily so the next-weakest tag can be examined.
+                # The tag is true but its predicates yielded no more waiters;
+                # remove it temporarily so the next-weakest tag can be
+                # examined.
                 backup.append(heap.poll())
                 node = heap.peek()
         finally:
             for node in backup:
                 heap.push_node(node)
-        return found
+        return signalled
 
     # -- exhaustive search ---------------------------------------------------
 
-    def _search_untagged(self) -> bool:
-        return self._signal_first_true(self._untagged, count_as_exhaustive=True)
+    def _search_untagged(self, limit: int) -> int:
+        return self._signal_true(
+            self._untagged.values(), limit, count_as_exhaustive=True
+        )
 
-    def _signal_first_true(
-        self, entries: Iterable[PredicateEntry], count_as_exhaustive: bool = False
-    ) -> bool:
-        for entry in list(entries):
+    def _signal_true(
+        self,
+        entries: Iterable[PredicateEntry],
+        limit: int,
+        count_as_exhaustive: bool = False,
+    ) -> int:
+        """Signal waiters of true-predicate entries, up to *limit* in total.
+
+        An entry whose predicate holds may receive several of the batch's
+        signals — one per un-promised waiter — since every one of those
+        waiters is ready by the same evaluation.  Signalling never mutates
+        the tag structures (deactivation happens when the woken waiter
+        re-acquires the lock), so iterating the live containers is safe.
+        """
+        signalled = 0
+        for entry in entries:
+            if signalled >= limit:
+                break
             if not entry.active or entry.unsignalled_waiters <= 0:
                 continue
             if count_as_exhaustive:
                 self._stats.exhaustive_checks += 1
             self._stats.predicate_evaluations += 1
             if entry.globalized.holds(self._owner):
-                self._signal(entry)
-                return True
-        return False
+                wake = min(entry.unsignalled_waiters, limit - signalled)
+                for _ in range(wake):
+                    self._signal(entry)
+                signalled += wake
+        return signalled
 
     def _signal(self, entry: PredicateEntry) -> None:
         entry.condition.notify()

@@ -22,7 +22,9 @@ the monitor lock, and when it leaves the monitor (returns or blocks in
 ``wait_until``) the signalling strategy decides which waiting thread to wake.
 There are no condition variables and no ``signal`` calls in user code.
 
-The ``signalling`` constructor argument selects the mechanism compared in the
+The ``signalling`` constructor argument selects the signalling policy.  It
+resolves through the policy registry (:mod:`repro.core.signalling`), so it
+accepts any registered name — including the three mechanisms compared in the
 paper's evaluation:
 
 * ``"autosynch"`` — relay signalling guided by predicate tags (the paper's
@@ -30,7 +32,11 @@ paper's evaluation:
 * ``"autosynch_t"`` — relay signalling with exhaustive predicate search
   (AutoSynch without tagging),
 * ``"baseline"`` — a single condition variable and ``notify_all`` on every
-  monitor exit; each woken thread re-evaluates its own predicate.
+  monitor exit; each woken thread re-evaluates its own predicate,
+
+as well as the extension policies (``"relay_batched"``, ``"relay_fifo"``,
+...), a :class:`~repro.core.signalling.SignallingPolicy` subclass, or a
+configured policy instance.
 """
 
 from __future__ import annotations
@@ -38,13 +44,11 @@ from __future__ import annotations
 import functools
 from typing import Callable, Dict, Mapping, Optional, Tuple
 
-from repro.core.condition_manager import (
-    DEFAULT_INACTIVE_CAPACITY,
-    ConditionManager,
-    PredicateEntry,
-)
+from repro.core.condition_manager import DEFAULT_INACTIVE_CAPACITY, ConditionManager
 from repro.core.errors import MonitorUsageError
 from repro.core.instrumentation import MonitorStats
+from repro.core.signalling import SignallingPolicy, create_policy
+from repro.predicates.classify import ClassificationError
 from repro.predicates.predicate import CompiledPredicate, compile_predicate
 from repro.runtime.api import Backend, ConditionAPI
 from repro.runtime.threads import ThreadingBackend
@@ -58,7 +62,9 @@ __all__ = [
     "query_method",
 ]
 
-#: The automatic signalling mechanisms of §6.2.
+#: The automatic signalling mechanisms of §6.2 (the paper's legacy modes;
+#: the full, extensible list lives in the signalling-policy registry — see
+#: :func:`repro.core.signalling.available_policies`).
 AUTOMATIC_MODES = ("autosynch", "autosynch_t", "baseline")
 
 
@@ -214,55 +220,60 @@ class AutoSynchMonitor(MonitorBase):
     backend:
         Execution backend (defaults to a private :class:`ThreadingBackend`).
     signalling:
-        ``"autosynch"`` (default), ``"autosynch_t"`` or ``"baseline"``.
+        A registered policy name (``"autosynch"`` — the default —,
+        ``"autosynch_t"``, ``"baseline"``, ``"relay_batched"``,
+        ``"relay_fifo"``, ...), a :class:`SignallingPolicy` subclass, or a
+        configured policy instance.
     profile:
         Enable wall-clock time buckets (Table 1 measurements).
     inactive_capacity:
         How many inactive complex predicates to keep cached for reuse.
+    validate:
+        Check the relay-invariance property after every relay step that
+        signalled nobody (slow; used by the validation sweeps).
     """
 
     def __init__(
         self,
         backend: Optional[Backend] = None,
-        signalling: str = "autosynch",
+        signalling: object = "autosynch",
         profile: bool = False,
         inactive_capacity: int = DEFAULT_INACTIVE_CAPACITY,
         tracer: Optional[object] = None,
         validate: bool = False,
     ) -> None:
         super().__init__(backend, profile, tracer)
-        if signalling not in AUTOMATIC_MODES:
-            raise ValueError(
-                f"unknown signalling mode {signalling!r}; expected one of {AUTOMATIC_MODES}"
-            )
-        self._signalling = signalling
         self._validate = validate
+        self._inactive_capacity = inactive_capacity
         self._predicate_cache: Dict[Tuple[str, frozenset], CompiledPredicate] = {}
-        self._baseline_condition: Optional[ConditionAPI] = None
-        self._cond_mgr: Optional[ConditionManager] = None
-        if signalling == "baseline":
-            self._baseline_condition = self._backend.create_condition(self._mutex)
+        self._shared_name_cache: Optional[frozenset] = None
+        if isinstance(signalling, str):
+            try:
+                self._policy = create_policy(signalling)
+            except ValueError as error:
+                raise ValueError(f"unknown signalling mode: {error}") from None
         else:
-            self._cond_mgr = ConditionManager(
-                owner=self,
-                backend=self._backend,
-                lock=self._mutex,
-                stats=self._stats,
-                use_tags=(signalling == "autosynch"),
-                inactive_capacity=inactive_capacity,
-                tracer=tracer,
-            )
+            # Class/instance specs: construction errors (e.g. a bad
+            # batch_limit) are the policy's own and must surface verbatim.
+            self._policy = create_policy(signalling)
+        self._policy.bind(self)
+        self._cond_mgr: Optional[ConditionManager] = self._policy.condition_manager
 
     # -- public API ------------------------------------------------------------
 
     @property
     def signalling(self) -> str:
-        """The signalling mechanism this monitor instance uses."""
-        return self._signalling
+        """Name of the signalling policy this monitor instance uses."""
+        return self._policy.name
+
+    @property
+    def signalling_policy(self) -> SignallingPolicy:
+        """The bound :class:`SignallingPolicy` strategy object."""
+        return self._policy
 
     @property
     def condition_manager(self) -> Optional[ConditionManager]:
-        """The condition manager (None for the baseline mechanism)."""
+        """The policy's condition manager (None for broadcast policies)."""
         return self._cond_mgr
 
     def wait_until(self, predicate: str, **local_values: object) -> None:
@@ -280,81 +291,38 @@ class AutoSynchMonitor(MonitorBase):
         self._stats.predicate_evaluations += 1
         if compiled.evaluate(self, local_values):
             return
-        if self._signalling == "baseline":
-            self._baseline_wait(compiled, local_values)
-        else:
-            self._relay_wait(compiled, local_values)
-
-    # -- signalling strategies --------------------------------------------------
-
-    def _relay_wait(
-        self, compiled: CompiledPredicate, local_values: Mapping[str, object]
-    ) -> None:
-        globalized = compiled.globalized(local_values)
-        manager = self._cond_mgr
-        entry = manager.acquire_entry(globalized, from_shared_predicate=compiled.is_shared)
-        manager.add_waiter(entry)
-        try:
-            while True:
-                # Relay rule: a thread about to wait passes the monitor on to
-                # some thread whose predicate already holds, if one exists.
-                signalled = manager.relay_signal()
-                if self._validate and not signalled:
-                    self._check_no_missed_signal()
-                self._stats.waits += 1
-                self._trace("wait", predicate=entry.canonical)
-                self._owner_id = None
-                try:
-                    with self._stats.time_bucket("await_time"):
-                        entry.condition.wait()
-                finally:
-                    self._owner_id = self._backend.current_id()
-                self._stats.wakeups += 1
-                manager.consume_signal(entry)
-                self._stats.predicate_evaluations += 1
-                if globalized.holds(self):
-                    self._trace("wakeup", predicate=entry.canonical)
-                    return
-                self._stats.spurious_wakeups += 1
-                self._trace("spurious_wakeup", predicate=entry.canonical)
-        finally:
-            manager.remove_waiter(entry)
-
-    def _baseline_wait(
-        self, compiled: CompiledPredicate, local_values: Mapping[str, object]
-    ) -> None:
-        condition = self._baseline_condition
-        while True:
-            # The baseline automatic monitor has a single condition variable:
-            # every monitor exit (including going to wait) wakes everybody.
-            self._stats.signal_alls_sent += 1
-            self._trace("signal_all")
-            condition.notify_all()
-            self._stats.waits += 1
-            self._trace("wait", predicate=compiled.source)
-            self._owner_id = None
-            try:
-                with self._stats.time_bucket("await_time"):
-                    condition.wait()
-            finally:
-                self._owner_id = self._backend.current_id()
-            self._stats.wakeups += 1
-            self._stats.predicate_evaluations += 1
-            if compiled.evaluate(self, local_values):
-                self._trace("wakeup", predicate=compiled.source)
-                return
-            self._stats.spurious_wakeups += 1
-            self._trace("spurious_wakeup", predicate=compiled.source)
+        self._policy.on_wait(compiled, local_values)
 
     def _before_release(self) -> None:
-        if self._signalling == "baseline":
-            self._stats.signal_alls_sent += 1
-            self._trace("signal_all")
-            self._baseline_condition.notify_all()
-        else:
-            signalled = self._cond_mgr.relay_signal()
-            if self._validate and not signalled:
-                self._check_no_missed_signal()
+        self._policy.on_monitor_exit()
+
+    # -- services the signalling policies build on -------------------------------
+
+    def _create_condition_manager(self, use_tags: bool) -> ConditionManager:
+        """Build a condition manager wired to this monitor's lock and stats."""
+        return ConditionManager(
+            owner=self,
+            backend=self._backend,
+            lock=self._mutex,
+            stats=self._stats,
+            use_tags=use_tags,
+            inactive_capacity=self._inactive_capacity,
+            tracer=self._tracer,
+        )
+
+    def _create_condition(self) -> ConditionAPI:
+        """Create a condition variable tied to the monitor lock."""
+        return self._backend.create_condition(self._mutex)
+
+    def _block_on(self, condition: ConditionAPI) -> None:
+        """Release the monitor and block on *condition* (owner bookkeeping
+        and the ``await_time`` bucket included)."""
+        self._owner_id = None
+        try:
+            with self._stats.time_bucket("await_time"):
+                condition.wait()
+        finally:
+            self._owner_id = self._backend.current_id()
 
     def _check_no_missed_signal(self) -> None:
         """Validation mode: after a relay that signalled nobody, no waiting
@@ -371,14 +339,33 @@ class AutoSynchMonitor(MonitorBase):
 
     # -- predicate compilation ---------------------------------------------------
 
+    def _shared_names(self) -> frozenset:
+        """The monitor's public field names, memoized per instance."""
+        if self._shared_name_cache is None:
+            self._shared_name_cache = frozenset(
+                name for name in vars(self) if not name.startswith("_")
+            )
+        return self._shared_name_cache
+
     def _compiled(
         self, source: str, local_values: Mapping[str, object]
     ) -> CompiledPredicate:
         key = (source, frozenset(local_values))
         compiled = self._predicate_cache.get(key)
         if compiled is None:
-            shared_names = {name for name in vars(self) if not name.startswith("_")}
-            compiled = compile_predicate(source, shared_names, set(local_values))
+            try:
+                compiled = compile_predicate(
+                    source, self._shared_names(), set(local_values)
+                )
+            except ClassificationError:
+                # A field assigned after the shared-name set was computed
+                # (e.g. lazily, in a later entry method) would misclassify as
+                # unknown: invalidate the memoized set and retry against the
+                # monitor's current fields before giving up.
+                self._shared_name_cache = None
+                compiled = compile_predicate(
+                    source, self._shared_names(), set(local_values)
+                )
             self._predicate_cache[key] = compiled
         return compiled
 

@@ -1,0 +1,66 @@
+"""Pluggable signalling policies for the automatic-signal monitor.
+
+Importing this package registers the built-in policies:
+
+========================  =====================================================
+name                      strategy
+========================  =====================================================
+``autosynch``             relay signalling guided by predicate tags (the paper)
+``autosynch_t``           relay signalling, exhaustive predicate search
+``baseline``              one condition variable, ``notify_all`` per exit
+``relay_batched``         tag-directed relay waking up to *k* waiters per exit
+``relay_fifo``            relay with ties broken by longest-waiting thread
+========================  =====================================================
+
+``AutoSynchMonitor(signalling=...)`` accepts any of these names, a
+:class:`SignallingPolicy` subclass, or a configured instance.  To plug in a
+custom policy::
+
+    from repro.core.signalling import RelayPolicyBase, register_policy
+
+    @register_policy
+    class NoisyRelay(RelayPolicyBase):
+        name = "relay_noisy"
+        description = "relay that logs every hand-off"
+        use_tags = True
+
+        def relay(self):
+            signalled = super().relay()
+            print("relay ->", signalled)
+            return signalled
+
+after which ``AutoSynchMonitor(signalling="relay_noisy")`` works everywhere a
+mechanism name is accepted (problems, harness, experiment CLI).
+"""
+
+from repro.core.signalling.base import RelayPolicyBase, SignallingPolicy
+from repro.core.signalling.registry import (
+    available_policies,
+    create_policy,
+    describe_policy,
+    get_policy,
+    register_policy,
+)
+
+# Import order fixes registration order (= the order ``available_policies``
+# reports): the paper's three mechanisms first, then the extensions.
+from repro.core.signalling.relay import RelayExhaustivePolicy, RelayTaggedPolicy
+from repro.core.signalling.broadcast import BroadcastPolicy
+from repro.core.signalling.batched import DEFAULT_BATCH_LIMIT, BatchedRelayPolicy
+from repro.core.signalling.fifo import FifoRelayPolicy
+
+__all__ = [
+    "SignallingPolicy",
+    "RelayPolicyBase",
+    "RelayTaggedPolicy",
+    "RelayExhaustivePolicy",
+    "BroadcastPolicy",
+    "BatchedRelayPolicy",
+    "FifoRelayPolicy",
+    "DEFAULT_BATCH_LIMIT",
+    "register_policy",
+    "get_policy",
+    "available_policies",
+    "describe_policy",
+    "create_policy",
+]

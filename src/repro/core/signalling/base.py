@@ -1,0 +1,185 @@
+"""The signalling-policy abstraction.
+
+A :class:`SignallingPolicy` decides *which waiting thread wakes up when* for
+one :class:`~repro.core.monitor.AutoSynchMonitor` instance.  The monitor owns
+the lock, the stats and the predicate compiler; the policy owns the blocking
+protocol.  Four hooks cover the whole lifecycle:
+
+* :meth:`on_wait` — a ``wait_until`` predicate evaluated to false; block the
+  calling thread until it holds (the policy implements the full wait loop,
+  including spurious-wakeup handling).
+* :meth:`on_monitor_exit` — a thread is leaving the monitor through an entry
+  method return; hand the monitor on to waiting threads as the policy sees
+  fit (relay one, relay a batch, broadcast, ...).
+* :meth:`consume` — a woken waiter consumed one promised signal (only
+  meaningful for policies that track pending signals through a
+  :class:`~repro.core.condition_manager.ConditionManager`).
+* :meth:`describe` — a one-line human-readable label used by harness reports.
+
+Policies are registered by name in :mod:`repro.core.signalling.registry`;
+``AutoSynchMonitor(signalling=...)`` accepts a registered name, a policy
+class, or an (unbound) policy instance, so custom policies plug in without
+touching the monitor.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, ClassVar, Mapping, Optional
+
+from repro.core.errors import MonitorUsageError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.condition_manager import ConditionManager, PredicateEntry
+    from repro.core.monitor import AutoSynchMonitor
+    from repro.predicates.predicate import CompiledPredicate
+
+__all__ = ["SignallingPolicy", "RelayPolicyBase"]
+
+
+class SignallingPolicy(abc.ABC):
+    """Strategy object deciding how one monitor signals its waiters.
+
+    A policy instance is bound to exactly one monitor (via :meth:`bind`,
+    called from the monitor constructor); per-monitor state such as condition
+    variables or a condition manager is created in :meth:`_setup`.
+    """
+
+    #: Registry name of the policy (also reported by ``monitor.signalling``).
+    name: ClassVar[str] = "abstract"
+    #: One-line human-readable label (the default :meth:`describe` result).
+    description: ClassVar[str] = ""
+
+    def __init__(self) -> None:
+        self._monitor: Optional["AutoSynchMonitor"] = None
+
+    # -- binding ------------------------------------------------------------
+
+    @property
+    def monitor(self) -> "AutoSynchMonitor":
+        """The monitor this policy is bound to."""
+        if self._monitor is None:
+            raise MonitorUsageError(
+                f"signalling policy {self.name!r} is not bound to a monitor yet"
+            )
+        return self._monitor
+
+    @property
+    def condition_manager(self) -> Optional["ConditionManager"]:
+        """The policy's condition manager, if it uses one (None otherwise)."""
+        return None
+
+    def bind(self, monitor: "AutoSynchMonitor") -> None:
+        """Attach this policy to *monitor* and build its per-monitor state."""
+        if self._monitor is not None:
+            raise MonitorUsageError(
+                f"signalling policy {self.name!r} is already bound to a monitor; "
+                "policy instances cannot be shared between monitors"
+            )
+        self._monitor = monitor
+        self._setup(monitor)
+
+    def _setup(self, monitor: "AutoSynchMonitor") -> None:
+        """Create per-monitor state (condition variables, manager, ...)."""
+
+    # -- the strategy hooks --------------------------------------------------
+
+    @abc.abstractmethod
+    def on_wait(
+        self, compiled: "CompiledPredicate", local_values: Mapping[str, object]
+    ) -> None:
+        """Block the calling thread until *compiled* holds.
+
+        Called with the monitor lock held, after the predicate evaluated to
+        false once.  Must return with the lock held and the predicate true.
+        """
+
+    @abc.abstractmethod
+    def on_monitor_exit(self) -> None:
+        """A thread is leaving the monitor: pass it on to waiting threads."""
+
+    def consume(self, entry: "PredicateEntry") -> None:
+        """A woken waiter on *entry* consumed one promised signal."""
+
+    def describe(self) -> str:
+        """One-line label used by reports and the CLI (defaults to
+        :attr:`description`, falling back to the policy name)."""
+        return self.description or self.name
+
+
+class RelayPolicyBase(SignallingPolicy):
+    """Shared machinery for relay-style policies.
+
+    Relay policies route every wait through a
+    :class:`~repro.core.condition_manager.ConditionManager` and obey the relay
+    rule: a thread leaving the monitor (returning from an entry method *or*
+    about to block in ``wait_until``) passes the monitor on to waiting
+    threads whose predicates currently hold.  Subclasses customise the single
+    :meth:`relay` step — which waiter(s) a monitor hand-off selects.
+    """
+
+    #: Whether the condition manager builds tag structures (Fig. 7).
+    use_tags: ClassVar[bool] = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._manager: Optional["ConditionManager"] = None
+
+    @property
+    def condition_manager(self) -> Optional["ConditionManager"]:
+        return self._manager
+
+    def _setup(self, monitor: "AutoSynchMonitor") -> None:
+        self._manager = monitor._create_condition_manager(use_tags=self.use_tags)
+
+    # -- the customisation point ---------------------------------------------
+
+    def relay(self) -> bool:
+        """Signal ready waiter(s); True when at least one was signalled."""
+        return self._manager.relay_signal()
+
+    # -- hook implementations --------------------------------------------------
+
+    def on_wait(
+        self, compiled: "CompiledPredicate", local_values: Mapping[str, object]
+    ) -> None:
+        monitor = self.monitor
+        manager = self._manager
+        stats = monitor.stats
+        globalized = compiled.globalized(local_values)
+        entry = manager.acquire_entry(
+            globalized, from_shared_predicate=compiled.is_shared
+        )
+        manager.add_waiter(entry)
+        try:
+            while True:
+                # Relay rule: a thread about to wait passes the monitor on to
+                # waiting threads whose predicates already hold, if any exist.
+                self._relay_checked()
+                stats.waits += 1
+                monitor._trace("wait", predicate=entry.canonical)
+                monitor._block_on(entry.condition)
+                stats.wakeups += 1
+                self.consume(entry)
+                stats.predicate_evaluations += 1
+                if globalized.holds(monitor):
+                    monitor._trace("wakeup", predicate=entry.canonical)
+                    return
+                stats.spurious_wakeups += 1
+                monitor._trace("spurious_wakeup", predicate=entry.canonical)
+        finally:
+            manager.remove_waiter(entry)
+
+    def on_monitor_exit(self) -> None:
+        self._relay_checked()
+
+    def consume(self, entry: "PredicateEntry") -> None:
+        self._manager.consume_signal(entry)
+
+    def _relay_checked(self) -> bool:
+        """One relay step, with the monitor's validate-mode invariance check."""
+        signalled = self.relay()
+        monitor = self.monitor
+        if monitor._validate and not signalled:
+            monitor._check_no_missed_signal()
+        return signalled

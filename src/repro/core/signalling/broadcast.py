@@ -1,0 +1,58 @@
+"""The broadcast-everything baseline as a policy (§6.2).
+
+One condition variable for the whole monitor; every monitor exit (including
+going to wait) wakes every waiter, and each woken thread re-evaluates its own
+predicate.  This is the classic automatic-signal monitor the paper compares
+against: trivially correct, but its wake-ups scale with the number of
+waiters instead of the number of satisfied predicates.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.signalling.base import SignallingPolicy
+from repro.core.signalling.registry import register_policy
+
+__all__ = ["BroadcastPolicy"]
+
+
+@register_policy
+class BroadcastPolicy(SignallingPolicy):
+    """Single condition variable, ``notify_all`` on every monitor exit."""
+
+    name = "baseline"
+    description = "broadcast everything: one condition variable, notify_all per exit"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._condition = None
+
+    def _setup(self, monitor) -> None:
+        self._condition = monitor._create_condition()
+
+    def _broadcast(self) -> None:
+        stats = self.monitor.stats
+        stats.signal_alls_sent += 1
+        self.monitor._trace("signal_all")
+        self._condition.notify_all()
+
+    def on_wait(self, compiled, local_values: Mapping[str, object]) -> None:
+        monitor = self.monitor
+        stats = monitor.stats
+        while True:
+            # Going to wait is a monitor exit too: wake everybody first.
+            self._broadcast()
+            stats.waits += 1
+            monitor._trace("wait", predicate=compiled.source)
+            monitor._block_on(self._condition)
+            stats.wakeups += 1
+            stats.predicate_evaluations += 1
+            if compiled.evaluate(monitor, local_values):
+                monitor._trace("wakeup", predicate=compiled.source)
+                return
+            stats.spurious_wakeups += 1
+            monitor._trace("spurious_wakeup", predicate=compiled.source)
+
+    def on_monitor_exit(self) -> None:
+        self._broadcast()

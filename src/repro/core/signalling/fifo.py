@@ -1,0 +1,34 @@
+"""FIFO-fair relay: among satisfied predicates, wake the longest waiter.
+
+The tag-directed policies pick *some* thread whose predicate holds — which
+one depends on hash-bucket and heap order, so a steady stream of
+late-arriving waiters with easy predicates can starve an early waiter whose
+predicate is also true.  This policy makes the relay choice fair: every
+enqueue stamps the waiter with a monotonically increasing sequence number
+(kept per predicate entry by the :class:`ConditionManager`), and each relay
+step evaluates every active predicate and signals the entry whose oldest
+un-signalled waiter has the smallest sequence number.
+
+Fairness costs the tag pruning (every active predicate is evaluated per
+relay, like AutoSynch-T), which is the trade-off this policy exists to
+measure; relay invariance is preserved because the scan is exhaustive.
+"""
+
+from __future__ import annotations
+
+from repro.core.signalling.base import RelayPolicyBase
+from repro.core.signalling.registry import register_policy
+
+__all__ = ["FifoRelayPolicy"]
+
+
+@register_policy
+class FifoRelayPolicy(RelayPolicyBase):
+    """Relay that breaks ties among true predicates by longest-wait order."""
+
+    name = "relay_fifo"
+    description = "relay signalling, ties broken by longest-waiting thread first"
+    use_tags = False
+
+    def relay(self) -> bool:
+        return self._manager.relay_signal_fifo()

@@ -1,0 +1,111 @@
+"""Name-based registry of signalling policies.
+
+The registry is what makes the policy layer pluggable: the monitor, the
+problem layer, the harness and the experiment CLI all resolve mechanism
+names through it instead of hard-coding a mode tuple.  Registering a new
+policy immediately makes it constructible via
+``AutoSynchMonitor(signalling="<name>")``, runnable by every problem in
+:mod:`repro.problems`, and selectable with ``--mechanisms`` on
+``python -m repro.experiments``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Type, Union
+
+from repro.core.signalling.base import SignallingPolicy
+
+__all__ = [
+    "register_policy",
+    "get_policy",
+    "available_policies",
+    "describe_policy",
+    "create_policy",
+]
+
+#: name -> policy class, in registration order (registration order is the
+#: order ``available_policies`` reports, so the three legacy modes come
+#: first).
+_REGISTRY: Dict[str, Type[SignallingPolicy]] = {}
+
+PolicySpec = Union[str, SignallingPolicy, Type[SignallingPolicy]]
+
+
+def register_policy(
+    policy_cls: Type[SignallingPolicy], replace: bool = False
+) -> Type[SignallingPolicy]:
+    """Register *policy_cls* under its ``name`` attribute.
+
+    Usable as a class decorator.  Re-registering an existing name raises
+    unless ``replace=True`` (guards against accidental shadowing of the
+    paper's mechanisms).
+    """
+    if not (isinstance(policy_cls, type) and issubclass(policy_cls, SignallingPolicy)):
+        raise TypeError(
+            f"expected a SignallingPolicy subclass, got {policy_cls!r}"
+        )
+    name = policy_cls.name
+    if not name or name == SignallingPolicy.name:
+        raise ValueError(
+            f"policy class {policy_cls.__name__} must define a unique 'name' attribute"
+        )
+    if name in _REGISTRY and _REGISTRY[name] is not policy_cls and not replace:
+        raise ValueError(
+            f"a signalling policy named {name!r} is already registered "
+            f"({_REGISTRY[name].__name__}); pass replace=True to override"
+        )
+    _REGISTRY[name] = policy_cls
+    return policy_cls
+
+
+def get_policy(name: str) -> Type[SignallingPolicy]:
+    """Look up a policy class by registry name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown signalling policy {name!r}; "
+            f"registered policies: {available_policies()}"
+        ) from None
+
+
+def available_policies() -> Tuple[str, ...]:
+    """Names of every registered policy, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def describe_policy(name: str) -> str:
+    """The one-line human-readable label of a registered policy.
+
+    Prefers a fresh instance's ``describe()`` (which may interpolate
+    configuration defaults); a policy whose constructor needs arguments
+    falls back to its class-level description.
+    """
+    policy_cls = get_policy(name)
+    try:
+        policy = policy_cls()
+    except TypeError:
+        # Constructor needs arguments; a TypeError from describe() itself
+        # must still propagate, so only the construction is guarded.
+        return policy_cls.description or name
+    return policy.describe()
+
+
+def create_policy(spec: PolicySpec) -> SignallingPolicy:
+    """Resolve *spec* to a fresh, unbound policy instance.
+
+    Accepts a registry name (``"autosynch"``, ``"relay_batched"``, ...), a
+    :class:`SignallingPolicy` subclass, or an already-constructed (but not
+    yet bound) instance — the hook that lets users pass configured policies
+    such as ``BatchedRelayPolicy(batch_limit=8)`` straight to the monitor.
+    """
+    if isinstance(spec, str):
+        return get_policy(spec)()
+    if isinstance(spec, type) and issubclass(spec, SignallingPolicy):
+        return spec()
+    if isinstance(spec, SignallingPolicy):
+        return spec
+    raise TypeError(
+        "signalling must be a registered policy name, a SignallingPolicy "
+        f"subclass or an instance; got {spec!r}"
+    )

@@ -1,0 +1,34 @@
+"""The paper's two relay-signalling mechanisms as policies (§5.2, §6.2).
+
+Both obey the relay rule — every monitor hand-off signals at most one thread
+whose predicate currently holds — and differ only in how that thread is
+found: :class:`RelayTaggedPolicy` goes through the predicate-tag structures
+(equivalence hash tables and threshold heaps, Fig. 7), while
+:class:`RelayExhaustivePolicy` checks every active predicate (the paper's
+AutoSynch-T ablation, which quantifies what tagging buys).
+"""
+
+from __future__ import annotations
+
+from repro.core.signalling.base import RelayPolicyBase
+from repro.core.signalling.registry import register_policy
+
+__all__ = ["RelayTaggedPolicy", "RelayExhaustivePolicy"]
+
+
+@register_policy
+class RelayTaggedPolicy(RelayPolicyBase):
+    """Relay signalling guided by predicate tags (the paper's AutoSynch)."""
+
+    name = "autosynch"
+    description = "relay signalling with predicate tags (AutoSynch)"
+    use_tags = True
+
+
+@register_policy
+class RelayExhaustivePolicy(RelayPolicyBase):
+    """Relay signalling with exhaustive predicate search (AutoSynch-T)."""
+
+    name = "autosynch_t"
+    description = "relay signalling, exhaustive predicate search (AutoSynch-T)"
+    use_tags = False

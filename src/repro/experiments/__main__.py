@@ -18,9 +18,12 @@ import sys
 from dataclasses import replace
 from typing import List, Optional, Sequence
 
+from repro.core.signalling import describe_policy
 from repro.experiments import EXPERIMENTS, get_experiment
 from repro.harness.report import format_series_table
+from repro.harness.results import mechanism_label
 from repro.harness.runner import ExperimentRunner
+from repro.problems.base import all_mechanisms
 
 __all__ = ["main"]
 
@@ -54,6 +57,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="list available experiment ids and exit",
     )
     parser.add_argument(
+        "--mechanisms",
+        default=None,
+        metavar="NAME[,NAME...]",
+        help=(
+            "override each experiment's mechanism comparison set; accepts "
+            "'explicit' and any registered signalling policy "
+            f"(currently: {', '.join(all_mechanisms())})"
+        ),
+    )
+    parser.add_argument(
+        "--list-mechanisms",
+        action="store_true",
+        help="list the signalling-policy registry contents and exit",
+    )
+    parser.add_argument(
         "--check-shapes",
         action="store_true",
         help="evaluate each experiment's qualitative shape checks and report pass/fail",
@@ -67,11 +85,30 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_mechanisms(raw: Optional[str]) -> Optional[List[str]]:
+    """Split and validate a ``--mechanisms`` value against the registry."""
+    if raw is None:
+        return None
+    names = [name.strip() for name in raw.split(",") if name.strip()]
+    if not names:
+        raise SystemExit("--mechanisms requires at least one mechanism name")
+    duplicates = sorted({name for name in names if names.count(name) > 1})
+    if duplicates:
+        raise SystemExit(f"duplicate mechanism(s) in --mechanisms: {duplicates}")
+    known = all_mechanisms()
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        raise SystemExit(
+            f"unknown mechanism(s) {unknown}; available: {', '.join(known)}"
+        )
+    return names
+
+
 def _run_one(experiment_id: str, args: argparse.Namespace) -> bool:
     experiment = get_experiment(experiment_id)
     runner = ExperimentRunner(progress=lambda message: print(f"  .. {message}", flush=True))
     print(f"== {experiment.experiment_id}: {experiment.title} ==", flush=True)
-    series = experiment.run(scale=args.scale, runner=runner)
+    series = experiment.run(scale=args.scale, runner=runner, mechanisms=args.mechanism_names)
     print(experiment.report(series))
     if args.csv_dir:
         from pathlib import Path
@@ -83,12 +120,19 @@ def _run_one(experiment_id: str, args: argparse.Namespace) -> bool:
         print(f"  (series written to {destination})")
     all_ok = True
     if args.check_shapes:
-        for description, ok in experiment.check_shapes(series):
-            status = "PASS" if ok else "FAIL"
-            all_ok = all_ok and ok
-            print(f"  [{status}] {description}")
+        if args.mechanism_names:
+            # The shape checks encode claims about the paper's fixed
+            # comparison set; with an overridden mechanism set they would
+            # compare against missing series.
+            print("  (shape checks skipped: --mechanisms overrides the comparison set)")
+        else:
+            for description, ok in experiment.check_shapes(series):
+                status = "PASS" if ok else "FAIL"
+                all_ok = all_ok and ok
+                print(f"  [{status}] {description}")
     if args.also_wall_clock:
         config = experiment.quick_config if args.scale == "quick" else experiment.full_config
+        config = experiment.configured(config, args.mechanism_names)
         wall_config = replace(config, backend="threading")
         wall_series = runner.run(wall_config)
         print(format_series_table(wall_series, "wall_time",
@@ -99,6 +143,16 @@ def _run_one(experiment_id: str, args: argparse.Namespace) -> bool:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.list_mechanisms:
+        width = max(len(name) for name in all_mechanisms())
+        for name in all_mechanisms():
+            if name == "explicit":
+                label = mechanism_label(name)
+            else:
+                label = describe_policy(name)
+            print(f"{name:{width}s}  {label}")
+        return 0
+    args.mechanism_names = _parse_mechanisms(args.mechanisms)
     if args.list:
         for experiment_id in sorted(EXPERIMENTS):
             experiment = EXPERIMENTS[experiment_id]

@@ -55,13 +55,36 @@ class Experiment:
     #: Optional custom report builder (Table 1 uses one).
     report_builder: Optional[Callable[[ExperimentSeries], str]] = None
 
-    def run(self, scale: str = "quick", runner: Optional[ExperimentRunner] = None) -> ExperimentSeries:
-        """Run the experiment at the given scale and return its series."""
+    def run(
+        self,
+        scale: str = "quick",
+        runner: Optional[ExperimentRunner] = None,
+        mechanisms: Optional[Sequence[str]] = None,
+    ) -> ExperimentSeries:
+        """Run the experiment at the given scale and return its series.
+
+        *mechanisms* overrides the configuration's comparison set — any
+        names the problem supports (``"explicit"`` plus every registered
+        signalling policy) are accepted, so ablations over new policies
+        reuse the paper's sweeps unchanged.
+        """
         if scale not in ("quick", "full"):
             raise ValueError(f"unknown scale {scale!r}; expected 'quick' or 'full'")
         config = self.quick_config if scale == "quick" else self.full_config
+        config = self.configured(config, mechanisms)
         runner = runner or ExperimentRunner()
         return runner.run(config)
+
+    @staticmethod
+    def configured(
+        config: RunConfig, mechanisms: Optional[Sequence[str]] = None
+    ) -> RunConfig:
+        """Return *config* with the mechanism set overridden (if given)."""
+        if mechanisms:
+            from dataclasses import replace
+
+            config = replace(config, mechanisms=tuple(mechanisms))
+        return config
 
     def report(self, series: ExperimentSeries) -> str:
         """Render the figure's data as text (table of the primary metric)."""

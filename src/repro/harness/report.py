@@ -61,10 +61,23 @@ def series_to_rows(series: ExperimentSeries, metric: str) -> List[List[object]]:
     return rows
 
 
-def format_series_table(series: ExperimentSeries, metric: str, title: str = "") -> str:
-    """Render one metric of a series as a text table, with an optional title."""
+def format_series_table(
+    series: ExperimentSeries, metric: str, title: str = "", legend: bool = True
+) -> str:
+    """Render one metric of a series as a text table, with an optional title.
+
+    With ``legend`` (the default) a key is appended mapping each mechanism
+    column to its signalling policy's ``describe()`` label, so series built
+    from arbitrary registered policies stay self-explanatory.
+    """
     mechanisms = list(series.mechanisms())
     headers = [series.x_label] + mechanisms
     table = format_table(headers, series_to_rows(series, metric))
     heading = title or f"{series.name} — {metric} ({series.backend} backend)"
-    return f"{heading}\n{table}"
+    lines = [heading, table]
+    if legend:
+        for mechanism in mechanisms:
+            label = series.label_for(mechanism)
+            if label != mechanism:
+                lines.append(f"  {mechanism}: {label}")
+    return "\n".join(lines)

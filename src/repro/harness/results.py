@@ -13,7 +13,30 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.harness.cost_model import CostModel, DEFAULT_COST_MODEL
 
-__all__ = ["RunResult", "MeasurementPoint", "ExperimentSeries", "aggregate_runs"]
+__all__ = [
+    "RunResult",
+    "MeasurementPoint",
+    "ExperimentSeries",
+    "aggregate_runs",
+    "mechanism_label",
+]
+
+
+def mechanism_label(mechanism: str) -> str:
+    """Human-readable label for a mechanism name.
+
+    Registered signalling policies answer through ``policy.describe()``;
+    ``"explicit"`` (not a policy) and unknown names get sensible fallbacks,
+    so reports keep working for arbitrary mechanism strings.
+    """
+    if mechanism == "explicit":
+        return "hand-written explicit-signal monitor"
+    from repro.core.signalling import describe_policy
+
+    try:
+        return describe_policy(mechanism)
+    except ValueError:
+        return mechanism
 
 
 @dataclass(frozen=True)
@@ -106,6 +129,10 @@ class ExperimentSeries:
 
     def mechanisms(self) -> Sequence[str]:
         return tuple(self.points)
+
+    def label_for(self, mechanism: str) -> str:
+        """Human-readable label of one of the series' mechanisms."""
+        return mechanism_label(mechanism)
 
     def x_values(self) -> List[int]:
         values: List[int] = []

@@ -27,6 +27,8 @@ class RunConfig:
 
     problem: str
     thread_counts: Tuple[int, ...]
+    #: Any mechanism names a problem supports: ``"explicit"`` plus every
+    #: registered signalling policy (defaults to the paper's comparison set).
     mechanisms: Tuple[str, ...] = MECHANISMS
     total_ops: int = 2_000
     repetitions: int = 3
@@ -34,6 +36,8 @@ class RunConfig:
     backend: str = "simulation"
     seed: int = 0
     profile: bool = False
+    #: Run the automatic monitors with relay-invariance checking enabled.
+    validate: bool = False
     x_label: str = "# threads"
     problem_params: Dict[str, object] = field(default_factory=dict)
 
@@ -86,6 +90,7 @@ class ExperimentRunner:
                     total_ops=config.total_ops,
                     seed=config.seed + repetition,
                     profile=config.profile,
+                    validate=config.validate,
                     **config.problem_params,
                 )
             )
@@ -94,8 +99,20 @@ class ExperimentRunner:
         )
 
     def run(self, config: RunConfig) -> ExperimentSeries:
-        """Run the full sweep described by *config*."""
+        """Run the full sweep described by *config*.
+
+        Mechanism names are validated against the problem's supported set
+        (which includes every registered signalling policy) before any work
+        starts, so a typo fails fast instead of halfway through a sweep.
+        """
         problem = get_problem(config.problem)
+        supported = problem.supported_mechanisms()
+        unknown = [name for name in config.mechanisms if name not in supported]
+        if unknown:
+            raise ValueError(
+                f"unknown mechanism(s) {unknown} for problem {config.problem!r}; "
+                f"supported: {supported}"
+            )
         series = ExperimentSeries(
             name=config.problem, x_label=config.x_label, backend=config.backend
         )

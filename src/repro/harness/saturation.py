@@ -37,9 +37,16 @@ def run_workload(
     seed: int = 0,
     profile: bool = False,
     verify: bool = True,
+    validate: bool = False,
     **problem_params: object,
 ) -> RunResult:
-    """Build and execute one saturation run, returning its measurements."""
+    """Build and execute one saturation run, returning its measurements.
+
+    ``validate`` enables the automatic monitor's relay-invariance checking
+    (a :class:`~repro.core.errors.MonitorError` aborts the run if a relay
+    step ever loses a signal); ``verify`` re-checks the problem's own
+    invariants after the run.
+    """
     spec = problem.build(
         mechanism,
         backend,
@@ -47,6 +54,7 @@ def run_workload(
         total_ops=total_ops,
         seed=seed,
         profile=profile,
+        validate=validate,
         **problem_params,
     )
     backend.reset_metrics()

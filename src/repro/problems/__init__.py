@@ -9,7 +9,14 @@ experiment harness can drive generically.
 
 from typing import Dict
 
-from repro.problems.base import AUTOMATIC_MECHANISMS, MECHANISMS, Problem, WorkloadSpec
+from repro.problems.base import (
+    AUTOMATIC_MECHANISMS,
+    EXPLICIT_MECHANISM,
+    MECHANISMS,
+    Problem,
+    WorkloadSpec,
+    all_mechanisms,
+)
 from repro.problems.bounded_buffer import (
     AutoBoundedBuffer,
     BoundedBufferProblem,
@@ -44,10 +51,12 @@ from repro.problems.sleeping_barber import (
 
 __all__ = [
     "AUTOMATIC_MECHANISMS",
+    "EXPLICIT_MECHANISM",
     "MECHANISMS",
     "PROBLEMS",
     "Problem",
     "WorkloadSpec",
+    "all_mechanisms",
     "get_problem",
     # monitors
     "AutoBoundedBuffer",

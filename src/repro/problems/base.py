@@ -3,7 +3,9 @@
 Each problem module provides a :class:`Problem` subclass that knows how to
 
 * build the shared monitor for a given signalling *mechanism*
-  (``"explicit"``, ``"baseline"``, ``"autosynch_t"`` or ``"autosynch"``),
+  (``"explicit"`` or any policy registered in :mod:`repro.core.signalling` —
+  ``"baseline"``, ``"autosynch_t"``, ``"autosynch"``, ``"relay_batched"``,
+  ``"relay_fifo"``, ...),
 * build the worker thread bodies of a saturation test sized by the figure's
   x-axis value (``threads``) and a total operation budget, and
 * verify the problem's correctness invariants after the run.
@@ -18,16 +20,45 @@ import abc
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.monitor import MonitorBase
+from repro.core.monitor import AUTOMATIC_MODES, MonitorBase
+from repro.core.signalling import available_policies
 from repro.runtime.api import Backend
 
-__all__ = ["MECHANISMS", "AUTOMATIC_MECHANISMS", "WorkloadSpec", "Problem"]
+__all__ = [
+    "EXPLICIT_MECHANISM",
+    "MECHANISMS",
+    "AUTOMATIC_MECHANISMS",
+    "all_mechanisms",
+    "WorkloadSpec",
+    "Problem",
+]
 
-#: Signalling mechanisms compared in the paper, in presentation order.
-MECHANISMS = ("explicit", "baseline", "autosynch_t", "autosynch")
+#: The hand-written explicit-signal implementation (not a registry policy).
+EXPLICIT_MECHANISM = "explicit"
 
-#: Mechanisms implemented by the waituntil-style (automatic) monitor.
-AUTOMATIC_MECHANISMS = ("baseline", "autosynch_t", "autosynch")
+#: The paper's automatic mechanisms in the figures' presentation order
+#: (weakest mechanism first — the reverse of ``AUTOMATIC_MODES``);
+#: membership is then re-derived from the signalling-policy registry so a
+#: renamed/removed policy cannot silently diverge from what the monitor
+#: actually accepts.
+_PAPER_AUTOMATIC_ORDER = tuple(reversed(AUTOMATIC_MODES))
+
+#: The paper's automatic mechanisms (the legacy comparison set).
+AUTOMATIC_MECHANISMS = tuple(
+    name for name in _PAPER_AUTOMATIC_ORDER if name in available_policies()
+)
+
+#: Default comparison set of the paper's figures, in presentation order.
+MECHANISMS = (EXPLICIT_MECHANISM,) + AUTOMATIC_MECHANISMS
+
+
+def all_mechanisms() -> Tuple[str, ...]:
+    """Every runnable mechanism: ``"explicit"`` plus all registered policies.
+
+    Unlike :data:`MECHANISMS` (the paper's frozen comparison set) this
+    reflects the live registry, so custom policies show up automatically.
+    """
+    return (EXPLICIT_MECHANISM,) + available_policies()
 
 
 @dataclass
@@ -71,6 +102,7 @@ class Problem(abc.ABC):
         total_ops: int,
         seed: int = 0,
         profile: bool = False,
+        validate: bool = False,
         **params: object,
     ) -> WorkloadSpec:
         """Construct the monitor and worker bodies for one saturation run.
@@ -79,16 +111,33 @@ class Problem(abc.ABC):
         of producers/consumers, H atoms, customers, philosophers, ... — is
         documented by each problem).  ``total_ops`` is the total operation
         budget shared by the worker threads, so runtime measures
-        synchronization overhead rather than total work.
+        synchronization overhead rather than total work.  ``validate``
+        enables the automatic monitor's relay-invariance checking.
         """
 
     # -- helpers shared by concrete problems ---------------------------------
 
+    def supported_mechanisms(self) -> Tuple[str, ...]:
+        """The problem's own mechanism set plus every registered policy.
+
+        A problem that supports any automatic mechanism runs under every
+        signalling policy (its ``waituntil`` monitor is policy-agnostic), so
+        registry extensions are supported without per-problem changes.
+        """
+        declared = self.mechanisms
+        if any(name in declared for name in AUTOMATIC_MECHANISMS):
+            extras = tuple(
+                name for name in available_policies() if name not in declared
+            )
+            return declared + extras
+        return declared
+
     def _check_mechanism(self, mechanism: str) -> None:
-        if mechanism not in self.mechanisms:
+        supported = self.supported_mechanisms()
+        if mechanism not in supported:
             raise ValueError(
                 f"problem {self.name!r} does not support mechanism {mechanism!r}; "
-                f"supported: {self.mechanisms}"
+                f"supported: {supported}"
             )
 
     @staticmethod
@@ -100,6 +149,13 @@ class Problem(abc.ABC):
         return [base + (1 if index < remainder else 0) for index in range(workers)]
 
     @staticmethod
-    def monitor_kwargs(mechanism: str, backend: Backend, profile: bool) -> Dict[str, object]:
+    def monitor_kwargs(
+        mechanism: str, backend: Backend, profile: bool, validate: bool = False
+    ) -> Dict[str, object]:
         """Constructor keyword arguments for the automatic monitor variants."""
-        return {"backend": backend, "signalling": mechanism, "profile": profile}
+        return {
+            "backend": backend,
+            "signalling": mechanism,
+            "profile": profile,
+            "validate": validate,
+        }

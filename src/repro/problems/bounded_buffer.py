@@ -103,6 +103,7 @@ class BoundedBufferProblem(Problem):
         total_ops: int,
         seed: int = 0,
         profile: bool = False,
+        validate: bool = False,
         capacity: int = DEFAULT_CAPACITY,
         **params: object,
     ) -> WorkloadSpec:
@@ -114,7 +115,7 @@ class BoundedBufferProblem(Problem):
             monitor = ExplicitBoundedBuffer(capacity, backend=backend, profile=profile)
         else:
             monitor = AutoBoundedBuffer(
-                capacity, **self.monitor_kwargs(mechanism, backend, profile)
+                capacity, **self.monitor_kwargs(mechanism, backend, profile, validate)
             )
 
         # ``total_ops`` counts puts + takes; items produced must equal items

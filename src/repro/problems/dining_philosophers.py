@@ -116,6 +116,7 @@ class DiningPhilosophersProblem(Problem):
         total_ops: int,
         seed: int = 0,
         profile: bool = False,
+        validate: bool = False,
         **params: object,
     ) -> WorkloadSpec:
         self._check_mechanism(mechanism)
@@ -126,7 +127,7 @@ class DiningPhilosophersProblem(Problem):
             monitor = ExplicitDiningTable(threads, backend=backend, profile=profile)
         else:
             monitor = AutoDiningTable(
-                threads, **self.monitor_kwargs(mechanism, backend, profile)
+                threads, **self.monitor_kwargs(mechanism, backend, profile, validate)
             )
 
         # One "operation" is a full pick_up/put_down cycle (a meal).

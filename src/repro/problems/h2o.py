@@ -123,6 +123,7 @@ class H2OProblem(Problem):
         total_ops: int,
         seed: int = 0,
         profile: bool = False,
+        validate: bool = False,
         **params: object,
     ) -> WorkloadSpec:
         self._check_mechanism(mechanism)
@@ -132,7 +133,7 @@ class H2OProblem(Problem):
         if mechanism == "explicit":
             monitor = ExplicitWaterFactory(backend=backend, profile=profile)
         else:
-            monitor = AutoWaterFactory(**self.monitor_kwargs(mechanism, backend, profile))
+            monitor = AutoWaterFactory(**self.monitor_kwargs(mechanism, backend, profile, validate))
 
         # Each molecule is one oxygen_ready() call plus two hydrogen_ready()
         # calls, so the operation budget buys total_ops // 3 molecules.

@@ -130,6 +130,7 @@ class ParameterizedBoundedBufferProblem(Problem):
         total_ops: int,
         seed: int = 0,
         profile: bool = False,
+        validate: bool = False,
         capacity: int = DEFAULT_CAPACITY,
         max_batch: int = DEFAULT_MAX_BATCH,
         **params: object,
@@ -145,7 +146,7 @@ class ParameterizedBoundedBufferProblem(Problem):
             )
         else:
             monitor = AutoParameterizedBoundedBuffer(
-                capacity, **self.monitor_kwargs(mechanism, backend, profile)
+                capacity, **self.monitor_kwargs(mechanism, backend, profile, validate)
             )
 
         # Pre-draw every consumer's take sizes so that the producer knows the

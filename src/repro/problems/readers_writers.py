@@ -160,6 +160,7 @@ class ReadersWritersProblem(Problem):
         total_ops: int,
         seed: int = 0,
         profile: bool = False,
+        validate: bool = False,
         readers_per_writer: int = DEFAULT_READERS_PER_WRITER,
         **params: object,
     ) -> WorkloadSpec:
@@ -172,7 +173,7 @@ class ReadersWritersProblem(Problem):
         if mechanism == "explicit":
             monitor = ExplicitReadersWriters(backend=backend, profile=profile)
         else:
-            monitor = AutoReadersWriters(**self.monitor_kwargs(mechanism, backend, profile))
+            monitor = AutoReadersWriters(**self.monitor_kwargs(mechanism, backend, profile, validate))
 
         workers = writers + readers
         per_worker = max(1, total_ops // workers)

@@ -80,6 +80,7 @@ class RoundRobinProblem(Problem):
         total_ops: int,
         seed: int = 0,
         profile: bool = False,
+        validate: bool = False,
         **params: object,
     ) -> WorkloadSpec:
         self._check_mechanism(mechanism)
@@ -90,7 +91,7 @@ class RoundRobinProblem(Problem):
             monitor = ExplicitRoundRobin(threads, backend=backend, profile=profile)
         else:
             monitor = AutoRoundRobin(
-                threads, **self.monitor_kwargs(mechanism, backend, profile)
+                threads, **self.monitor_kwargs(mechanism, backend, profile, validate)
             )
 
         # Every thread must take the same number of turns or the rotation

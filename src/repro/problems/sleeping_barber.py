@@ -151,6 +151,7 @@ class SleepingBarberProblem(Problem):
         total_ops: int,
         seed: int = 0,
         profile: bool = False,
+        validate: bool = False,
         chairs: int = DEFAULT_CHAIRS,
         **params: object,
     ) -> WorkloadSpec:
@@ -166,7 +167,7 @@ class SleepingBarberProblem(Problem):
             monitor = AutoBarberShop(
                 chairs,
                 num_customers=threads,
-                **self.monitor_kwargs(mechanism, backend, profile),
+                **self.monitor_kwargs(mechanism, backend, profile, validate),
             )
 
         visits_per_customer = self._split_ops(max(total_ops, threads), threads)

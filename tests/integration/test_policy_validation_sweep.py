@@ -1,0 +1,65 @@
+"""Validate-mode sweep: relay invariance for every policy on every problem.
+
+Every registered signalling policy runs every problem on the simulation
+backend with ``validate=True``, across several seeds.  In validate mode the
+monitor re-checks the relay-invariance property after every relay step that
+signalled nobody — ``ConditionManager.find_missed_waiter`` must never find a
+true waiting predicate the search missed, otherwise the run aborts with a
+``MonitorError``.  This is the soundness net under the whole policy
+subsystem: a new policy whose search prunes too aggressively cannot pass.
+
+The sweep also cross-checks the policies against each other: for a fixed
+problem and seed, every policy must complete the identical operation budget
+(and satisfy the problem's own invariants, via ``verify=True``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.signalling import available_policies
+from repro.harness.saturation import run_workload
+from repro.problems import PROBLEMS, get_problem
+from repro.runtime import SimulationBackend
+
+SEEDS = (3, 29, 101)
+
+SWEEP = [
+    (problem_name, policy, seed)
+    for problem_name in sorted(PROBLEMS)
+    for policy in available_policies()
+    for seed in SEEDS
+]
+
+
+def run_validated(problem_name: str, policy: str, seed: int):
+    problem = get_problem(problem_name)
+    backend = SimulationBackend(seed=seed, policy="random")
+    return run_workload(
+        problem,
+        policy,
+        backend,
+        threads=3,
+        total_ops=72,
+        seed=seed,
+        verify=True,
+        validate=True,
+    )
+
+
+@pytest.mark.parametrize("problem_name, policy, seed", SWEEP)
+def test_policy_preserves_relay_invariance(problem_name, policy, seed):
+    """validate=True aborts the run if find_missed_waiter ever fires."""
+    result = run_validated(problem_name, policy, seed)
+    assert result.operations > 0
+
+
+@pytest.mark.parametrize("problem_name", sorted(PROBLEMS))
+def test_policies_agree_on_operation_totals(problem_name):
+    """All policies complete the same work for the same configuration."""
+    seed = SEEDS[0]
+    totals = {
+        policy: run_validated(problem_name, policy, seed).operations
+        for policy in available_policies()
+    }
+    assert len(set(totals.values())) == 1, totals
