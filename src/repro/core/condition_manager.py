@@ -15,6 +15,16 @@ thread whose predicate is currently true and notify it.  With ``use_tags``
 disabled the manager degenerates into the paper's *AutoSynch-T* variant: the
 same relay rule, but every active predicate is checked exhaustively.
 
+Every search pass (``_relay_search``, ``relay_signal_fifo``,
+``find_missed_waiter``) evaluates predicates through a fresh per-pass
+:class:`~repro.predicates.evaluator.EvalContext`: the monitor lock is held
+for the whole pass, so shared state cannot change mid-pass, and the context
+memoizes shared-variable and shared-expression reads — a batch of N entries
+over the same shared expression costs one read instead of N.  The context
+also selects the evaluation engine (``eval_engine="compiled"`` for the
+codegen closures of :mod:`repro.predicates.codegen`, ``"interpreted"`` for
+the tree walker) and attributes per-engine counters to the monitor stats.
+
 Two generalizations serve the pluggable signalling policies
 (:mod:`repro.core.signalling`): ``signal_many(limit)`` amortizes one search
 pass over up to *limit* wake-ups (the batched-relay policy), and
@@ -32,8 +42,9 @@ from typing import Deque, Dict, Iterable, List, Optional
 from repro.core.errors import MonitorUsageError
 from repro.core.heaps import LOWER_BOUND_OPS, ThresholdHeap, UPPER_BOUND_OPS
 from repro.core.instrumentation import MonitorStats
-from repro.predicates import EvaluationError, TagKind, evaluate
+from repro.predicates import EvalContext, EvaluationError, TagKind
 from repro.predicates.ast_nodes import Expr
+from repro.predicates.codegen import DEFAULT_ENGINE, validate_engine
 from repro.predicates.predicate import GlobalizedPredicate
 from repro.runtime.api import Backend, ConditionAPI, LockAPI
 
@@ -108,12 +119,14 @@ class ConditionManager:
         use_tags: bool = True,
         inactive_capacity: int = DEFAULT_INACTIVE_CAPACITY,
         tracer: Optional[object] = None,
+        eval_engine: str = DEFAULT_ENGINE,
     ) -> None:
         self._owner = owner
         self._backend = backend
         self._lock = lock
         self._stats = stats
         self.use_tags = use_tags
+        self.eval_engine = validate_engine(eval_engine)
         self._inactive_capacity = inactive_capacity
         self._tracer = tracer
 
@@ -306,17 +319,22 @@ class ConditionManager:
             raise ValueError(f"signal_many limit must be >= 1, got {limit}")
         return self._relay_search(limit)
 
+    def _eval_context(self) -> EvalContext:
+        """A fresh per-pass evaluation context (memoized shared reads)."""
+        return EvalContext(self._owner, engine=self.eval_engine, stats=self._stats)
+
     def _relay_search(self, limit: int) -> int:
         self._stats.relay_signal_calls += 1
         with self._stats.time_bucket("relay_signal_time"):
+            ctx = self._eval_context()
             signalled = 0
             if self.use_tags:
                 for index in self._indices.values():
-                    signalled += self._search_index(index, limit - signalled)
+                    signalled += self._search_index(index, limit - signalled, ctx)
                     if signalled >= limit:
                         break
             if signalled < limit:
-                signalled += self._search_untagged(limit - signalled)
+                signalled += self._search_untagged(limit - signalled, ctx)
         if self._tracer is not None:
             self._tracer.record(
                 "relay",
@@ -336,6 +354,7 @@ class ConditionManager:
         """
         self._stats.relay_signal_calls += 1
         with self._stats.time_bucket("relay_signal_time"):
+            ctx = self._eval_context()
             best: Optional[PredicateEntry] = None
             best_seq: Optional[int] = None
             # Without tags every active entry lives in _untagged, which skips
@@ -349,7 +368,7 @@ class ConditionManager:
                     continue
                 self._stats.exhaustive_checks += 1
                 self._stats.predicate_evaluations += 1
-                if not entry.globalized.holds(self._owner):
+                if not ctx.holds(entry.globalized):
                     continue
                 seq = entry.next_unsignalled_seq
                 if best is None or (
@@ -378,18 +397,24 @@ class ConditionManager:
         pruned away a predicate they should not have — a violation of the
         soundness property behind relay invariance.
         """
+        # A stats-less context: the validate-mode recheck is diagnostic and
+        # must not skew the engine-attribution counters (which would break
+        # the invariant compiled + interpreted == predicate_evaluations).
+        ctx = EvalContext(self._owner, engine=self.eval_engine)
         for entry in self._table.values():
             if not entry.active or entry.unsignalled_waiters <= 0:
                 continue
-            if entry.globalized.holds(self._owner):
+            if ctx.holds(entry.globalized):
                 return entry
         return None
 
     # -- tag-directed search -------------------------------------------------
 
-    def _search_index(self, index: _ExpressionIndex, limit: int) -> int:
+    def _search_index(
+        self, index: _ExpressionIndex, limit: int, ctx: EvalContext
+    ) -> int:
         try:
-            value = evaluate(index.shared_expr, self._owner)
+            value = ctx.evaluate_shared(index.shared_expr, index.expr_key)
         except EvaluationError:
             # The shared expression cannot currently be evaluated (e.g. a
             # field was deleted); fall back to exhaustive search for safety.
@@ -400,11 +425,15 @@ class ConditionManager:
             self._stats.tag_hash_lookups += 1
             bucket = self._equivalence_bucket(index, value)
             if bucket:
-                signalled += self._signal_true(bucket, limit)
+                signalled += self._signal_true(bucket, limit, ctx)
         if signalled < limit:
-            signalled += self._search_heap(index.lower_heap, value, limit - signalled)
+            signalled += self._search_heap(
+                index.lower_heap, value, limit - signalled, ctx
+            )
         if signalled < limit:
-            signalled += self._search_heap(index.upper_heap, value, limit - signalled)
+            signalled += self._search_heap(
+                index.upper_heap, value, limit - signalled, ctx
+            )
         return signalled
 
     def _equivalence_bucket(
@@ -415,7 +444,9 @@ class ConditionManager:
         except TypeError:  # unhashable shared-expression value
             return None
 
-    def _search_heap(self, heap: ThresholdHeap, value: object, limit: int) -> int:
+    def _search_heap(
+        self, heap: ThresholdHeap, value: object, limit: int, ctx: EvalContext
+    ) -> int:
         """The threshold-tag signalling algorithm of Fig. 4."""
         if not heap:
             return 0
@@ -431,7 +462,7 @@ class ConditionManager:
                     satisfied = False
                 if not satisfied:
                     break
-                signalled += self._signal_true(node.entries, limit - signalled)
+                signalled += self._signal_true(node.entries, limit - signalled, ctx)
                 if signalled >= limit:
                     break
                 # The tag is true but its predicates yielded no more waiters;
@@ -446,15 +477,16 @@ class ConditionManager:
 
     # -- exhaustive search ---------------------------------------------------
 
-    def _search_untagged(self, limit: int) -> int:
+    def _search_untagged(self, limit: int, ctx: EvalContext) -> int:
         return self._signal_true(
-            self._untagged.values(), limit, count_as_exhaustive=True
+            self._untagged.values(), limit, ctx, count_as_exhaustive=True
         )
 
     def _signal_true(
         self,
         entries: Iterable[PredicateEntry],
         limit: int,
+        ctx: EvalContext,
         count_as_exhaustive: bool = False,
     ) -> int:
         """Signal waiters of true-predicate entries, up to *limit* in total.
@@ -474,7 +506,7 @@ class ConditionManager:
             if count_as_exhaustive:
                 self._stats.exhaustive_checks += 1
             self._stats.predicate_evaluations += 1
-            if entry.globalized.holds(self._owner):
+            if ctx.holds(entry.globalized):
                 wake = min(entry.unsignalled_waiters, limit - signalled)
                 for _ in range(wake):
                     self._signal(entry)

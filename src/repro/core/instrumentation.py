@@ -1,9 +1,10 @@
 """Counters and timers used to reproduce the paper's measurements.
 
 ``MonitorStats`` collects both event counters (predicate evaluations, relay
-signals, wake-ups, tag-structure activity) and, when profiling is enabled,
+signals, wake-ups, tag-structure activity, compiled-vs-interpreted engine
+attribution and EvalContext cache hits) and, when profiling is enabled,
 wall-clock time buckets matching Table 1 of the paper (await / lock /
-relaySignal / tag manager / others).
+relaySignal / tag manager / others) plus per-engine evaluation timings.
 
 The counters are updated while the monitor lock is held, so no extra
 synchronization is needed on top of it.
@@ -38,6 +39,14 @@ class MonitorStats:
     exhaustive_checks: int = 0
     tag_insertions: int = 0
     tag_removals: int = 0
+    #: Predicate evaluations served by the compiled (codegen) engine.
+    compiled_evaluations: int = 0
+    #: Predicate evaluations served by the tree-walking interpreter.
+    interpreted_evaluations: int = 0
+    #: Shared-variable reads answered from an EvalContext's per-pass cache.
+    shared_read_cache_hits: int = 0
+    #: Shared-expression evaluations answered from an EvalContext's cache.
+    shared_expr_cache_hits: int = 0
 
     # --- time buckets (seconds), populated only when profiling ----------
     await_time: float = 0.0
@@ -45,6 +54,10 @@ class MonitorStats:
     relay_signal_time: float = 0.0
     tag_manager_time: float = 0.0
     method_time: float = 0.0
+    #: Wall-clock spent inside compiled predicate evaluations.
+    compiled_eval_time: float = 0.0
+    #: Wall-clock spent inside interpreted predicate evaluations.
+    interpreted_eval_time: float = 0.0
 
     profiling: bool = False
 

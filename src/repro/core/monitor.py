@@ -49,7 +49,13 @@ from repro.core.errors import MonitorUsageError
 from repro.core.instrumentation import MonitorStats
 from repro.core.signalling import SignallingPolicy, create_policy
 from repro.predicates.classify import ClassificationError
-from repro.predicates.predicate import CompiledPredicate, compile_predicate
+from repro.predicates.codegen import DEFAULT_ENGINE, validate_engine
+from repro.predicates.evaluator import _EMPTY_LOCALS, read_shared
+from repro.predicates.predicate import (
+    CompiledPredicate,
+    GlobalizedPredicate,
+    compile_predicate,
+)
 from repro.runtime.api import Backend, ConditionAPI
 from repro.runtime.threads import ThreadingBackend
 
@@ -231,6 +237,12 @@ class AutoSynchMonitor(MonitorBase):
     validate:
         Check the relay-invariance property after every relay step that
         signalled nobody (slow; used by the validation sweeps).
+    eval_engine:
+        Predicate-evaluation engine: ``"compiled"`` (the default — each
+        predicate is lowered to a native Python closure, with transparent
+        fallback to the interpreter for anything codegen declines) or
+        ``"interpreted"`` (the tree-walking evaluator; the ablation
+        baseline).
     """
 
     def __init__(
@@ -241,9 +253,11 @@ class AutoSynchMonitor(MonitorBase):
         inactive_capacity: int = DEFAULT_INACTIVE_CAPACITY,
         tracer: Optional[object] = None,
         validate: bool = False,
+        eval_engine: str = DEFAULT_ENGINE,
     ) -> None:
         super().__init__(backend, profile, tracer)
         self._validate = validate
+        self._eval_engine = validate_engine(eval_engine)
         self._inactive_capacity = inactive_capacity
         self._predicate_cache: Dict[Tuple[str, frozenset], CompiledPredicate] = {}
         self._shared_name_cache: Optional[frozenset] = None
@@ -267,6 +281,11 @@ class AutoSynchMonitor(MonitorBase):
         return self._policy.name
 
     @property
+    def eval_engine(self) -> str:
+        """The predicate-evaluation engine (``"compiled"``/``"interpreted"``)."""
+        return self._eval_engine
+
+    @property
     def signalling_policy(self) -> SignallingPolicy:
         """The bound :class:`SignallingPolicy` strategy object."""
         return self._policy
@@ -288,8 +307,7 @@ class AutoSynchMonitor(MonitorBase):
         """
         self._require_monitor_held("wait_until")
         compiled = self._compiled(predicate, local_values)
-        self._stats.predicate_evaluations += 1
-        if compiled.evaluate(self, local_values):
+        if self._evaluate_predicate(compiled, local_values):
             return
         self._policy.on_wait(compiled, local_values)
 
@@ -308,7 +326,48 @@ class AutoSynchMonitor(MonitorBase):
             use_tags=use_tags,
             inactive_capacity=self._inactive_capacity,
             tracer=self._tracer,
+            eval_engine=self._eval_engine,
         )
+
+    def _evaluate_predicate(
+        self, compiled: CompiledPredicate, local_values: Optional[Mapping[str, object]]
+    ) -> bool:
+        """Evaluate a (possibly complex) predicate with the configured engine.
+
+        Used for the checks performed by the calling thread itself — the
+        initial ``wait_until`` test and the broadcast policy's re-check —
+        where local values are still live.
+        """
+        stats = self._stats
+        stats.predicate_evaluations += 1
+        if self._eval_engine == "compiled":
+            fn = compiled.compiled_fn()
+            if fn is not None:
+                stats.compiled_evaluations += 1
+                with stats.time_bucket("compiled_eval_time"):
+                    return bool(fn(self, read_shared, local_values or _EMPTY_LOCALS))
+        stats.interpreted_evaluations += 1
+        with stats.time_bucket("interpreted_eval_time"):
+            return compiled.evaluate(self, local_values)
+
+    def _predicate_holds(self, globalized: GlobalizedPredicate) -> bool:
+        """Evaluate a globalized predicate with the configured engine.
+
+        Used by the relay policies' wakeup re-check; the condition manager's
+        batch searches instead evaluate through a shared per-pass
+        :class:`~repro.predicates.evaluator.EvalContext`.
+        """
+        stats = self._stats
+        stats.predicate_evaluations += 1
+        if self._eval_engine == "compiled":
+            fn = globalized.compiled_fn()
+            if fn is not None:
+                stats.compiled_evaluations += 1
+                with stats.time_bucket("compiled_eval_time"):
+                    return bool(fn(self, read_shared, _EMPTY_LOCALS))
+        stats.interpreted_evaluations += 1
+        with stats.time_bucket("interpreted_eval_time"):
+            return globalized.holds(self)
 
     def _create_condition(self) -> ConditionAPI:
         """Create a condition variable tied to the monitor lock."""

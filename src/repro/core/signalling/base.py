@@ -161,8 +161,7 @@ class RelayPolicyBase(SignallingPolicy):
                 monitor._block_on(entry.condition)
                 stats.wakeups += 1
                 self.consume(entry)
-                stats.predicate_evaluations += 1
-                if globalized.holds(monitor):
+                if monitor._predicate_holds(globalized):
                     monitor._trace("wakeup", predicate=entry.canonical)
                     return
                 stats.spurious_wakeups += 1

@@ -47,8 +47,7 @@ class BroadcastPolicy(SignallingPolicy):
             monitor._trace("wait", predicate=compiled.source)
             monitor._block_on(self._condition)
             stats.wakeups += 1
-            stats.predicate_evaluations += 1
-            if compiled.evaluate(monitor, local_values):
+            if monitor._evaluate_predicate(compiled, local_values):
                 monitor._trace("wakeup", predicate=compiled.source)
                 return
             stats.spurious_wakeups += 1

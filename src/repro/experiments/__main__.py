@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence
 
 from repro.core.signalling import describe_policy
 from repro.experiments import EXPERIMENTS, get_experiment
+from repro.predicates.codegen import DEFAULT_ENGINE, ENGINES
 from repro.harness.report import format_series_table
 from repro.harness.results import mechanism_label
 from repro.harness.runner import ExperimentRunner
@@ -72,6 +73,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="list the signalling-policy registry contents and exit",
     )
     parser.add_argument(
+        "--eval-engine",
+        choices=ENGINES,
+        default=None,
+        help=(
+            "predicate-evaluation engine for the automatic monitors "
+            "(default: each experiment's configured engine, normally "
+            f"{DEFAULT_ENGINE!r})"
+        ),
+    )
+    parser.add_argument(
         "--check-shapes",
         action="store_true",
         help="evaluate each experiment's qualitative shape checks and report pass/fail",
@@ -108,7 +119,12 @@ def _run_one(experiment_id: str, args: argparse.Namespace) -> bool:
     experiment = get_experiment(experiment_id)
     runner = ExperimentRunner(progress=lambda message: print(f"  .. {message}", flush=True))
     print(f"== {experiment.experiment_id}: {experiment.title} ==", flush=True)
-    series = experiment.run(scale=args.scale, runner=runner, mechanisms=args.mechanism_names)
+    series = experiment.run(
+        scale=args.scale,
+        runner=runner,
+        mechanisms=args.mechanism_names,
+        eval_engine=args.eval_engine,
+    )
     print(experiment.report(series))
     if args.csv_dir:
         from pathlib import Path
@@ -132,7 +148,7 @@ def _run_one(experiment_id: str, args: argparse.Namespace) -> bool:
                 print(f"  [{status}] {description}")
     if args.also_wall_clock:
         config = experiment.quick_config if args.scale == "quick" else experiment.full_config
-        config = experiment.configured(config, args.mechanism_names)
+        config = experiment.configured(config, args.mechanism_names, args.eval_engine)
         wall_config = replace(config, backend="threading")
         wall_series = runner.run(wall_config)
         print(format_series_table(wall_series, "wall_time",

@@ -60,30 +60,36 @@ class Experiment:
         scale: str = "quick",
         runner: Optional[ExperimentRunner] = None,
         mechanisms: Optional[Sequence[str]] = None,
+        eval_engine: Optional[str] = None,
     ) -> ExperimentSeries:
         """Run the experiment at the given scale and return its series.
 
         *mechanisms* overrides the configuration's comparison set — any
         names the problem supports (``"explicit"`` plus every registered
         signalling policy) are accepted, so ablations over new policies
-        reuse the paper's sweeps unchanged.
+        reuse the paper's sweeps unchanged.  *eval_engine* overrides the
+        automatic monitors' predicate-evaluation engine the same way.
         """
         if scale not in ("quick", "full"):
             raise ValueError(f"unknown scale {scale!r}; expected 'quick' or 'full'")
         config = self.quick_config if scale == "quick" else self.full_config
-        config = self.configured(config, mechanisms)
+        config = self.configured(config, mechanisms, eval_engine)
         runner = runner or ExperimentRunner()
         return runner.run(config)
 
     @staticmethod
     def configured(
-        config: RunConfig, mechanisms: Optional[Sequence[str]] = None
+        config: RunConfig,
+        mechanisms: Optional[Sequence[str]] = None,
+        eval_engine: Optional[str] = None,
     ) -> RunConfig:
-        """Return *config* with the mechanism set overridden (if given)."""
-        if mechanisms:
-            from dataclasses import replace
+        """Return *config* with mechanism set / eval engine overridden."""
+        from dataclasses import replace
 
+        if mechanisms:
             config = replace(config, mechanisms=tuple(mechanisms))
+        if eval_engine is not None:
+            config = replace(config, eval_engine=eval_engine)
         return config
 
     def report(self, series: ExperimentSeries) -> str:

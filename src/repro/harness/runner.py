@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.harness.cost_model import CostModel, DEFAULT_COST_MODEL
 from repro.harness.results import ExperimentSeries, MeasurementPoint, RunResult, aggregate_runs
 from repro.harness.saturation import make_backend, run_workload
+from repro.predicates.codegen import DEFAULT_ENGINE
 from repro.problems import get_problem
 from repro.problems.base import MECHANISMS, Problem
 
@@ -38,6 +39,9 @@ class RunConfig:
     profile: bool = False
     #: Run the automatic monitors with relay-invariance checking enabled.
     validate: bool = False
+    #: Predicate-evaluation engine for the automatic monitors
+    #: (``"compiled"`` or ``"interpreted"``).
+    eval_engine: str = DEFAULT_ENGINE
     x_label: str = "# threads"
     problem_params: Dict[str, object] = field(default_factory=dict)
 
@@ -91,6 +95,7 @@ class ExperimentRunner:
                     seed=config.seed + repetition,
                     profile=config.profile,
                     validate=config.validate,
+                    eval_engine=config.eval_engine,
                     **config.problem_params,
                 )
             )

@@ -39,9 +39,21 @@ from repro.predicates.classify import (
     is_shared_predicate,
     scope_of,
 )
+from repro.predicates.codegen import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    compile_expr,
+    compiled_source,
+    validate_engine,
+)
 from repro.predicates.dnf import Conjunction, DNFPredicate, to_dnf, to_nnf
 from repro.predicates.errors import PredicateError, PredicateParseError
-from repro.predicates.evaluator import EvaluationError, evaluate
+from repro.predicates.evaluator import (
+    EvalContext,
+    EvaluationError,
+    evaluate,
+    read_shared,
+)
 from repro.predicates.globalization import globalize
 from repro.predicates.parser import parse_predicate
 from repro.predicates.rewrite import normalize_comparison
@@ -59,7 +71,10 @@ __all__ = [
     "CompiledPredicate",
     "Conjunction",
     "Const",
+    "DEFAULT_ENGINE",
     "DNFPredicate",
+    "ENGINES",
+    "EvalContext",
     "EvaluationError",
     "Expr",
     "Name",
@@ -74,7 +89,9 @@ __all__ = [
     "UnaryOp",
     "analyze_predicate",
     "classify",
+    "compile_expr",
     "compile_predicate",
+    "compiled_source",
     "evaluate",
     "free_names",
     "globalize",
@@ -82,10 +99,12 @@ __all__ = [
     "is_shared_predicate",
     "normalize_comparison",
     "parse_predicate",
+    "read_shared",
     "scope_of",
     "tag_conjunction",
     "to_dnf",
     "to_nnf",
     "unparse",
+    "validate_engine",
     "walk",
 ]

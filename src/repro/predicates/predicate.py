@@ -5,22 +5,36 @@ classify, (lazily) globalize, convert to DNF, derive tags — and produces a
 :class:`CompiledPredicate`.  The monitor compiles each distinct ``waituntil``
 source string once and reuses the compiled form for every call; only the
 globalization step depends on the calling thread's local values.
+
+Both predicate objects additionally carry a lazily-built **compiled
+closure** (see :mod:`repro.predicates.codegen`): the IR lowered to a native
+Python function with identical semantics to the tree-walking interpreter.
+``compiled_fn()`` returns that function (or None when codegen declined, in
+which case callers fall back to the interpreter), and ``compiled_holds`` /
+``compiled_evaluate`` are the convenience wrappers that do the fallback
+automatically.  Closures are cached per instance *and* memoized on the IR
+tree module-wide, so re-globalizing a complex predicate with the same local
+values never recompiles.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Callable, Mapping, Optional, Tuple
 
 from repro.predicates.ast_nodes import Expr
 from repro.predicates.classify import classify, local_names_used, shared_names_used
+from repro.predicates.codegen import compile_expr
 from repro.predicates.dnf import DNFPredicate, to_dnf
-from repro.predicates.evaluator import evaluate_bool
+from repro.predicates.evaluator import _EMPTY_LOCALS, evaluate_bool, read_shared
 from repro.predicates.globalization import globalize
 from repro.predicates.parser import parse_predicate
 from repro.predicates.tags import Tag, analyze_predicate
 
 __all__ = ["GlobalizedPredicate", "CompiledPredicate", "compile_predicate"]
+
+#: Sentinel distinguishing "not compiled yet" from "codegen declined" (None).
+_UNCOMPILED = object()
 
 
 @dataclass(frozen=True)
@@ -38,10 +52,34 @@ class GlobalizedPredicate:
     dnf: DNFPredicate
     tags: Tuple[Tag, ...]
     canonical: str
+    #: Per-instance cache of the lowered closure (:data:`_UNCOMPILED` until
+    #: first use; None when codegen declined and the interpreter is used).
+    _compiled_fn: object = field(
+        default=_UNCOMPILED, init=False, repr=False, compare=False
+    )
+
+    def compiled_fn(self) -> Optional[Callable]:
+        """The predicate lowered to a native closure, or None (cached)."""
+        fn = self._compiled_fn
+        if fn is _UNCOMPILED:
+            fn = compile_expr(self.expr)
+            object.__setattr__(self, "_compiled_fn", fn)
+        return fn
 
     def holds(self, state: object) -> bool:
-        """Evaluate the predicate against the monitor *state*."""
+        """Evaluate the predicate against the monitor *state* (interpreted)."""
         return evaluate_bool(self.expr, state)
+
+    def compiled_holds(self, state: object) -> bool:
+        """Evaluate against *state* via the compiled closure.
+
+        Falls back to the interpreter when codegen declined the expression,
+        so this is always safe to call.
+        """
+        fn = self.compiled_fn()
+        if fn is None:
+            return evaluate_bool(self.expr, state)
+        return bool(fn(state, read_shared, _EMPTY_LOCALS))
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         return self.canonical
@@ -56,6 +94,9 @@ class CompiledPredicate:
     shared_names: frozenset
     local_names: frozenset
     _shared_form: Optional[GlobalizedPredicate] = field(default=None, repr=False)
+    _compiled_fn: object = field(
+        default=_UNCOMPILED, repr=False, compare=False
+    )
 
     @property
     def is_shared(self) -> bool:
@@ -66,11 +107,34 @@ class CompiledPredicate:
     def is_complex(self) -> bool:
         return bool(self.local_names)
 
+    def compiled_fn(self) -> Optional[Callable]:
+        """The (possibly complex) predicate as a native closure, or None.
+
+        Unlike the globalized form, this closure still reads local variables
+        from the ``locals_map`` argument, so it serves the monitor's initial
+        ``wait_until`` check before globalization.
+        """
+        fn = self._compiled_fn
+        if fn is _UNCOMPILED:
+            fn = compile_expr(self.expr)
+            self._compiled_fn = fn
+        return fn
+
     def evaluate(
         self, state: object, local_values: Optional[Mapping[str, object]] = None
     ) -> bool:
         """Evaluate the original (possibly complex) predicate directly."""
         return evaluate_bool(self.expr, state, local_values)
+
+    def compiled_evaluate(
+        self, state: object, local_values: Optional[Mapping[str, object]] = None
+    ) -> bool:
+        """Like :meth:`evaluate` but through the compiled closure (with
+        transparent interpreter fallback)."""
+        fn = self.compiled_fn()
+        if fn is None:
+            return evaluate_bool(self.expr, state, local_values)
+        return bool(fn(state, read_shared, local_values or _EMPTY_LOCALS))
 
     def globalized(
         self, local_values: Optional[Mapping[str, object]] = None

@@ -22,6 +22,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.monitor import AUTOMATIC_MODES, MonitorBase
 from repro.core.signalling import available_policies
+from repro.predicates.codegen import DEFAULT_ENGINE
 from repro.runtime.api import Backend
 
 __all__ = [
@@ -103,6 +104,7 @@ class Problem(abc.ABC):
         seed: int = 0,
         profile: bool = False,
         validate: bool = False,
+        eval_engine: str = DEFAULT_ENGINE,
         **params: object,
     ) -> WorkloadSpec:
         """Construct the monitor and worker bodies for one saturation run.
@@ -112,7 +114,9 @@ class Problem(abc.ABC):
         documented by each problem).  ``total_ops`` is the total operation
         budget shared by the worker threads, so runtime measures
         synchronization overhead rather than total work.  ``validate``
-        enables the automatic monitor's relay-invariance checking.
+        enables the automatic monitor's relay-invariance checking;
+        ``eval_engine`` selects the predicate-evaluation engine of the
+        automatic monitors (``"compiled"``/``"interpreted"``).
         """
 
     # -- helpers shared by concrete problems ---------------------------------
@@ -150,7 +154,11 @@ class Problem(abc.ABC):
 
     @staticmethod
     def monitor_kwargs(
-        mechanism: str, backend: Backend, profile: bool, validate: bool = False
+        mechanism: str,
+        backend: Backend,
+        profile: bool,
+        validate: bool = False,
+        eval_engine: str = DEFAULT_ENGINE,
     ) -> Dict[str, object]:
         """Constructor keyword arguments for the automatic monitor variants."""
         return {
@@ -158,4 +166,5 @@ class Problem(abc.ABC):
             "signalling": mechanism,
             "profile": profile,
             "validate": validate,
+            "eval_engine": eval_engine,
         }

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.core.monitor import AutoSynchMonitor, ExplicitMonitor
+from repro.predicates.codegen import DEFAULT_ENGINE
 from repro.problems.base import Problem, WorkloadSpec
 from repro.runtime.api import Backend
 
@@ -104,6 +105,7 @@ class BoundedBufferProblem(Problem):
         seed: int = 0,
         profile: bool = False,
         validate: bool = False,
+        eval_engine: str = DEFAULT_ENGINE,
         capacity: int = DEFAULT_CAPACITY,
         **params: object,
     ) -> WorkloadSpec:
@@ -115,7 +117,7 @@ class BoundedBufferProblem(Problem):
             monitor = ExplicitBoundedBuffer(capacity, backend=backend, profile=profile)
         else:
             monitor = AutoBoundedBuffer(
-                capacity, **self.monitor_kwargs(mechanism, backend, profile, validate)
+                capacity, **self.monitor_kwargs(mechanism, backend, profile, validate, eval_engine)
             )
 
         # ``total_ops`` counts puts + takes; items produced must equal items

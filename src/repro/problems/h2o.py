@@ -20,6 +20,7 @@ paper's experiment.
 from __future__ import annotations
 
 from repro.core.monitor import AutoSynchMonitor, ExplicitMonitor
+from repro.predicates.codegen import DEFAULT_ENGINE
 from repro.problems.base import Problem, WorkloadSpec
 from repro.runtime.api import Backend
 
@@ -124,6 +125,7 @@ class H2OProblem(Problem):
         seed: int = 0,
         profile: bool = False,
         validate: bool = False,
+        eval_engine: str = DEFAULT_ENGINE,
         **params: object,
     ) -> WorkloadSpec:
         self._check_mechanism(mechanism)
@@ -133,7 +135,9 @@ class H2OProblem(Problem):
         if mechanism == "explicit":
             monitor = ExplicitWaterFactory(backend=backend, profile=profile)
         else:
-            monitor = AutoWaterFactory(**self.monitor_kwargs(mechanism, backend, profile, validate))
+            monitor = AutoWaterFactory(
+                **self.monitor_kwargs(mechanism, backend, profile, validate, eval_engine)
+            )
 
         # Each molecule is one oxygen_ready() call plus two hydrogen_ready()
         # calls, so the operation budget buys total_ops // 3 molecules.

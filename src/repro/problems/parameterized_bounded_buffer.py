@@ -21,6 +21,7 @@ import random
 from typing import List
 
 from repro.core.monitor import AutoSynchMonitor, ExplicitMonitor
+from repro.predicates.codegen import DEFAULT_ENGINE
 from repro.problems.base import Problem, WorkloadSpec
 from repro.runtime.api import Backend
 
@@ -131,6 +132,7 @@ class ParameterizedBoundedBufferProblem(Problem):
         seed: int = 0,
         profile: bool = False,
         validate: bool = False,
+        eval_engine: str = DEFAULT_ENGINE,
         capacity: int = DEFAULT_CAPACITY,
         max_batch: int = DEFAULT_MAX_BATCH,
         **params: object,
@@ -146,7 +148,7 @@ class ParameterizedBoundedBufferProblem(Problem):
             )
         else:
             monitor = AutoParameterizedBoundedBuffer(
-                capacity, **self.monitor_kwargs(mechanism, backend, profile, validate)
+                capacity, **self.monitor_kwargs(mechanism, backend, profile, validate, eval_engine)
             )
 
         # Pre-draw every consumer's take sizes so that the producer knows the

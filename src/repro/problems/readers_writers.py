@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.core.monitor import AutoSynchMonitor, ExplicitMonitor
+from repro.predicates.codegen import DEFAULT_ENGINE
 from repro.problems.base import Problem, WorkloadSpec
 from repro.runtime.api import Backend
 
@@ -161,6 +162,7 @@ class ReadersWritersProblem(Problem):
         seed: int = 0,
         profile: bool = False,
         validate: bool = False,
+        eval_engine: str = DEFAULT_ENGINE,
         readers_per_writer: int = DEFAULT_READERS_PER_WRITER,
         **params: object,
     ) -> WorkloadSpec:
@@ -173,7 +175,9 @@ class ReadersWritersProblem(Problem):
         if mechanism == "explicit":
             monitor = ExplicitReadersWriters(backend=backend, profile=profile)
         else:
-            monitor = AutoReadersWriters(**self.monitor_kwargs(mechanism, backend, profile, validate))
+            monitor = AutoReadersWriters(
+                **self.monitor_kwargs(mechanism, backend, profile, validate, eval_engine)
+            )
 
         workers = writers + readers
         per_worker = max(1, total_ops // workers)

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.core.monitor import AutoSynchMonitor, ExplicitMonitor
+from repro.predicates.codegen import DEFAULT_ENGINE
 from repro.problems.base import Problem, WorkloadSpec
 from repro.runtime.api import Backend
 
@@ -81,6 +82,7 @@ class RoundRobinProblem(Problem):
         seed: int = 0,
         profile: bool = False,
         validate: bool = False,
+        eval_engine: str = DEFAULT_ENGINE,
         **params: object,
     ) -> WorkloadSpec:
         self._check_mechanism(mechanism)
@@ -91,7 +93,7 @@ class RoundRobinProblem(Problem):
             monitor = ExplicitRoundRobin(threads, backend=backend, profile=profile)
         else:
             monitor = AutoRoundRobin(
-                threads, **self.monitor_kwargs(mechanism, backend, profile, validate)
+                threads, **self.monitor_kwargs(mechanism, backend, profile, validate, eval_engine)
             )
 
         # Every thread must take the same number of turns or the rotation

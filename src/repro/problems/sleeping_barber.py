@@ -12,6 +12,7 @@ threads; one extra barber thread is always created.
 from __future__ import annotations
 
 from repro.core.monitor import AutoSynchMonitor, ExplicitMonitor
+from repro.predicates.codegen import DEFAULT_ENGINE
 from repro.problems.base import Problem, WorkloadSpec
 from repro.runtime.api import Backend
 
@@ -152,6 +153,7 @@ class SleepingBarberProblem(Problem):
         seed: int = 0,
         profile: bool = False,
         validate: bool = False,
+        eval_engine: str = DEFAULT_ENGINE,
         chairs: int = DEFAULT_CHAIRS,
         **params: object,
     ) -> WorkloadSpec:
@@ -167,7 +169,7 @@ class SleepingBarberProblem(Problem):
             monitor = AutoBarberShop(
                 chairs,
                 num_customers=threads,
-                **self.monitor_kwargs(mechanism, backend, profile, validate),
+                **self.monitor_kwargs(mechanism, backend, profile, validate, eval_engine),
             )
 
         visits_per_customer = self._split_ops(max(total_ops, threads), threads)

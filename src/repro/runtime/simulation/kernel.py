@@ -142,6 +142,10 @@ class SimulationBackend(Backend):
         self._run_timeout = run_timeout
 
         self._lock = threading.Lock()
+        #: Fast path for :meth:`current_thread`: each carrier thread stores
+        #: its own _SimThread here once, in :meth:`_runner`, so simulation
+        #: primitives skip the global lock and the ident->tid dict lookup.
+        self._tls = threading.local()
         self._threads: Dict[int, _SimThread] = {}
         self._by_ident: Dict[int, int] = {}
         self._runnable: List[int] = []
@@ -285,6 +289,7 @@ class SimulationBackend(Backend):
 
     def _runner(self, sim_thread: _SimThread) -> None:
         sim_thread.real_ident = threading.get_ident()
+        self._tls.sim_thread = sim_thread
         with self._lock:
             self._by_ident[sim_thread.real_ident] = sim_thread.tid
         sim_thread.go.wait()
@@ -306,7 +311,17 @@ class SimulationBackend(Backend):
     # ------------------------------------------------------------------
 
     def current_thread(self) -> _SimThread:
-        """Return the simulated thread corresponding to the calling thread."""
+        """Return the simulated thread corresponding to the calling thread.
+
+        Every simulation primitive (lock, condition, yield) starts here, so
+        the lookup is served from a ``threading.local`` populated once per
+        carrier thread in :meth:`_runner` — no global lock, no dict lookup.
+        The locked ident-table path remains as a fallback for carrier
+        threads that predate the cache (none in practice).
+        """
+        sim_thread = getattr(self._tls, "sim_thread", None)
+        if sim_thread is not None:
+            return sim_thread
         ident = threading.get_ident()
         with self._lock:
             tid = self._by_ident.get(ident)

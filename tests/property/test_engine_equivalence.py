@@ -1,0 +1,106 @@
+"""Property: the compiled engine is observationally identical to the interpreter.
+
+For randomly generated predicates (generators reused from
+``test_predicate_properties``) and randomly incomplete environments, the
+codegen closure and the tree-walking interpreter must agree on the raw
+result value *and*, when evaluation fails, on the raised exception class
+(``EvaluationError`` for missing variables, bad indexing and division by
+zero — anything else would mean codegen changed the engine contract).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.predicates import BinOp, Compare, Const, EvaluationError, evaluate
+from repro.predicates.codegen import compile_expr
+from repro.predicates.evaluator import read_shared
+
+from test_predicate_properties import (
+    LOCAL_VARS,
+    SHARED_VARS,
+    environments,
+    operand,
+    predicate,
+)
+
+
+@st.composite
+def partial_environments(draw):
+    """An environment with up to two variables deleted, so missing-variable
+    EvaluationErrors are exercised alongside successful evaluations."""
+    env = draw(environments())
+    missing = draw(
+        st.sets(st.sampled_from(SHARED_VARS + LOCAL_VARS), min_size=0, max_size=2)
+    )
+    state = {name: env[name] for name in SHARED_VARS if name not in missing}
+    local_values = {name: env[name] for name in LOCAL_VARS if name not in missing}
+    return state, local_values
+
+
+def arithmetic_comparison():
+    """Comparisons over arithmetic terms, including division (so a zero
+    divisor hits the division-by-zero wrapping on both engines)."""
+    ops = st.sampled_from(("+", "-", "*", "//", "/", "%"))
+    term = st.builds(BinOp, ops, operand(), operand())
+    side = st.one_of(operand(), term)
+    return st.builds(
+        Compare, st.sampled_from(("==", "!=", "<", "<=", ">", ">=")), side, side
+    )
+
+
+def _outcome(thunk):
+    """(value, None) on success, (None, exception_class) on failure."""
+    try:
+        return thunk(), None
+    except EvaluationError:
+        return None, EvaluationError
+    except Exception as exc:  # pragma: no cover - engines must agree anyway
+        return None, type(exc)
+
+
+def assert_engines_agree(expr, state, local_values):
+    fn = compile_expr(expr)
+    assert fn is not None, f"codegen declined a supported expression: {expr!r}"
+    interpreted = _outcome(lambda: evaluate(expr, state, local_values))
+    compiled = _outcome(lambda: fn(state, read_shared, local_values))
+    assert compiled == interpreted, (
+        f"engines disagree on {expr!r}: interpreted={interpreted} "
+        f"compiled={compiled}"
+    )
+
+
+@given(predicate(), partial_environments())
+def test_boolean_predicates_agree(expr, env):
+    state, local_values = env
+    assert_engines_agree(expr, state, local_values)
+
+
+@given(arithmetic_comparison(), partial_environments())
+def test_arithmetic_predicates_agree(expr, env):
+    state, local_values = env
+    assert_engines_agree(expr, state, local_values)
+
+
+@given(environments())
+def test_globalized_pipeline_agrees(env):
+    """The full monitor pipeline (classify -> globalize -> DNF) produces
+    trees whose compiled form matches the interpreter bit for bit."""
+    from repro.predicates import compile_predicate
+
+    state = {name: env[name] for name in SHARED_VARS}
+    local_values = {name: env[name] for name in LOCAL_VARS}
+    compiled = compile_predicate(
+        "x + a > y or (x == b and y != a)", set(SHARED_VARS), set(LOCAL_VARS)
+    )
+    form = compiled.globalized(local_values)
+    assert form.compiled_holds(state) == form.holds(state)
+
+
+def test_division_by_zero_matches():
+    expr = Compare("==", BinOp("//", Const(4), Const(0)), Const(1))
+    fn = compile_expr(expr)
+    assert fn is not None
+    interpreted = _outcome(lambda: evaluate(expr, {}, {}))
+    compiled = _outcome(lambda: fn({}, read_shared, {}))
+    assert interpreted == compiled == (None, EvaluationError)
