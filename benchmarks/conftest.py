@@ -16,6 +16,8 @@ shapes comparable to the paper (see DESIGN.md).
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.harness.report import format_series_table
@@ -40,12 +42,38 @@ def run_problem_once(problem_name, mechanism, threads, total_ops, seed=1, **para
     )
 
 
-def run_quick_series(experiment_id):
-    """Run an experiment's quick configuration and return (experiment, series)."""
+def harness_execution_overrides():
+    """Executor overrides for the whole benchmark suite, from the environment.
+
+    ``HARNESS_EXECUTOR`` / ``HARNESS_JOBS`` switch every figure/table sweep
+    onto a different executor (e.g. ``HARNESS_EXECUTOR=process
+    HARNESS_JOBS=4``) without touching the benchmark modules — the merged
+    series, and therefore every printed figure, is identical either way.
+    """
+    executor = os.environ.get("HARNESS_EXECUTOR") or None
+    jobs_raw = os.environ.get("HARNESS_JOBS")
+    jobs = int(jobs_raw) if jobs_raw else None
+    if jobs is not None and executor is None:
+        # HARNESS_JOBS alone would be silently ignored by the serial
+        # executor; asking for workers means asking for the process executor.
+        executor = "process"
+    return executor, jobs
+
+
+def run_quick_series(experiment_id, executor=None, jobs=None):
+    """Run an experiment's quick configuration and return (experiment, series).
+
+    *executor*/*jobs* default to the suite-wide environment overrides (see
+    :func:`harness_execution_overrides`).
+    """
     from repro.experiments import get_experiment
 
+    env_executor, env_jobs = harness_execution_overrides()
     experiment = get_experiment(experiment_id)
-    series = ExperimentRunner().run(experiment.quick_config)
+    config = experiment.quick_config.with_executor(
+        executor or env_executor, jobs if jobs is not None else env_jobs
+    )
+    series = ExperimentRunner().run(config)
     return experiment, series
 
 

@@ -21,6 +21,7 @@ from typing import List, Optional, Sequence
 from repro.core.signalling import describe_policy
 from repro.experiments import EXPERIMENTS, get_experiment
 from repro.predicates.codegen import DEFAULT_ENGINE, ENGINES
+from repro.harness.execution import available_executors, describe_executor
 from repro.harness.report import format_series_table
 from repro.harness.results import mechanism_label
 from repro.harness.runner import ExperimentRunner
@@ -71,6 +72,32 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list-mechanisms",
         action="store_true",
         help="list the signalling-policy registry contents and exit",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=available_executors(),
+        default=None,
+        help=(
+            "how each sweep's run cells are executed (default: each "
+            "experiment's configured executor, normally 'serial'); "
+            "'process' shards cells over a multiprocessing pool"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker count for parallel executors (default: the executor's "
+            "own — one per core for 'process'); implies --executor process "
+            "when no executor is given"
+        ),
+    )
+    parser.add_argument(
+        "--list-executors",
+        action="store_true",
+        help="list the executor registry contents and exit",
     )
     parser.add_argument(
         "--eval-engine",
@@ -124,6 +151,8 @@ def _run_one(experiment_id: str, args: argparse.Namespace) -> bool:
         runner=runner,
         mechanisms=args.mechanism_names,
         eval_engine=args.eval_engine,
+        executor=args.executor,
+        jobs=args.jobs,
     )
     print(experiment.report(series))
     if args.csv_dir:
@@ -148,7 +177,9 @@ def _run_one(experiment_id: str, args: argparse.Namespace) -> bool:
                 print(f"  [{status}] {description}")
     if args.also_wall_clock:
         config = experiment.quick_config if args.scale == "quick" else experiment.full_config
-        config = experiment.configured(config, args.mechanism_names, args.eval_engine)
+        config = experiment.configured(
+            config, args.mechanism_names, args.eval_engine, args.executor, args.jobs
+        )
         wall_config = replace(config, backend="threading")
         wall_series = runner.run(wall_config)
         print(format_series_table(wall_series, "wall_time",
@@ -159,6 +190,17 @@ def _run_one(experiment_id: str, args: argparse.Namespace) -> bool:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.list_executors:
+        width = max(len(name) for name in available_executors())
+        for name in available_executors():
+            print(f"{name:{width}s}  {describe_executor(name)}")
+        return 0
+    if args.jobs is not None and args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    if args.jobs is not None and args.executor is None:
+        # --jobs without an executor would silently run serial (the serial
+        # executor ignores the count); parallelism was clearly the intent.
+        args.executor = "process"
     if args.list_mechanisms:
         width = max(len(name) for name in all_mechanisms())
         for name in all_mechanisms():

@@ -12,27 +12,20 @@ from __future__ import annotations
 
 from repro.experiments.registry import (
     Experiment,
-    PAPER_THREAD_COUNTS,
-    QUICK_THREAD_COUNTS,
     ShapeCheck,
+    paper_sweep,
     ratio_at_max,
     register,
 )
-from repro.harness.runner import RunConfig
 
 __all__ = ["EXPERIMENT"]
 
-_FULL = RunConfig(
+_FULL, _QUICK = paper_sweep(
     problem="round_robin",
-    thread_counts=PAPER_THREAD_COUNTS,
     mechanisms=("explicit", "autosynch_t", "autosynch"),
     total_ops=20_000,
-    repetitions=5,
-    backend="simulation",
-    x_label="# threads",
+    quick_total_ops=1_000,
 )
-
-_QUICK = _FULL.scaled(total_ops=1_000, repetitions=1, thread_counts=QUICK_THREAD_COUNTS)
 
 EXPERIMENT = register(
     Experiment(

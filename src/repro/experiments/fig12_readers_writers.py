@@ -15,10 +15,10 @@ from __future__ import annotations
 from repro.experiments.registry import (
     Experiment,
     ShapeCheck,
+    paper_sweep,
     ratio_at_max,
     register,
 )
-from repro.harness.runner import RunConfig
 
 __all__ = ["EXPERIMENT"]
 
@@ -26,17 +26,15 @@ __all__ = ["EXPERIMENT"]
 PAPER_WRITER_COUNTS = (2, 4, 8, 16, 32, 64)
 QUICK_WRITER_COUNTS = (2, 8, 16)
 
-_FULL = RunConfig(
+_FULL, _QUICK = paper_sweep(
     problem="readers_writers",
-    thread_counts=PAPER_WRITER_COUNTS,
     mechanisms=("explicit", "autosynch_t", "autosynch"),
     total_ops=20_000,
-    repetitions=5,
-    backend="simulation",
+    quick_total_ops=1_200,
+    thread_counts=PAPER_WRITER_COUNTS,
+    quick_thread_counts=QUICK_WRITER_COUNTS,
     x_label="# writers (readers = 5x)",
 )
-
-_QUICK = _FULL.scaled(total_ops=1_200, repetitions=1, thread_counts=QUICK_WRITER_COUNTS)
 
 EXPERIMENT = register(
     Experiment(

@@ -9,27 +9,21 @@ from __future__ import annotations
 
 from repro.experiments.registry import (
     Experiment,
-    PAPER_THREAD_COUNTS,
-    QUICK_THREAD_COUNTS,
     ShapeCheck,
+    paper_sweep,
     ratio_at_max,
     register,
 )
-from repro.harness.runner import RunConfig
 
 __all__ = ["EXPERIMENT"]
 
-_FULL = RunConfig(
+_FULL, _QUICK = paper_sweep(
     problem="dining_philosophers",
-    thread_counts=PAPER_THREAD_COUNTS,
     mechanisms=("explicit", "autosynch_t", "autosynch"),
     total_ops=20_000,
-    repetitions=5,
-    backend="simulation",
+    quick_total_ops=1_200,
     x_label="# philosophers",
 )
-
-_QUICK = _FULL.scaled(total_ops=1_200, repetitions=1, thread_counts=QUICK_THREAD_COUNTS)
 
 EXPERIMENT = register(
     Experiment(

@@ -13,27 +13,21 @@ from __future__ import annotations
 
 from repro.experiments.registry import (
     Experiment,
-    PAPER_THREAD_COUNTS,
-    QUICK_THREAD_COUNTS,
     ShapeCheck,
+    paper_sweep,
     ratio_at_max,
     register,
 )
-from repro.harness.runner import RunConfig
 
 __all__ = ["EXPERIMENT"]
 
-_FULL = RunConfig(
+_FULL, _QUICK = paper_sweep(
     problem="parameterized_bounded_buffer",
-    thread_counts=PAPER_THREAD_COUNTS,
     mechanisms=("explicit", "autosynch"),
     total_ops=10_000,
-    repetitions=5,
-    backend="simulation",
+    quick_total_ops=800,
     x_label="# consumers",
 )
-
-_QUICK = _FULL.scaled(total_ops=800, repetitions=1, thread_counts=QUICK_THREAD_COUNTS)
 
 
 def _autosynch_stays_flat(series) -> bool:

@@ -22,12 +22,55 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.harness.results import ExperimentSeries
 from repro.harness.runner import ExperimentRunner, RunConfig
 
-__all__ = ["ShapeCheck", "Experiment", "EXPERIMENTS", "register", "get_experiment"]
+__all__ = [
+    "ShapeCheck",
+    "Experiment",
+    "EXPERIMENTS",
+    "register",
+    "get_experiment",
+    "paper_sweep",
+]
 
 #: The paper's x-axis for most figures.
 PAPER_THREAD_COUNTS = (2, 4, 8, 16, 32, 64, 128, 256)
 #: Scaled-down x-axis used by the quick configurations.
 QUICK_THREAD_COUNTS = (2, 8, 32)
+
+
+def paper_sweep(
+    problem: str,
+    mechanisms: Sequence[str],
+    total_ops: int,
+    quick_total_ops: int,
+    repetitions: int = 5,
+    quick_repetitions: int = 1,
+    thread_counts: Sequence[int] = PAPER_THREAD_COUNTS,
+    quick_thread_counts: Sequence[int] = QUICK_THREAD_COUNTS,
+    x_label: str = "# threads",
+    **common: object,
+) -> Tuple[RunConfig, RunConfig]:
+    """Build a figure's ``(full, quick)`` config pair from one description.
+
+    Every figure/table module used to spell out its full config and derive
+    the quick one with ``scaled()``; this helper centralizes that pattern,
+    so sweep-wide knobs (backend, executor, jobs, problem params — passed
+    through ``**common``) apply to both scales consistently.
+    """
+    full = RunConfig(
+        problem=problem,
+        thread_counts=tuple(thread_counts),
+        mechanisms=tuple(mechanisms),
+        total_ops=total_ops,
+        repetitions=repetitions,
+        x_label=x_label,
+        **common,
+    )
+    quick = full.scaled(
+        total_ops=quick_total_ops,
+        repetitions=quick_repetitions,
+        thread_counts=tuple(quick_thread_counts),
+    )
+    return full, quick
 
 
 @dataclass(frozen=True)
@@ -61,6 +104,8 @@ class Experiment:
         runner: Optional[ExperimentRunner] = None,
         mechanisms: Optional[Sequence[str]] = None,
         eval_engine: Optional[str] = None,
+        executor: Optional[str] = None,
+        jobs: Optional[int] = None,
     ) -> ExperimentSeries:
         """Run the experiment at the given scale and return its series.
 
@@ -68,12 +113,14 @@ class Experiment:
         names the problem supports (``"explicit"`` plus every registered
         signalling policy) are accepted, so ablations over new policies
         reuse the paper's sweeps unchanged.  *eval_engine* overrides the
-        automatic monitors' predicate-evaluation engine the same way.
+        automatic monitors' predicate-evaluation engine the same way, and
+        *executor*/*jobs* select how the sweep's cells are executed (any
+        registered executor; the merged series is identical either way).
         """
         if scale not in ("quick", "full"):
             raise ValueError(f"unknown scale {scale!r}; expected 'quick' or 'full'")
         config = self.quick_config if scale == "quick" else self.full_config
-        config = self.configured(config, mechanisms, eval_engine)
+        config = self.configured(config, mechanisms, eval_engine, executor, jobs)
         runner = runner or ExperimentRunner()
         return runner.run(config)
 
@@ -82,15 +129,17 @@ class Experiment:
         config: RunConfig,
         mechanisms: Optional[Sequence[str]] = None,
         eval_engine: Optional[str] = None,
+        executor: Optional[str] = None,
+        jobs: Optional[int] = None,
     ) -> RunConfig:
-        """Return *config* with mechanism set / eval engine overridden."""
+        """Return *config* with mechanisms / eval engine / executor overridden."""
         from dataclasses import replace
 
         if mechanisms:
             config = replace(config, mechanisms=tuple(mechanisms))
         if eval_engine is not None:
             config = replace(config, eval_engine=eval_engine)
-        return config
+        return config.with_executor(executor, jobs)
 
     def report(self, series: ExperimentSeries) -> str:
         """Render the figure's data as text (table of the primary metric)."""

@@ -13,11 +13,10 @@ of the relay-signalling work tagging eliminates — is checked as a shape.
 
 from __future__ import annotations
 
-from repro.experiments.registry import Experiment, ShapeCheck, register
-from repro.harness.profiling import BUCKETS, breakdown_rows, modelled_breakdown_from_counters
+from repro.experiments.registry import Experiment, ShapeCheck, paper_sweep, register
+from repro.harness.profiling import BUCKETS, breakdown_rows, series_usage_breakdowns
 from repro.harness.report import format_table
 from repro.harness.results import ExperimentSeries
-from repro.harness.runner import RunConfig
 
 __all__ = ["EXPERIMENT", "build_breakdowns"]
 
@@ -25,39 +24,25 @@ __all__ = ["EXPERIMENT", "build_breakdowns"]
 FULL_THREADS = 128
 QUICK_THREADS = 16
 
-_FULL = RunConfig(
+_FULL, _QUICK = paper_sweep(
     problem="round_robin",
-    thread_counts=(FULL_THREADS,),
     mechanisms=("explicit", "autosynch_t", "autosynch"),
     total_ops=20_000,
-    repetitions=5,
-    backend="simulation",
-    x_label="# threads",
+    quick_total_ops=1_500,
+    thread_counts=(FULL_THREADS,),
+    quick_thread_counts=(QUICK_THREADS,),
 )
-
-_QUICK = _FULL.scaled(total_ops=1_500, repetitions=1, thread_counts=(QUICK_THREADS,))
 
 
 def build_breakdowns(series: ExperimentSeries):
-    """One :class:`UsageBreakdown` per mechanism at the profiled thread count."""
-    threads = series.x_values()[-1]
-    breakdowns = []
-    for mechanism in series.mechanisms():
-        point = series.point_for(mechanism, threads)
-        if point is None:
-            continue
-        monitor_stats = {
-            key: value for key, value in point.extra.items() if not key.startswith("backend_")
-        }
-        backend_metrics = {
-            key[len("backend_"):]: value
-            for key, value in point.extra.items()
-            if key.startswith("backend_")
-        }
-        breakdowns.append(
-            modelled_breakdown_from_counters(mechanism, monitor_stats, backend_metrics)
-        )
-    return breakdowns
+    """One :class:`UsageBreakdown` per mechanism at the profiled thread count.
+
+    The heavy lifting lives in
+    :func:`repro.harness.profiling.series_usage_breakdowns`, which works
+    from the merged series' aggregated counters — so the breakdown is the
+    same whichever executor produced the runs.
+    """
+    return series_usage_breakdowns(series)
 
 
 def _report(series: ExperimentSeries) -> str:

@@ -17,26 +17,60 @@ from repro.harness.results import (
     MeasurementPoint,
     RunResult,
     aggregate_runs,
+    series_equal,
 )
-from repro.harness.runner import ExperimentRunner, RunConfig
+from repro.harness.runner import ExperimentRunner, RunConfig, run_point
 from repro.harness.saturation import run_workload
 from repro.harness.report import format_series_table, format_table, series_to_rows
 from repro.harness.cost_model import CostModel, DEFAULT_COST_MODEL
-from repro.harness.export import series_to_csv, write_series_csv
+from repro.harness.export import (
+    series_fingerprint,
+    series_to_csv,
+    series_to_dict,
+    write_series_csv,
+    write_series_json,
+)
+from repro.harness.execution import (
+    Executor,
+    FrozenMapping,
+    RunCell,
+    available_executors,
+    create_executor,
+    describe_executor,
+    enumerate_cells,
+    execute_cell,
+    merge_cell_results,
+    register_executor,
+)
 
 __all__ = [
     "CostModel",
     "DEFAULT_COST_MODEL",
+    "Executor",
     "ExperimentRunner",
     "ExperimentSeries",
+    "FrozenMapping",
     "MeasurementPoint",
+    "RunCell",
     "RunConfig",
     "RunResult",
     "aggregate_runs",
+    "available_executors",
+    "create_executor",
+    "describe_executor",
+    "enumerate_cells",
+    "execute_cell",
     "format_series_table",
     "format_table",
+    "merge_cell_results",
+    "register_executor",
+    "run_point",
     "run_workload",
+    "series_equal",
+    "series_fingerprint",
     "series_to_csv",
+    "series_to_dict",
     "series_to_rows",
     "write_series_csv",
+    "write_series_json",
 ]

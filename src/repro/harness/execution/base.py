@@ -1,0 +1,72 @@
+"""The :class:`Executor` abstraction: how a sweep's cells get executed.
+
+An executor maps run cells (see :mod:`repro.harness.execution.cells`) to
+their results.  The contract is deliberately narrow so that executors are
+interchangeable:
+
+* ``run_cells`` returns one :class:`~repro.harness.results.RunResult` per
+  cell, **aligned index-for-index with the input** — regardless of the
+  order in which the work actually ran;
+* the optional *progress* callback is invoked exactly once per cell, in
+  cell-index order, **from the calling thread of the parent process** —
+  worker completions are never reported directly, so progress lines cannot
+  interleave or be dropped under parallel execution;
+* a failure in any cell propagates as an exception from ``run_cells``
+  (executors fail fast rather than return partial sweeps).
+
+Executors are registered by name (mirroring the signalling-policy
+registry), which is what the ``RunConfig.executor`` knob and the
+``--executor`` CLI flag resolve through.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, List, Optional, Sequence
+
+from repro.harness.execution.cells import RunCell
+from repro.harness.results import RunResult
+
+__all__ = ["ProgressCallback", "Executor"]
+
+#: ``progress(index, cell, result)`` — called once per completed cell, in
+#: cell-index order, from the parent process.
+ProgressCallback = Callable[[int, RunCell, RunResult], None]
+
+
+class Executor(abc.ABC):
+    """Maps a sweep's cells to results; see the module docstring for the
+    contract every implementation must honour."""
+
+    #: Registry name (``"serial"``, ``"process"``, ...).
+    name: str = ""
+    #: Human-readable one-liner shown by ``--list-executors``.
+    description: str = ""
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        if jobs is None:
+            jobs = self.default_jobs()
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = int(jobs)
+
+    @classmethod
+    def default_jobs(cls) -> int:
+        """Worker count when none was requested (parallel executors override
+        this with the machine's core count)."""
+        return 1
+
+    @abc.abstractmethod
+    def run_cells(
+        self,
+        cells: Sequence[RunCell],
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[RunResult]:
+        """Execute every cell and return the results in cell order."""
+
+    def describe(self) -> str:
+        """One-line label (may interpolate configuration such as ``jobs``)."""
+        return self.description or self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} jobs={self.jobs}>"

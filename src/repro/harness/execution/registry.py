@@ -1,0 +1,97 @@
+"""Name-based registry of executors.
+
+The registry is what makes the execution layer pluggable, exactly like the
+signalling-policy registry in :mod:`repro.core.signalling`: the harness
+runner, the experiment CLI and the benchmarks all resolve executor names
+through it.  Registering a new executor immediately makes it selectable
+via ``RunConfig(executor="<name>")`` and ``--executor`` on
+``python -m repro.experiments``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Type, Union
+
+from repro.harness.execution.base import Executor
+
+__all__ = [
+    "register_executor",
+    "get_executor",
+    "available_executors",
+    "describe_executor",
+    "create_executor",
+]
+
+#: name -> executor class, in registration order.
+_REGISTRY: Dict[str, Type[Executor]] = {}
+
+ExecutorSpec = Union[str, Executor, Type[Executor]]
+
+
+def register_executor(executor_cls: Type[Executor], replace: bool = False) -> Type[Executor]:
+    """Register *executor_cls* under its ``name`` attribute.
+
+    Usable as a class decorator.  Re-registering an existing name raises
+    unless ``replace=True``.
+    """
+    if not (isinstance(executor_cls, type) and issubclass(executor_cls, Executor)):
+        raise TypeError(f"expected an Executor subclass, got {executor_cls!r}")
+    name = executor_cls.name
+    if not name or name == Executor.name:
+        raise ValueError(
+            f"executor class {executor_cls.__name__} must define a unique 'name' attribute"
+        )
+    if name in _REGISTRY and _REGISTRY[name] is not executor_cls and not replace:
+        raise ValueError(
+            f"an executor named {name!r} is already registered "
+            f"({_REGISTRY[name].__name__}); pass replace=True to override"
+        )
+    _REGISTRY[name] = executor_cls
+    return executor_cls
+
+
+def get_executor(name: str) -> Type[Executor]:
+    """Look up an executor class by registry name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown executor {name!r}; registered executors: {available_executors()}"
+        ) from None
+
+
+def available_executors() -> Tuple[str, ...]:
+    """Names of every registered executor, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def describe_executor(name: str) -> str:
+    """The one-line human-readable label of a registered executor."""
+    executor_cls = get_executor(name)
+    try:
+        executor = executor_cls()
+    except TypeError:
+        return executor_cls.description or name
+    return executor.describe()
+
+
+def create_executor(spec: ExecutorSpec, jobs: Optional[int] = None) -> Executor:
+    """Resolve *spec* to a ready-to-use executor instance.
+
+    Accepts a registry name (``"serial"``, ``"process"``), an
+    :class:`Executor` subclass, or an already-constructed instance (whose
+    own ``jobs`` setting then wins — the hook for passing configured
+    executors straight to the runner).  ``jobs=None`` leaves the worker
+    count to the executor's own default (1 for ``serial``, one per core
+    for ``process``).
+    """
+    if isinstance(spec, str):
+        return get_executor(spec)(jobs=jobs)
+    if isinstance(spec, type) and issubclass(spec, Executor):
+        return spec(jobs=jobs)
+    if isinstance(spec, Executor):
+        return spec
+    raise TypeError(
+        "executor must be a registered executor name, an Executor subclass "
+        f"or an instance; got {spec!r}"
+    )

@@ -1,0 +1,38 @@
+"""The serial executor: in-process, one cell at a time.
+
+This reproduces the legacy ``ExperimentRunner`` behaviour exactly — same
+process, same execution order — and is the reference implementation the
+process executor is tested for equivalence against.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.harness.execution.base import Executor, ProgressCallback
+from repro.harness.execution.cells import RunCell, execute_cell
+from repro.harness.execution.registry import register_executor
+from repro.harness.results import RunResult
+
+__all__ = ["SerialExecutor"]
+
+
+@register_executor
+class SerialExecutor(Executor):
+    """Execute cells one after another in the calling process."""
+
+    name = "serial"
+    description = "in-process execution, one cell at a time (the default)"
+
+    def run_cells(
+        self,
+        cells: Sequence[RunCell],
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[RunResult]:
+        results: List[RunResult] = []
+        for index, cell in enumerate(cells):
+            result = execute_cell(cell)
+            results.append(result)
+            if progress is not None:
+                progress(index, cell, result)
+        return results

@@ -1,21 +1,37 @@
-"""Export of experiment series to CSV (for plotting outside this repo).
+"""Export of experiment series to CSV and JSON (for use outside this repo).
 
 The paper presents its evaluation as line plots.  ``series_to_csv`` writes
 one row per (x value, mechanism) pair with every aggregated metric, which is
 directly loadable by pandas/gnuplot/spreadsheets to regenerate the figures
 graphically; ``write_series_csv`` puts it on disk.
+
+``series_to_dict``/``write_series_json`` produce a canonical, fully-ordered
+JSON form of a series (the format of the ``BENCH_*`` CI artifacts), and
+``series_fingerprint`` hashes that form with every measured wall-clock
+quantity stripped — the digest two sweeps of the same config must agree on
+regardless of executor, job count or machine, which is how the
+serial-vs-process equivalence is checked end to end.
 """
 
 from __future__ import annotations
 
 import csv
+import hashlib
 import io
+import json
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.harness.results import ExperimentSeries
 
-__all__ = ["CSV_COLUMNS", "series_to_csv", "write_series_csv"]
+__all__ = [
+    "CSV_COLUMNS",
+    "series_to_csv",
+    "write_series_csv",
+    "series_to_dict",
+    "write_series_json",
+    "series_fingerprint",
+]
 
 #: Fixed column order of the exported file.
 CSV_COLUMNS = (
@@ -79,3 +95,48 @@ def write_series_csv(
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(series_to_csv(series, extra_metrics), encoding="utf-8")
     return path
+
+
+def series_to_dict(series: ExperimentSeries, include_timing: bool = True) -> Dict:
+    """Render *series* as a canonical, JSON-ready dictionary.
+
+    Points are listed per mechanism in x order; with
+    ``include_timing=False`` measured wall-clock quantities are omitted
+    (see :meth:`~repro.harness.results.MeasurementPoint.canonical_items`).
+    """
+    return {
+        "experiment": series.name,
+        "x_label": series.x_label,
+        "backend": series.backend,
+        "mechanisms": list(series.mechanisms()),
+        "points": {
+            mechanism: [
+                point.canonical_items(include_timing)
+                for point in sorted(points, key=lambda p: p.threads)
+            ]
+            for mechanism, points in series.points.items()
+        },
+    }
+
+
+def write_series_json(
+    series: ExperimentSeries, path: Path | str, include_timing: bool = True
+) -> Path:
+    """Write the canonical JSON form of *series* to *path* and return it."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = series_to_dict(series, include_timing)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path
+
+
+def series_fingerprint(series: ExperimentSeries) -> str:
+    """A stable hex digest of the series' deterministic content.
+
+    Wall-clock measurements are excluded, so two sweeps of the same config
+    — serial or sharded over any number of worker processes — produce the
+    same fingerprint, and any divergence in the exact counters shows up as
+    a digest mismatch.
+    """
+    payload = json.dumps(series_to_dict(series, include_timing=False), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -16,7 +16,7 @@ the monitor's own instrumentation:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.harness.cost_model import CostModel, DEFAULT_COST_MODEL
 from repro.harness.results import RunResult
@@ -28,6 +28,7 @@ __all__ = [
     "eval_engine_breakdown",
     "eval_engine_rows",
     "modelled_breakdown_from_counters",
+    "series_usage_breakdowns",
     "breakdown_rows",
 ]
 
@@ -128,6 +129,48 @@ def cpu_usage_breakdown(
     if measured_total > 0:
         return _measured_breakdown(result)
     return _modelled_breakdown(result, cost_model)
+
+
+def series_usage_breakdowns(
+    series,
+    threads: Optional[int] = None,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> List[UsageBreakdown]:
+    """One modelled :class:`UsageBreakdown` per mechanism of a series.
+
+    Works from the *aggregated* points (whose ``extra`` carries the mean of
+    every raw monitor counter and, prefixed with ``backend_``, every
+    backend metric), not from raw :class:`RunResult` values — so breakdowns
+    can be built after the executor merge, no matter which process produced
+    the underlying runs.  ``threads`` selects the x value to profile
+    (default: the largest in the series, matching the paper's Table 1).
+    """
+    if threads is None:
+        xs = series.x_values()
+        if not xs:
+            return []
+        threads = xs[-1]
+    breakdowns: List[UsageBreakdown] = []
+    for mechanism in series.mechanisms():
+        point = series.point_for(mechanism, threads)
+        if point is None:
+            continue
+        monitor_stats = {
+            key: value
+            for key, value in point.extra.items()
+            if not key.startswith("backend_")
+        }
+        backend_metrics = {
+            key[len("backend_"):]: value
+            for key, value in point.extra.items()
+            if key.startswith("backend_")
+        }
+        breakdowns.append(
+            modelled_breakdown_from_counters(
+                mechanism, monitor_stats, backend_metrics, cost_model
+            )
+        )
+    return breakdowns
 
 
 @dataclass(frozen=True)

@@ -19,7 +19,39 @@ __all__ = [
     "ExperimentSeries",
     "aggregate_runs",
     "mechanism_label",
+    "series_equal",
 ]
+
+
+def series_equal(
+    first: "ExperimentSeries",
+    second: "ExperimentSeries",
+    include_timing: bool = False,
+) -> bool:
+    """Whether two series carry identical content.
+
+    By default measured wall-clock quantities are excluded (see
+    :meth:`MeasurementPoint.canonical_items`), so this is the equality the
+    executor subsystem guarantees: the same config produces an equal series
+    no matter which executor ran it or with how many jobs.
+    """
+    if (first.name, first.x_label, first.backend) != (
+        second.name,
+        second.x_label,
+        second.backend,
+    ):
+        return False
+    if tuple(first.mechanisms()) != tuple(second.mechanisms()):
+        return False
+    for mechanism in first.mechanisms():
+        a_points = first.points[mechanism]
+        b_points = second.points[mechanism]
+        if len(a_points) != len(b_points):
+            return False
+        for a, b in zip(a_points, b_points):
+            if a.canonical_items(include_timing) != b.canonical_items(include_timing):
+                return False
+    return True
 
 
 def mechanism_label(mechanism: str) -> str:
@@ -113,6 +145,38 @@ class MeasurementPoint:
         if name in self.extra:
             return self.extra[name]
         raise KeyError(f"unknown metric {name!r}")
+
+    def canonical_items(self, include_timing: bool = True) -> Dict[str, object]:
+        """The point's content as a plain, deterministically-ordered dict.
+
+        With ``include_timing=False`` every measured wall-clock quantity —
+        ``wall_time`` and any ``*_time`` extra (profiling buckets, per-engine
+        evaluation timings) — is omitted, leaving only fields that are exact
+        functions of the run's event counts.  Two runs of the same config
+        agree on that subset bit-for-bit regardless of executor, job count
+        or machine load, which is what the serial-vs-process equivalence
+        tests and :func:`~repro.harness.export.series_fingerprint` compare.
+        """
+        items: Dict[str, object] = {
+            "problem": self.problem,
+            "mechanism": self.mechanism,
+            "backend": self.backend,
+            "threads": self.threads,
+            "repetitions": self.repetitions,
+            "modelled_runtime": self.modelled_runtime,
+            "context_switches": self.context_switches,
+            "predicate_evaluations": self.predicate_evaluations,
+            "signals": self.signals,
+        }
+        if include_timing:
+            items["wall_time"] = self.wall_time
+        extra = {
+            key: value
+            for key, value in sorted(self.extra.items())
+            if include_timing or not key.endswith("_time")
+        }
+        items["extra"] = extra
+        return items
 
 
 @dataclass

@@ -2,29 +2,58 @@
 
 ``RunConfig`` captures everything needed to regenerate one figure or table of
 the paper: the problem, the mechanisms to compare, the x-axis values, the
-operation budget, the number of repetitions and the backend.  The runner
-executes every combination, aggregates repetitions with the paper's
-drop-best/drop-worst protocol and returns an :class:`ExperimentSeries`.
+operation budget, the number of repetitions, the backend — and, since the
+execution layer became pluggable, *how* the sweep's cells are executed
+(``executor``/``jobs``).
+
+``ExperimentRunner.run`` is three pure stages built on
+:mod:`repro.harness.execution`:
+
+1. enumerate the config into picklable :class:`RunCell` units,
+2. map the cells through the configured executor (``"serial"`` in-process,
+   ``"process"`` sharded over a ``multiprocessing`` pool, or any other
+   registered executor),
+3. deterministically merge the per-cell results — repetition ordering and
+   the paper's drop-best/drop-worst protocol included — into an
+   :class:`ExperimentSeries` that is identical regardless of executor or
+   job count.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.harness.cost_model import CostModel, DEFAULT_COST_MODEL
-from repro.harness.results import ExperimentSeries, MeasurementPoint, RunResult, aggregate_runs
-from repro.harness.saturation import make_backend, run_workload
+from repro.harness.execution import (
+    FrozenMapping,
+    create_executor,
+    enumerate_cells,
+    execute_cell,
+    merge_cell_results,
+)
+from repro.harness.results import (
+    ExperimentSeries,
+    MeasurementPoint,
+    aggregate_runs,
+)
 from repro.predicates.codegen import DEFAULT_ENGINE
 from repro.problems import get_problem
 from repro.problems.base import MECHANISMS, Problem
 
-__all__ = ["RunConfig", "ExperimentRunner"]
+__all__ = ["RunConfig", "ExperimentRunner", "run_point"]
 
 
 @dataclass(frozen=True)
 class RunConfig:
-    """Configuration for one experiment sweep."""
+    """Configuration for one experiment sweep.
+
+    Instances are genuinely immutable and hashable: sequence fields are
+    normalized to tuples and ``problem_params`` to a
+    :class:`~repro.harness.execution.FrozenMapping`, so configs are safe to
+    use as shard or cache keys and ``replace()``/``scaled()`` copies share
+    no mutable state.
+    """
 
     problem: str
     thread_counts: Tuple[int, ...]
@@ -42,14 +71,43 @@ class RunConfig:
     #: Predicate-evaluation engine for the automatic monitors
     #: (``"compiled"`` or ``"interpreted"``).
     eval_engine: str = DEFAULT_ENGINE
+    #: Registered executor that runs the sweep's cells (``"serial"`` or
+    #: ``"process"``; see :mod:`repro.harness.execution`).
+    executor: str = "serial"
+    #: Worker count for executors that parallelize (ignored by ``"serial"``).
+    #: ``None`` leaves the count to the executor's own default — one worker
+    #: per core for ``"process"`` — so selecting a parallel executor without
+    #: a job count actually parallelizes.
+    jobs: Optional[int] = None
+    #: Metric the drop-best/drop-worst protocol ranks repetitions by.
+    #: ``None`` selects ``"modelled_runtime"`` on the simulation backend —
+    #: a deterministic function of the exact event counts, so the same
+    #: repetitions are dropped on every run — and measured ``"wall_time"``
+    #: on the threading backend.
+    rank_metric: Optional[str] = None
     x_label: str = "# threads"
-    problem_params: Dict[str, object] = field(default_factory=dict)
+    problem_params: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "thread_counts", tuple(self.thread_counts))
+        object.__setattr__(self, "mechanisms", tuple(self.mechanisms))
+        if not isinstance(self.problem_params, FrozenMapping):
+            object.__setattr__(
+                self, "problem_params", FrozenMapping(self.problem_params)
+            )
+
+    @property
+    def effective_rank_metric(self) -> str:
+        """The metric repetitions are actually ranked by (see ``rank_metric``)."""
+        if self.rank_metric is not None:
+            return self.rank_metric
+        return "modelled_runtime" if self.backend == "simulation" else "wall_time"
 
     def scaled(self, total_ops: Optional[int] = None, repetitions: Optional[int] = None,
                thread_counts: Optional[Sequence[int]] = None) -> "RunConfig":
         """Return a copy with a smaller/larger budget (used by the benchmarks
         to run quick versions of the full paper sweeps)."""
-        updates: Dict[str, object] = {}
+        updates: dict = {}
         if total_ops is not None:
             updates["total_ops"] = total_ops
         if repetitions is not None:
@@ -58,9 +116,52 @@ class RunConfig:
             updates["thread_counts"] = tuple(thread_counts)
         return replace(self, **updates)
 
+    def with_executor(self, executor: Optional[str] = None,
+                      jobs: Optional[int] = None) -> "RunConfig":
+        """Return a copy with the execution knobs overridden (``None`` keeps
+        the current value)."""
+        updates: dict = {}
+        if executor is not None:
+            updates["executor"] = executor
+        if jobs is not None:
+            updates["jobs"] = jobs
+        return replace(self, **updates) if updates else self
+
+
+def run_point(
+    problem: Union[Problem, str],
+    config: RunConfig,
+    mechanism: str,
+    threads: int,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> MeasurementPoint:
+    """Run all repetitions of one ``(mechanism, threads)`` configuration.
+
+    A top-level, picklable entry point (like
+    :func:`~repro.harness.saturation.run_workload`): it depends only on its
+    arguments, so it can itself be shipped to worker processes.  Cells are
+    seeded with the same coordinate-derived :func:`cell_seed` scheme the
+    full sweep uses, so a point run in isolation reproduces the exact runs
+    of the same point inside a sweep.
+    """
+    problem_name = problem.name if isinstance(problem, Problem) else str(problem)
+    point_config = replace(
+        config,
+        problem=problem_name,
+        mechanisms=(mechanism,),
+        thread_counts=(threads,),
+    )
+    runs = [execute_cell(cell) for cell in enumerate_cells(point_config)]
+    return aggregate_runs(
+        runs,
+        drop_extremes=config.drop_extremes,
+        cost_model=cost_model,
+        rank_metric=config.effective_rank_metric,
+    )
+
 
 class ExperimentRunner:
-    """Executes :class:`RunConfig` sweeps."""
+    """Executes :class:`RunConfig` sweeps through the execution subsystem."""
 
     def __init__(
         self,
@@ -76,39 +177,23 @@ class ExperimentRunner:
 
     def run_point(
         self,
-        problem: Problem,
+        problem: Union[Problem, str],
         config: RunConfig,
         mechanism: str,
         threads: int,
     ) -> MeasurementPoint:
         """Run all repetitions of one (mechanism, threads) configuration."""
-        runs: List[RunResult] = []
-        for repetition in range(config.repetitions):
-            backend = make_backend(config.backend, seed=config.seed + repetition)
-            runs.append(
-                run_workload(
-                    problem,
-                    mechanism,
-                    backend,
-                    threads=threads,
-                    total_ops=config.total_ops,
-                    seed=config.seed + repetition,
-                    profile=config.profile,
-                    validate=config.validate,
-                    eval_engine=config.eval_engine,
-                    **config.problem_params,
-                )
-            )
-        return aggregate_runs(
-            runs, drop_extremes=config.drop_extremes, cost_model=self._cost_model
-        )
+        return run_point(problem, config, mechanism, threads, cost_model=self._cost_model)
 
     def run(self, config: RunConfig) -> ExperimentSeries:
         """Run the full sweep described by *config*.
 
-        Mechanism names are validated against the problem's supported set
-        (which includes every registered signalling policy) before any work
-        starts, so a typo fails fast instead of halfway through a sweep.
+        Mechanism and executor names are validated before any work starts,
+        so a typo fails fast instead of halfway through a sweep.  Progress
+        messages are emitted once per completed cell, in deterministic cell
+        order, from this process — the executor contract forwards worker
+        completions to the parent, so lines never interleave or go missing
+        under parallel execution.
         """
         problem = get_problem(config.problem)
         supported = problem.supported_mechanisms()
@@ -118,13 +203,14 @@ class ExperimentRunner:
                 f"unknown mechanism(s) {unknown} for problem {config.problem!r}; "
                 f"supported: {supported}"
             )
-        series = ExperimentSeries(
-            name=config.problem, x_label=config.x_label, backend=config.backend
-        )
-        for mechanism in config.mechanisms:
-            for threads in config.thread_counts:
-                self._report(
-                    f"{config.problem}: mechanism={mechanism} threads={threads}"
-                )
-                series.add(self.run_point(problem, config, mechanism, threads))
-        return series
+        executor = create_executor(config.executor, jobs=config.jobs)
+        cells = enumerate_cells(config)
+        progress = None
+        if self._progress is not None:
+            total = len(cells)
+
+            def progress(index, cell, result):
+                self._report(f"{cell.describe()}/{config.repetitions} [{index + 1}/{total}]")
+
+        results = executor.run_cells(cells, progress=progress)
+        return merge_cell_results(config, cells, results, cost_model=self._cost_model)

@@ -17,16 +17,25 @@ from repro.runtime.api import Backend
 from repro.runtime.simulation import SimulationBackend
 from repro.runtime.threads import ThreadingBackend
 
-__all__ = ["make_backend", "run_workload"]
+__all__ = ["BACKENDS", "make_backend", "run_workload"]
+
+#: Backend names accepted by :func:`make_backend`.
+BACKENDS = ("simulation", "threading")
 
 
 def make_backend(kind: str, seed: int = 0) -> Backend:
-    """Create a backend by name (``"simulation"`` or ``"threading"``)."""
+    """Create a backend by name (one of :data:`BACKENDS`).
+
+    Both this function and :func:`run_workload` are top-level entry points
+    that depend only on their arguments: the execution subsystem's worker
+    processes rebuild a fresh backend per run cell through here, so a
+    backend instance never has to cross a process boundary.
+    """
     if kind == "simulation":
         return SimulationBackend(seed=seed)
     if kind == "threading":
         return ThreadingBackend()
-    raise ValueError(f"unknown backend {kind!r}; expected 'simulation' or 'threading'")
+    raise ValueError(f"unknown backend {kind!r}; expected one of {BACKENDS}")
 
 
 def run_workload(

@@ -4,7 +4,14 @@ from __future__ import annotations
 
 import pytest
 
-from repro.harness import ExperimentRunner, RunConfig, format_series_table, series_to_rows
+from repro.harness import (
+    ExperimentRunner,
+    FrozenMapping,
+    RunConfig,
+    format_series_table,
+    run_point,
+    series_to_rows,
+)
 
 
 def tiny_config(**overrides):
@@ -82,3 +89,28 @@ class TestExperimentRunner:
         assert len(rows) == 1
         text = format_series_table(series, "modelled_runtime")
         assert "bounded_buffer" in text
+
+    def test_with_executor_override(self):
+        config = tiny_config().with_executor("process", jobs=2)
+        assert config.executor == "process"
+        assert config.jobs == 2
+        # None keeps the current values (and returns the same config).
+        assert config.with_executor() is config
+        assert tiny_config().executor == "serial"
+        # jobs defaults to None = "the executor's own default".
+        assert tiny_config().jobs is None
+
+    def test_problem_params_are_frozen(self):
+        config = tiny_config(problem_params={"capacity": 2})
+        assert isinstance(config.problem_params, FrozenMapping)
+        with pytest.raises(TypeError):
+            config.problem_params["capacity"] = 3
+
+    def test_module_level_run_point_matches_runner(self):
+        config = tiny_config(thread_counts=(2,), repetitions=2)
+        standalone = run_point("bounded_buffer", config, "autosynch", 2)
+        series = ExperimentRunner().run(config)
+        in_sweep = series.point_for("autosynch", 2)
+        assert standalone.canonical_items(include_timing=False) == in_sweep.canonical_items(
+            include_timing=False
+        )

@@ -1,0 +1,188 @@
+"""Unit tests for the execution subsystem's pure stages: cell enumeration,
+per-cell seeding, frozen problem params and the deterministic merge."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.harness.execution import (
+    FrozenMapping,
+    RunCell,
+    cell_seed,
+    enumerate_cells,
+    merge_cell_results,
+)
+from repro.harness.results import RunResult
+from repro.harness.runner import RunConfig
+
+
+def make_config(**overrides):
+    defaults = dict(
+        problem="bounded_buffer",
+        thread_counts=(2, 4),
+        mechanisms=("explicit", "autosynch"),
+        total_ops=100,
+        repetitions=3,
+        seed=7,
+    )
+    defaults.update(overrides)
+    return RunConfig(**defaults)
+
+
+def make_result(mechanism, threads, wall_time=1.0, switches=10):
+    return RunResult(
+        problem="bounded_buffer",
+        mechanism=mechanism,
+        backend="simulation",
+        threads=threads,
+        wall_time=wall_time,
+        operations=100,
+        backend_metrics={"context_switches": switches},
+        monitor_stats={"predicate_evaluations": 5},
+    )
+
+
+class TestFrozenMapping:
+    def test_behaves_like_a_mapping(self):
+        params = FrozenMapping({"capacity": 2, "mode": "fast"})
+        assert params["capacity"] == 2
+        assert dict(params) == {"capacity": 2, "mode": "fast"}
+        assert len(params) == 2
+        assert params == {"mode": "fast", "capacity": 2}
+
+    def test_is_immutable(self):
+        params = FrozenMapping({"capacity": 2})
+        with pytest.raises(TypeError):
+            params["capacity"] = 3
+
+    def test_is_hashable_and_order_insensitive(self):
+        a = FrozenMapping({"x": 1, "y": 2})
+        b = FrozenMapping({"y": 2, "x": 1})
+        assert hash(a) == hash(b)
+        assert a == b
+
+    def test_pickle_round_trip(self):
+        params = FrozenMapping({"capacity": 2})
+        clone = pickle.loads(pickle.dumps(params))
+        assert clone == params
+        assert isinstance(clone, FrozenMapping)
+
+
+class TestRunConfigImmutability:
+    def test_problem_params_are_normalized_to_frozen(self):
+        config = make_config(problem_params={"capacity": 2})
+        assert isinstance(config.problem_params, FrozenMapping)
+
+    def test_replace_does_not_alias_mutable_state(self):
+        source = {"capacity": 2}
+        config = make_config(problem_params=source)
+        copy = config.scaled(total_ops=10)
+        # Mutating the dict the config was built from must not leak in.
+        source["capacity"] = 99
+        assert config.problem_params["capacity"] == 2
+        assert copy.problem_params["capacity"] == 2
+
+    def test_config_is_hashable(self):
+        config = make_config(problem_params={"capacity": 2})
+        assert hash(config) == hash(make_config(problem_params={"capacity": 2}))
+
+    def test_sequence_fields_normalized_to_tuples(self):
+        config = make_config(thread_counts=[2, 4], mechanisms=["explicit"])
+        assert config.thread_counts == (2, 4)
+        assert config.mechanisms == ("explicit",)
+
+
+class TestCellSeed:
+    def test_is_stable(self):
+        assert cell_seed(0, "p", "m", 2, 0) == cell_seed(0, "p", "m", 2, 0)
+
+    def test_varies_with_every_coordinate(self):
+        base = cell_seed(0, "p", "m", 2, 0)
+        assert cell_seed(1, "p", "m", 2, 0) != base
+        assert cell_seed(0, "q", "m", 2, 0) != base
+        assert cell_seed(0, "p", "n", 2, 0) != base
+        assert cell_seed(0, "p", "m", 4, 0) != base
+        assert cell_seed(0, "p", "m", 2, 1) != base
+
+
+class TestEnumerateCells:
+    def test_count_and_order(self):
+        config = make_config()
+        cells = enumerate_cells(config)
+        assert len(cells) == 2 * 2 * 3  # mechanisms x thread counts x reps
+        # Mechanism-major, then x value, then repetition (the legacy order).
+        assert [(c.mechanism, c.x_value, c.repetition) for c in cells[:4]] == [
+            ("explicit", 2, 0),
+            ("explicit", 2, 1),
+            ("explicit", 2, 2),
+            ("explicit", 4, 0),
+        ]
+
+    def test_cells_carry_config_fields(self):
+        config = make_config(problem_params={"capacity": 2}, validate=True)
+        cell = enumerate_cells(config)[0]
+        assert cell.problem == "bounded_buffer"
+        assert cell.total_ops == 100
+        assert cell.validate is True
+        assert cell.problem_params == {"capacity": 2}
+
+    def test_seeds_are_independent_of_sweep_order(self):
+        forward = make_config(mechanisms=("explicit", "autosynch"))
+        reversed_ = make_config(mechanisms=("autosynch", "explicit"))
+        seeds_forward = {
+            (c.mechanism, c.x_value, c.repetition): c.seed
+            for c in enumerate_cells(forward)
+        }
+        seeds_reversed = {
+            (c.mechanism, c.x_value, c.repetition): c.seed
+            for c in enumerate_cells(reversed_)
+        }
+        assert seeds_forward == seeds_reversed
+
+    def test_cells_are_picklable(self):
+        cells = enumerate_cells(make_config(problem_params={"capacity": 2}))
+        clones = pickle.loads(pickle.dumps(cells))
+        assert clones == cells
+
+
+class TestMergeCellResults:
+    def test_merges_in_config_order_regardless_of_result_identity(self):
+        config = make_config(repetitions=1, drop_extremes=False)
+        cells = enumerate_cells(config)
+        results = [make_result(c.mechanism, c.x_value) for c in cells]
+        series = merge_cell_results(config, cells, results)
+        assert tuple(series.mechanisms()) == ("explicit", "autosynch")
+        assert series.x_values() == [2, 4]
+        assert series.point_for("autosynch", 4).context_switches == 10
+
+    def test_drop_extremes_applies_per_point(self):
+        config = make_config(
+            mechanisms=("explicit",), thread_counts=(2,), repetitions=3,
+            drop_extremes=True,
+        )
+        cells = enumerate_cells(config)
+        results = [
+            make_result("explicit", 2, switches=switches)
+            for switches in (100, 10, 1)  # modelled runtime ranks these
+        ]
+        series = merge_cell_results(config, cells, results)
+        point = series.point_for("explicit", 2)
+        assert point.repetitions == 1
+        assert point.context_switches == 10  # best (1) and worst (100) dropped
+
+    def test_length_mismatch_is_rejected(self):
+        config = make_config()
+        cells = enumerate_cells(config)
+        with pytest.raises(ValueError, match="every cell"):
+            merge_cell_results(config, cells, [])
+
+    def test_missing_point_is_rejected(self):
+        config = make_config(mechanisms=("explicit",), thread_counts=(2,), repetitions=1)
+        cells = enumerate_cells(config)
+        results = [make_result("explicit", 2)]
+        wider = make_config(mechanisms=("explicit", "autosynch"), thread_counts=(2,),
+                            repetitions=1)
+        with pytest.raises(ValueError, match="no cells"):
+            merge_cell_results(wider, cells, results)

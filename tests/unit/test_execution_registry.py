@@ -1,0 +1,122 @@
+"""Unit tests for the executor registry and the executor contract surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.execution import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    available_executors,
+    create_executor,
+    describe_executor,
+    get_executor,
+    register_executor,
+)
+from repro.harness.execution.registry import _REGISTRY
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        names = available_executors()
+        assert "serial" in names
+        assert "process" in names
+
+    def test_get_executor_resolves_classes(self):
+        assert get_executor("serial") is SerialExecutor
+        assert get_executor("process") is ProcessExecutor
+
+    def test_unknown_name_raises_with_available_list(self):
+        with pytest.raises(ValueError, match="unknown executor 'warp'"):
+            get_executor("warp")
+        with pytest.raises(ValueError, match="serial"):
+            get_executor("warp")
+
+    def test_duplicate_registration_is_rejected(self):
+        class Impostor(SerialExecutor):
+            name = "serial"
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_executor(Impostor)
+        assert get_executor("serial") is SerialExecutor
+
+    def test_replace_allows_override_and_restore(self):
+        class Temporary(SerialExecutor):
+            name = "serial"
+
+        register_executor(Temporary, replace=True)
+        try:
+            assert get_executor("serial") is Temporary
+        finally:
+            register_executor(SerialExecutor, replace=True)
+        assert get_executor("serial") is SerialExecutor
+
+    def test_non_executor_is_rejected(self):
+        with pytest.raises(TypeError):
+            register_executor(object)
+
+    def test_nameless_executor_is_rejected(self):
+        class Nameless(SerialExecutor):
+            name = ""
+
+        with pytest.raises(ValueError, match="unique 'name'"):
+            register_executor(Nameless)
+
+    def test_registration_does_not_leak_from_tests(self):
+        # Guard: the registry only holds the built-ins plus any executors
+        # deliberately registered at import time.
+        assert set(_REGISTRY) == set(available_executors())
+
+
+class TestCreateExecutor:
+    def test_from_name_with_jobs(self):
+        executor = create_executor("process", jobs=4)
+        assert isinstance(executor, ProcessExecutor)
+        assert executor.jobs == 4
+
+    def test_from_class(self):
+        executor = create_executor(SerialExecutor, jobs=2)
+        assert isinstance(executor, SerialExecutor)
+        assert executor.jobs == 2
+
+    def test_from_instance_keeps_its_own_jobs(self):
+        configured = ProcessExecutor(jobs=8)
+        assert create_executor(configured, jobs=1) is configured
+        assert configured.jobs == 8
+
+    def test_invalid_spec_raises(self):
+        with pytest.raises(TypeError, match="registered executor name"):
+            create_executor(42)
+
+    def test_jobs_below_one_rejected(self):
+        with pytest.raises(ValueError, match="jobs must be >= 1"):
+            create_executor("serial", jobs=0)
+
+    def test_default_jobs_serial_is_one(self):
+        assert create_executor("serial").jobs == 1
+
+    def test_default_jobs_process_is_core_count(self):
+        import os
+
+        # Selecting the process executor without a job count must actually
+        # parallelize: the default is one worker per core, not 1.
+        assert create_executor("process").jobs == max(1, os.cpu_count() or 1)
+
+
+class TestDescriptions:
+    def test_describe_executor(self):
+        assert "one cell at a time" in describe_executor("serial")
+        assert "worker processes" in describe_executor("process")
+
+    def test_process_describe_interpolates_jobs(self):
+        assert "jobs=4" in ProcessExecutor(jobs=4).describe()
+
+    def test_base_describe_falls_back_to_name(self):
+        class Bare(Executor):
+            name = "bare"
+
+            def run_cells(self, cells, progress=None):  # pragma: no cover
+                return []
+
+        assert Bare().describe() == "bare"
