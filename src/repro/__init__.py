@@ -35,6 +35,10 @@ The main entry points are:
 * :mod:`repro.problems`, :mod:`repro.harness`, :mod:`repro.experiments` — the
   paper's seven benchmark problems and the machinery that regenerates every
   figure and table of its evaluation.
+* :mod:`repro.explore` — systematic schedule exploration over the
+  simulation backend: exhaustive DFS / random swarm over scheduling
+  decisions, per-problem oracles, failure shrinking and replayable repro
+  files (``python -m repro.explore``).
 """
 
 from repro.core import (

@@ -16,7 +16,7 @@ The public API a downstream user needs:
 """
 
 from repro.core.condition_manager import ConditionManager, PredicateEntry
-from repro.core.errors import MonitorError, MonitorUsageError
+from repro.core.errors import MonitorError, MonitorUsageError, RelayInvarianceError
 from repro.core.heaps import ThresholdHeap
 from repro.core.instrumentation import MonitorStats, Stopwatch
 from repro.core.monitor import (
@@ -45,6 +45,7 @@ __all__ = [
     "MonitorError",
     "MonitorStats",
     "MonitorUsageError",
+    "RelayInvarianceError",
     "PredicateEntry",
     "SignallingPolicy",
     "Stopwatch",

@@ -9,3 +9,10 @@ class MonitorUsageError(MonitorError):
     """Raised when the monitor API is used incorrectly, e.g. calling
     ``wait_until`` outside an entry method or signalling a condition without
     holding the monitor lock."""
+
+
+class RelayInvarianceError(MonitorError):
+    """Raised by validate mode when a relay step misses a signal: a waiting
+    predicate is true, has un-signalled waiters, yet ``relay_signal`` found
+    nothing to wake.  A dedicated type so tooling (e.g. the schedule
+    explorer's failure classification) need not match message text."""

@@ -386,11 +386,11 @@ class AutoSynchMonitor(MonitorBase):
     def _check_no_missed_signal(self) -> None:
         """Validation mode: after a relay that signalled nobody, no waiting
         predicate may be true (otherwise tag pruning lost a signal)."""
-        from repro.core.errors import MonitorError
+        from repro.core.errors import RelayInvarianceError
 
         missed = self._cond_mgr.find_missed_waiter()
         if missed is not None:
-            raise MonitorError(
+            raise RelayInvarianceError(
                 "relay invariance violated: predicate "
                 f"{missed.canonical!r} is true, has {missed.unsignalled_waiters} "
                 "un-signalled waiter(s), but relay_signal found nothing to wake"

@@ -40,6 +40,7 @@ from repro.core.signalling.registry import (
     describe_policy,
     get_policy,
     register_policy,
+    unregister_policy,
 )
 
 # Import order fixes registration order (= the order ``available_policies``
@@ -58,6 +59,7 @@ __all__ = [
     "BatchedRelayPolicy",
     "FifoRelayPolicy",
     "DEFAULT_BATCH_LIMIT",
+    "unregister_policy",
     "register_policy",
     "get_policy",
     "available_policies",

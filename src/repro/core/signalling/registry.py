@@ -17,6 +17,7 @@ from repro.core.signalling.base import SignallingPolicy
 
 __all__ = [
     "register_policy",
+    "unregister_policy",
     "get_policy",
     "available_policies",
     "describe_policy",
@@ -56,6 +57,18 @@ def register_policy(
         )
     _REGISTRY[name] = policy_cls
     return policy_cls
+
+
+def unregister_policy(name: str) -> None:
+    """Remove a registered policy by name.
+
+    Exists for tests and experiments that register throwaway policies (e.g.
+    deliberately-defective ones for the schedule explorer's seeded-defect
+    suite) and must restore the registry afterwards.  Unknown names raise
+    the same error as :func:`get_policy`.
+    """
+    get_policy(name)
+    del _REGISTRY[name]
 
 
 def get_policy(name: str) -> Type[SignallingPolicy]:

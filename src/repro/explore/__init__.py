@@ -1,0 +1,62 @@
+"""Systematic schedule exploration for the simulation backend.
+
+The deterministic simulation kernel makes every run a pure function of its
+scheduling decisions, which turns correctness checking into a search problem:
+instead of hoping a handful of seeds happens to hit a buggy interleaving,
+this package *manufactures* interleavings systematically and checks
+per-problem safety/liveness oracles at every scheduling decision point.
+
+Two exploration modes, both built on the scheduler registry of
+:mod:`repro.runtime.simulation.schedulers`:
+
+* **DFS** (:func:`explore_dfs`) — bounded exhaustive depth-first search over
+  the tree of scheduling decisions.  Feasible for small thread/op counts and
+  *complete*: if no schedule violates an oracle, none exists at that size.
+* **Swarm** (:func:`explore_swarm`) — many independent seeded-random
+  schedules for configurations too large to exhaust, sharded across worker
+  processes through the existing harness executor registry.
+
+Every failing schedule is shrunk to a near-minimal decision prefix
+(:mod:`repro.explore.shrink`) and can be written to a JSON repro file that
+``python -m repro.explore --replay FILE`` re-executes bit-identically
+(:mod:`repro.explore.repro_files`).
+"""
+
+from repro.explore.engine import (
+    ExplorationFailure,
+    ExplorationReport,
+    ExploreTask,
+    OracleViolationError,
+    ScheduleOutcome,
+    StarvationBudgetWatcher,
+    explore_dfs,
+    explore_swarm,
+    run_schedule,
+)
+from repro.explore.repro_files import (
+    REPRO_FORMAT,
+    load_repro,
+    replay_repro,
+    repro_payload,
+    write_repro,
+)
+from repro.explore.shrink import ShrinkResult, shrink_failure
+
+__all__ = [
+    "ExplorationFailure",
+    "ExplorationReport",
+    "ExploreTask",
+    "OracleViolationError",
+    "REPRO_FORMAT",
+    "ScheduleOutcome",
+    "ShrinkResult",
+    "StarvationBudgetWatcher",
+    "explore_dfs",
+    "explore_swarm",
+    "load_repro",
+    "replay_repro",
+    "repro_payload",
+    "run_schedule",
+    "shrink_failure",
+    "write_repro",
+]

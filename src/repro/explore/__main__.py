@@ -1,0 +1,291 @@
+"""Command-line entry point for schedule exploration.
+
+Examples
+--------
+Exhaustively explore every schedule of a tiny bounded buffer::
+
+    python -m repro.explore --problem bounded_buffer --mechanism autosynch \
+        --mode dfs --threads 2 --ops 4 --param capacity=1
+
+Swarm-explore a larger configuration across 4 worker processes::
+
+    python -m repro.explore --problem h2o --mechanism autosynch --mode swarm \
+        --threads 4 --ops 12 --schedules 500 --executor process --jobs 4
+
+Replay a failure repro file bit-identically::
+
+    python -m repro.explore --replay repros/bounded_buffer_....json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.explore.engine import (
+    DEFAULT_MAX_STEPS,
+    ExplorationFailure,
+    ExplorationReport,
+    ExploreTask,
+    explore_dfs,
+    explore_swarm,
+)
+from repro.explore.repro_files import replay_repro, repro_payload, write_repro
+from repro.explore.shrink import shrink_failure
+from repro.harness.execution import available_executors
+from repro.problems import PROBLEMS, get_problem
+from repro.runtime.simulation import available_schedulers, describe_scheduler
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="autosynch-explore",
+        description=(
+            "Systematically explore simulation schedules, check per-problem "
+            "oracles at every scheduling decision, shrink failures and write "
+            "replayable JSON repro files."
+        ),
+    )
+    parser.add_argument(
+        "--problem",
+        choices=sorted(PROBLEMS),
+        help="which synchronization problem to explore",
+    )
+    parser.add_argument(
+        "--mechanism",
+        default=None,
+        metavar="NAME[,NAME...]",
+        help=(
+            "mechanism(s) to explore: 'explicit', any registered signalling "
+            "policy, or 'all' for every mechanism the problem supports"
+        ),
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("dfs", "swarm"),
+        default="dfs",
+        help="dfs = bounded exhaustive search, swarm = seeded random sampling",
+    )
+    parser.add_argument("--threads", type=int, default=2,
+                        help="the problem's x-axis value (default 2)")
+    parser.add_argument("--ops", type=int, default=4,
+                        help="total operation budget (default 4; keep tiny for dfs)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base seed for the workload (and swarm probes)")
+    parser.add_argument(
+        "--schedules",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "dfs: max schedules to visit (default: unlimited, run to "
+            "exhaustion); swarm: number of random schedules (default 200)"
+        ),
+    )
+    parser.add_argument(
+        "--max-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "dfs: only branch on decisions shallower than N (needed for "
+            "policies like 'baseline' whose schedule trees are infinite)"
+        ),
+    )
+    parser.add_argument(
+        "--max-steps",
+        type=int,
+        default=DEFAULT_MAX_STEPS,
+        metavar="N",
+        help="per-run scheduling-step budget (default %(default)s)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=available_executors(),
+        default="serial",
+        help="swarm only: how probes are executed ('process' shards over a pool)",
+    )
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="swarm only: worker count for parallel executors")
+    parser.add_argument(
+        "--starvation-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "liveness oracle: fail if a thread stays blocked for N consecutive "
+            "scheduling decisions (recommended for swarm mode only; DFS "
+            "schedules are deliberately unfair)"
+        ),
+    )
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="also run the monitor's relay-invariance checking during each run",
+    )
+    parser.add_argument(
+        "--param",
+        action="append",
+        default=None,
+        metavar="KEY=VALUE",
+        help="problem parameter (repeatable), e.g. --param capacity=1",
+    )
+    parser.add_argument(
+        "--out",
+        default="repros",
+        metavar="DIR",
+        help="directory for failure repro files (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="write raw failing schedules without greedy minimisation",
+    )
+    parser.add_argument(
+        "--replay",
+        default=None,
+        metavar="FILE",
+        help="re-execute a repro file bit-identically and report the verdict",
+    )
+    parser.add_argument(
+        "--list-schedulers",
+        action="store_true",
+        help="list the scheduler registry contents and exit",
+    )
+    return parser
+
+
+def _parse_params(raw: Optional[Sequence[str]]) -> Dict[str, object]:
+    params: Dict[str, object] = {}
+    for item in raw or ():
+        key, separator, value = item.partition("=")
+        if not separator or not key:
+            raise SystemExit(f"--param expects KEY=VALUE, got {item!r}")
+        try:
+            params[key] = int(value)
+        except ValueError:
+            params[key] = value
+    return params
+
+
+def _resolve_mechanisms(problem_name: str, raw: Optional[str]) -> List[str]:
+    problem = get_problem(problem_name)
+    supported = problem.supported_mechanisms()
+    if raw is None or raw == "all":
+        return list(supported)
+    names = [name.strip() for name in raw.split(",") if name.strip()]
+    unknown = [name for name in names if name not in supported]
+    if unknown:
+        raise SystemExit(
+            f"unknown mechanism(s) {unknown} for problem {problem_name!r}; "
+            f"supported: {', '.join(supported)}"
+        )
+    return names
+
+
+def _write_failures(
+    report: ExplorationReport,
+    out_dir: Path,
+    shrink: bool,
+) -> List[Path]:
+    written: List[Path] = []
+    for failure in report.failures:
+        # Swarm probes re-seed the workload with the probe seed; shrink and
+        # replay must run against that exact seed or the schedule diverges.
+        task = report.task
+        if failure.seed is not None:
+            task = replace(task, seed=failure.seed)
+        shrunk_from: Optional[int] = None
+        if shrink:
+            try:
+                result = shrink_failure(task, failure.prefix, failure.kind)
+            except ValueError:
+                # Defensive: a prefix re-run that no longer fails (the trace
+                # itself still replays); keep the raw failure in that case.
+                result = None
+            if result is not None:
+                shrunk_from = len(failure.prefix)
+                failure = ExplorationFailure(
+                    kind=failure.kind,
+                    message=result.outcome.message,
+                    prefix=result.prefix,
+                    trace=result.outcome.trace,
+                    digest=result.outcome.digest,
+                    seed=failure.seed,
+                )
+                print(f"  shrink: {result.describe()}")
+        name = (
+            f"{task.problem}_{task.mechanism}_"
+            f"{failure.kind.replace(':', '-')}_{failure.digest[:12]}.json"
+        )
+        path = write_repro(
+            out_dir / name, repro_payload(task, failure, report.mode, shrunk_from)
+        )
+        written.append(path)
+        print(f"  repro written: {path}")
+    return written
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_schedulers:
+        width = max(len(name) for name in available_schedulers())
+        for name in available_schedulers():
+            print(f"{name:{width}s}  {describe_scheduler(name)}")
+        return 0
+    if args.replay is not None:
+        result = replay_repro(args.replay)
+        print(result.describe())
+        return 0 if result.reproduced else 1
+    if args.problem is None:
+        raise SystemExit("--problem is required (unless --replay/--list-schedulers)")
+
+    params = _parse_params(args.param)
+    mechanisms = _resolve_mechanisms(args.problem, args.mechanism)
+    out_dir = Path(args.out)
+    any_failures = False
+    for mechanism in mechanisms:
+        task = ExploreTask(
+            problem=args.problem,
+            mechanism=mechanism,
+            threads=args.threads,
+            total_ops=args.ops,
+            seed=args.seed,
+            validate=args.validate,
+            max_steps=args.max_steps,
+            starvation_budget=args.starvation_budget,
+            problem_params=params,
+        )
+        try:
+            if args.mode == "dfs":
+                report = explore_dfs(
+                    task, max_schedules=args.schedules, max_depth=args.max_depth
+                )
+            else:
+                report = explore_swarm(
+                    task,
+                    schedules=args.schedules if args.schedules is not None else 200,
+                    base_seed=args.seed,
+                    executor=args.executor,
+                    jobs=args.jobs,
+                )
+        except ValueError as error:
+            # Workload construction rejected the configuration (bad problem
+            # parameter, invalid thread/op count, ...): a usage error, not a
+            # finding — report it like any other bad CLI input.
+            raise SystemExit(f"cannot explore {args.problem!r}: {error}") from None
+        print(report.summary())
+        if not report.ok:
+            any_failures = True
+            _write_failures(report, out_dir, shrink=not args.no_shrink)
+        print()
+    return 1 if any_failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

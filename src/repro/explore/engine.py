@@ -1,0 +1,492 @@
+"""The schedule-exploration engine: run, classify, and enumerate schedules.
+
+A *schedule* is fully determined by the sequence of decisions the kernel's
+scheduler makes (see :meth:`~repro.runtime.simulation.schedulers.ScheduleTrace.choices`:
+one index into the sorted runnable set per decision point).  The engine runs
+one schedule at a time with a fresh backend and monitor, evaluates the
+problem's oracles at every decision point, and classifies the result:
+
+================  ==============================================================
+kind              meaning
+================  ==============================================================
+``ok``            the run finished and the post-run ``verify()`` passed
+``oracle:<name>`` a safety/liveness oracle reported a violation mid-run
+``missed_signal`` all threads deadlocked *while some waiter's predicate was
+                  true* — the automatic-signal property the paper proves
+``deadlock``      all threads deadlocked with no eligible waiter
+``postcondition`` the run finished but the problem's ``verify()`` failed
+``step_limit``    the per-run scheduling-step budget was exhausted
+``divergence``    a replayed/prefixed schedule no longer matches the program
+``error:<Type>``  any other exception escaping the run
+================  ==============================================================
+
+Exhaustive DFS and random swarm exploration are thin loops over this
+primitive; both report an :class:`ExplorationReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.errors import MonitorError, RelayInvarianceError
+from repro.core.monitor import MonitorBase
+from repro.harness.execution import FrozenMapping, create_executor
+from repro.predicates.codegen import DEFAULT_ENGINE
+from repro.problems import get_problem
+from repro.runtime.simulation import (
+    DeadlockError,
+    PrefixScheduler,
+    ScheduleDivergenceError,
+    ScheduleTrace,
+    Scheduler,
+    SimulationBackend,
+    SimulationLimitError,
+)
+from repro.runtime.simulation.schedulers import RandomScheduler, SchedulePoint
+
+__all__ = [
+    "OracleViolationError",
+    "StarvationBudgetWatcher",
+    "ExploreTask",
+    "ScheduleOutcome",
+    "ExplorationFailure",
+    "ExplorationReport",
+    "run_schedule",
+    "run_prefix",
+    "explore_dfs",
+    "explore_swarm",
+]
+
+#: Default per-run scheduling-step budget (a guard against livelock; far
+#: above anything the explorer's small workloads need).
+DEFAULT_MAX_STEPS = 100_000
+
+
+class OracleViolationError(Exception):
+    """An oracle reported a violation at a scheduling decision point."""
+
+    def __init__(self, oracle_name: str, message: str, kind: str = "safety") -> None:
+        super().__init__(f"oracle {oracle_name!r} violated: {message}")
+        self.oracle_name = oracle_name
+        self.oracle_kind = kind
+        self.detail = message
+
+
+class StarvationBudgetWatcher:
+    """Liveness oracle: no thread may stay blocked for too many decisions.
+
+    A thread that remains blocked while the run makes *budget* consecutive
+    scheduling decisions is starved: other threads kept entering and leaving
+    the monitor without its predicate ever being satisfied and signalled.
+    This is meaningful under fair-ish schedulers (the swarm's random
+    scheduler); under adversarial DFS prefixes short budgets misfire, which
+    is why the budget is opt-in per task.
+    """
+
+    def __init__(self, backend: SimulationBackend, budget: int) -> None:
+        if budget < 1:
+            raise ValueError(f"starvation budget must be >= 1, got {budget}")
+        self._backend = backend
+        self._budget = budget
+        self._streaks: Dict[int, int] = {}
+
+    def observe(self, point: SchedulePoint) -> None:
+        blocked = self._backend.blocked_threads()
+        blocked_tids = set()
+        for tid, name, reason in blocked:
+            blocked_tids.add(tid)
+            streak = self._streaks.get(tid, 0) + 1
+            self._streaks[tid] = streak
+            if streak > self._budget:
+                raise OracleViolationError(
+                    "starvation_budget",
+                    f"thread {name} stayed blocked ({reason}) for {streak} "
+                    f"consecutive scheduling decisions (budget {self._budget})",
+                    kind="liveness",
+                )
+        for tid in list(self._streaks):
+            if tid not in blocked_tids:
+                del self._streaks[tid]
+
+
+@dataclass(frozen=True)
+class ExploreTask:
+    """One exploration target: a (problem, mechanism, size) configuration.
+
+    Frozen and fully picklable, so swarm probes can be shipped to worker
+    processes through the executor registry.
+    """
+
+    problem: str
+    mechanism: str
+    threads: int = 2
+    total_ops: int = 4
+    seed: int = 0
+    eval_engine: str = DEFAULT_ENGINE
+    validate: bool = False
+    max_steps: Optional[int] = DEFAULT_MAX_STEPS
+    #: Liveness budget (see :class:`StarvationBudgetWatcher`); ``None``
+    #: defers to the problem's own ``starvation_budget`` declaration.
+    starvation_budget: Optional[int] = None
+    problem_params: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.problem_params, FrozenMapping):
+            object.__setattr__(
+                self, "problem_params", FrozenMapping(self.problem_params)
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "problem": self.problem,
+            "mechanism": self.mechanism,
+            "threads": self.threads,
+            "total_ops": self.total_ops,
+            "seed": self.seed,
+            "eval_engine": self.eval_engine,
+            "validate": self.validate,
+            "max_steps": self.max_steps,
+            "starvation_budget": self.starvation_budget,
+            "problem_params": dict(self.problem_params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExploreTask":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ScheduleOutcome:
+    """The classified result of running one schedule."""
+
+    status: str  # "ok" | "failure"
+    kind: str  # see the module docstring's table
+    message: str
+    trace: ScheduleTrace
+    digest: str
+    backend_metrics: dict
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def steps(self) -> int:
+        return len(self.trace)
+
+
+@dataclass(frozen=True)
+class ExplorationFailure:
+    """One failing schedule, in replayable form."""
+
+    kind: str
+    message: str
+    #: Decision sequence (sorted-runnable indices) reproducing the failure
+    #: through :class:`~repro.runtime.simulation.schedulers.PrefixScheduler`.
+    prefix: Tuple[int, ...]
+    trace: ScheduleTrace
+    digest: str
+    #: The swarm seed that found it (None for DFS failures).
+    seed: Optional[int] = None
+
+
+@dataclass
+class ExplorationReport:
+    """Aggregate result of one DFS or swarm exploration."""
+
+    task: ExploreTask
+    mode: str  # "dfs" | "swarm"
+    schedules_visited: int = 0
+    #: DFS only: the decision tree was exhausted (no schedule cap was hit),
+    #: so the absence of failures is a proof at this problem size — over
+    #: every schedule when ``depth_capped`` is 0, otherwise over every
+    #: schedule whose forced decisions fit the depth bound.
+    complete: bool = False
+    failures: List[ExplorationFailure] = field(default_factory=list)
+    #: Total failing schedules seen (``failures`` is capped; this is not).
+    failures_total: int = 0
+    max_depth: int = 0
+    #: DFS only: how many runs kept making decisions beyond the depth bound
+    #: (their deeper alternatives were not branched on).
+    depth_capped: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.failures_total == 0
+
+    def failure_kinds(self) -> Dict[str, int]:
+        kinds: Dict[str, int] = {}
+        for failure in self.failures:
+            kinds[failure.kind] = kinds.get(failure.kind, 0) + 1
+        return kinds
+
+    def summary(self) -> str:
+        if not self.complete:
+            shape = "sampled"
+        elif self.depth_capped:
+            shape = f"exhaustive within depth bound; {self.depth_capped} runs capped"
+        else:
+            shape = "exhaustive"
+        lines = [
+            f"{self.mode} exploration of {self.task.problem} "
+            f"[{self.task.mechanism}] threads={self.task.threads} "
+            f"ops={self.task.total_ops}: {self.schedules_visited} schedules "
+            f"({shape}), max depth {self.max_depth}, "
+            f"{self.failures_total} failing"
+        ]
+        for kind, count in sorted(self.failure_kinds().items()):
+            lines.append(f"  {kind}: {count} collected")
+        return "\n".join(lines)
+
+
+class _MissedSignalProbe:
+    """Deadlock inspector distinguishing missed signals from true deadlocks.
+
+    Runs at the instant the kernel detects the deadlock — while waiting
+    threads still hold their predicate entries — and records whether some
+    waiter's predicate was actually *true*: in that case a thread should
+    have been signalled and was not, which is exactly the property
+    ("automatic monitors never miss a signal") the paper argues.
+    """
+
+    def __init__(self, monitor: MonitorBase) -> None:
+        self._monitor = monitor
+        self.missed: Optional[str] = None
+
+    def __call__(self) -> Optional[str]:
+        manager = getattr(self._monitor, "condition_manager", None)
+        if manager is None:
+            return None
+        entry = manager.find_missed_waiter()
+        if entry is None:
+            return None
+        self.missed = entry.canonical
+        return (
+            f"missed signal: predicate {entry.canonical!r} is true with "
+            f"{entry.unsignalled_waiters} un-signalled waiter(s)"
+        )
+
+    @property
+    def kind(self) -> str:
+        return "missed_signal" if self.missed is not None else "deadlock"
+
+
+def run_schedule(task: ExploreTask, scheduler: Scheduler) -> ScheduleOutcome:
+    """Run one schedule of *task* under *scheduler* and classify the result.
+
+    Builds a fresh backend and monitor (schedules are only comparable when
+    nothing leaks between runs), records the decision trace, and checks the
+    problem's oracles at every decision point.
+    """
+    problem = get_problem(task.problem)
+    backend = SimulationBackend(
+        seed=task.seed,
+        policy=scheduler,
+        max_steps=task.max_steps,
+        record_trace=True,
+    )
+    spec = problem.build(
+        task.mechanism,
+        backend,
+        threads=task.threads,
+        total_ops=task.total_ops,
+        seed=task.seed,
+        validate=task.validate,
+        eval_engine=task.eval_engine,
+        **dict(task.problem_params),
+    )
+    oracles = problem.oracles(spec.monitor)
+    budget = task.starvation_budget
+    if budget is None:
+        budget = problem.starvation_budget
+    # `is not None` (not truthiness): a budget of 0 must hit the watcher's
+    # >= 1 validation rather than silently disable liveness checking.
+    watcher = (
+        StarvationBudgetWatcher(backend, budget) if budget is not None else None
+    )
+
+    def observer(point: SchedulePoint) -> None:
+        for oracle in oracles:
+            message = oracle.check()
+            if message is not None:
+                raise OracleViolationError(oracle.name, message, kind=oracle.kind)
+        if watcher is not None:
+            watcher.observe(point)
+
+    backend.set_observer(observer)
+    probe = _MissedSignalProbe(spec.monitor)
+    backend.set_deadlock_inspector(probe)
+
+    status, kind, message = "ok", "ok", ""
+    try:
+        backend.run(spec.targets, spec.names)
+        spec.verify()
+    except OracleViolationError as exc:
+        status, kind, message = "failure", f"oracle:{exc.oracle_name}", str(exc)
+    except DeadlockError as exc:
+        status, kind, message = "failure", probe.kind, str(exc)
+    except RelayInvarianceError as exc:
+        # Validate mode caught a relay step losing a signal mid-run.
+        status, kind, message = "failure", "missed_signal", str(exc)
+    except MonitorError as exc:
+        status, kind, message = "failure", f"error:{type(exc).__name__}", str(exc)
+    except SimulationLimitError as exc:
+        status, kind, message = "failure", "step_limit", str(exc)
+    except ScheduleDivergenceError as exc:
+        status, kind, message = "failure", "divergence", str(exc)
+    except AssertionError as exc:
+        status, kind, message = "failure", "postcondition", str(exc)
+    except Exception as exc:
+        status, kind, message = "failure", f"error:{type(exc).__name__}", str(exc)
+    trace = backend.schedule_trace
+    return ScheduleOutcome(
+        status=status,
+        kind=kind,
+        message=message,
+        trace=trace,
+        digest=trace.digest(),
+        backend_metrics=backend.metrics.snapshot(),
+    )
+
+
+def run_prefix(task: ExploreTask, prefix: Sequence[int]) -> ScheduleOutcome:
+    """Run the schedule identified by a decision *prefix* (DFS coordinates)."""
+    return run_schedule(task, PrefixScheduler(prefix))
+
+
+#: Keep at most this many failures in a report by default (every failing
+#: schedule is still *counted*; this caps memory, not detection).
+DEFAULT_FAILURE_LIMIT = 25
+
+
+def explore_dfs(
+    task: ExploreTask,
+    max_schedules: Optional[int] = None,
+    max_depth: Optional[int] = None,
+    failure_limit: int = DEFAULT_FAILURE_LIMIT,
+    stop_on_failure: bool = False,
+    progress: Optional[Callable[[int, ScheduleOutcome], None]] = None,
+) -> ExplorationReport:
+    """Bounded exhaustive DFS over the scheduling-decision tree of *task*.
+
+    Every run's trace exposes, at each decision point, how many runnable
+    threads there were; each untried alternative becomes a new prefix to
+    explore.  With ``max_schedules=None`` the search runs until the tree is
+    exhausted and the report's ``complete`` flag is set — at which point a
+    clean report is a proof over *every* schedule of this configuration
+    (every schedule within the depth bound when one was needed).
+
+    ``max_depth`` bounds the decision depth at which new branches are taken.
+    It exists because some policies have *infinite* schedule trees: under
+    the broadcast baseline, two waiters with false predicates can wake each
+    other forever, so an adversarial schedule can always be extended.  Runs
+    still continue past the bound (with the default continuation) so their
+    verdicts are real; only their deeper alternatives are pruned, and
+    ``report.depth_capped`` counts how often that happened.
+    """
+    report = ExplorationReport(task=task, mode="dfs")
+    pending: List[Tuple[int, ...]] = [()]
+    while pending:
+        if max_schedules is not None and report.schedules_visited >= max_schedules:
+            return report
+        prefix = pending.pop()
+        outcome = run_prefix(task, prefix)
+        report.schedules_visited += 1
+        report.max_depth = max(report.max_depth, outcome.steps)
+        if progress is not None:
+            progress(report.schedules_visited, outcome)
+        choices = outcome.trace.choices()
+        # Branch: alternatives not taken at every decision at or beyond the
+        # prefix (decisions inside the prefix were enumerated by its parent).
+        branch_until = len(choices)
+        if max_depth is not None and branch_until > max_depth:
+            branch_until = max_depth
+            report.depth_capped += 1
+        for depth in range(len(prefix), branch_until):
+            for alt in range(1, outcome.trace[depth].branching):
+                pending.append(choices[:depth] + (alt,))
+        if not outcome.ok:
+            report.failures_total += 1
+            if len(report.failures) < failure_limit:
+                report.failures.append(
+                    ExplorationFailure(
+                        kind=outcome.kind,
+                        message=outcome.message,
+                        prefix=choices,
+                        trace=outcome.trace,
+                        digest=outcome.digest,
+                    )
+                )
+            if stop_on_failure:
+                return report
+    report.complete = True
+    return report
+
+
+@dataclass(frozen=True)
+class _SwarmProbe:
+    """One random schedule to try: picklable unit of swarm work."""
+
+    task: ExploreTask
+    seed: int
+
+
+def _run_swarm_probe(probe: _SwarmProbe) -> ScheduleOutcome:
+    """Top-level (hence picklable) swarm worker entry point."""
+    task = replace(probe.task, seed=probe.seed)
+    return run_schedule(task, RandomScheduler(probe.seed))
+
+
+def explore_swarm(
+    task: ExploreTask,
+    schedules: int,
+    base_seed: int = 0,
+    executor: str = "serial",
+    jobs: Optional[int] = None,
+    failure_limit: int = DEFAULT_FAILURE_LIMIT,
+    progress: Optional[Callable[[int, ScheduleOutcome], None]] = None,
+) -> ExplorationReport:
+    """Seeded random swarm exploration, sharded through the executor registry.
+
+    Runs *schedules* independent probes with seeds ``base_seed ..
+    base_seed + schedules - 1``; each probe reseeds both the random
+    scheduler and the workload, so distinct seeds genuinely explore distinct
+    schedules.  ``executor``/``jobs`` resolve through
+    :mod:`repro.harness.execution` exactly like experiment sweeps
+    (``"process"`` shards probes across worker processes).
+    """
+    if schedules < 1:
+        raise ValueError(f"swarm exploration needs >= 1 schedule, got {schedules}")
+    report = ExplorationReport(task=task, mode="swarm")
+    probes = [_SwarmProbe(task, base_seed + offset) for offset in range(schedules)]
+    seen_digests: set = set()
+
+    def on_probe(index: int, probe: _SwarmProbe, outcome: ScheduleOutcome) -> None:
+        report.schedules_visited += 1
+        report.max_depth = max(report.max_depth, outcome.steps)
+        if progress is not None:
+            progress(report.schedules_visited, outcome)
+        if outcome.ok:
+            return
+        report.failures_total += 1
+        # The same failing schedule can be found by many seeds; keep each
+        # distinct schedule once.
+        if outcome.digest in seen_digests or len(report.failures) >= failure_limit:
+            return
+        seen_digests.add(outcome.digest)
+        report.failures.append(
+            ExplorationFailure(
+                kind=outcome.kind,
+                message=outcome.message,
+                prefix=outcome.trace.choices(),
+                trace=outcome.trace,
+                digest=outcome.digest,
+                seed=probe.seed,
+            )
+        )
+
+    create_executor(executor, jobs=jobs).run_tasks(
+        _run_swarm_probe, probes, progress=on_probe
+    )
+    return report

@@ -1,0 +1,139 @@
+"""JSON repro files: persist a failing schedule, replay it bit-identically.
+
+A repro file is self-contained: the full :class:`ExploreTask` (problem,
+mechanism, sizes, seed, params), the failure classification, the shrunk
+decision prefix, and the complete recorded
+:class:`~repro.runtime.simulation.schedulers.ScheduleTrace` with its digest.
+Replay re-drives the trace through the ``replay`` scheduler — which verifies
+the runnable set at every decision — and then checks both the failure kind
+and the re-recorded trace digest, so a successful replay means the original
+run was reproduced decision-for-decision, not merely "it failed again".
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.explore.engine import (
+    ExplorationFailure,
+    ExploreTask,
+    ScheduleOutcome,
+    run_schedule,
+)
+from repro.runtime.simulation import ReplayScheduler, ScheduleTrace
+
+__all__ = [
+    "REPRO_FORMAT",
+    "ReplayResult",
+    "repro_payload",
+    "write_repro",
+    "load_repro",
+    "replay_repro",
+]
+
+REPRO_FORMAT = "autosynch-explore-repro/1"
+
+
+def repro_payload(
+    task: ExploreTask,
+    failure: ExplorationFailure,
+    mode: str,
+    shrunk_from: Optional[int] = None,
+) -> dict:
+    """Build the JSON-serialisable payload for one failing schedule."""
+    return {
+        "format": REPRO_FORMAT,
+        "mode": mode,
+        "task": task.to_dict(),
+        "failure": {
+            "kind": failure.kind,
+            "message": failure.message,
+            "seed": failure.seed,
+        },
+        "prefix": list(failure.prefix),
+        "shrunk_from": shrunk_from,
+        "trace": failure.trace.to_dict(),
+        "trace_digest": failure.digest,
+    }
+
+
+def write_repro(path: Union[str, Path], payload: dict) -> Path:
+    """Write a repro payload to *path* (parent directories created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_repro(path: Union[str, Path]) -> dict:
+    """Load and structurally validate a repro file."""
+    payload = json.loads(Path(path).read_text())
+    fmt = payload.get("format")
+    if fmt != REPRO_FORMAT:
+        raise ValueError(
+            f"{path}: unsupported repro format {fmt!r} (expected {REPRO_FORMAT!r})"
+        )
+    for key in ("task", "failure", "trace", "trace_digest"):
+        if key not in payload:
+            raise ValueError(f"{path}: repro file is missing the {key!r} field")
+    return payload
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """The verdict of replaying a repro file."""
+
+    outcome: ScheduleOutcome
+    expected_kind: str
+    expected_digest: str
+
+    @property
+    def kind_matches(self) -> bool:
+        return self.outcome.kind == self.expected_kind
+
+    @property
+    def digest_matches(self) -> bool:
+        return self.outcome.digest == self.expected_digest
+
+    @property
+    def reproduced(self) -> bool:
+        """Bit-identical reproduction: same schedule, same failure."""
+        return self.kind_matches and self.digest_matches
+
+    def describe(self) -> str:
+        if self.reproduced:
+            return (
+                f"reproduced: {self.outcome.kind} after "
+                f"{self.outcome.steps} decisions (digest "
+                f"{self.outcome.digest[:12]} matches)"
+            )
+        parts = []
+        if not self.kind_matches:
+            parts.append(
+                f"kind {self.outcome.kind!r} != expected {self.expected_kind!r}"
+            )
+        if not self.digest_matches:
+            parts.append("trace digest differs")
+        return "NOT reproduced: " + "; ".join(parts)
+
+
+def replay_repro(source: Union[str, Path, dict]) -> ReplayResult:
+    """Re-execute a repro file's schedule and verify it reproduces.
+
+    *source* is a path or an already-loaded payload.  The recorded trace is
+    re-driven through the ``replay`` scheduler; divergence surfaces as a
+    ``divergence`` outcome (and therefore a failed reproduction) rather than
+    an exception.
+    """
+    payload = source if isinstance(source, dict) else load_repro(source)
+    task = ExploreTask.from_dict(payload["task"])
+    trace = ScheduleTrace.from_dict(payload["trace"])
+    outcome = run_schedule(task, ReplayScheduler(trace))
+    return ReplayResult(
+        outcome=outcome,
+        expected_kind=payload["failure"]["kind"],
+        expected_digest=payload["trace_digest"],
+    )

@@ -1,0 +1,130 @@
+"""Greedy minimisation of failing schedules.
+
+A failure found by DFS or swarm exploration comes with the full decision
+sequence of the failing run.  Most of those decisions are incidental: the
+default continuation (index 0 — smallest thread id) would have produced the
+same failure.  The shrinker exploits exactly that structure:
+
+* a trailing run of zeros *is* the default continuation, so it can be
+  dropped outright (same schedule, shorter prefix);
+* any single decision can be tried at the default (0) or at a smaller
+  alternative, and the candidate kept whenever the re-run still fails with
+  the same kind.
+
+The loop is greedy to a fixpoint, so the result is near-minimal (no single
+decision can be defaulted or lowered without losing the failure) rather than
+globally minimal — the classic delta-debugging trade-off, bought at a
+bounded number of re-runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.explore.engine import ExploreTask, ScheduleOutcome, run_prefix
+
+__all__ = ["ShrinkResult", "shrink_failure"]
+
+#: Upper bound on shrink re-runs (each re-run is a full, if tiny, simulation).
+DEFAULT_SHRINK_BUDGET = 2_000
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """A minimised failing schedule."""
+
+    #: The shrunk decision prefix (still failing with the original kind).
+    prefix: Tuple[int, ...]
+    #: The outcome of running the shrunk prefix (its trace is the repro).
+    outcome: ScheduleOutcome
+    #: Length of the prefix the shrink started from.
+    original_length: int
+    #: Non-default decisions before/after (the real size of the repro).
+    original_forced: int
+    forced: int
+    #: How many candidate re-runs the shrink performed.
+    attempts: int
+
+    def describe(self) -> str:
+        return (
+            f"shrank {self.original_length} decisions "
+            f"({self.original_forced} forced) to {len(self.prefix)} "
+            f"({self.forced} forced) in {self.attempts} re-runs"
+        )
+
+
+def _trim(prefix: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Drop trailing zeros: they equal the default continuation."""
+    end = len(prefix)
+    while end and prefix[end - 1] == 0:
+        end -= 1
+    return prefix[:end]
+
+
+def _forced(prefix: Tuple[int, ...]) -> int:
+    return sum(1 for choice in prefix if choice != 0)
+
+
+def shrink_failure(
+    task: ExploreTask,
+    prefix: Tuple[int, ...],
+    kind: str,
+    budget: int = DEFAULT_SHRINK_BUDGET,
+) -> ShrinkResult:
+    """Shrink *prefix* while the re-run keeps failing with *kind*.
+
+    *prefix* must actually fail (the function re-runs it first and raises
+    ``ValueError`` if it does not — shrinking a non-failure is always a bug
+    in the caller).
+    """
+    attempts = 0
+
+    def attempt(candidate: Tuple[int, ...]) -> Optional[ScheduleOutcome]:
+        nonlocal attempts
+        attempts += 1
+        outcome = run_prefix(task, candidate)
+        return outcome if outcome.kind == kind else None
+
+    original = tuple(int(choice) for choice in prefix)
+    current = _trim(original)
+    best = attempt(current)
+    if best is None:
+        raise ValueError(
+            f"cannot shrink: prefix {original!r} does not fail with kind {kind!r}"
+        )
+
+    improved = True
+    while improved and attempts < budget:
+        improved = False
+        # Right-to-left: late decisions are the likeliest to be incidental
+        # (they happen after the failure's cause is already committed).
+        for index in reversed(range(len(current))):
+            if attempts >= budget:
+                break
+            if current[index] == 0:
+                continue
+            # Try the default first (removes the decision entirely), then a
+            # one-smaller alternative (keeps a forced decision but simpler);
+            # for a decision of 1 those coincide, so try it only once.
+            candidates = (0,) if current[index] == 1 else (0, current[index] - 1)
+            for value in candidates:
+                candidate = _trim(
+                    current[:index] + (value,) + current[index + 1 :]
+                )
+                outcome = attempt(candidate)
+                if outcome is not None:
+                    current, best = candidate, outcome
+                    improved = True
+                    break
+            if improved:
+                break
+
+    return ShrinkResult(
+        prefix=current,
+        outcome=best,
+        original_length=len(original),
+        original_forced=_forced(original),
+        forced=_forced(current),
+        attempts=attempts,
+    )

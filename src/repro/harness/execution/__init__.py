@@ -17,7 +17,7 @@ Both produce bit-identical merged series for the same config; the
 equivalence is enforced by ``tests/integration/test_parallel_equivalence``.
 """
 
-from repro.harness.execution.base import Executor, ProgressCallback
+from repro.harness.execution.base import Executor, ProgressCallback, TaskProgressCallback
 from repro.harness.execution.cells import (
     FrozenMapping,
     RunCell,
@@ -39,6 +39,7 @@ from repro.harness.execution.process import ProcessExecutor, default_job_count
 __all__ = [
     "Executor",
     "ProgressCallback",
+    "TaskProgressCallback",
     "FrozenMapping",
     "RunCell",
     "cell_seed",

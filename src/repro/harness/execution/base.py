@@ -22,16 +22,20 @@ registry), which is what the ``RunConfig.executor`` knob and the
 from __future__ import annotations
 
 import abc
-from typing import Callable, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence
 
-from repro.harness.execution.cells import RunCell
+from repro.harness.execution.cells import RunCell, execute_cell
 from repro.harness.results import RunResult
 
-__all__ = ["ProgressCallback", "Executor"]
+__all__ = ["ProgressCallback", "TaskProgressCallback", "Executor"]
 
 #: ``progress(index, cell, result)`` — called once per completed cell, in
 #: cell-index order, from the parent process.
 ProgressCallback = Callable[[int, RunCell, RunResult], None]
+
+#: ``progress(index, task, result)`` — the :meth:`Executor.run_tasks`
+#: generalization of :data:`ProgressCallback` to arbitrary task objects.
+TaskProgressCallback = Callable[[int, Any, Any], None]
 
 
 class Executor(abc.ABC):
@@ -57,12 +61,30 @@ class Executor(abc.ABC):
         return 1
 
     @abc.abstractmethod
+    def run_tasks(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Sequence[Any],
+        progress: Optional[TaskProgressCallback] = None,
+    ) -> List[Any]:
+        """Map *fn* over *tasks* under the executor contract.
+
+        This is the general form of :meth:`run_cells`: results align
+        index-for-index with the input, the progress callback fires once per
+        task in task order from the calling process, and any task failure
+        propagates.  Parallel executors additionally require *fn* and every
+        task/result to be picklable — which is what lets other subsystems
+        (e.g. the swarm scheduler explorer in :mod:`repro.explore`) shard
+        their own work units through the same registry.
+        """
+
     def run_cells(
         self,
         cells: Sequence[RunCell],
         progress: Optional[ProgressCallback] = None,
     ) -> List[RunResult]:
         """Execute every cell and return the results in cell order."""
+        return self.run_tasks(execute_cell, list(cells), progress)
 
     def describe(self) -> str:
         """One-line label (may interpolate configuration such as ``jobs``)."""

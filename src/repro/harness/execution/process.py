@@ -22,13 +22,11 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence
 
-from repro.harness.execution.base import Executor, ProgressCallback
-from repro.harness.execution.cells import RunCell, execute_cell
+from repro.harness.execution.base import Executor, TaskProgressCallback
 from repro.harness.execution.registry import register_executor
 from repro.harness.execution.serial import SerialExecutor
-from repro.harness.results import RunResult
 
 __all__ = ["ProcessExecutor", "default_job_count"]
 
@@ -64,24 +62,25 @@ class ProcessExecutor(Executor):
             return multiprocessing.get_context("fork")
         return multiprocessing.get_context()
 
-    def run_cells(
+    def run_tasks(
         self,
-        cells: Sequence[RunCell],
-        progress: Optional[ProgressCallback] = None,
-    ) -> List[RunResult]:
-        cells = list(cells)
-        jobs = min(self.jobs, len(cells))
+        fn: Callable[[Any], Any],
+        tasks: Sequence[Any],
+        progress: Optional[TaskProgressCallback] = None,
+    ) -> List[Any]:
+        tasks = list(tasks)
+        jobs = min(self.jobs, len(tasks))
         if jobs <= 1:
-            # A one-cell sweep (or jobs=1) gains nothing from a pool; run it
+            # A one-task batch (or jobs=1) gains nothing from a pool; run it
             # in-process so the result is still produced the same way.
-            return SerialExecutor().run_cells(cells, progress)
-        results: List[RunResult] = []
+            return SerialExecutor().run_tasks(fn, tasks, progress)
+        results: List[Any] = []
         with self._pool_context().Pool(processes=jobs) as pool:
-            # chunksize=1: cells are coarse units of work (a whole saturation
-            # run each), so per-task dispatch overhead is negligible and
-            # fine-grained dispatch keeps the workers load-balanced.
-            for index, result in enumerate(pool.imap(execute_cell, cells, chunksize=1)):
+            # chunksize=1: tasks are coarse units of work (a whole saturation
+            # or exploration run each), so per-task dispatch overhead is
+            # negligible and fine-grained dispatch keeps workers load-balanced.
+            for index, result in enumerate(pool.imap(fn, tasks, chunksize=1)):
                 results.append(result)
                 if progress is not None:
-                    progress(index, cells[index], result)
+                    progress(index, tasks[index], result)
         return results

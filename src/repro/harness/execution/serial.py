@@ -7,32 +7,31 @@ process executor is tested for equivalence against.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence
 
-from repro.harness.execution.base import Executor, ProgressCallback
-from repro.harness.execution.cells import RunCell, execute_cell
+from repro.harness.execution.base import Executor, TaskProgressCallback
 from repro.harness.execution.registry import register_executor
-from repro.harness.results import RunResult
 
 __all__ = ["SerialExecutor"]
 
 
 @register_executor
 class SerialExecutor(Executor):
-    """Execute cells one after another in the calling process."""
+    """Execute tasks one after another in the calling process."""
 
     name = "serial"
     description = "in-process execution, one cell at a time (the default)"
 
-    def run_cells(
+    def run_tasks(
         self,
-        cells: Sequence[RunCell],
-        progress: Optional[ProgressCallback] = None,
-    ) -> List[RunResult]:
-        results: List[RunResult] = []
-        for index, cell in enumerate(cells):
-            result = execute_cell(cell)
+        fn: Callable[[Any], Any],
+        tasks: Sequence[Any],
+        progress: Optional[TaskProgressCallback] = None,
+    ) -> List[Any]:
+        results: List[Any] = []
+        for index, task in enumerate(tasks):
+            result = fn(task)
             results.append(result)
             if progress is not None:
-                progress(index, cell, result)
+                progress(index, task, result)
         return results

@@ -13,6 +13,7 @@ from repro.problems.base import (
     AUTOMATIC_MECHANISMS,
     EXPLICIT_MECHANISM,
     MECHANISMS,
+    Oracle,
     Problem,
     WorkloadSpec,
     all_mechanisms,
@@ -53,6 +54,7 @@ __all__ = [
     "AUTOMATIC_MECHANISMS",
     "EXPLICIT_MECHANISM",
     "MECHANISMS",
+    "Oracle",
     "PROBLEMS",
     "Problem",
     "WorkloadSpec",

@@ -30,6 +30,7 @@ __all__ = [
     "MECHANISMS",
     "AUTOMATIC_MECHANISMS",
     "all_mechanisms",
+    "Oracle",
     "WorkloadSpec",
     "Problem",
 ]
@@ -62,6 +63,29 @@ def all_mechanisms() -> Tuple[str, ...]:
     return (EXPLICIT_MECHANISM,) + available_policies()
 
 
+@dataclass(frozen=True)
+class Oracle:
+    """A named invariant over one monitor, checkable at any quiescent point.
+
+    Oracles are the schedule explorer's probes: :mod:`repro.explore` evaluates
+    every oracle at every scheduling decision point (where exactly one
+    simulated thread is between synchronization operations, so monitor state
+    is stable and race-free to read).  ``check`` returns ``None`` while the
+    invariant holds and a human-readable violation description otherwise.
+
+    ``kind`` distinguishes safety oracles ("this state must never occur")
+    from liveness oracles ("progress must keep happening"), purely for
+    reporting.
+    """
+
+    name: str
+    check: Callable[[], Optional[str]]
+    kind: str = "safety"
+
+    def describe(self) -> str:
+        return f"{self.name} ({self.kind})"
+
+
 @dataclass
 class WorkloadSpec:
     """A ready-to-run saturation workload."""
@@ -90,6 +114,13 @@ class Problem(abc.ABC):
     mechanisms: Tuple[str, ...] = MECHANISMS
     #: Whether every ``waituntil`` predicate is shared (§6.3.1) or complex.
     uses_complex_predicates: bool = False
+    #: Default liveness budget for schedule exploration: fail a run when a
+    #: thread stays blocked for this many consecutive scheduling decisions.
+    #: ``None`` disables the check (the default — adversarial DFS schedules
+    #: are deliberately unfair, so only opt in where starvation is a bug
+    #: under *any* schedule).  Overridable per run via
+    #: ``ExploreTask.starvation_budget``.
+    starvation_budget: Optional[int] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Problem {self.name}>"
@@ -118,6 +149,17 @@ class Problem(abc.ABC):
         ``eval_engine`` selects the predicate-evaluation engine of the
         automatic monitors (``"compiled"``/``"interpreted"``).
         """
+
+    def oracles(self, monitor: MonitorBase) -> Tuple[Oracle, ...]:
+        """Safety/liveness oracles over *monitor*, for schedule exploration.
+
+        The monitor is one built by :meth:`build` for this problem (either
+        the automatic or the explicit variant — both expose the same public
+        counters, so oracles apply to every mechanism).  The default is no
+        oracles; concrete problems override this with their invariants
+        (buffer bounds, reader/writer exclusion, stoichiometry, ...).
+        """
+        return ()
 
     # -- helpers shared by concrete problems ---------------------------------
 

@@ -12,18 +12,54 @@ value: the number of producers, which equals the number of consumers.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Tuple
 
 from repro.core.monitor import AutoSynchMonitor, ExplicitMonitor
 from repro.predicates.codegen import DEFAULT_ENGINE
-from repro.problems.base import Problem, WorkloadSpec
+from repro.problems.base import Oracle, Problem, WorkloadSpec
 from repro.runtime.api import Backend
 
 __all__ = [
     "AutoBoundedBuffer",
     "ExplicitBoundedBuffer",
     "BoundedBufferProblem",
+    "buffer_oracles",
 ]
+
+
+def buffer_oracles(monitor) -> Tuple[Oracle, ...]:
+    """Bounds and conservation oracles for any buffer-shaped monitor.
+
+    Works for every monitor exposing ``count``/``capacity``/``items``/
+    ``total_put``/``total_taken`` — both variants of the plain bounded
+    buffer and of the parameterized one share these invariants.
+    """
+
+    def buffer_bounds() -> Optional[str]:
+        if not 0 <= monitor.count <= monitor.capacity:
+            return f"count={monitor.count} outside [0, capacity={monitor.capacity}]"
+        if len(monitor.items) != monitor.count:
+            return f"count={monitor.count} but {len(monitor.items)} items stored"
+        return None
+
+    def conservation() -> Optional[str]:
+        outstanding = monitor.total_put - monitor.total_taken
+        if outstanding != monitor.count:
+            return (
+                f"put {monitor.total_put} - taken {monitor.total_taken} = "
+                f"{outstanding}, but count={monitor.count}"
+            )
+        if monitor.total_taken > monitor.total_put:
+            return (
+                f"took {monitor.total_taken} items but only "
+                f"{monitor.total_put} were ever put"
+            )
+        return None
+
+    return (
+        Oracle("buffer_bounds", buffer_bounds),
+        Oracle("item_conservation", conservation),
+    )
 
 DEFAULT_CAPACITY = 16
 
@@ -95,6 +131,9 @@ class BoundedBufferProblem(Problem):
     name = "bounded_buffer"
     description = "classic single-item producers/consumers over a bounded buffer"
     uses_complex_predicates = False
+
+    def oracles(self, monitor) -> Tuple[Oracle, ...]:
+        return buffer_oracles(monitor)
 
     def build(
         self,

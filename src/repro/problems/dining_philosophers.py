@@ -17,11 +17,11 @@ relatively close on this problem.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Tuple
 
 from repro.core.monitor import AutoSynchMonitor, ExplicitMonitor
 from repro.predicates.codegen import DEFAULT_ENGINE
-from repro.problems.base import Problem, WorkloadSpec
+from repro.problems.base import Oracle, Problem, WorkloadSpec
 from repro.runtime.api import Backend
 
 __all__ = ["AutoDiningTable", "ExplicitDiningTable", "DiningPhilosophersProblem"]
@@ -108,6 +108,24 @@ class DiningPhilosophersProblem(Problem):
     name = "dining_philosophers"
     description = "philosophers grab both adjacent chopsticks atomically"
     uses_complex_predicates = True
+
+    def oracles(self, monitor) -> Tuple[Oracle, ...]:
+        def chopstick_exclusion() -> Optional[str]:
+            bad = [
+                (seat, stick)
+                for seat, stick in enumerate(monitor.chopsticks)
+                if stick not in (0, 1)
+            ]
+            if bad:
+                return f"chopsticks hold non-binary state: {bad}"
+            if monitor.violations:
+                return (
+                    f"{monitor.violations} pick-up/put-down exclusion "
+                    "violation(s) observed by the monitor"
+                )
+            return None
+
+        return (Oracle("chopstick_exclusion", chopstick_exclusion),)
 
     def build(
         self,

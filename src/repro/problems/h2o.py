@@ -19,9 +19,11 @@ paper's experiment.
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 from repro.core.monitor import AutoSynchMonitor, ExplicitMonitor
 from repro.predicates.codegen import DEFAULT_ENGINE
-from repro.problems.base import Problem, WorkloadSpec
+from repro.problems.base import Oracle, Problem, WorkloadSpec
 from repro.runtime.api import Backend
 
 __all__ = ["AutoWaterFactory", "ExplicitWaterFactory", "H2OProblem"]
@@ -115,6 +117,40 @@ class H2OProblem(Problem):
     name = "h2o"
     description = "water building: one oxygen thread bonds pairs of hydrogen atoms"
     uses_complex_predicates = False
+
+    def oracles(self, monitor) -> Tuple[Oracle, ...]:
+        def stoichiometry() -> Optional[str]:
+            # Every molecule publishes exactly two bond tickets, each
+            # consumed by exactly one hydrogen atom, so at every quiescent
+            # point: outstanding tickets == 2 * molecules - bonded atoms.
+            outstanding = 2 * monitor.molecules - monitor.hydrogen_bonded
+            if monitor.bond_tickets != outstanding:
+                return (
+                    f"{monitor.molecules} molecules and "
+                    f"{monitor.hydrogen_bonded} bonded atoms imply "
+                    f"{outstanding} outstanding tickets, found "
+                    f"{monitor.bond_tickets}"
+                )
+            if monitor.bond_tickets < 0:
+                return f"negative bond tickets {monitor.bond_tickets}"
+            return None
+
+        def ticket_cover() -> Optional[str]:
+            # A ticket is only published for an already-waiting atom, so
+            # published-but-unconsumed tickets never outnumber waiting atoms.
+            if monitor.bond_tickets > monitor.hydrogen_waiting:
+                return (
+                    f"{monitor.bond_tickets} tickets outstanding but only "
+                    f"{monitor.hydrogen_waiting} hydrogen atoms waiting"
+                )
+            if monitor.hydrogen_waiting < 0:
+                return f"negative hydrogen_waiting {monitor.hydrogen_waiting}"
+            return None
+
+        return (
+            Oracle("h2o_stoichiometry", stoichiometry),
+            Oracle("h2o_ticket_cover", ticket_cover),
+        )
 
     def build(
         self,

@@ -18,11 +18,12 @@ of consumers; there is a single producer, as in the paper's experiment.
 from __future__ import annotations
 
 import random
-from typing import List
+from typing import List, Optional, Tuple
 
 from repro.core.monitor import AutoSynchMonitor, ExplicitMonitor
 from repro.predicates.codegen import DEFAULT_ENGINE
-from repro.problems.base import Problem, WorkloadSpec
+from repro.problems.base import Oracle, Problem, WorkloadSpec
+from repro.problems.bounded_buffer import buffer_oracles
 from repro.runtime.api import Backend
 
 __all__ = [
@@ -122,6 +123,9 @@ class ParameterizedBoundedBufferProblem(Problem):
     name = "parameterized_bounded_buffer"
     description = "batched producers/consumers; explicit signalling needs signalAll"
     uses_complex_predicates = True
+
+    def oracles(self, monitor) -> Tuple[Oracle, ...]:
+        return buffer_oracles(monitor)
 
     def build(
         self,

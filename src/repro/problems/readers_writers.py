@@ -16,11 +16,11 @@ the number of readers defaults to five times as many, matching the 2/10 ...
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.monitor import AutoSynchMonitor, ExplicitMonitor
 from repro.predicates.codegen import DEFAULT_ENGINE
-from repro.problems.base import Problem, WorkloadSpec
+from repro.problems.base import Oracle, Problem, WorkloadSpec
 from repro.runtime.api import Backend
 
 __all__ = ["AutoReadersWriters", "ExplicitReadersWriters", "ReadersWritersProblem"]
@@ -152,6 +152,31 @@ class ReadersWritersProblem(Problem):
     name = "readers_writers"
     description = "fair readers/writers with ticket-ordered admission"
     uses_complex_predicates = True
+
+    def oracles(self, monitor) -> Tuple[Oracle, ...]:
+        def exclusion() -> Optional[str]:
+            if monitor.active_writers not in (0, 1):
+                return f"{monitor.active_writers} writers active at once"
+            if monitor.active_writers and monitor.active_readers:
+                return (
+                    f"writer active alongside {monitor.active_readers} reader(s)"
+                )
+            if monitor.active_readers < 0:
+                return f"negative reader count {monitor.active_readers}"
+            return None
+
+        def ticket_order() -> Optional[str]:
+            if not 0 <= monitor.serving <= monitor.next_ticket:
+                return (
+                    f"serving={monitor.serving} outside "
+                    f"[0, next_ticket={monitor.next_ticket}]"
+                )
+            return None
+
+        return (
+            Oracle("reader_writer_exclusion", exclusion),
+            Oracle("ticket_order", ticket_order),
+        )
 
     def build(
         self,

@@ -11,11 +11,11 @@ dedicated condition variable directly.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Tuple
 
 from repro.core.monitor import AutoSynchMonitor, ExplicitMonitor
 from repro.predicates.codegen import DEFAULT_ENGINE
-from repro.problems.base import Problem, WorkloadSpec
+from repro.problems.base import Oracle, Problem, WorkloadSpec
 from repro.runtime.api import Backend
 
 __all__ = ["AutoRoundRobin", "ExplicitRoundRobin", "RoundRobinProblem"]
@@ -72,6 +72,22 @@ class RoundRobinProblem(Problem):
     name = "round_robin"
     description = "threads access the monitor strictly in round-robin order"
     uses_complex_predicates = True
+
+    def oracles(self, monitor) -> Tuple[Oracle, ...]:
+        def turn_order() -> Optional[str]:
+            if not 0 <= monitor.turn < monitor.num_threads:
+                return (
+                    f"turn={monitor.turn} outside "
+                    f"[0, num_threads={monitor.num_threads})"
+                )
+            if monitor.order_violations:
+                return (
+                    f"{monitor.order_violations} out-of-turn access(es) "
+                    "observed by the monitor"
+                )
+            return None
+
+        return (Oracle("round_robin_order", turn_order),)
 
     def build(
         self,

@@ -11,9 +11,11 @@ threads; one extra barber thread is always created.
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 from repro.core.monitor import AutoSynchMonitor, ExplicitMonitor
 from repro.predicates.codegen import DEFAULT_ENGINE
-from repro.problems.base import Problem, WorkloadSpec
+from repro.problems.base import Oracle, Problem, WorkloadSpec
 from repro.runtime.api import Backend
 
 __all__ = ["AutoBarberShop", "ExplicitBarberShop", "SleepingBarberProblem"]
@@ -143,6 +145,31 @@ class SleepingBarberProblem(Problem):
     name = "sleeping_barber"
     description = "one barber, bounded waiting room, customers may balk"
     uses_complex_predicates = False
+
+    def oracles(self, monitor) -> Tuple[Oracle, ...]:
+        def waiting_room_bounds() -> Optional[str]:
+            if not 0 <= monitor.waiting <= monitor.chairs:
+                return (
+                    f"waiting={monitor.waiting} outside "
+                    f"[0, chairs={monitor.chairs}]"
+                )
+            return None
+
+        def haircut_accounting() -> Optional[str]:
+            # The barber finishes a cut before the customer stands up, so at
+            # most one given-but-not-yet-received haircut can be in flight.
+            in_flight = monitor.haircuts_given - monitor.haircuts_received
+            if in_flight not in (0, 1):
+                return (
+                    f"given {monitor.haircuts_given} vs received "
+                    f"{monitor.haircuts_received}: {in_flight} cuts in flight"
+                )
+            return None
+
+        return (
+            Oracle("waiting_room_bounds", waiting_room_bounds),
+            Oracle("haircut_accounting", haircut_accounting),
+        )
 
     def build(
         self,

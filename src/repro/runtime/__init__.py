@@ -22,7 +22,19 @@ from repro.runtime.api import (
     ThreadHandle,
 )
 from repro.runtime.threads import ThreadingBackend
-from repro.runtime.simulation import DeadlockError, SimulationBackend
+from repro.runtime.simulation import (
+    DeadlockError,
+    PrefixScheduler,
+    ReplayScheduler,
+    SchedulePoint,
+    ScheduleDivergenceError,
+    ScheduleTrace,
+    Scheduler,
+    SimulationBackend,
+    available_schedulers,
+    create_scheduler,
+    register_scheduler,
+)
 
 __all__ = [
     "Backend",
@@ -30,7 +42,16 @@ __all__ = [
     "ConditionAPI",
     "DeadlockError",
     "LockAPI",
+    "PrefixScheduler",
+    "ReplayScheduler",
+    "SchedulePoint",
+    "ScheduleDivergenceError",
+    "ScheduleTrace",
+    "Scheduler",
     "SimulationBackend",
     "ThreadHandle",
     "ThreadingBackend",
+    "available_schedulers",
+    "create_scheduler",
+    "register_scheduler",
 ]

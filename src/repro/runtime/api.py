@@ -121,12 +121,20 @@ class Backend(abc.ABC):
         self.metrics = BackendMetrics()
 
     @abc.abstractmethod
-    def create_lock(self) -> LockAPI:
-        """Create a new lock."""
+    def create_lock(self, label: Optional[str] = None) -> LockAPI:
+        """Create a new lock.
+
+        *label* is an optional human-readable name surfaced in diagnostics
+        (block reasons, deadlock messages, schedule traces); backends may
+        ignore it but must accept it.
+        """
 
     @abc.abstractmethod
-    def create_condition(self, lock: LockAPI) -> ConditionAPI:
-        """Create a condition variable associated with *lock*."""
+    def create_condition(
+        self, lock: LockAPI, label: Optional[str] = None
+    ) -> ConditionAPI:
+        """Create a condition variable associated with *lock* (see
+        :meth:`create_lock` for *label*)."""
 
     @abc.abstractmethod
     def spawn(

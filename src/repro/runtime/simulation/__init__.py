@@ -21,10 +21,40 @@ from repro.runtime.simulation.kernel import (
     SimulationError,
     SimulationLimitError,
 )
+from repro.runtime.simulation.schedulers import (
+    FifoScheduler,
+    PrefixScheduler,
+    RandomScheduler,
+    ReplayScheduler,
+    SchedulePoint,
+    ScheduleDivergenceError,
+    ScheduleTrace,
+    Scheduler,
+    available_schedulers,
+    create_scheduler,
+    describe_scheduler,
+    get_scheduler,
+    register_scheduler,
+    unregister_scheduler,
+)
 
 __all__ = [
     "DeadlockError",
+    "FifoScheduler",
+    "PrefixScheduler",
+    "RandomScheduler",
+    "ReplayScheduler",
+    "SchedulePoint",
+    "ScheduleDivergenceError",
+    "ScheduleTrace",
+    "Scheduler",
     "SimulationBackend",
     "SimulationError",
     "SimulationLimitError",
+    "available_schedulers",
+    "create_scheduler",
+    "describe_scheduler",
+    "get_scheduler",
+    "register_scheduler",
+    "unregister_scheduler",
 ]

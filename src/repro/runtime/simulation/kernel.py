@@ -14,12 +14,18 @@ the exact quantities the paper's evaluation reasons about.
 from __future__ import annotations
 
 import enum
-import random
 import threading
 from collections import deque
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.runtime.api import Backend, ThreadHandle
+from repro.runtime.simulation.schedulers import (
+    SchedulePoint,
+    Scheduler,
+    ScheduleTrace,
+    SchedulerSpec,
+    create_scheduler,
+)
 from repro.runtime.simulation.sync import SimCondition, SimLock
 
 __all__ = [
@@ -28,6 +34,11 @@ __all__ = [
     "SimulationLimitError",
     "SimulationBackend",
 ]
+
+#: ``observer(point)`` — called once per scheduling decision, with the kernel
+#: lock held, right after the decision was recorded; an exception raised by
+#: the observer aborts the run and surfaces from :meth:`SimulationBackend.run`.
+DecisionObserver = Callable[[SchedulePoint], None]
 
 
 class SimulationError(Exception):
@@ -111,16 +122,28 @@ class SimulationBackend(Backend):
     Parameters
     ----------
     seed:
-        Seed for the scheduling policy's random choices.
+        Seed passed to the scheduler at the start of every run.
     policy:
-        ``"fifo"`` (round-robin over the runnable queue, the default) or
-        ``"random"`` (uniformly random choice among runnable threads, useful
-        for schedule exploration in tests).
+        Which scheduling strategy picks the next runnable thread: a name
+        registered in :mod:`repro.runtime.simulation.schedulers` (``"fifo"``
+        — the default —, ``"random"``, ...), a :class:`Scheduler` subclass,
+        or a constructed instance (the hook the schedule explorer uses to
+        pass :class:`~repro.runtime.simulation.schedulers.PrefixScheduler`
+        and :class:`~repro.runtime.simulation.schedulers.ReplayScheduler`
+        objects).
     max_steps:
         Optional upper bound on the number of scheduling steps per run.
     run_timeout:
         Wall-clock safety net for :meth:`run`; a run that has not finished by
         then is aborted with :class:`SimulationError`.
+    record_trace:
+        Record every scheduling decision as a
+        :class:`~repro.runtime.simulation.schedulers.ScheduleTrace`
+        (available as :attr:`schedule_trace` after the run).  Off by default
+        so saturation runs pay nothing for it.
+    observer:
+        Optional callback invoked once per scheduling decision (see
+        :data:`DecisionObserver`); the explorer's oracle checks hook in here.
     """
 
     name = "simulation"
@@ -128,18 +151,25 @@ class SimulationBackend(Backend):
     def __init__(
         self,
         seed: int = 0,
-        policy: str = "fifo",
+        policy: SchedulerSpec = "fifo",
         max_steps: Optional[int] = None,
         run_timeout: float = 600.0,
+        record_trace: bool = False,
+        observer: Optional[DecisionObserver] = None,
     ) -> None:
         super().__init__()
-        if policy not in ("fifo", "random"):
-            raise ValueError(f"unknown scheduling policy {policy!r}")
+        # create_scheduler's own errors already carry the right diagnostics:
+        # unknown names list the registered schedulers, and a scheduler whose
+        # constructor needs arguments (e.g. "replay") explains itself.
+        self._scheduler = create_scheduler(policy)
         self._seed = seed
-        self._policy = policy
-        self._rng = random.Random(seed)
         self._max_steps = max_steps
         self._run_timeout = run_timeout
+        self._record_trace = record_trace
+        self._trace: Optional[ScheduleTrace] = ScheduleTrace() if record_trace else None
+        self._observer = observer
+        self._deadlock_inspector: Optional[Callable[[], Optional[str]]] = None
+        self._condition_count = 0
 
         self._lock = threading.Lock()
         #: Fast path for :meth:`current_thread`: each carrier thread stores
@@ -160,16 +190,81 @@ class SimulationBackend(Backend):
         self._steps = 0
 
     # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def scheduler(self) -> Scheduler:
+        """The scheduling strategy instance driving this backend."""
+        return self._scheduler
+
+    @property
+    def policy(self) -> str:
+        """Registry name of the scheduling strategy."""
+        return self._scheduler.name
+
+    @property
+    def schedule_trace(self) -> Optional[ScheduleTrace]:
+        """The recorded decision trace of the latest run (None unless the
+        backend was constructed with ``record_trace=True``)."""
+        return self._trace
+
+    def blocked_threads(self) -> tuple:
+        """``(tid, name, block_reason)`` for every currently blocked thread.
+
+        Lock-free snapshot intended for decision observers (which already run
+        under the kernel lock) and for post-mortem inspection after
+        :meth:`run` returned; do not call from unrelated threads mid-run.
+        """
+        return tuple(
+            (t.tid, t.name, t.block_reason or "blocked")
+            for t in self._threads.values()
+            if t.state is _State.BLOCKED
+        )
+
+    def set_observer(self, observer: Optional[DecisionObserver]) -> None:
+        """Install (or clear) the per-decision observer callback.
+
+        Exists alongside the constructor argument because observers usually
+        close over objects — monitors, oracles — that are themselves built
+        on top of this backend.
+        """
+        self._observer = observer
+
+    def set_deadlock_inspector(self, inspector: Optional[Callable[[], Optional[str]]]) -> None:
+        """Install a callback run at the instant a deadlock is detected.
+
+        The callback runs *before* the blocked threads are unwound (their
+        wait-bookkeeping is still intact, which post-mortem inspection after
+        :meth:`run` raised would no longer see) and may return extra detail
+        to append to the :class:`DeadlockError` message — e.g. the schedule
+        explorer reports whether a waiting predicate was actually true,
+        distinguishing a missed signal from a genuine deadlock.
+        """
+        self._deadlock_inspector = inspector
+
+    # ------------------------------------------------------------------
     # Backend factory methods
     # ------------------------------------------------------------------
 
-    def create_lock(self) -> SimLock:
-        return SimLock(self)
+    def create_lock(self, label: Optional[str] = None) -> SimLock:
+        return SimLock(self, label=label)
 
-    def create_condition(self, lock: SimLock) -> SimCondition:
+    def create_condition(self, lock: SimLock, label: Optional[str] = None) -> SimCondition:
         if not isinstance(lock, SimLock):
             raise TypeError("a SimulationBackend condition requires a SimulationBackend lock")
-        return SimCondition(self, lock)
+        if label is None:
+            # A deterministic default label: two backends used identically
+            # (same construction order, e.g. the explorer's fresh backend
+            # per run) assign the same labels, so block reasons — and hence
+            # recorded schedule traces — compare equal across runs and
+            # processes, unlike the id()-based fallback.  The counter is
+            # monotonic for the backend's lifetime, so reusing one backend
+            # for several monitors keeps labels unique but not aligned with
+            # a fresh backend's.
+            label = f"cond-{self._condition_count}"
+        self._condition_count += 1
+        return SimCondition(self, lock, label=label)
 
     def spawn(self, target: Callable[[], None], name: Optional[str] = None) -> _SimHandle:
         """Add a new simulated thread.
@@ -268,7 +363,9 @@ class SimulationBackend(Backend):
         self._failures = []
         self._done = threading.Event()
         self._steps = 0
-        self._rng = random.Random(self._seed)
+        self._scheduler.reset(self._seed)
+        if self._record_trace:
+            self._trace = ScheduleTrace()
 
     def _create_thread_locked(
         self, target: Callable[[], None], name: Optional[str]
@@ -338,8 +435,13 @@ class SimulationBackend(Backend):
     def current_id(self) -> object:
         return self.current_thread().tid
 
-    def _pick_next_locked(self) -> Optional[_SimThread]:
-        """Choose, dequeue and dispatch-mark the next runnable thread."""
+    def _pick_next_locked(self, reason: str = "start") -> Optional[_SimThread]:
+        """Choose, dequeue and dispatch-mark the next runnable thread.
+
+        *reason* records why control was up for grabs (the previous thread
+        blocked with that reason, yielded, exited, or the run is starting);
+        it flows into the recorded :class:`ScheduleTrace` decision points.
+        """
         if self._abort:
             return None
         if self._max_steps is not None and self._steps >= self._max_steps:
@@ -349,21 +451,58 @@ class SimulationBackend(Backend):
             return None
         if not self._runnable:
             return self._handle_no_runnable_locked()
-        if self._policy == "random":
-            index = self._rng.randrange(len(self._runnable))
-        else:
-            index = 0
+        try:
+            index = self._scheduler.choose(self._runnable)
+        except BaseException as exc:
+            self._fail_locked(exc)
+            return None
+        if not 0 <= index < len(self._runnable):
+            self._fail_locked(
+                SimulationError(
+                    f"scheduler {self._scheduler.name!r} chose index {index} "
+                    f"but only {len(self._runnable)} threads are runnable"
+                )
+            )
+            return None
         tid = self._runnable.pop(index)
         sim_thread = self._threads[tid]
         sim_thread.state = _State.RUNNING
         sim_thread.block_reason = None
+        point: Optional[SchedulePoint] = None
+        if self._trace is not None or self._observer is not None:
+            point = SchedulePoint(
+                step=self._steps,
+                runnable=tuple(sorted(self._runnable + [tid])),
+                chosen=tid,
+                reason=reason,
+            )
+        if self._trace is not None:
+            self._trace.append(point)
         self._steps += 1
         if self._current != tid:
             # Re-dispatching the same thread (a yield with nobody else
             # runnable) is not a context switch.
             self.metrics.context_switches += 1
         self._current = tid
+        if self._observer is not None:
+            try:
+                self._observer(point)
+            except BaseException as exc:
+                self._fail_locked(exc)
+                return None
         return sim_thread
+
+    def _fail_locked(self, exc: BaseException) -> None:
+        """Abort the run with *exc* from inside the scheduling machinery.
+
+        Scheduler and observer callbacks run on paths (``_on_exit``) outside
+        the per-thread try/except in :meth:`_runner`, so their exceptions are
+        funnelled through the failure list instead of being allowed to kill a
+        carrier thread and hang the run until the timeout.
+        """
+        self._failures.append(exc)
+        self._abort = True
+        self._wake_all_locked()
 
     def _handle_no_runnable_locked(self) -> Optional[_SimThread]:
         live = [t for t in self._threads.values() if t.state is not _State.FINISHED]
@@ -378,9 +517,20 @@ class SimulationBackend(Backend):
         details = ", ".join(
             f"{t.name} ({t.block_reason or 'blocked'})" for t in sorted(blocked, key=lambda t: t.tid)
         )
-        self._deadlock_message = (
+        message = (
             f"deadlock: all {len(blocked)} live simulated threads are blocked — {details}"
         )
+        if self._deadlock_inspector is not None:
+            # Inspect *now*: waiting threads still hold their wait-side
+            # bookkeeping (condition queues, predicate entries); the abort
+            # below unwinds all of it.
+            try:
+                extra = self._deadlock_inspector()
+            except Exception:  # diagnostics must never mask the deadlock
+                extra = None
+            if extra:
+                message = f"{message}; {extra}"
+        self._deadlock_message = message
         self._abort = True
         self._wake_all_locked()
         return None
@@ -403,7 +553,7 @@ class SimulationBackend(Backend):
     ) -> Optional[_SimThread]:
         sim_thread.state = _State.BLOCKED
         sim_thread.block_reason = reason
-        return self._pick_next_locked()
+        return self._pick_next_locked(reason=reason)
 
     def _handoff_and_wait(
         self, sim_thread: _SimThread, next_thread: Optional[_SimThread]
@@ -431,7 +581,7 @@ class SimulationBackend(Backend):
                 if all(t.state is _State.FINISHED for t in self._threads.values()):
                     self._done.set()
                 return
-            next_thread = self._pick_next_locked()
+            next_thread = self._pick_next_locked(reason="exit")
             if next_thread is None and all(
                 t.state is _State.FINISHED for t in self._threads.values()
             ):
@@ -450,7 +600,7 @@ class SimulationBackend(Backend):
         with self._lock:
             self._runnable.append(sim_thread.tid)
             sim_thread.state = _State.RUNNABLE
-            next_thread = self._pick_next_locked()
+            next_thread = self._pick_next_locked(reason="yield")
         self._handoff_and_wait(sim_thread, next_thread)
 
     # ------------------------------------------------------------------
@@ -470,7 +620,10 @@ class SimulationBackend(Backend):
                 )
             lock.queue.append(sim_thread.tid)
             self.metrics.lock_contentions += 1
-            next_thread = self._block_and_pick_next_locked(sim_thread, "waiting for lock")
+            wait_reason = (
+                f"waiting for lock {lock.label}" if lock.label else "waiting for lock"
+            )
+            next_thread = self._block_and_pick_next_locked(sim_thread, wait_reason)
         self._handoff_and_wait(sim_thread, next_thread)
         with self._lock:
             if lock.owner != sim_thread.tid:

@@ -18,10 +18,16 @@ __all__ = ["SimLock", "SimCondition"]
 
 
 class SimLock(LockAPI):
-    """A mutual-exclusion lock for simulated threads."""
+    """A mutual-exclusion lock for simulated threads.
 
-    def __init__(self, kernel: "SimulationBackend") -> None:
+    ``label`` is an optional human-readable name; when set, it appears in
+    block reasons ("waiting for lock forks[2]"), which flow into deadlock
+    messages and recorded schedule traces.
+    """
+
+    def __init__(self, kernel: "SimulationBackend", label: Optional[str] = None) -> None:
         self._kernel = kernel
+        self.label = label
         self.owner: Optional[int] = None
         self.queue: Deque[int] = deque()
 

@@ -19,8 +19,11 @@ __all__ = ["ThreadingBackend"]
 class _ThreadingLock(LockAPI):
     """Wrapper around :class:`threading.Lock` that records contention."""
 
-    def __init__(self, backend: "ThreadingBackend") -> None:
+    def __init__(
+        self, backend: "ThreadingBackend", label: Optional[str] = None
+    ) -> None:
         self._backend = backend
+        self.label = label
         self._lock = threading.Lock()
 
     def acquire(self) -> None:
@@ -45,11 +48,16 @@ class _ThreadingLock(LockAPI):
 class _ThreadingCondition(ConditionAPI):
     """Wrapper around :class:`threading.Condition` with waiter accounting."""
 
-    def __init__(self, backend: "ThreadingBackend", lock: _ThreadingLock) -> None:
+    def __init__(
+        self,
+        backend: "ThreadingBackend",
+        lock: _ThreadingLock,
+        label: Optional[str] = None,
+    ) -> None:
         self._backend = backend
         self._condition = threading.Condition(lock.raw)
         self._waiters = 0
-        self.label: str | None = None
+        self.label: Optional[str] = label
 
     def wait(self) -> None:
         self._waiters += 1
@@ -106,13 +114,15 @@ class ThreadingBackend(Backend):
         with self._metrics_lock:
             setattr(self.metrics, counter, getattr(self.metrics, counter) + amount)
 
-    def create_lock(self) -> _ThreadingLock:
-        return _ThreadingLock(self)
+    def create_lock(self, label: Optional[str] = None) -> _ThreadingLock:
+        return _ThreadingLock(self, label=label)
 
-    def create_condition(self, lock: LockAPI) -> _ThreadingCondition:
+    def create_condition(
+        self, lock: LockAPI, label: Optional[str] = None
+    ) -> _ThreadingCondition:
         if not isinstance(lock, _ThreadingLock):
             raise TypeError("a ThreadingBackend condition requires a ThreadingBackend lock")
-        return _ThreadingCondition(self, lock)
+        return _ThreadingCondition(self, lock, label=label)
 
     def spawn(
         self,

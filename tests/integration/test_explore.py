@@ -1,0 +1,272 @@
+"""Integration tests for the schedule-exploration subsystem.
+
+Covers the acceptance bar of the exploration engine: bounded DFS exhausts
+the schedule tree of a small bounded buffer for *every* registered
+signalling mechanism with zero violations, oracles are actually evaluated
+at decision points, swarm exploration shards deterministically through the
+executor registry, and the CLI drives the whole pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.explore import (
+    ExploreTask,
+    explore_dfs,
+    explore_swarm,
+    run_schedule,
+)
+from repro.explore.__main__ import main as explore_main
+from repro.problems import PROBLEMS, get_problem
+from repro.problems.base import all_mechanisms
+from repro.runtime.simulation import PrefixScheduler, SimulationBackend
+
+#: Mechanisms whose schedule tree is infinite (broadcast wake-ups let two
+#: waiters extend any schedule forever) and therefore need a depth bound.
+UNBOUNDED_TREE_MECHANISMS = {"baseline"}
+
+
+def _tiny_buffer_task(mechanism: str) -> ExploreTask:
+    return ExploreTask(
+        problem="bounded_buffer",
+        mechanism=mechanism,
+        threads=2,
+        total_ops=4,
+        problem_params={"capacity": 1},
+    )
+
+
+class TestExhaustiveDfs:
+    @pytest.mark.parametrize("mechanism", all_mechanisms())
+    def test_bounded_buffer_two_by_two_is_clean(self, mechanism):
+        """The acceptance bar: 2 producers + 2 consumers, every schedule."""
+        task = _tiny_buffer_task(mechanism)
+        max_depth = 24 if mechanism in UNBOUNDED_TREE_MECHANISMS else None
+        report = explore_dfs(task, max_depth=max_depth)
+        assert report.complete, f"{mechanism}: DFS did not exhaust the tree"
+        assert report.schedules_visited > 1
+        assert report.failures_total == 0, (
+            f"{mechanism}: {report.failures_total} failing schedules, e.g. "
+            f"{report.failures[0].kind}: {report.failures[0].message}"
+            if report.failures
+            else ""
+        )
+        if mechanism not in UNBOUNDED_TREE_MECHANISMS:
+            # A full proof: no branch was ever pruned.
+            assert report.depth_capped == 0
+
+    def test_visited_count_is_deterministic(self):
+        first = explore_dfs(_tiny_buffer_task("autosynch"))
+        second = explore_dfs(_tiny_buffer_task("autosynch"))
+        assert first.schedules_visited == second.schedules_visited
+        assert first.max_depth == second.max_depth
+
+    def test_every_prefix_identifies_a_distinct_schedule(self):
+        # Exhaustive DFS must not visit the same schedule twice: collect the
+        # trace digests of every visited schedule and require uniqueness.
+        digests = []
+        explore_dfs(
+            _tiny_buffer_task("autosynch"),
+            progress=lambda n, outcome: digests.append(outcome.digest),
+        )
+        assert len(digests) == len(set(digests))
+
+    def test_max_schedules_caps_the_search(self):
+        report = explore_dfs(_tiny_buffer_task("autosynch"), max_schedules=5)
+        assert report.schedules_visited == 5
+        assert not report.complete
+
+
+class TestOracleWiring:
+    def test_oracles_are_checked_at_decision_points(self, monkeypatch):
+        # Plant an oracle that counts invocations on the real problem; it
+        # must run at every decision point of the schedule.
+        from repro.problems.base import Oracle
+
+        problem = get_problem("bounded_buffer")
+        calls = []
+        original = problem.oracles
+
+        def counting_oracles(monitor):
+            def check():
+                calls.append(1)
+                return None
+
+            return original(monitor) + (Oracle("counter", check),)
+
+        monkeypatch.setattr(problem, "oracles", counting_oracles)
+        outcome = run_schedule(
+            _tiny_buffer_task("autosynch"), PrefixScheduler(())
+        )
+        assert outcome.ok
+        assert len(calls) == outcome.steps
+
+    def test_starvation_budget_fires_as_liveness_failure(self):
+        # With a budget of 1 decision, some DFS schedule must keep a blocked
+        # thread waiting longer — the liveness oracle has to catch it.
+        task = ExploreTask(
+            problem="bounded_buffer",
+            mechanism="autosynch",
+            threads=2,
+            total_ops=4,
+            starvation_budget=1,
+            problem_params={"capacity": 1},
+        )
+        report = explore_dfs(task, max_schedules=500)
+        assert report.failures_total > 0
+        assert any(
+            failure.kind == "oracle:starvation_budget"
+            for failure in report.failures
+        )
+
+    @pytest.mark.parametrize(
+        "problem_name, corrupt, oracle_name",
+        [
+            ("bounded_buffer", lambda m: setattr(m, "count", -1), "buffer_bounds"),
+            ("bounded_buffer", lambda m: setattr(m, "total_put", 99), "item_conservation"),
+            ("readers_writers", lambda m: setattr(m, "active_writers", 2), "reader_writer_exclusion"),
+            ("readers_writers", lambda m: setattr(m, "serving", -3), "ticket_order"),
+            ("h2o", lambda m: setattr(m, "bond_tickets", 7), "h2o_stoichiometry"),
+            ("dining_philosophers", lambda m: m.chopsticks.__setitem__(0, 2), "chopstick_exclusion"),
+            ("round_robin", lambda m: setattr(m, "turn", -1), "round_robin_order"),
+            ("sleeping_barber", lambda m: setattr(m, "waiting", 99), "waiting_room_bounds"),
+            ("parameterized_bounded_buffer", lambda m: setattr(m, "count", -5), "buffer_bounds"),
+        ],
+    )
+    def test_problem_oracles_detect_corrupted_state(
+        self, problem_name, corrupt, oracle_name
+    ):
+        problem = get_problem(problem_name)
+        backend = SimulationBackend()
+        spec = problem.build(
+            "autosynch", backend, threads=2, total_ops=4
+        )
+        oracles = {oracle.name: oracle for oracle in problem.oracles(spec.monitor)}
+        oracle = oracles[oracle_name]
+        assert oracle.check() is None, "oracle must accept the initial state"
+        corrupt(spec.monitor)
+        assert oracle.check() is not None, (
+            f"{oracle_name} did not notice the corruption"
+        )
+
+    def test_every_problem_declares_oracles(self):
+        # The exploration engine is only as strong as its oracles: every
+        # registered problem must declare at least one.
+        for name, problem in PROBLEMS.items():
+            backend = SimulationBackend()
+            spec = problem.build("autosynch", backend, threads=2, total_ops=4)
+            assert problem.oracles(spec.monitor), f"{name} declares no oracles"
+
+
+class TestSwarm:
+    def test_swarm_is_clean_on_larger_problems(self):
+        for problem, threads, ops in (("h2o", 3, 9), ("readers_writers", 1, 6)):
+            task = ExploreTask(
+                problem=problem, mechanism="autosynch", threads=threads, total_ops=ops
+            )
+            report = explore_swarm(task, schedules=25)
+            assert report.schedules_visited == 25
+            assert report.failures_total == 0, report.summary()
+
+    def test_process_executor_matches_serial(self):
+        task = ExploreTask(
+            problem="h2o", mechanism="autosynch", threads=3, total_ops=9
+        )
+        serial_digests = []
+        process_digests = []
+        explore_swarm(
+            task,
+            schedules=12,
+            executor="serial",
+            progress=lambda n, o: serial_digests.append(o.digest),
+        )
+        explore_swarm(
+            task,
+            schedules=12,
+            executor="process",
+            jobs=2,
+            progress=lambda n, o: process_digests.append(o.digest),
+        )
+        # run_tasks preserves task order, and every probe is seeded by
+        # coordinates, so the sharded sweep is bit-identical to serial.
+        assert serial_digests == process_digests
+
+    def test_distinct_seeds_explore_distinct_schedules(self):
+        task = ExploreTask(
+            problem="bounded_buffer", mechanism="autosynch", threads=2, total_ops=8
+        )
+        digests = []
+        explore_swarm(
+            task, schedules=20, progress=lambda n, o: digests.append(o.digest)
+        )
+        assert len(set(digests)) > 1
+
+
+class TestCli:
+    def test_list_schedulers(self, capsys):
+        assert explore_main(["--list-schedulers"]) == 0
+        out = capsys.readouterr().out
+        assert "fifo" in out and "replay" in out
+
+    def test_clean_dfs_run_exits_zero(self, tmp_path, capsys):
+        code = explore_main(
+            [
+                "--problem", "bounded_buffer",
+                "--mechanism", "autosynch",
+                "--mode", "dfs",
+                "--threads", "2",
+                "--ops", "4",
+                "--param", "capacity=1",
+                "--out", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "exhaustive" in out
+        assert not list(tmp_path.glob("*.json"))
+
+    def test_failing_run_writes_replayable_repro(self, tmp_path, capsys):
+        from repro.core.signalling import register_policy, unregister_policy
+        from tests.integration.test_seeded_defects import LossyRelayPolicy
+
+        register_policy(LossyRelayPolicy)
+        try:
+            code = explore_main(
+                [
+                    "--problem", "bounded_buffer",
+                    "--mechanism", LossyRelayPolicy.name,
+                    "--mode", "dfs",
+                    "--threads", "1",
+                    "--ops", "2",
+                    "--param", "capacity=1",
+                    "--out", str(tmp_path),
+                ]
+            )
+            assert code == 1
+            repros = list(tmp_path.glob("*.json"))
+            assert repros, "no repro file written for the failing schedule"
+            payload = json.loads(repros[0].read_text())
+            assert payload["failure"]["kind"] == "missed_signal"
+            # Replay through the CLI: bit-identical reproduction, exit 0.
+            assert explore_main(["--replay", str(repros[0])]) == 0
+            out = capsys.readouterr().out
+            assert "reproduced" in out
+        finally:
+            unregister_policy(LossyRelayPolicy.name)
+
+    def test_unknown_mechanism_is_a_usage_error(self):
+        with pytest.raises(SystemExit):
+            explore_main(
+                ["--problem", "bounded_buffer", "--mechanism", "nope"]
+            )
+
+    def test_invalid_problem_params_are_a_clean_usage_error(self):
+        # Workload-construction errors must surface as usage errors, not
+        # raw tracebacks (nor abort a sharded swarm mid-pool).
+        with pytest.raises(SystemExit, match="waiting room"):
+            explore_main(
+                ["--problem", "sleeping_barber", "--param", "chairs=0"]
+            )

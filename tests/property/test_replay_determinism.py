@@ -1,0 +1,54 @@
+"""Property test: recorded schedules replay bit-identically.
+
+For any (problem, mechanism, seed), a run recorded under the random
+scheduler must be reproducible through the ``replay`` scheduler: same
+decision trace, same digest, same backend metrics — twice, because replay
+must not consume or perturb anything.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.explore import ExploreTask, run_schedule
+from repro.runtime.simulation import RandomScheduler, ReplayScheduler
+
+# Small, fast configurations; the property is about determinism, not scale.
+PROBLEMS = ("bounded_buffer", "h2o", "round_robin", "sleeping_barber")
+MECHANISMS = ("explicit", "autosynch", "autosynch_t", "baseline")
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    problem=st.sampled_from(PROBLEMS),
+    mechanism=st.sampled_from(MECHANISMS),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_replay_is_bit_identical(problem, mechanism, seed):
+    task = ExploreTask(
+        problem=problem,
+        mechanism=mechanism,
+        threads=2,
+        total_ops=6,
+        seed=seed,
+    )
+    recorded = run_schedule(task, RandomScheduler(seed))
+
+    for _ in range(2):
+        replayed = run_schedule(task, ReplayScheduler(recorded.trace))
+        assert replayed.kind == recorded.kind
+        assert replayed.trace == recorded.trace
+        assert replayed.digest == recorded.digest
+        assert replayed.backend_metrics == recorded.backend_metrics
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_same_seed_same_schedule(seed):
+    task = ExploreTask(
+        problem="bounded_buffer", mechanism="autosynch", threads=2, total_ops=6
+    )
+    first = run_schedule(task, RandomScheduler(seed))
+    second = run_schedule(task, RandomScheduler(seed))
+    assert first.digest == second.digest
+    assert first.backend_metrics == second.backend_metrics

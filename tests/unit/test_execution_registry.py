@@ -116,7 +116,7 @@ class TestDescriptions:
         class Bare(Executor):
             name = "bare"
 
-            def run_cells(self, cells, progress=None):  # pragma: no cover
+            def run_tasks(self, fn, tasks, progress=None):  # pragma: no cover
                 return []
 
         assert Bare().describe() == "bare"
