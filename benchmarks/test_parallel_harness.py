@@ -28,6 +28,7 @@ import pytest
 
 from repro.experiments import get_experiment
 from repro.harness import ExperimentRunner, series_fingerprint
+from repro.harness.execution.process import serial_fallback_reason
 
 #: Where the perf-trajectory snapshot lands (repository root).
 RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel_harness.json"
@@ -84,21 +85,35 @@ def test_sharded_sweep_is_equivalent_and_faster():
     serial_series, serial_s = _timed_run(config.with_executor("serial"))
     serial_fp = series_fingerprint(serial_series)
 
+    cpu_count = os.cpu_count() or 1
     legs = {}
     best_speedup = 0.0
-    for jobs in _job_counts():
-        sharded_series, sharded_s = _timed_run(config.with_executor("process", jobs=jobs))
-        assert series_fingerprint(sharded_series) == serial_fp, (
-            f"process executor at jobs={jobs} diverged from the serial series"
+    fallback = serial_fallback_reason(min(_job_counts()), cells)
+    if fallback is not None:
+        # A pool cannot help here (e.g. a single-CPU host, where it used to
+        # *slow the sweep down* to 0.7-0.8x serial); the executor now falls
+        # back to the in-process path.  Run one leg anyway to prove the
+        # fallback preserves bit-identical results, and record the reason
+        # instead of a bogus "speedup".
+        sharded_series, sharded_s = _timed_run(
+            config.with_executor("process", jobs=_job_counts()[0])
         )
-        speedup = serial_s / sharded_s if sharded_s > 0 else float("inf")
-        best_speedup = max(best_speedup, speedup)
-        legs[f"jobs={jobs}"] = {
-            "wall_s": round(sharded_s, 4),
-            "speedup_vs_serial": round(speedup, 3),
-        }
-
-    cpu_count = os.cpu_count() or 1
+        assert series_fingerprint(sharded_series) == serial_fp, (
+            "process executor's serial fallback diverged from the serial series"
+        )
+        legs["fallback"] = {"reason": fallback, "wall_s": round(sharded_s, 4)}
+    else:
+        for jobs in _job_counts():
+            sharded_series, sharded_s = _timed_run(config.with_executor("process", jobs=jobs))
+            assert series_fingerprint(sharded_series) == serial_fp, (
+                f"process executor at jobs={jobs} diverged from the serial series"
+            )
+            speedup = serial_s / sharded_s if sharded_s > 0 else float("inf")
+            best_speedup = max(best_speedup, speedup)
+            legs[f"jobs={jobs}"] = {
+                "wall_s": round(sharded_s, 4),
+                "speedup_vs_serial": round(speedup, 3),
+            }
     _RESULTS.update(
         {
             "sweep": {
@@ -117,7 +132,7 @@ def test_sharded_sweep_is_equivalent_and_faster():
         }
     )
 
-    if cpu_count >= REQUIRED_CORES:
+    if fallback is None and cpu_count >= REQUIRED_CORES:
         assert best_speedup >= REQUIRED_SPEEDUP, (
             f"expected >= {REQUIRED_SPEEDUP}x speedup with {cpu_count} cores, "
             f"got {best_speedup:.2f}x"

@@ -1,0 +1,292 @@
+"""The one plugin-registry idiom every pluggable subsystem shares.
+
+Four layers of the codebase grew the exact same hand-rolled pattern, one
+copy at a time: signalling policies (:mod:`repro.core.signalling.registry`),
+executors (:mod:`repro.harness.execution.registry`), schedulers
+(:mod:`repro.runtime.simulation.schedulers`) and the problem catalogue
+(:mod:`repro.problems.registry`).  Each kept a name-keyed dict in
+registration order, validated the ``name`` attribute on registration,
+raised on accidental shadowing unless ``replace=True``, listed the
+registered names in every unknown-name error, and resolved a
+"name | class | instance" spec to a ready instance.
+
+:class:`PluginRegistry` is that idiom, extracted once.  The per-subsystem
+registry modules stay as thin wrappers (their public function names —
+``register_policy``, ``get_executor``, ``available_schedulers``, ... — are
+the stable API), but the behaviour now lives here, so a fifth pluggable
+layer is one instantiation away and the error-message UX cannot drift
+between layers.
+
+The wording knobs (``kind``/``noun``/``plural``/``spec_noun``) exist so the
+extracted registry reproduces each layer's established error messages
+verbatim; tests and user-facing docs rely on them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, MutableMapping, Optional, Tuple
+
+__all__ = ["PluginRegistry", "RegistryView"]
+
+_VOWELS = "aeiouAEIOU"
+
+
+def _article(word: str) -> str:
+    return "an" if word[:1] in _VOWELS else "a"
+
+
+def _label(plugin: object) -> str:
+    """How a registered plugin is referred to in conflict errors."""
+    name = getattr(plugin, "__name__", None)
+    return name if name is not None else type(plugin).__name__
+
+
+class PluginRegistry:
+    """A name-keyed plugin registry with the shared registration contract.
+
+    Parameters
+    ----------
+    kind:
+        The full human-readable kind used in unknown-name and conflict
+        errors ("signalling policy", "executor", ...).
+    base:
+        The required base class.  Classes (or, with
+        ``stores_instances=True``, instances) must derive from it, and its
+        own class-level ``name`` is treated as the "no name defined"
+        sentinel.
+    noun:
+        The short noun used in registration errors and ``create`` hints
+        ("policy", "executor", ...); defaults to *kind*.
+    plural:
+        Plural used when listing registered names ("policies", ...).
+    spec_noun:
+        How the *spec* argument of :meth:`create` is referred to in type
+        errors (the monitor calls its constructor argument ``signalling``,
+        the others match their noun); defaults to *noun*.
+    stores_instances:
+        When True the registry holds ready objects (the problem catalogue
+        registers :class:`~repro.problems.base.Problem` instances); when
+        False it holds classes and :meth:`create` instantiates them.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        base: type,
+        *,
+        noun: Optional[str] = None,
+        plural: Optional[str] = None,
+        spec_noun: Optional[str] = None,
+        stores_instances: bool = False,
+    ) -> None:
+        self.kind = kind
+        self.base = base
+        self.noun = noun if noun is not None else kind
+        self.plural = plural if plural is not None else f"{self.noun}s"
+        self.spec_noun = spec_noun if spec_noun is not None else self.noun
+        self.stores_instances = stores_instances
+        self._entries: Dict[str, object] = {}
+        self._populate: Optional[Callable[[], None]] = None
+        self._populating = False
+
+    # -- lazy population -----------------------------------------------------
+
+    def set_populate(self, populate: Callable[[], None]) -> None:
+        """Install a hook that registers the standard plugin set on first use.
+
+        The hook runs (once) before any query — lookup, listing, view
+        iteration — so a registry whose standard entries live in modules
+        with import cycles (the problem catalogue registers declarative
+        scenarios, which themselves import the problem layer) can defer
+        those imports until somebody actually asks.
+        """
+        self._populate = populate
+
+    def _ensure(self) -> None:
+        if self._populate is None or self._populating:
+            return
+        self._populating = True
+        try:
+            self._populate()
+        finally:
+            self._populate = None
+            self._populating = False
+
+    # -- registration ---------------------------------------------------------
+
+    def _check_registrable(self, plugin: object) -> None:
+        if self.stores_instances:
+            if not isinstance(plugin, self.base):
+                raise TypeError(
+                    f"expected {_article(self.base.__name__)} "
+                    f"{self.base.__name__} instance, got {plugin!r}"
+                )
+        elif not (isinstance(plugin, type) and issubclass(plugin, self.base)):
+            raise TypeError(
+                f"expected {_article(self.base.__name__)} "
+                f"{self.base.__name__} subclass, got {plugin!r}"
+            )
+
+    def register(self, plugin, replace: bool = False):
+        """Register *plugin* under its ``name`` attribute.
+
+        Usable as a class decorator.  Re-registering an existing name raises
+        unless ``replace=True`` (guards against accidental shadowing).
+        """
+        # Deliberately no _ensure() here: registration must stay usable
+        # mid-populate (the standard set registers through this very
+        # method, and the populate hook's imports may be in progress).  A
+        # populate hook that registers defaults therefore must not clobber
+        # names users claimed first — see register_builtin_scenarios.
+        self._check_registrable(plugin)
+        name = plugin.name
+        if not name or name == self.base.name:
+            raise ValueError(
+                f"{self.noun} class {_label(plugin)} must define a unique "
+                "'name' attribute"
+            )
+        existing = self._entries.get(name)
+        if existing is not None and existing is not plugin and not replace:
+            raise ValueError(
+                f"{_article(self.kind)} {self.kind} named {name!r} is already "
+                f"registered ({_label(existing)}); pass replace=True to override"
+            )
+        self._entries[name] = plugin
+        return plugin
+
+    def unregister(self, name: str) -> None:
+        """Remove a registered plugin by name.
+
+        Exists for tests and experiments that register throwaway plugins
+        and must restore the registry afterwards.  Unknown names raise the
+        same error as :meth:`get`.
+        """
+        self.get(name)
+        del self._entries[name]
+
+    # -- lookup ----------------------------------------------------------------
+
+    def get(self, name: str):
+        """Look up a plugin by registry name."""
+        self._ensure()
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown {self.kind} {name!r}; "
+                f"registered {self.plural}: {self.names()}"
+            ) from None
+
+    def names(self) -> Tuple[str, ...]:
+        """Names of every registered plugin, in registration order."""
+        self._ensure()
+        return tuple(self._entries)
+
+    def describe(self, name: str) -> str:
+        """The one-line human-readable label of a registered plugin.
+
+        Prefers a fresh instance's ``describe()`` (which may interpolate
+        configuration defaults); a plugin whose constructor needs arguments
+        — or that has no ``describe`` at all — falls back to its
+        class-level ``description``.
+        """
+        plugin = self.get(name)
+        if not self.stores_instances:
+            try:
+                plugin = plugin()
+            except (TypeError, ValueError):
+                # Constructor needs arguments; an error from describe()
+                # itself must still propagate, so only construction is
+                # guarded.
+                return plugin.description or name
+        describe = getattr(plugin, "describe", None)
+        if callable(describe):
+            return describe()
+        return plugin.description or name
+
+    def create(self, spec, **kwargs):
+        """Resolve *spec* to a ready-to-use plugin instance.
+
+        Accepts a registry name, a subclass of the registry's base, or an
+        already-constructed instance (returned as-is — the hook that lets
+        callers pass pre-configured objects straight through).  *kwargs*
+        are forwarded to the constructor for name/class specs.
+        """
+        if isinstance(spec, str):
+            plugin = self.get(spec)
+            if self.stores_instances:
+                return plugin
+            return plugin(**kwargs)
+        if isinstance(spec, type) and issubclass(spec, self.base):
+            return spec(**kwargs)
+        if isinstance(spec, self.base):
+            return spec
+        raise TypeError(
+            f"{self.spec_noun} must be a registered {self.noun} name, "
+            f"{_article(self.base.__name__)} {self.base.__name__} subclass "
+            f"or an instance; got {spec!r}"
+        )
+
+    def view(self) -> "RegistryView":
+        """A live name->plugin mapping over this registry (see
+        :class:`RegistryView`)."""
+        return RegistryView(self)
+
+    def __contains__(self, name: object) -> bool:
+        self._ensure()
+        return name in self._entries
+
+    def __iter__(self):
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        self._ensure()
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PluginRegistry {self.kind!r} ({len(self._entries)} registered)>"
+
+
+class RegistryView(MutableMapping):
+    """A live, dict-like view of a :class:`PluginRegistry`.
+
+    Exists for the registries that historically *were* plain dicts (the
+    problem catalogue's ``PROBLEMS``): iteration, membership and item
+    access reflect the registry's current contents, ``view[name] = plugin``
+    registers (replacing an existing entry, exactly like the old dict
+    assignment did) and ``del view[name]`` unregisters.
+    """
+
+    __slots__ = ("_registry",)
+
+    def __init__(self, registry: PluginRegistry) -> None:
+        self._registry = registry
+
+    def __getitem__(self, name: str):
+        try:
+            return self._registry.get(name)
+        except ValueError as error:
+            raise KeyError(str(error)) from None
+
+    def __setitem__(self, name: str, plugin: object) -> None:
+        if getattr(plugin, "name", None) != name:
+            raise ValueError(
+                f"cannot register {plugin!r} under {name!r}: the key must "
+                f"equal the plugin's own name attribute"
+            )
+        self._registry.register(plugin, replace=True)
+
+    def __delitem__(self, name: str) -> None:
+        try:
+            self._registry.unregister(name)
+        except ValueError as error:
+            raise KeyError(str(error)) from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._registry.names())
+
+    def __len__(self) -> int:
+        return len(self._registry)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RegistryView of {self._registry!r}>"

@@ -7,12 +7,18 @@ policy immediately makes it constructible via
 ``AutoSynchMonitor(signalling="<name>")``, runnable by every problem in
 :mod:`repro.problems`, and selectable with ``--mechanisms`` on
 ``python -m repro.experiments``.
+
+The registration/lookup contract (decorator registration, ``replace=True``
+shadow guard, list-on-unknown-name errors, "name | class | instance" spec
+resolution) is the shared :class:`~repro.core.plugin_registry.PluginRegistry`
+idiom; this module is the policy-flavoured face of it.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple, Type, Union
+from typing import Tuple, Type, Union
 
+from repro.core.plugin_registry import PluginRegistry
 from repro.core.signalling.base import SignallingPolicy
 
 __all__ = [
@@ -24,10 +30,16 @@ __all__ = [
     "create_policy",
 ]
 
-#: name -> policy class, in registration order (registration order is the
-#: order ``available_policies`` reports, so the three legacy modes come
-#: first).
-_REGISTRY: Dict[str, Type[SignallingPolicy]] = {}
+#: The shared plugin registry holding every policy class, in registration
+#: order (registration order is the order ``available_policies`` reports,
+#: so the three legacy modes come first).
+_REGISTRY = PluginRegistry(
+    kind="signalling policy",
+    base=SignallingPolicy,
+    noun="policy",
+    plural="policies",
+    spec_noun="signalling",
+)
 
 PolicySpec = Union[str, SignallingPolicy, Type[SignallingPolicy]]
 
@@ -41,22 +53,7 @@ def register_policy(
     unless ``replace=True`` (guards against accidental shadowing of the
     paper's mechanisms).
     """
-    if not (isinstance(policy_cls, type) and issubclass(policy_cls, SignallingPolicy)):
-        raise TypeError(
-            f"expected a SignallingPolicy subclass, got {policy_cls!r}"
-        )
-    name = policy_cls.name
-    if not name or name == SignallingPolicy.name:
-        raise ValueError(
-            f"policy class {policy_cls.__name__} must define a unique 'name' attribute"
-        )
-    if name in _REGISTRY and _REGISTRY[name] is not policy_cls and not replace:
-        raise ValueError(
-            f"a signalling policy named {name!r} is already registered "
-            f"({_REGISTRY[name].__name__}); pass replace=True to override"
-        )
-    _REGISTRY[name] = policy_cls
-    return policy_cls
+    return _REGISTRY.register(policy_cls, replace=replace)
 
 
 def unregister_policy(name: str) -> None:
@@ -67,24 +64,17 @@ def unregister_policy(name: str) -> None:
     suite) and must restore the registry afterwards.  Unknown names raise
     the same error as :func:`get_policy`.
     """
-    get_policy(name)
-    del _REGISTRY[name]
+    _REGISTRY.unregister(name)
 
 
 def get_policy(name: str) -> Type[SignallingPolicy]:
     """Look up a policy class by registry name."""
-    try:
-        return _REGISTRY[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown signalling policy {name!r}; "
-            f"registered policies: {available_policies()}"
-        ) from None
+    return _REGISTRY.get(name)
 
 
 def available_policies() -> Tuple[str, ...]:
     """Names of every registered policy, in registration order."""
-    return tuple(_REGISTRY)
+    return _REGISTRY.names()
 
 
 def describe_policy(name: str) -> str:
@@ -94,14 +84,7 @@ def describe_policy(name: str) -> str:
     configuration defaults); a policy whose constructor needs arguments
     falls back to its class-level description.
     """
-    policy_cls = get_policy(name)
-    try:
-        policy = policy_cls()
-    except TypeError:
-        # Constructor needs arguments; a TypeError from describe() itself
-        # must still propagate, so only the construction is guarded.
-        return policy_cls.description or name
-    return policy.describe()
+    return _REGISTRY.describe(name)
 
 
 def create_policy(spec: PolicySpec) -> SignallingPolicy:
@@ -112,13 +95,4 @@ def create_policy(spec: PolicySpec) -> SignallingPolicy:
     yet bound) instance — the hook that lets users pass configured policies
     such as ``BatchedRelayPolicy(batch_limit=8)`` straight to the monitor.
     """
-    if isinstance(spec, str):
-        return get_policy(spec)()
-    if isinstance(spec, type) and issubclass(spec, SignallingPolicy):
-        return spec()
-    if isinstance(spec, SignallingPolicy):
-        return spec
-    raise TypeError(
-        "signalling must be a registered policy name, a SignallingPolicy "
-        f"subclass or an instance; got {spec!r}"
-    )
+    return _REGISTRY.create(spec)

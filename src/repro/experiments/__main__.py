@@ -43,6 +43,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run only this experiment id (repeatable); default: all",
     )
     parser.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="FILE",
+        help=(
+            "run a sweep of a declarative scenario spec (JSON; repeatable). "
+            "Replaces the default figure set unless --only is also given"
+        ),
+    )
+    parser.add_argument(
         "--scale",
         choices=("quick", "full"),
         default="quick",
@@ -142,8 +152,7 @@ def _parse_mechanisms(raw: Optional[str]) -> Optional[List[str]]:
     return names
 
 
-def _run_one(experiment_id: str, args: argparse.Namespace) -> bool:
-    experiment = get_experiment(experiment_id)
+def _run_one(experiment, args: argparse.Namespace) -> bool:
     runner = ExperimentRunner(progress=lambda message: print(f"  .. {message}", flush=True))
     print(f"== {experiment.experiment_id}: {experiment.title} ==", flush=True)
     series = experiment.run(
@@ -216,10 +225,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             experiment = EXPERIMENTS[experiment_id]
             print(f"{experiment_id:8s} {experiment.title} [{experiment.paper_reference}]")
         return 0
-    ids: List[str] = args.only if args.only else sorted(EXPERIMENTS)
+    to_run = []
+    if args.scenario:
+        from repro.experiments.scenario import scenario_experiment
+        from repro.scenarios import ScenarioError, load_scenario_file
+
+        for path in args.scenario:
+            try:
+                to_run.append(scenario_experiment(load_scenario_file(path)))
+            except ScenarioError as error:
+                raise SystemExit(str(error)) from None
+    if args.only or not args.scenario:
+        ids: List[str] = args.only if args.only else sorted(EXPERIMENTS)
+        to_run.extend(get_experiment(experiment_id) for experiment_id in ids)
     ok = True
-    for experiment_id in ids:
-        ok = _run_one(experiment_id, args) and ok
+    for experiment in to_run:
+        ok = _run_one(experiment, args) and ok
     return 0 if ok else 1
 
 

@@ -1,0 +1,49 @@
+"""Ad-hoc experiments over declarative scenarios.
+
+``python -m repro.experiments --scenario file.json`` loads a
+:class:`~repro.scenarios.ScenarioSpec`, registers it as a problem and runs
+a standard saturation sweep over it — the same two-scale
+(``quick``/``full``) protocol as the paper's figures, comparing every
+mechanism the scenario supports (all registered signalling policies; there
+is no hand-written explicit twin to compare against).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import Experiment, paper_sweep
+from repro.problems import get_problem
+from repro.scenarios import ScenarioSpec, register_scenario
+
+__all__ = ["scenario_experiment"]
+
+#: Scenario sweeps use a smaller x-axis than the paper figures: scenarios
+#: size their roles from ``threads`` themselves, and the comparison of
+#: interest is mechanism-vs-mechanism, not asymptotic scaling.
+FULL_THREAD_COUNTS = (2, 4, 8, 16)
+QUICK_THREAD_COUNTS = (2, 4)
+
+
+def scenario_experiment(spec: ScenarioSpec) -> Experiment:
+    """Build (and register the problem for) a scenario's sweep experiment."""
+    register_scenario(spec, replace=True)
+    problem = get_problem(spec.name)
+    full, quick = paper_sweep(
+        problem=spec.name,
+        mechanisms=problem.supported_mechanisms(),
+        total_ops=2_000,
+        quick_total_ops=240,
+        repetitions=3,
+        quick_repetitions=1,
+        thread_counts=FULL_THREAD_COUNTS,
+        quick_thread_counts=QUICK_THREAD_COUNTS,
+        # Cells carry the spec so parallel-executor workers can resolve the
+        # runtime-registered problem even without fork inheritance.
+        scenario_json=spec.to_json(),
+    )
+    return Experiment(
+        experiment_id=f"scenario-{spec.name}",
+        title=spec.description or f"declarative scenario {spec.name!r}",
+        paper_reference="declarative scenario",
+        full_config=full,
+        quick_config=quick,
+    )

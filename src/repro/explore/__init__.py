@@ -16,6 +16,13 @@ Two exploration modes, both built on the scheduler registry of
   schedules for configurations too large to exhaust, sharded across worker
   processes through the existing harness executor registry.
 
+Fuzz mode (:mod:`repro.explore.fuzz`, ``python -m repro.explore --mode
+fuzz``) feeds the swarm with *generated* workloads: seeded
+valid-by-construction scenario specs from :mod:`repro.scenarios.generate`,
+each compiled and registered on the fly with its invariants enforced as
+oracles, so exploration sweeps policy × scheduler × scenario instead of
+only the paper's seven problems.
+
 Every failing schedule is shrunk to a near-minimal decision prefix
 (:mod:`repro.explore.shrink`) and can be written to a JSON repro file that
 ``python -m repro.explore --replay FILE`` re-executes bit-identically
@@ -33,6 +40,7 @@ from repro.explore.engine import (
     explore_swarm,
     run_schedule,
 )
+from repro.explore.fuzz import FuzzReport, ScenarioFuzzResult, fuzz_scenarios
 from repro.explore.repro_files import (
     REPRO_FORMAT,
     load_repro,
@@ -46,13 +54,16 @@ __all__ = [
     "ExplorationFailure",
     "ExplorationReport",
     "ExploreTask",
+    "FuzzReport",
     "OracleViolationError",
     "REPRO_FORMAT",
+    "ScenarioFuzzResult",
     "ScheduleOutcome",
     "ShrinkResult",
     "StarvationBudgetWatcher",
     "explore_dfs",
     "explore_swarm",
+    "fuzz_scenarios",
     "load_repro",
     "replay_repro",
     "repro_payload",

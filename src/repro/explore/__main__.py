@@ -12,6 +12,15 @@ Swarm-explore a larger configuration across 4 worker processes::
     python -m repro.explore --problem h2o --mechanism autosynch --mode swarm \
         --threads 4 --ops 12 --schedules 500 --executor process --jobs 4
 
+Fuzz: sweep policy x scheduler x *generated* scenario (specs come from the
+seeded generator, invariants are enforced as oracles)::
+
+    python -m repro.explore --mode fuzz --count 5 --schedules 100
+
+Explore a declarative scenario loaded from a JSON spec file::
+
+    python -m repro.explore --scenario scenarios/ping_pong.json --mode dfs --ops 4
+
 Replay a failure repro file bit-identically::
 
     python -m repro.explore --replay repros/bounded_buffer_....json
@@ -33,11 +42,17 @@ from repro.explore.engine import (
     explore_dfs,
     explore_swarm,
 )
+from repro.explore.fuzz import (
+    DEFAULT_SCENARIO_COUNT,
+    DEFAULT_SCHEDULES,
+    fuzz_scenarios,
+)
 from repro.explore.repro_files import replay_repro, repro_payload, write_repro
 from repro.explore.shrink import shrink_failure
 from repro.harness.execution import available_executors
-from repro.problems import PROBLEMS, get_problem
+from repro.problems import available_problems, describe_problem, get_problem
 from repro.runtime.simulation import available_schedulers, describe_scheduler
+from repro.scenarios import ScenarioError, load_scenario_file, register_scenario
 
 __all__ = ["main"]
 
@@ -53,8 +68,21 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--problem",
-        choices=sorted(PROBLEMS),
-        help="which synchronization problem to explore",
+        default=None,
+        metavar="NAME",
+        help=(
+            "which registered problem to explore (see --list-problems; "
+            "includes the built-in declarative scenarios)"
+        ),
+    )
+    parser.add_argument(
+        "--scenario",
+        default=None,
+        metavar="FILE",
+        help=(
+            "load a declarative scenario spec (JSON), register it as a "
+            "problem and explore it (implies --problem <its name>)"
+        ),
     )
     parser.add_argument(
         "--mechanism",
@@ -67,9 +95,19 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--mode",
-        choices=("dfs", "swarm"),
+        choices=("dfs", "swarm", "fuzz"),
         default="dfs",
-        help="dfs = bounded exhaustive search, swarm = seeded random sampling",
+        help=(
+            "dfs = bounded exhaustive search, swarm = seeded random "
+            "sampling, fuzz = swarm over seeded *generated* scenarios"
+        ),
+    )
+    parser.add_argument(
+        "--count",
+        type=int,
+        default=DEFAULT_SCENARIO_COUNT,
+        metavar="N",
+        help="fuzz only: number of generated scenarios (default %(default)s)",
     )
     parser.add_argument("--threads", type=int, default=2,
                         help="the problem's x-axis value (default 2)")
@@ -84,7 +122,8 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help=(
             "dfs: max schedules to visit (default: unlimited, run to "
-            "exhaustion); swarm: number of random schedules (default 200)"
+            "exhaustion); swarm: number of random schedules (default 200); "
+            f"fuzz: schedules per scenario x mechanism (default {DEFAULT_SCHEDULES})"
         ),
     )
     parser.add_argument(
@@ -108,10 +147,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--executor",
         choices=available_executors(),
         default="serial",
-        help="swarm only: how probes are executed ('process' shards over a pool)",
+        help="swarm/fuzz: how probes are executed ('process' shards over a pool)",
     )
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
-                        help="swarm only: worker count for parallel executors")
+                        help="swarm/fuzz: worker count for parallel executors")
     parser.add_argument(
         "--starvation-budget",
         type=int,
@@ -157,6 +196,11 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list the scheduler registry contents and exit",
     )
+    parser.add_argument(
+        "--list-problems",
+        action="store_true",
+        help="list the problem registry contents (incl. scenarios) and exit",
+    )
     return parser
 
 
@@ -174,7 +218,12 @@ def _parse_params(raw: Optional[Sequence[str]]) -> Dict[str, object]:
 
 
 def _resolve_mechanisms(problem_name: str, raw: Optional[str]) -> List[str]:
-    problem = get_problem(problem_name)
+    try:
+        problem = get_problem(problem_name)
+    except ValueError as error:
+        # Unknown problem names are a usage error; the message already
+        # lists every registered problem.
+        raise SystemExit(str(error)) from None
     supported = problem.supported_mechanisms()
     if raw is None or raw == "all":
         return list(supported)
@@ -231,6 +280,66 @@ def _write_failures(
     return written
 
 
+def _run_fuzz(args: argparse.Namespace, specs=None) -> int:
+    out_dir = Path(args.out)
+    mechanisms = None
+    if args.mechanism is not None and args.mechanism != "all":
+        from repro.core.signalling import available_policies
+
+        mechanisms = [name.strip() for name in args.mechanism.split(",") if name.strip()]
+        # Fuzzed scenarios run under signalling policies only (no explicit
+        # twin exists); reject bad names up front with the same UX as
+        # dfs/swarm instead of a mid-exploration traceback.
+        unknown = [name for name in mechanisms if name not in available_policies()]
+        if unknown:
+            raise SystemExit(
+                f"fuzz mode explores registered signalling policies; "
+                f"unsupported mechanism(s) {unknown}; "
+                f"registered policies: {', '.join(available_policies())}"
+            )
+    any_failures = False
+
+    def on_scenario(result) -> None:
+        nonlocal any_failures
+        verdict = "clean" if result.ok else f"{result.failures_total} FAILING"
+        print(
+            f"fuzz seed {result.seed}: {result.spec.name} — "
+            f"{result.schedules_visited} schedules, {verdict}",
+            flush=True,
+        )
+        if result.ok:
+            return
+        any_failures = True
+        for report in result.reports:
+            if not report.ok:
+                _write_failures(report, out_dir, shrink=not args.no_shrink)
+
+    try:
+        report = fuzz_scenarios(
+            count=args.count,
+            base_seed=args.seed,
+            schedules=args.schedules if args.schedules is not None else DEFAULT_SCHEDULES,
+            mechanisms=mechanisms,
+            threads=args.threads,
+            total_ops=args.ops,
+            executor=args.executor,
+            jobs=args.jobs,
+            validate=args.validate,
+            starvation_budget=args.starvation_budget,
+            spec_dir=out_dir,
+            specs=specs,
+            problem_params=_parse_params(args.param),
+            progress=on_scenario,
+        )
+    except ValueError as error:
+        # Bad configuration (e.g. --param for a parameter no scenario
+        # declares): a usage error, same UX as dfs/swarm.
+        raise SystemExit(f"cannot fuzz: {error}") from None
+    print()
+    print(report.summary())
+    return 1 if any_failures else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.list_schedulers:
@@ -238,12 +347,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for name in available_schedulers():
             print(f"{name:{width}s}  {describe_scheduler(name)}")
         return 0
+    if args.list_problems:
+        width = max(len(name) for name in available_problems())
+        for name in available_problems():
+            print(f"{name:{width}s}  {describe_problem(name)}")
+        return 0
     if args.replay is not None:
         result = replay_repro(args.replay)
         print(result.describe())
         return 0 if result.reproduced else 1
+    spec = None
+    if args.scenario is not None:
+        try:
+            spec = load_scenario_file(args.scenario)
+            register_scenario(spec, replace=True)
+        except ScenarioError as error:
+            raise SystemExit(str(error)) from None
+        if args.problem is not None and args.problem != spec.name:
+            raise SystemExit(
+                f"--scenario registered {spec.name!r} but --problem asks for "
+                f"{args.problem!r}; drop --problem or make them agree"
+            )
+        args.problem = spec.name
+    if args.mode == "fuzz":
+        # With --scenario, fuzz the loaded spec; otherwise fuzz generated ones.
+        return _run_fuzz(args, specs=[spec] if spec is not None else None)
     if args.problem is None:
-        raise SystemExit("--problem is required (unless --replay/--list-schedulers)")
+        raise SystemExit(
+            "--problem is required (unless --scenario/--replay/--mode fuzz/"
+            "--list-schedulers/--list-problems)"
+        )
 
     params = _parse_params(args.param)
     mechanisms = _resolve_mechanisms(args.problem, args.mechanism)
@@ -260,6 +393,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             max_steps=args.max_steps,
             starvation_budget=args.starvation_budget,
             problem_params=params,
+            # A --scenario-loaded problem exists only in this process's
+            # registry; carry the spec so pool workers (and repro replays)
+            # are self-contained.
+            scenario=spec.to_dict() if spec is not None else None,
         )
         try:
             if args.mode == "dfs":

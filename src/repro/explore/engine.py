@@ -130,6 +130,13 @@ class ExploreTask:
     #: defers to the problem's own ``starvation_budget`` declaration.
     starvation_budget: Optional[int] = None
     problem_params: Mapping[str, object] = field(default_factory=dict)
+    #: For problems compiled from a declarative scenario registered at
+    #: runtime (fuzz-generated or ``--scenario``-loaded): the spec as a
+    #: plain dict.  Makes the task self-contained — a worker process that
+    #: never saw the parent's registration (``spawn`` start method) or a
+    #: fresh replay process re-registers the scenario before resolving the
+    #: problem name.
+    scenario: Optional[dict] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.problem_params, FrozenMapping):
@@ -137,8 +144,26 @@ class ExploreTask:
                 self, "problem_params", FrozenMapping(self.problem_params)
             )
 
+    def resolve_problem(self):
+        """Resolve the task's problem, registering its scenario if carried.
+
+        The common path (the scenario is already registered — every probe
+        after a worker's first) is a dict comparison against the registered
+        spec's serialized form; the full parse + validate + monitor
+        compilation only happens when the spec is new to this process.
+        """
+        if self.scenario is not None:
+            from repro.scenarios import ScenarioSpec, register_scenario, scenario_for
+
+            current = scenario_for(self.problem)
+            if current is None or current.to_dict() != self.scenario:
+                register_scenario(
+                    ScenarioSpec.from_dict(self.scenario), replace=True
+                )
+        return get_problem(self.problem)
+
     def to_dict(self) -> dict:
-        return {
+        data = {
             "problem": self.problem,
             "mechanism": self.mechanism,
             "threads": self.threads,
@@ -150,6 +175,9 @@ class ExploreTask:
             "starvation_budget": self.starvation_budget,
             "problem_params": dict(self.problem_params),
         }
+        if self.scenario is not None:
+            data["scenario"] = self.scenario
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "ExploreTask":
@@ -279,7 +307,7 @@ def run_schedule(task: ExploreTask, scheduler: Scheduler) -> ScheduleOutcome:
     nothing leaks between runs), records the decision trace, and checks the
     problem's oracles at every decision point.
     """
-    problem = get_problem(task.problem)
+    problem = task.resolve_problem()
     backend = SimulationBackend(
         seed=task.seed,
         policy=scheduler,

@@ -1,0 +1,164 @@
+"""Scenario fuzzing: swarm exploration over *generated* workloads.
+
+PR 4's explorer could only check schedules of problems somebody had already
+hand-coded.  Fuzz mode closes the loop: seeded, valid-by-construction
+scenario specs come out of :mod:`repro.scenarios.generate`, each is
+compiled and registered as a problem on the fly, and the swarm explorer
+sweeps signalling policy × random schedule over it with the scenario's own
+invariants enforced as oracles.  A failure therefore implicates the
+synchronization machinery (or the scenario compiler), not the workload —
+and it ships as a shrunk, replayable repro file with the generating spec
+embedded, plus the spec as a standalone ``.scenario.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from repro.explore.engine import ExplorationReport, ExploreTask, explore_swarm
+from repro.scenarios.compile import register_scenario
+from repro.scenarios.generate import generate_scenario
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = ["ScenarioFuzzResult", "FuzzReport", "fuzz_scenarios"]
+
+#: Default number of generated scenarios per fuzz run.
+DEFAULT_SCENARIO_COUNT = 5
+#: Default random schedules per (scenario, mechanism) pair.
+DEFAULT_SCHEDULES = 100
+
+
+@dataclass
+class ScenarioFuzzResult:
+    """All exploration reports for one generated scenario."""
+
+    spec: ScenarioSpec
+    seed: int
+    reports: List[ExplorationReport] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(report.ok for report in self.reports)
+
+    @property
+    def schedules_visited(self) -> int:
+        return sum(report.schedules_visited for report in self.reports)
+
+    @property
+    def failures_total(self) -> int:
+        return sum(report.failures_total for report in self.reports)
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate result of one fuzz run."""
+
+    results: List[ScenarioFuzzResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    def summary(self) -> str:
+        lines = []
+        for result in self.results:
+            mechanisms = len(result.reports)
+            verdict = "clean" if result.ok else f"{result.failures_total} failing"
+            lines.append(
+                f"fuzz {result.spec.name}: {result.spec.description} — "
+                f"{result.schedules_visited} schedules over {mechanisms} "
+                f"mechanism(s), {verdict}"
+            )
+        total = sum(result.schedules_visited for result in self.results)
+        failing = sum(result.failures_total for result in self.results)
+        lines.append(
+            f"fuzz total: {len(self.results)} scenario(s), {total} schedules, "
+            f"{failing} failing"
+        )
+        return "\n".join(lines)
+
+
+def fuzz_scenarios(
+    count: int = DEFAULT_SCENARIO_COUNT,
+    base_seed: int = 0,
+    schedules: int = DEFAULT_SCHEDULES,
+    mechanisms: Optional[Sequence[str]] = None,
+    threads: int = 3,
+    total_ops: int = 12,
+    executor: str = "serial",
+    jobs: Optional[int] = None,
+    validate: bool = False,
+    starvation_budget: Optional[int] = None,
+    spec_dir: Optional[Path] = None,
+    specs: Optional[Sequence[ScenarioSpec]] = None,
+    problem_params: Optional[Mapping[str, object]] = None,
+    progress=None,
+) -> FuzzReport:
+    """Swarm-explore *count* generated scenarios (or explicit *specs*).
+
+    Scenario ``i`` is generated from seed ``base_seed + i`` and registered
+    (replacing any previous registration of the same name); passing *specs*
+    skips generation and fuzzes those instead (the ``--scenario file.json
+    --mode fuzz`` path).  *mechanisms* defaults to every mechanism the
+    problem supports — i.e. every registered signalling policy.
+    ``executor``/``jobs`` shard each swarm through the executor registry
+    exactly like plain swarm mode; each task carries the spec itself, so
+    worker processes resolve it without relying on the parent's registry.
+
+    When *spec_dir* is given, the spec of every scenario that produced a
+    failure is written there as ``<name>.scenario.json`` so the workload
+    that provoked the failure is preserved verbatim alongside the repro
+    files.
+    """
+    if specs is None:
+        specs = [generate_scenario(base_seed + offset) for offset in range(count)]
+    problem_params = dict(problem_params or {})
+    report = FuzzReport()
+    for offset, spec in enumerate(specs):
+        seed = base_seed + offset
+        unknown = sorted(set(problem_params) - set(spec.params))
+        if unknown:
+            # Fail fast with the builder's own UX rather than classifying
+            # every probe of the swarm as a usage-error "failure".
+            raise ValueError(
+                f"scenario {spec.name!r} has no parameter(s) {unknown}; "
+                f"declared parameters: {sorted(spec.params)}"
+            )
+        problem = register_scenario(spec, replace=True)
+        result = ScenarioFuzzResult(spec=spec, seed=seed)
+        sweep: Tuple[str, ...] = (
+            tuple(mechanisms) if mechanisms else problem.supported_mechanisms()
+        )
+        for mechanism in sweep:
+            task = ExploreTask(
+                problem=spec.name,
+                mechanism=mechanism,
+                threads=threads,
+                total_ops=total_ops,
+                seed=seed,
+                validate=validate,
+                starvation_budget=starvation_budget,
+                problem_params=problem_params,
+                scenario=spec.to_dict(),
+            )
+            result.reports.append(
+                explore_swarm(
+                    task,
+                    schedules=schedules,
+                    base_seed=seed,
+                    executor=executor,
+                    jobs=jobs,
+                )
+            )
+        if progress is not None:
+            progress(result)
+        if spec_dir is not None and not result.ok:
+            spec_dir = Path(spec_dir)
+            spec_dir.mkdir(parents=True, exist_ok=True)
+            (spec_dir / f"{spec.name}.scenario.json").write_text(
+                spec.to_json() + "\n"
+            )
+        report.results.append(result)
+    return report

@@ -43,8 +43,17 @@ def repro_payload(
     mode: str,
     shrunk_from: Optional[int] = None,
 ) -> dict:
-    """Build the JSON-serialisable payload for one failing schedule."""
-    return {
+    """Build the JSON-serialisable payload for one failing schedule.
+
+    When the task's problem was compiled from a declarative scenario spec
+    (registered at runtime — e.g. a fuzz-generated or ``--scenario``-loaded
+    workload), the spec itself is embedded, so the repro file stays
+    self-contained: replay re-registers the scenario in a fresh process
+    before resolving the problem name.
+    """
+    from repro.scenarios import scenario_for
+
+    payload = {
         "format": REPRO_FORMAT,
         "mode": mode,
         "task": task.to_dict(),
@@ -58,6 +67,10 @@ def repro_payload(
         "trace": failure.trace.to_dict(),
         "trace_digest": failure.digest,
     }
+    spec = scenario_for(task.problem)
+    if spec is not None:
+        payload["scenario"] = spec.to_dict()
+    return payload
 
 
 def write_repro(path: Union[str, Path], payload: dict) -> Path:
@@ -129,6 +142,14 @@ def replay_repro(source: Union[str, Path, dict]) -> ReplayResult:
     an exception.
     """
     payload = source if isinstance(source, dict) else load_repro(source)
+    if "scenario" in payload:
+        # The failing problem was a runtime-registered scenario: rebuild it
+        # from the embedded spec so the task's problem name resolves.
+        from repro.scenarios import ScenarioSpec, register_scenario
+
+        register_scenario(
+            ScenarioSpec.from_dict(payload["scenario"]), replace=True
+        )
     task = ExploreTask.from_dict(payload["task"])
     trace = ScheduleTrace.from_dict(payload["trace"])
     outcome = run_schedule(task, ReplayScheduler(trace))

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Iterator, List, Mapping, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.harness.cost_model import CostModel, DEFAULT_COST_MODEL
 from repro.harness.results import ExperimentSeries, RunResult, aggregate_runs
@@ -121,6 +121,10 @@ class RunCell:
     validate: bool
     eval_engine: str
     problem_params: FrozenMapping
+    #: JSON spec of a runtime-registered scenario problem (see
+    #: ``RunConfig.scenario_json``); lets worker processes resolve the
+    #: problem name without inheriting the parent's registry.
+    scenario_json: Optional[str] = None
 
     def describe(self) -> str:
         """One-line label used by progress reporting."""
@@ -157,6 +161,7 @@ def enumerate_cells(config: "RunConfig") -> Tuple[RunCell, ...]:
                         validate=config.validate,
                         eval_engine=config.eval_engine,
                         problem_params=params,
+                        scenario_json=config.scenario_json,
                     )
                 )
     return tuple(cells)
@@ -171,6 +176,18 @@ def execute_cell(cell: RunCell) -> RunResult:
     from repro.harness.saturation import make_backend, run_workload
     from repro.problems import get_problem
 
+    if cell.scenario_json is not None:
+        # Runtime-registered scenario problem: make sure this process's
+        # registry can resolve it (a spawn-started worker never saw the
+        # parent's registration).  The common already-registered path is a
+        # serialized-form comparison, not a re-parse.
+        from repro.scenarios import ScenarioSpec, register_scenario, scenario_for
+
+        current = scenario_for(cell.problem)
+        if current is None or current.to_json() != cell.scenario_json:
+            register_scenario(
+                ScenarioSpec.from_json(cell.scenario_json), replace=True
+            )
     problem = get_problem(cell.problem)
     backend = make_backend(cell.backend, seed=cell.seed)
     return run_workload(

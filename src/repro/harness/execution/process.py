@@ -28,12 +28,30 @@ from repro.harness.execution.base import Executor, TaskProgressCallback
 from repro.harness.execution.registry import register_executor
 from repro.harness.execution.serial import SerialExecutor
 
-__all__ = ["ProcessExecutor", "default_job_count"]
+__all__ = ["ProcessExecutor", "default_job_count", "serial_fallback_reason"]
 
 
 def default_job_count() -> int:
     """A sensible default worker count: every available core."""
     return max(1, os.cpu_count() or 1)
+
+
+def serial_fallback_reason(jobs: int, task_count: int) -> Optional[str]:
+    """Why a process pool would only add overhead, or None if it may help.
+
+    On a single-CPU host the pool's workers time-slice one core, so the
+    sweep pays fork + pickling + IPC for zero parallelism — measured at
+    0.72-0.83x of the serial wall-clock.  Same story for an effective
+    worker count of one.  ``run_tasks`` consults this to fall back to the
+    in-process path, and the parallel-harness benchmark records the reason
+    in its JSON instead of reporting a bogus "speedup".
+    """
+    effective = min(jobs, task_count)
+    if effective <= 1:
+        return f"effective jobs == {max(effective, 0)}"
+    if (os.cpu_count() or 1) <= 1:
+        return "single-CPU host (cpu_count() == 1)"
+    return None
 
 
 @register_executor
@@ -69,11 +87,12 @@ class ProcessExecutor(Executor):
         progress: Optional[TaskProgressCallback] = None,
     ) -> List[Any]:
         tasks = list(tasks)
-        jobs = min(self.jobs, len(tasks))
-        if jobs <= 1:
-            # A one-task batch (or jobs=1) gains nothing from a pool; run it
+        if serial_fallback_reason(self.jobs, len(tasks)) is not None:
+            # A pool cannot pay for itself here (one effective worker, or a
+            # single-CPU host where workers would just time-slice); run
             # in-process so the result is still produced the same way.
             return SerialExecutor().run_tasks(fn, tasks, progress)
+        jobs = min(self.jobs, len(tasks))
         results: List[Any] = []
         with self._pool_context().Pool(processes=jobs) as pool:
             # chunksize=1: tasks are coarse units of work (a whole saturation

@@ -6,24 +6,29 @@ runner, the experiment CLI and the benchmarks all resolve executor names
 through it.  Registering a new executor immediately makes it selectable
 via ``RunConfig(executor="<name>")`` and ``--executor`` on
 ``python -m repro.experiments``.
+
+Like every other pluggable layer, the registration/lookup behaviour is one
+instantiation of :class:`~repro.core.plugin_registry.PluginRegistry`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple, Type, Union
+from typing import Optional, Tuple, Type, Union
 
+from repro.core.plugin_registry import PluginRegistry
 from repro.harness.execution.base import Executor
 
 __all__ = [
     "register_executor",
+    "unregister_executor",
     "get_executor",
     "available_executors",
     "describe_executor",
     "create_executor",
 ]
 
-#: name -> executor class, in registration order.
-_REGISTRY: Dict[str, Type[Executor]] = {}
+#: The shared plugin registry: name -> executor class, in registration order.
+_REGISTRY = PluginRegistry(kind="executor", base=Executor)
 
 ExecutorSpec = Union[str, Executor, Type[Executor]]
 
@@ -34,45 +39,29 @@ def register_executor(executor_cls: Type[Executor], replace: bool = False) -> Ty
     Usable as a class decorator.  Re-registering an existing name raises
     unless ``replace=True``.
     """
-    if not (isinstance(executor_cls, type) and issubclass(executor_cls, Executor)):
-        raise TypeError(f"expected an Executor subclass, got {executor_cls!r}")
-    name = executor_cls.name
-    if not name or name == Executor.name:
-        raise ValueError(
-            f"executor class {executor_cls.__name__} must define a unique 'name' attribute"
-        )
-    if name in _REGISTRY and _REGISTRY[name] is not executor_cls and not replace:
-        raise ValueError(
-            f"an executor named {name!r} is already registered "
-            f"({_REGISTRY[name].__name__}); pass replace=True to override"
-        )
-    _REGISTRY[name] = executor_cls
-    return executor_cls
+    return _REGISTRY.register(executor_cls, replace=replace)
+
+
+def unregister_executor(name: str) -> None:
+    """Remove a registered executor by name (for tests that register
+    throwaway executors); unknown names raise the same error as
+    :func:`get_executor`."""
+    _REGISTRY.unregister(name)
 
 
 def get_executor(name: str) -> Type[Executor]:
     """Look up an executor class by registry name."""
-    try:
-        return _REGISTRY[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown executor {name!r}; registered executors: {available_executors()}"
-        ) from None
+    return _REGISTRY.get(name)
 
 
 def available_executors() -> Tuple[str, ...]:
     """Names of every registered executor, in registration order."""
-    return tuple(_REGISTRY)
+    return _REGISTRY.names()
 
 
 def describe_executor(name: str) -> str:
     """The one-line human-readable label of a registered executor."""
-    executor_cls = get_executor(name)
-    try:
-        executor = executor_cls()
-    except TypeError:
-        return executor_cls.description or name
-    return executor.describe()
+    return _REGISTRY.describe(name)
 
 
 def create_executor(spec: ExecutorSpec, jobs: Optional[int] = None) -> Executor:
@@ -85,13 +74,4 @@ def create_executor(spec: ExecutorSpec, jobs: Optional[int] = None) -> Executor:
     count to the executor's own default (1 for ``serial``, one per core
     for ``process``).
     """
-    if isinstance(spec, str):
-        return get_executor(spec)(jobs=jobs)
-    if isinstance(spec, type) and issubclass(spec, Executor):
-        return spec(jobs=jobs)
-    if isinstance(spec, Executor):
-        return spec
-    raise TypeError(
-        "executor must be a registered executor name, an Executor subclass "
-        f"or an instance; got {spec!r}"
-    )
+    return _REGISTRY.create(spec, jobs=jobs)

@@ -87,6 +87,13 @@ class RunConfig:
     rank_metric: Optional[str] = None
     x_label: str = "# threads"
     problem_params: Mapping[str, object] = field(default_factory=dict)
+    #: For problems compiled from a runtime-registered declarative scenario
+    #: (``--scenario`` sweeps): the spec as JSON.  Cells carry it to worker
+    #: processes, which re-register the scenario before resolving the
+    #: problem name — required wherever workers don't inherit the parent's
+    #: registry (the ``spawn`` start method).  A JSON string (not a dict)
+    #: keeps the config hashable.
+    scenario_json: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "thread_counts", tuple(self.thread_counts))

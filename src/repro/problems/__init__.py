@@ -1,13 +1,17 @@
-"""The seven conditional-synchronization problems evaluated in the paper.
+"""The conditional-synchronization problem catalogue.
 
-Every problem is implemented twice: once in the ``waituntil`` style (which
-runs under the ``baseline``, ``autosynch_t`` and ``autosynch`` signalling
-mechanisms) and once with hand-written explicit signalling.  The
-:data:`PROBLEMS` registry maps problem names to :class:`Problem` objects the
-experiment harness can drive generically.
+The paper's seven problems are each implemented twice: once in the
+``waituntil`` style (which runs under every registered signalling policy)
+and once with hand-written explicit signalling.  They register themselves
+into the problem registry (:mod:`repro.problems.registry`) — the fourth
+instantiation of the shared plugin-registry idiom — alongside the built-in
+declarative scenarios from :mod:`repro.scenarios`, and the experiment
+harness drives any registered :class:`Problem` generically.
+
+:data:`PROBLEMS` is a live view of that registry; :func:`register_problem`
+is how new problems (hand-written or compiled from a
+:class:`~repro.scenarios.ScenarioSpec`) join the catalogue.
 """
-
-from typing import Dict
 
 from repro.problems.base import (
     AUTOMATIC_MECHANISMS,
@@ -17,6 +21,14 @@ from repro.problems.base import (
     Problem,
     WorkloadSpec,
     all_mechanisms,
+)
+from repro.problems.registry import (
+    PROBLEMS,
+    available_problems,
+    describe_problem,
+    get_problem,
+    register_problem,
+    unregister_problem,
 )
 from repro.problems.bounded_buffer import (
     AutoBoundedBuffer,
@@ -59,7 +71,11 @@ __all__ = [
     "Problem",
     "WorkloadSpec",
     "all_mechanisms",
+    "available_problems",
+    "describe_problem",
     "get_problem",
+    "register_problem",
+    "unregister_problem",
     # monitors
     "AutoBoundedBuffer",
     "ExplicitBoundedBuffer",
@@ -85,26 +101,17 @@ __all__ = [
     "DiningPhilosophersProblem",
 ]
 
-#: Registry of all problems, keyed by name, in the paper's presentation order.
-PROBLEMS: Dict[str, Problem] = {
-    problem.name: problem
-    for problem in (
-        BoundedBufferProblem(),
-        SleepingBarberProblem(),
-        H2OProblem(),
-        RoundRobinProblem(),
-        ReadersWritersProblem(),
-        DiningPhilosophersProblem(),
-        ParameterizedBoundedBufferProblem(),
-    )
-}
-
-
-def get_problem(name: str) -> Problem:
-    """Look up a problem by name, with a helpful error message."""
-    try:
-        return PROBLEMS[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown problem {name!r}; available problems: {sorted(PROBLEMS)}"
-        ) from None
+# Register the paper's seven problems, in the paper's presentation order
+# (the built-in declarative scenarios register lazily — see
+# repro.problems.registry — so the two layers stay import-cycle free).
+for _problem in (
+    BoundedBufferProblem(),
+    SleepingBarberProblem(),
+    H2OProblem(),
+    RoundRobinProblem(),
+    ReadersWritersProblem(),
+    DiningPhilosophersProblem(),
+    ParameterizedBoundedBufferProblem(),
+):
+    register_problem(_problem)
+del _problem

@@ -1,0 +1,92 @@
+"""First-class, name-based registry of synchronization problems.
+
+The problem catalogue used to be a hard-coded ``PROBLEMS`` dict frozen at
+the paper's seven benchmarks.  It is now the fourth instantiation of the
+shared :class:`~repro.core.plugin_registry.PluginRegistry` idiom (after
+signalling policies, executors and schedulers): problems are registered by
+name, :func:`get_problem` lists what *is* registered on an unknown name,
+and :func:`register_problem` is the hook that lets declarative scenario
+specs (:mod:`repro.scenarios`) self-register as runnable problems without
+touching this package.
+
+Unlike the other registries this one stores ready :class:`Problem`
+*instances* (a problem is stateless configuration, not a per-run object).
+
+The standard catalogue — the paper's seven problems plus the built-in
+declarative scenarios — is populated lazily on first query, because the
+scenario layer imports the problem layer (a direct import here would be a
+cycle).  :data:`PROBLEMS` is a live dict-like view of the registry, kept
+for the many call sites (and the odd test) that used the original dict.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Type, Union
+
+from repro.core.plugin_registry import PluginRegistry
+from repro.problems.base import Problem
+
+__all__ = [
+    "PROBLEMS",
+    "register_problem",
+    "unregister_problem",
+    "get_problem",
+    "available_problems",
+    "describe_problem",
+]
+
+_REGISTRY = PluginRegistry(kind="problem", base=Problem, stores_instances=True)
+
+
+def _populate() -> None:
+    """Register the standard catalogue (deferred to break import cycles)."""
+    import repro.problems  # noqa: F401  (registers the paper's seven)
+    import repro.scenarios.builtin  # noqa: F401  (registers built-in scenarios)
+
+
+_REGISTRY.set_populate(_populate)
+
+#: Live name -> :class:`Problem` view of the registry, in registration
+#: order (the paper's seven first, then the built-in scenarios).
+PROBLEMS = _REGISTRY.view()
+
+ProblemSpec = Union[Problem, Type[Problem]]
+
+
+def register_problem(problem: ProblemSpec, replace: bool = False) -> Problem:
+    """Register *problem* under its ``name`` attribute and return it.
+
+    Accepts a ready :class:`Problem` instance or a ``Problem`` subclass
+    (instantiated with no arguments).  Usable as a class decorator.
+    Re-registering an existing name raises unless ``replace=True``.
+    """
+    if isinstance(problem, type) and issubclass(problem, Problem):
+        problem = problem()
+    return _REGISTRY.register(problem, replace=replace)
+
+
+def unregister_problem(name: str) -> None:
+    """Remove a registered problem by name (for tests and throwaway
+    scenario registrations); unknown names raise the same error as
+    :func:`get_problem`."""
+    _REGISTRY.unregister(name)
+
+
+def get_problem(name: str) -> Problem:
+    """Look up a problem by name.
+
+    Unknown names raise a ``ValueError`` that lists every registered
+    problem — the same UX as the signalling-policy, executor and scheduler
+    registries.
+    """
+    return _REGISTRY.get(name)
+
+
+def available_problems() -> Tuple[str, ...]:
+    """Names of every registered problem, in registration order."""
+    return _REGISTRY.names()
+
+
+def describe_problem(name: str) -> str:
+    """The one-line human-readable description of a registered problem."""
+    return _REGISTRY.describe(name)

@@ -32,7 +32,9 @@ import hashlib
 import json
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Type, Union
+from typing import List, Optional, Sequence, Tuple, Type, Union
+
+from repro.core.plugin_registry import PluginRegistry
 
 __all__ = [
     "SchedulePoint",
@@ -201,8 +203,9 @@ class Scheduler:
         return f"<{type(self).__name__} {self.name!r}>"
 
 
+#: The shared plugin registry (see :mod:`repro.core.plugin_registry`):
 #: name -> scheduler class, in registration order.
-_REGISTRY: Dict[str, Type[Scheduler]] = {}
+_REGISTRY = PluginRegistry(kind="scheduler", base=Scheduler)
 
 SchedulerSpec = Union[str, Scheduler, Type[Scheduler]]
 
@@ -215,52 +218,28 @@ def register_scheduler(
     Usable as a class decorator.  Re-registering an existing name raises
     unless ``replace=True``.
     """
-    if not (isinstance(scheduler_cls, type) and issubclass(scheduler_cls, Scheduler)):
-        raise TypeError(f"expected a Scheduler subclass, got {scheduler_cls!r}")
-    name = scheduler_cls.name
-    if not name or name == Scheduler.name:
-        raise ValueError(
-            f"scheduler class {scheduler_cls.__name__} must define a unique 'name' attribute"
-        )
-    if name in _REGISTRY and _REGISTRY[name] is not scheduler_cls and not replace:
-        raise ValueError(
-            f"a scheduler named {name!r} is already registered "
-            f"({_REGISTRY[name].__name__}); pass replace=True to override"
-        )
-    _REGISTRY[name] = scheduler_cls
-    return scheduler_cls
+    return _REGISTRY.register(scheduler_cls, replace=replace)
 
 
 def unregister_scheduler(name: str) -> None:
     """Remove a registered scheduler (used by tests that register throwaway
     strategies); unknown names raise the same error as :func:`get_scheduler`."""
-    get_scheduler(name)
-    del _REGISTRY[name]
+    _REGISTRY.unregister(name)
 
 
 def get_scheduler(name: str) -> Type[Scheduler]:
     """Look up a scheduler class by registry name."""
-    try:
-        return _REGISTRY[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown scheduler {name!r}; registered schedulers: {available_schedulers()}"
-        ) from None
+    return _REGISTRY.get(name)
 
 
 def available_schedulers() -> Tuple[str, ...]:
     """Names of every registered scheduler, in registration order."""
-    return tuple(_REGISTRY)
+    return _REGISTRY.names()
 
 
 def describe_scheduler(name: str) -> str:
     """The one-line human-readable label of a registered scheduler."""
-    scheduler_cls = get_scheduler(name)
-    try:
-        scheduler = scheduler_cls()
-    except (TypeError, ValueError):
-        return scheduler_cls.description or name
-    return scheduler.describe()
+    return _REGISTRY.describe(name)
 
 
 def create_scheduler(spec: SchedulerSpec) -> Scheduler:
@@ -271,16 +250,7 @@ def create_scheduler(spec: SchedulerSpec) -> Scheduler:
     explorer pass :class:`PrefixScheduler`/:class:`ReplayScheduler` objects
     straight to the kernel.
     """
-    if isinstance(spec, str):
-        return get_scheduler(spec)()
-    if isinstance(spec, type) and issubclass(spec, Scheduler):
-        return spec()
-    if isinstance(spec, Scheduler):
-        return spec
-    raise TypeError(
-        "scheduler must be a registered scheduler name, a Scheduler subclass "
-        f"or an instance; got {spec!r}"
-    )
+    return _REGISTRY.create(spec)
 
 
 @register_scheduler

@@ -1,0 +1,57 @@
+"""Declarative scenarios: spec-compiled conditional-synchronization problems.
+
+The subsystem has three layers:
+
+* :mod:`repro.scenarios.spec` — the :class:`ScenarioSpec` data model
+  (shared variables, roles, guarded actions, invariants) with lossless
+  JSON round-tripping;
+* :mod:`repro.scenarios.compile` — compiles a spec into a live
+  :class:`~repro.core.monitor.AutoSynchMonitor` subclass (guards run
+  through the full predicate parser → globalization → codegen pipeline)
+  and a :class:`ScenarioProblem` registered in the problem registry;
+* :mod:`repro.scenarios.generate` — seeded random generation of
+  valid-by-construction specs, the input feed of
+  ``python -m repro.explore --mode fuzz``.
+
+:mod:`repro.scenarios.builtin` ships ready-made scenarios (barrier,
+FIFO semaphore, priority resource pool, traffic intersection) that
+register alongside the paper's seven problems.
+"""
+
+from repro.scenarios.compile import (
+    ScenarioProblem,
+    compile_scenario_monitor,
+    register_scenario,
+    registered_scenarios,
+    scenario_for,
+    unregister_scenario,
+)
+from repro.scenarios.generate import FAMILIES, generate_scenario, generate_scenarios
+from repro.scenarios.spec import (
+    SCENARIO_FORMAT,
+    ActionSpec,
+    InvariantSpec,
+    RoleSpec,
+    ScenarioError,
+    ScenarioSpec,
+    load_scenario_file,
+)
+
+__all__ = [
+    "SCENARIO_FORMAT",
+    "FAMILIES",
+    "ActionSpec",
+    "InvariantSpec",
+    "RoleSpec",
+    "ScenarioError",
+    "ScenarioProblem",
+    "ScenarioSpec",
+    "compile_scenario_monitor",
+    "generate_scenario",
+    "generate_scenarios",
+    "load_scenario_file",
+    "register_scenario",
+    "registered_scenarios",
+    "scenario_for",
+    "unregister_scenario",
+]

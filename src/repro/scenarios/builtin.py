@@ -1,0 +1,342 @@
+"""Built-in declarative scenarios, registered alongside the paper's seven.
+
+Each of these is a classic conditional-synchronization workload the paper's
+benchmark set does not cover, expressed purely as a :class:`ScenarioSpec` —
+no per-problem monitor classes, no explicit-signal twin:
+
+* ``barrier`` — a cyclic barrier / N-way rendezvous with a generation
+  counter (the last arriver advances the generation; everyone else waits on
+  the *complex* predicate ``generation > g``).
+* ``fifo_semaphore`` — a counting semaphore that grants permits in strict
+  ticket (FIFO) order; the guard ``serving == t and permits > 0`` is an
+  equivalence predicate, exactly the shape AutoSynch's tag hash indexes.
+* ``resource_pool`` — a pool with two priority classes: high-priority
+  acquirers may take any free resource, low-priority ones must leave
+  ``reserve`` resources free.
+* ``traffic_intersection`` — the intersection controller promoted from
+  ``examples/traffic_intersection.py``: cars enter on ``green == d and
+  inside < capacity``, a controller rotates the light, and a supervisor
+  closes the intersection once every crossing is done.
+
+All four are registered on first use of the problem registry (see
+:mod:`repro.problems.registry`), so they show up in ``PROBLEMS``, run under
+every signalling policy via ``run_workload`` and the experiments CLI, and
+are explorable (with their invariants enforced as oracles) through
+``python -m repro.explore``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.scenarios.compile import register_scenario
+from repro.scenarios.spec import ActionSpec, InvariantSpec, RoleSpec, ScenarioSpec
+
+__all__ = ["BUILTIN_SCENARIOS", "register_builtin_scenarios"]
+
+
+BARRIER = ScenarioSpec(
+    name="barrier",
+    description="cyclic barrier / N-way rendezvous with a generation counter",
+    shared={"arrived": 0, "generation": 0, "parties": "worker_count"},
+    actions=(
+        ActionSpec(
+            name="arrive",
+            # Read my generation, then count myself in; the last arriver
+            # advances the generation (arrived == parties evaluates to 0/1)
+            # and resets the arrival count, so its own guard is immediately
+            # true while everyone else waits for the next generation.
+            binds=(("g", "generation"),),
+            pre=(
+                ("arrived", "arrived + 1"),
+                ("generation", "generation + (arrived == parties)"),
+                ("arrived", "arrived % parties"),
+            ),
+            guard="generation > g",
+        ),
+    ),
+    roles=(
+        RoleSpec(
+            name="worker",
+            count="max(2, threads)",
+            ops="max(1, total_ops // max(2, threads))",
+            actions=("arrive",),
+        ),
+    ),
+    invariants=(
+        InvariantSpec("arrival_bounds", "0 <= arrived and arrived < parties"),
+        InvariantSpec("generation_monotone", "generation >= 0"),
+    ),
+    post=(
+        "arrived == 0",
+        "generation == worker_ops",
+    ),
+)
+
+
+FIFO_SEMAPHORE = ScenarioSpec(
+    name="fifo_semaphore",
+    description="counting semaphore granting permits in strict ticket (FIFO) order",
+    params={"permits": 2},
+    shared={
+        "available": "permits",
+        "next_ticket": 0,
+        "serving": 0,
+        "acquired": 0,
+        "released": 0,
+    },
+    actions=(
+        ActionSpec(
+            name="acquire",
+            # Take a ticket, then wait until it is being served *and* a
+            # permit is free — a blocked head-of-line ticket blocks everyone
+            # behind it, which is exactly the FIFO guarantee.
+            binds=(("t", "next_ticket"),),
+            pre=(("next_ticket", "next_ticket + 1"),),
+            guard="serving == t and available > 0",
+            effect=(
+                ("available", "available - 1"),
+                ("serving", "serving + 1"),
+                ("acquired", "acquired + 1"),
+            ),
+        ),
+        ActionSpec(
+            name="release",
+            effect=(
+                ("available", "available + 1"),
+                ("released", "released + 1"),
+            ),
+        ),
+    ),
+    roles=(
+        RoleSpec(
+            name="worker",
+            count="max(2, threads)",
+            ops="max(1, total_ops // (2 * max(2, threads)))",
+            actions=("acquire", "release"),
+        ),
+    ),
+    invariants=(
+        InvariantSpec("permit_bounds", "0 <= available and available <= permits"),
+        InvariantSpec(
+            "permit_conservation", "acquired - released == permits - available"
+        ),
+        InvariantSpec("ticket_order", "serving <= next_ticket"),
+    ),
+    post=(
+        "available == permits",
+        "acquired == worker_count * worker_ops",
+        "released == acquired",
+    ),
+)
+
+
+RESOURCE_POOL = ScenarioSpec(
+    name="resource_pool",
+    description="resource pool with reserved headroom for a high-priority class",
+    params={"size": 3, "reserve": 1},
+    shared={
+        "free": "size",
+        "high_held": 0,
+        "low_held": 0,
+        "high_served": 0,
+        "low_served": 0,
+    },
+    actions=(
+        ActionSpec(
+            name="acquire_high",
+            guard="free > 0",
+            effect=(("free", "free - 1"), ("high_held", "high_held + 1")),
+        ),
+        ActionSpec(
+            name="release_high",
+            effect=(
+                ("free", "free + 1"),
+                ("high_held", "high_held - 1"),
+                ("high_served", "high_served + 1"),
+            ),
+        ),
+        ActionSpec(
+            name="acquire_low",
+            # Low-priority acquirers must leave `reserve` resources free for
+            # the high-priority class.
+            guard="free > reserve",
+            effect=(("free", "free - 1"), ("low_held", "low_held + 1")),
+        ),
+        ActionSpec(
+            name="release_low",
+            effect=(
+                ("free", "free + 1"),
+                ("low_held", "low_held - 1"),
+                ("low_served", "low_served + 1"),
+            ),
+        ),
+    ),
+    roles=(
+        RoleSpec(
+            name="vip",
+            count="max(1, threads // 2)",
+            ops="max(1, total_ops // (4 * max(1, threads // 2)))",
+            actions=("acquire_high", "release_high"),
+        ),
+        RoleSpec(
+            name="guest",
+            count="max(1, threads - threads // 2)",
+            ops="max(1, total_ops // (4 * max(1, threads - threads // 2)))",
+            actions=("acquire_low", "release_low"),
+        ),
+    ),
+    invariants=(
+        InvariantSpec("pool_bounds", "0 <= free and free <= size"),
+        InvariantSpec(
+            "resource_conservation", "free + high_held + low_held == size"
+        ),
+        InvariantSpec("reserve_respected", "low_held <= size - reserve"),
+    ),
+    post=(
+        "free == size",
+        "high_served == vip_count * vip_ops",
+        "low_served == guest_count * guest_ops",
+    ),
+)
+
+
+TRAFFIC_INTERSECTION = ScenarioSpec(
+    name="traffic_intersection",
+    description=(
+        "traffic-intersection controller (promoted from "
+        "examples/traffic_intersection.py): cars cross on a green light, a "
+        "controller rotates the light, a supervisor closes the shift"
+    ),
+    params={"capacity": 2, "phase_quota": 3},
+    shared={
+        "green": 0,
+        "inside": 0,
+        "pending": [0, 0, 0, 0],
+        "total_pending": 0,
+        "crossed_this_phase": 0,
+        "crossings": [0, 0, 0, 0],
+        "total_crossed": 0,
+        "phases": 0,
+        "closing": 0,
+        "goal": "car_count * car_ops",
+    },
+    actions=(
+        ActionSpec(
+            name="arrive",
+            effect=(
+                ("pending[d]", "pending[d] + 1"),
+                ("total_pending", "total_pending + 1"),
+            ),
+        ),
+        ActionSpec(
+            name="enter",
+            # The equivalence predicate (green == d) is the pattern
+            # AutoSynch's tag hash indexes.
+            guard="green == d and inside < capacity",
+            effect=(
+                ("pending[d]", "pending[d] - 1"),
+                ("total_pending", "total_pending - 1"),
+                ("inside", "inside + 1"),
+            ),
+        ),
+        ActionSpec(
+            name="leave",
+            effect=(
+                ("inside", "inside - 1"),
+                ("crossings[d]", "crossings[d] + 1"),
+                ("total_crossed", "total_crossed + 1"),
+                ("crossed_this_phase", "crossed_this_phase + 1"),
+            ),
+        ),
+        ActionSpec(
+            name="rotate",
+            # Rotate once the phase is exhausted (quota crossed, or nobody
+            # pending on green while somebody waits elsewhere).  After the
+            # supervisor sets `closing`, remaining rotate calls fall through
+            # with no effect (closing is 0/1, so `1 - closing` masks the
+            # updates), letting the controller drain its budget.
+            guard=(
+                "((crossed_this_phase >= phase_quota or pending[green] == 0)"
+                " and total_pending > 0) or closing > 0"
+            ),
+            effect=(
+                ("green", "(green + (1 - closing)) % 4"),
+                ("crossed_this_phase", "crossed_this_phase * closing"),
+                ("phases", "phases + (1 - closing)"),
+            ),
+        ),
+        ActionSpec(
+            name="close_when_done",
+            guard="total_crossed >= goal",
+            effect=(("closing", "1"),),
+        ),
+    ),
+    roles=(
+        RoleSpec(
+            name="car",
+            count="max(2, threads)",
+            ops="max(1, total_ops // (3 * max(2, threads)))",
+            actions=("arrive", "enter", "leave"),
+            locals=(("d", "i % 4"),),
+        ),
+        # Between two consecutive crossings the controller rotates at most 4
+        # times (empty directions are skipped until a pending one holds the
+        # green), so this budget can never stall the cars; post-closing
+        # iterations complete immediately via the `closing` disjunct.
+        RoleSpec(
+            name="controller",
+            count=1,
+            ops="4 * car_count * car_ops + 8",
+            actions=("rotate",),
+        ),
+        RoleSpec(
+            name="supervisor",
+            count=1,
+            ops=1,
+            actions=("close_when_done",),
+        ),
+    ),
+    invariants=(
+        InvariantSpec("intersection_capacity", "0 <= inside and inside <= capacity"),
+        InvariantSpec("green_in_range", "0 <= green and green < 4"),
+        InvariantSpec(
+            "pending_conservation",
+            "total_pending == pending[0] + pending[1] + pending[2] + pending[3]",
+        ),
+        InvariantSpec("no_negative_queues", "total_pending >= 0"),
+    ),
+    post=(
+        "total_crossed == goal",
+        "inside == 0",
+        "total_pending == 0",
+        "closing == 1",
+    ),
+)
+
+
+#: The built-in scenario specs, in registration order.
+BUILTIN_SCENARIOS: Tuple[ScenarioSpec, ...] = (
+    BARRIER,
+    FIFO_SEMAPHORE,
+    RESOURCE_POOL,
+    TRAFFIC_INTERSECTION,
+)
+
+
+def register_builtin_scenarios() -> None:
+    """Register every built-in scenario (idempotent, never clobbering).
+
+    This runs from the problem registry's deferred populate hook, which may
+    fire *after* a user has registered their own scenario under one of
+    these names; the user's registration wins, so a name conflict here is
+    skipped rather than replaced or raised.
+    """
+    for spec in BUILTIN_SCENARIOS:
+        try:
+            register_scenario(spec)
+        except ValueError:
+            pass  # the name was claimed first (by a user, or a re-import)
+
+
+register_builtin_scenarios()

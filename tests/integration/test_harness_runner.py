@@ -71,9 +71,14 @@ class TestExperimentRunner:
         series = ExperimentRunner().run(config)
         assert series.point_for("autosynch", 2) is not None
 
-    def test_unknown_problem_is_rejected(self):
-        with pytest.raises(KeyError):
+    def test_unknown_problem_is_rejected_with_registered_list(self):
+        # Same error style as unknown mechanisms/executors/schedulers: the
+        # message names the offender and lists what *is* registered.
+        with pytest.raises(ValueError, match="unknown problem 'nonexistent_problem'") as excinfo:
             ExperimentRunner().run(tiny_config(problem="nonexistent_problem"))
+        message = str(excinfo.value)
+        assert "registered problems" in message
+        assert "bounded_buffer" in message
 
     def test_scaled_config(self):
         config = tiny_config().scaled(total_ops=10, repetitions=1, thread_counts=(2,))

@@ -13,10 +13,13 @@ from repro.harness.saturation import run_workload
 from repro.problems import MECHANISMS, PROBLEMS, get_problem
 from repro.runtime import SimulationBackend
 
+# Every registered problem (the paper's seven plus the built-in declarative
+# scenarios) under every mechanism it declares; scenario problems have no
+# hand-written explicit twin, so their set is the automatic mechanisms.
 ALL_COMBINATIONS = [
     (problem_name, mechanism)
     for problem_name in PROBLEMS
-    for mechanism in MECHANISMS
+    for mechanism in get_problem(problem_name).mechanisms
 ]
 
 

@@ -13,10 +13,12 @@ from repro.harness.saturation import run_workload
 from repro.problems import MECHANISMS, PROBLEMS, get_problem
 from repro.runtime import ThreadingBackend
 
+# Every registered problem under every mechanism it declares (scenario
+# problems run under the automatic mechanisms only — no explicit twin).
 ALL_COMBINATIONS = [
     (problem_name, mechanism)
     for problem_name in PROBLEMS
-    for mechanism in MECHANISMS
+    for mechanism in get_problem(problem_name).mechanisms
 ]
 
 

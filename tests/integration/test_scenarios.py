@@ -1,0 +1,287 @@
+"""Integration tests: declarative scenarios through every front end.
+
+The acceptance bar of the scenario subsystem: a JSON spec checked into the
+repository (``scenarios/ping_pong.json``) runs end-to-end with no
+problem-specific Python through
+
+* ``run_workload`` under every registered signalling policy,
+* the experiments CLI (``--scenario file.json``),
+* ``python -m repro.explore`` (DFS with the spec's oracles enforced), and
+* fuzz mode (``--mode fuzz``), whose failures ship as replayable repro
+  files with the generating spec embedded.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.signalling import available_policies, register_policy, unregister_policy
+from repro.explore import ExploreTask, explore_dfs, fuzz_scenarios, replay_repro
+from repro.explore.__main__ import main as explore_main
+from repro.harness.saturation import run_workload
+from repro.problems import get_problem
+from repro.runtime import SimulationBackend
+from repro.scenarios import (
+    ScenarioSpec,
+    load_scenario_file,
+    register_scenario,
+    unregister_scenario,
+)
+from repro.scenarios.builtin import BUILTIN_SCENARIOS
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+PING_PONG = REPO_ROOT / "scenarios" / "ping_pong.json"
+
+
+class TestCheckedInSpec:
+    def test_spec_file_loads_and_validates(self):
+        spec = load_scenario_file(PING_PONG)
+        assert spec.name == "ping_pong"
+        assert spec.invariants
+
+    def test_runs_under_every_registered_policy(self):
+        problem = register_scenario(load_scenario_file(PING_PONG), replace=True)
+        try:
+            for policy in available_policies():
+                result = run_workload(
+                    problem,
+                    policy,
+                    SimulationBackend(seed=11, policy="random"),
+                    threads=2,
+                    total_ops=12,
+                    verify=True,
+                    validate=True,
+                )
+                assert result.operations > 0
+        finally:
+            unregister_scenario("ping_pong")
+
+    def test_explore_cli_dfs_with_oracles(self, tmp_path, capsys):
+        code = explore_main(
+            [
+                "--scenario", str(PING_PONG),
+                "--mechanism", "autosynch",
+                "--mode", "dfs",
+                "--ops", "6",
+                "--out", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ping_pong" in out and "exhaustive" in out
+        unregister_scenario("ping_pong")
+
+    def test_experiments_cli_scenario_sweep(self, capsys):
+        from repro.experiments.__main__ import main as experiments_main
+
+        code = experiments_main(
+            ["--scenario", str(PING_PONG), "--scale", "quick"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scenario-ping_pong" in out
+        # Every automatic mechanism appears as a series column.
+        for mechanism in ("baseline", "autosynch", "autosynch_t"):
+            assert mechanism in out
+        unregister_scenario("ping_pong")
+
+
+class TestBuiltinScenarios:
+    @pytest.mark.parametrize("spec", BUILTIN_SCENARIOS, ids=lambda spec: spec.name)
+    def test_registered_and_explorable(self, spec):
+        problem = get_problem(spec.name)
+        built = problem.build("autosynch", SimulationBackend(), threads=2, total_ops=4)
+        assert problem.oracles(built.monitor), "built-in scenarios must declare oracles"
+
+    def test_barrier_dfs_is_clean_and_exhaustive(self):
+        report = explore_dfs(
+            ExploreTask(problem="barrier", mechanism="autosynch", threads=2, total_ops=4)
+        )
+        assert report.complete
+        assert report.failures_total == 0, report.summary()
+
+    def test_fifo_semaphore_grants_in_ticket_order(self):
+        problem = get_problem("fifo_semaphore")
+        result = run_workload(
+            problem,
+            "autosynch",
+            SimulationBackend(seed=5, policy="random"),
+            threads=4,
+            total_ops=40,
+            verify=True,
+        )
+        assert result.operations > 0
+
+    def test_traffic_intersection_matches_example_semantics(self):
+        problem = get_problem("traffic_intersection")
+        built = problem.build(
+            "autosynch", SimulationBackend(seed=3, policy="random"),
+            threads=4, total_ops=24,
+        )
+        built.monitor.backend.run(built.targets, built.names)
+        built.verify()
+        monitor = built.monitor
+        assert sum(monitor.crossings) == monitor.goal
+        assert monitor.phases > 0
+
+
+class TestWorkerSelfContainment:
+    def test_run_cells_carry_and_reregister_the_scenario_spec(self):
+        # Parallel-executor workers resolve problems by name in their own
+        # registry; with the spawn start method they inherit nothing from
+        # the parent.  A --scenario sweep's cells therefore embed the spec,
+        # and execute_cell re-registers it — proven here by shipping a
+        # pickled cell into a fresh interpreter that never saw the parent's
+        # registration.
+        import pickle
+        import subprocess
+        import sys
+
+        from repro.experiments.scenario import scenario_experiment
+        from repro.harness.execution import enumerate_cells
+
+        experiment = scenario_experiment(load_scenario_file(PING_PONG))
+        try:
+            cells = enumerate_cells(experiment.quick_config)
+            assert all(cell.scenario_json is not None for cell in cells)
+            worker = (
+                "import pickle, sys\n"
+                "from repro.harness.execution import execute_cell\n"
+                "cell = pickle.loads(sys.stdin.buffer.read())\n"
+                "assert execute_cell(cell).operations > 0\n"
+            )
+            result = subprocess.run(
+                [sys.executable, "-c", worker],
+                input=pickle.dumps(cells[0]),
+                capture_output=True,
+                cwd=str(REPO_ROOT),
+                env={"PYTHONPATH": str(REPO_ROOT / "src")},
+            )
+            assert result.returncode == 0, result.stderr.decode()
+        finally:
+            unregister_scenario("ping_pong")
+
+    def test_explore_tasks_for_loaded_scenarios_are_self_contained(self):
+        from repro.explore.engine import run_schedule
+        from repro.runtime.simulation.schedulers import RandomScheduler
+        from repro.scenarios import scenario_for
+
+        spec = load_scenario_file(PING_PONG)
+        task = ExploreTask(
+            problem=spec.name,
+            mechanism="autosynch",
+            threads=2,
+            total_ops=6,
+            scenario=spec.to_dict(),
+        )
+        # Nothing registered under the name: resolve_problem must register
+        # from the carried spec (the spawn-worker / replay situation).
+        assert scenario_for(spec.name) is None
+        try:
+            outcome = run_schedule(task, RandomScheduler(3))
+            assert outcome.ok, outcome.message
+            assert ExploreTask.from_dict(task.to_dict()) == task
+        finally:
+            unregister_scenario(spec.name)
+
+
+class TestDeferredPopulation:
+    def test_user_scenario_registered_before_first_query_wins_over_builtin(self):
+        # The standard catalogue (seven problems + built-in scenarios)
+        # populates lazily on the first registry query.  A user scenario
+        # registered *before* that query — even under a built-in name like
+        # 'barrier' — must survive population, not be silently overwritten.
+        # Needs a fresh interpreter: this test process has long since
+        # populated its registry.
+        import subprocess
+        import sys
+
+        script = (
+            "from repro.scenarios import register_scenario, ScenarioSpec, ActionSpec, RoleSpec\n"
+            "mine = ScenarioSpec(name='barrier', shared={'x': 0},\n"
+            "    actions=(ActionSpec(name='tick', effect=(('x', 'x + 1'),)),),\n"
+            "    roles=(RoleSpec(name='w', count=1, ops=1, actions=('tick',)),))\n"
+            "problem = register_scenario(mine, replace=True)\n"
+            "from repro.problems import get_problem\n"
+            "assert get_problem('barrier') is problem\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            cwd=str(REPO_ROOT),
+            env={"PYTHONPATH": str(REPO_ROOT / "src")},
+        )
+        assert result.returncode == 0, result.stderr
+
+
+class TestFuzz:
+    def test_fuzz_sweep_is_clean_on_the_real_policies(self):
+        report = fuzz_scenarios(
+            count=3, base_seed=0, schedules=15, mechanisms=("autosynch", "baseline")
+        )
+        assert report.ok, report.summary()
+        assert len(report.results) == 3
+        for result in report.results:
+            assert result.schedules_visited == 30
+            unregister_scenario(result.spec.name)
+
+    def test_fuzz_catches_a_seeded_defect_and_replays(self, tmp_path):
+        from tests.integration.test_seeded_defects import LossyRelayPolicy
+
+        register_policy(LossyRelayPolicy)
+        try:
+            # Seed 1 generates a barrier scenario: the last arriver's exit
+            # is the only rescue for the waiting parties, so dropping that
+            # one signal must deadlock with a true waiting predicate.
+            code = explore_main(
+                [
+                    "--problem", "barrier",
+                    "--mechanism", LossyRelayPolicy.name,
+                    "--mode", "dfs",
+                    "--threads", "2",
+                    "--ops", "2",
+                    "--out", str(tmp_path),
+                ]
+            )
+            assert code == 1
+            repros = sorted(tmp_path.glob("*.json"))
+            assert repros
+            payload = json.loads(repros[0].read_text())
+            assert payload["failure"]["kind"] == "missed_signal"
+            # Scenario-backed repro files embed the generating spec...
+            assert payload["scenario"]["name"] == "barrier"
+            ScenarioSpec.from_dict(payload["scenario"])
+            # ... and replay bit-identically through it.
+            result = replay_repro(repros[0])
+            assert result.reproduced, result.describe()
+        finally:
+            unregister_policy(LossyRelayPolicy.name)
+
+    def test_fuzz_writes_failing_spec_files(self, tmp_path):
+        from tests.integration.test_seeded_defects import LossyRelayPolicy
+
+        register_policy(LossyRelayPolicy)
+        try:
+            # Seed 7 generates a one-round barrier: the last arriver's exit
+            # is the waiters' only rescue, so the lossy policy's dropped
+            # signal is fatal under every schedule.
+            report = fuzz_scenarios(
+                count=1,
+                base_seed=7,
+                schedules=40,
+                mechanisms=(LossyRelayPolicy.name,),
+                spec_dir=tmp_path,
+            )
+            assert not report.ok
+            spec_files = list(tmp_path.glob("*.scenario.json"))
+            assert spec_files, "failing scenario spec was not preserved"
+            reloaded = load_scenario_file(spec_files[0])
+            assert reloaded == report.results[0].spec
+        finally:
+            unregister_policy(LossyRelayPolicy.name)
+            for result in report.results:
+                unregister_scenario(result.spec.name)

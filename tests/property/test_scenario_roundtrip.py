@@ -1,0 +1,57 @@
+"""Property: scenario specs survive the JSON round trip *behaviourally*.
+
+``ScenarioSpec -> JSON -> ScenarioSpec`` must not only reproduce an equal
+spec, but a behaviourally identical compiled monitor: for any generated
+scenario and any workload seed, the original and the round-tripped problem
+must produce the same context-switch, signalling and predicate-evaluation
+counts under the same deterministic schedule.  This pins down the whole
+chain — serialization, validation, monitor compilation, workload sizing —
+not just dataclass equality.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness.saturation import run_workload
+from repro.runtime import SimulationBackend
+from repro.scenarios import ScenarioProblem, ScenarioSpec, generate_scenario
+
+
+def _counts(problem, run_seed: int):
+    result = run_workload(
+        problem,
+        "autosynch",
+        SimulationBackend(seed=run_seed, policy="random"),
+        threads=3,
+        total_ops=18,
+        seed=run_seed,
+        verify=True,
+        validate=True,
+    )
+    return result.backend_metrics, result.monitor_stats
+
+
+@settings(max_examples=25, deadline=None)
+@given(spec_seed=st.integers(min_value=0, max_value=10_000), run_seed=st.integers(0, 999))
+def test_round_tripped_spec_compiles_to_identical_behaviour(spec_seed, run_seed):
+    spec = generate_scenario(spec_seed)
+    round_tripped = ScenarioSpec.from_json(spec.to_json())
+    assert round_tripped == spec
+
+    original_metrics, original_stats = _counts(ScenarioProblem(spec), run_seed)
+    replayed_metrics, replayed_stats = _counts(ScenarioProblem(round_tripped), run_seed)
+    assert replayed_metrics == original_metrics
+    assert replayed_stats == original_stats
+
+
+@settings(max_examples=10, deadline=None)
+@given(spec_seed=st.integers(min_value=0, max_value=10_000))
+def test_builtin_and_generated_specs_round_trip_dicts(spec_seed):
+    spec = generate_scenario(spec_seed)
+    assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+    # to_dict must stay JSON-native (no tuples, no custom objects).
+    import json
+
+    json.dumps(spec.to_dict())

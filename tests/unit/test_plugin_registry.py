@@ -1,0 +1,216 @@
+"""Unit tests for the generic plugin registry all four layers share."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.plugin_registry import PluginRegistry
+
+
+class Widget:
+    name = "abstract"
+    description = ""
+
+    def describe(self):
+        return self.description or self.name
+
+
+class Gear(Widget):
+    name = "gear"
+    description = "a gear"
+
+
+class Lever(Widget):
+    name = "lever"
+    description = "a lever"
+
+
+def make_registry(**kwargs):
+    return PluginRegistry(kind="widget", base=Widget, **kwargs)
+
+
+class TestRegistration:
+    def test_register_and_get(self):
+        registry = make_registry()
+        assert registry.register(Gear) is Gear
+        assert registry.get("gear") is Gear
+        assert registry.names() == ("gear",)
+
+    def test_registration_order_is_preserved(self):
+        registry = make_registry()
+        registry.register(Gear)
+        registry.register(Lever)
+        assert registry.names() == ("gear", "lever")
+        assert list(registry) == ["gear", "lever"]
+
+    def test_duplicate_name_rejected_without_replace(self):
+        registry = make_registry()
+        registry.register(Gear)
+
+        class Impostor(Widget):
+            name = "gear"
+
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(Impostor)
+        registry.register(Impostor, replace=True)
+        assert registry.get("gear") is Impostor
+
+    def test_same_class_reregistration_is_idempotent(self):
+        registry = make_registry()
+        registry.register(Gear)
+        registry.register(Gear)  # no replace needed for the same object
+        assert registry.names() == ("gear",)
+
+    def test_non_subclass_rejected(self):
+        with pytest.raises(TypeError, match="Widget subclass"):
+            make_registry().register(object)
+
+    def test_base_default_name_rejected(self):
+        class Nameless(Widget):
+            pass
+
+        with pytest.raises(ValueError, match="unique 'name'"):
+            make_registry().register(Nameless)
+
+    def test_unregister(self):
+        registry = make_registry()
+        registry.register(Gear)
+        registry.unregister("gear")
+        assert "gear" not in registry
+        with pytest.raises(ValueError, match="unknown widget"):
+            registry.unregister("gear")
+
+
+class TestLookupErrors:
+    def test_unknown_name_lists_registered(self):
+        registry = make_registry()
+        registry.register(Gear)
+        registry.register(Lever)
+        with pytest.raises(ValueError, match="unknown widget 'cog'") as excinfo:
+            registry.get("cog")
+        message = str(excinfo.value)
+        assert "gear" in message and "lever" in message
+
+    def test_wording_knobs_flow_into_messages(self):
+        registry = PluginRegistry(
+            kind="signalling policy",
+            base=Widget,
+            noun="policy",
+            plural="policies",
+            spec_noun="signalling",
+        )
+        with pytest.raises(ValueError, match="unknown signalling policy 'x'"):
+            registry.get("x")
+        with pytest.raises(ValueError, match="registered policies"):
+            registry.get("x")
+        with pytest.raises(TypeError, match="signalling must be a registered policy name"):
+            registry.create(42)
+
+        class Bad(Widget):
+            pass
+
+        with pytest.raises(ValueError, match="policy class Bad"):
+            registry.register(Bad)
+
+
+class TestCreate:
+    def test_create_from_name_class_and_instance(self):
+        registry = make_registry()
+        registry.register(Gear)
+        assert isinstance(registry.create("gear"), Gear)
+        assert isinstance(registry.create(Gear), Gear)
+        instance = Lever()
+        assert registry.create(instance) is instance
+
+    def test_create_forwards_kwargs(self):
+        class Tuned(Widget):
+            name = "tuned"
+
+            def __init__(self, knob=0):
+                self.knob = knob
+
+        registry = make_registry()
+        registry.register(Tuned)
+        assert registry.create("tuned", knob=7).knob == 7
+
+    def test_describe_falls_back_for_required_constructor_args(self):
+        class Needy(Widget):
+            name = "needy"
+            description = "needs a knob"
+
+            def __init__(self, knob):
+                self.knob = knob
+
+        registry = make_registry()
+        registry.register(Needy)
+        assert registry.describe("needy") == "needs a knob"
+
+
+class TestInstanceRegistry:
+    def make(self):
+        return PluginRegistry(kind="thing", base=Widget, stores_instances=True)
+
+    def test_register_and_create_return_the_instance(self):
+        registry = self.make()
+        gear = Gear()
+        registry.register(gear)
+        assert registry.get("gear") is gear
+        assert registry.create("gear") is gear
+
+    def test_class_is_rejected_when_instances_required(self):
+        with pytest.raises(TypeError, match="Widget instance"):
+            self.make().register(Gear)
+
+    def test_describe_uses_the_instance(self):
+        registry = self.make()
+        registry.register(Gear())
+        assert registry.describe("gear") == "a gear"
+
+
+class TestView:
+    def test_view_is_live_and_mutable(self):
+        registry = make_registry(stores_instances=True)
+        view = registry.view()
+        assert len(view) == 0
+        gear = Gear()
+        view["gear"] = gear
+        assert view["gear"] is gear
+        assert list(view) == ["gear"]
+        assert dict(view) == {"gear": gear}
+        del view["gear"]
+        assert "gear" not in view
+
+    def test_view_getitem_raises_keyerror(self):
+        view = make_registry().view()
+        with pytest.raises(KeyError):
+            view["missing"]
+
+    def test_view_rejects_mismatched_key(self):
+        view = make_registry(stores_instances=True).view()
+        with pytest.raises(ValueError, match="must equal the plugin's own name"):
+            view["not_gear"] = Gear()
+
+
+class TestLazyPopulation:
+    def test_populate_runs_once_before_first_query(self):
+        calls = []
+        registry = make_registry()
+
+        def populate():
+            calls.append(1)
+            registry.register(Gear)
+
+        registry.set_populate(populate)
+        assert registry.names() == ("gear",)
+        assert registry.get("gear") is Gear
+        assert calls == [1]
+
+    def test_registration_does_not_trigger_population(self):
+        # register() must stay usable mid-populate (the standard set
+        # registers through it), so it cannot itself run the hook; only
+        # queries do.
+        registry = make_registry()
+        registry.set_populate(lambda: registry.register(Gear))
+        registry.register(Lever)
+        # Only the query below pulls in the standard set.
+        assert set(registry.names()) == {"gear", "lever"}

@@ -28,7 +28,7 @@ from repro.runtime import SimulationBackend
 
 class TestRegistry:
     def test_all_seven_problems_registered(self):
-        assert set(PROBLEMS) == {
+        assert set(PROBLEMS) >= {
             "bounded_buffer",
             "sleeping_barber",
             "h2o",
@@ -38,10 +38,22 @@ class TestRegistry:
             "parameterized_bounded_buffer",
         }
 
-    def test_get_problem_error_message(self):
-        with pytest.raises(KeyError) as excinfo:
+    def test_builtin_scenarios_are_registered_problems(self):
+        assert set(PROBLEMS) >= {
+            "barrier",
+            "fifo_semaphore",
+            "resource_pool",
+            "traffic_intersection",
+        }
+
+    def test_get_problem_error_lists_registered_problems(self):
+        # Same UX as the policy/executor/scheduler registries: unknown names
+        # raise a ValueError that lists what *is* registered.
+        with pytest.raises(ValueError) as excinfo:
             get_problem("towers_of_hanoi")
-        assert "towers_of_hanoi" in str(excinfo.value)
+        message = str(excinfo.value)
+        assert "towers_of_hanoi" in message
+        assert "bounded_buffer" in message and "registered problems" in message
 
     def test_problem_metadata(self):
         assert get_problem("round_robin").uses_complex_predicates

@@ -21,6 +21,7 @@ from repro.core.signalling import (
     describe_policy,
     get_policy,
     register_policy,
+    unregister_policy,
 )
 from repro.predicates import compile_predicate
 from repro.runtime import SimulationBackend
@@ -99,9 +100,7 @@ class TestRegistry:
         try:
             assert describe_policy("relay_tuned_test") == Tuned.description
         finally:
-            from repro.core.signalling.registry import _REGISTRY
-
-            _REGISTRY.pop("relay_tuned_test", None)
+            unregister_policy("relay_tuned_test")
 
     def test_duplicate_registration_is_rejected(self):
         class Impostor(BroadcastPolicy):
@@ -490,9 +489,7 @@ class TestDerivedMechanismSets:
 
             assert "relay_counting_test" in get_problem("h2o").supported_mechanisms()
         finally:
-            from repro.core.signalling.registry import _REGISTRY
-
-            _REGISTRY.pop("relay_counting_test", None)
+            unregister_policy("relay_counting_test")
 
 
 class TestReportLabels:
