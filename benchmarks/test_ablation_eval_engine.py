@@ -84,7 +84,27 @@ WORKLOAD_PREDICATES = {
 }
 
 #: Collected results, flushed to RESULTS_PATH by the module fixture below.
-_RESULTS: dict = {"holds_microbench": {}, "workloads": {}}
+_RESULTS: dict = {
+    "holds_microbench": {},
+    "workloads": {},
+    # Findings worth keeping next to the numbers they explain.
+    "notes": {
+        "readers_writers_small_scale_crossover": (
+            "At 400-op scale the interpreted engine can beat compiled wall "
+            "time on readers_writers even though compiled is ~7x faster per "
+            "evaluation.  Cause: the problem's predicates are complex, so "
+            "every thread's globalization (serving == <id> and ...) is a "
+            "distinct form paying one-time codegen compilation that ~384 "
+            "evaluations cannot amortize; and tag pruning leaves at most one "
+            "candidate per relay pass, so the per-pass EvalContext never "
+            "re-reads a shared variable (shared_read_cache_hits == 0) and "
+            "per-evaluation savings are all there is.  The crossover "
+            "disappears at larger total_ops; wall times recorded here are "
+            "best-of-rounds minima to keep scheduler noise out of the "
+            "comparison."
+        ),
+    },
+}
 
 
 def _globalized_forms(problem: str):
@@ -164,13 +184,20 @@ def test_compiled_holds_speedup(benchmark, problem):
 def test_eval_engine_workload(benchmark, problem, engine):
     """Full saturation runs per engine: counters must attribute the
     evaluations to the selected engine, and wall times feed the JSON."""
-    result = benchmark.pedantic(
-        lambda: run_problem_once(
+    rounds = []
+
+    def run():
+        result = run_problem_once(
             problem, "autosynch", threads=4, total_ops=400, eval_engine=engine
-        ),
-        rounds=3,
-        iterations=1,
-    )
+        )
+        rounds.append(result)
+        return result
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    # Best-of-rounds: at this scale (a few hundred evaluations, tens of ms)
+    # the run-to-run scheduler noise is larger than the engines' wall-time
+    # difference, so the minimum is the only comparable statistic.
+    result = min(rounds, key=lambda r: r.wall_time)
     stats = result.monitor_stats
     if engine == "compiled":
         assert stats["compiled_evaluations"] > 0
@@ -182,10 +209,14 @@ def test_eval_engine_workload(benchmark, problem, engine):
         assert stats["interpreted_evaluations"] > 0
     _RESULTS["workloads"].setdefault(problem, {})[engine] = {
         "wall_time": result.wall_time,
+        "per_op_us": result.wall_time * 1e6 / result.operations,
+        "rounds_wall_times": [r.wall_time for r in rounds],
         "operations": result.operations,
         "compiled_evaluations": stats["compiled_evaluations"],
         "interpreted_evaluations": stats["interpreted_evaluations"],
         "shared_read_cache_hits": stats["shared_read_cache_hits"],
+        "relay_entries_skipped": stats["relay_entries_skipped"],
+        "batched_evaluations": stats["batched_evaluations"],
     }
     benchmark.extra_info["predicate_evaluations"] = stats["predicate_evaluations"]
     benchmark.extra_info["shared_read_cache_hits"] = stats["shared_read_cache_hits"]

@@ -42,9 +42,11 @@ from typing import Deque, Dict, Iterable, List, Optional
 from repro.core.errors import MonitorUsageError
 from repro.core.heaps import LOWER_BOUND_OPS, ThresholdHeap, UPPER_BOUND_OPS
 from repro.core.instrumentation import MonitorStats
+from repro.core.write_tracking import SCALAR_TYPES, WriteTracker
 from repro.predicates import EvalContext, EvaluationError, TagKind
 from repro.predicates.ast_nodes import Expr
 from repro.predicates.codegen import DEFAULT_ENGINE, validate_engine
+from repro.predicates.evaluator import _EMPTY_LOCALS
 from repro.predicates.predicate import GlobalizedPredicate
 from repro.runtime.api import Backend, ConditionAPI, LockAPI
 
@@ -53,6 +55,11 @@ __all__ = ["PredicateEntry", "ConditionManager"]
 #: Default number of inactive complex predicates kept for reuse before the
 #: oldest ones are evicted (the paper's "predefined threshold").
 DEFAULT_INACTIVE_CAPACITY = 64
+
+#: Candidates per fused-batch evaluation round.  Chunking preserves the
+#: early-stopping character of the search: a batch pass never evaluates more
+#: than one chunk beyond the entry that satisfied the signal limit.
+BATCH_CHUNK = 64
 
 
 @dataclass
@@ -69,6 +76,19 @@ class PredicateEntry:
     #: (stamped by :meth:`ConditionManager.add_waiter`; used by the
     #: FIFO-fair relay policy to find the longest-waiting thread).
     waiter_seqs: Deque[int] = field(default_factory=deque)
+    #: Activation stamp; searches over dirty-set candidates sort by it so
+    #: the incremental path visits entries in the same order the exhaustive
+    #: path would (insertion order of ``_untagged``).
+    order_seq: int = 0
+    #: Write-tracker clock at this entry's last false evaluation, or None
+    #: when the entry has never been (cleanly) evaluated false since it was
+    #: activated.  While no name in ``tracked_names`` is written past this
+    #: clock, the predicate is still false and the search may skip it.
+    seen_clock: Optional[int] = None
+    #: The shared names bounding this predicate's reads, or None when they
+    #: do not bound it (monitor query calls) — None entries are never
+    #: skipped and never marked clean.
+    tracked_names: Optional[frozenset] = None
 
     @property
     def canonical(self) -> str:
@@ -120,6 +140,7 @@ class ConditionManager:
         inactive_capacity: int = DEFAULT_INACTIVE_CAPACITY,
         tracer: Optional[object] = None,
         eval_engine: str = DEFAULT_ENGINE,
+        write_tracker: Optional[WriteTracker] = None,
     ) -> None:
         self._owner = owner
         self._backend = backend
@@ -129,6 +150,20 @@ class ConditionManager:
         self.eval_engine = validate_engine(eval_engine)
         self._inactive_capacity = inactive_capacity
         self._tracer = tracer
+        # Incremental relay needs both a tracker (the monitor supports and
+        # wants write tracking) and the compiled engine; the interpreted
+        # engine stays a pure exhaustive baseline for the ablation study.
+        self._tracker = (
+            write_tracker
+            if write_tracker is not None and self.eval_engine == "compiled"
+            else None
+        )
+        #: Names the owning monitor class declares it writes through tracked
+        #: stores (scenario-compiled monitors); reads of these never need the
+        #: scalar-type check in :meth:`_mark_clean`.
+        self._declared_tracked = frozenset(
+            getattr(type(owner), "_tracked_write_names", None) or ()
+        )
 
         #: canonical form -> entry, for every predicate the manager knows.
         self._table: Dict[str, PredicateEntry] = {}
@@ -143,6 +178,17 @@ class ConditionManager:
         self._untagged: Dict[str, PredicateEntry] = {}
         #: monotonically increasing enqueue stamp handed to waiters.
         self._enqueue_seq: int = 0
+        #: monotonically increasing activation stamp (see PredicateEntry.order_seq).
+        self._order_seq: int = 0
+        #: Incremental-search state (used only when ``self._tracker`` is set).
+        #: ``_untagged_pending`` holds the untagged entries that may be true —
+        #: never evaluated, last seen true, or written since last seen false.
+        #: A search pass drains the tracker's dirty names, merges the touched
+        #: ``_untagged_by_name`` buckets in, and evaluates only the pending
+        #: set; entries proved false (and cleanly trackable) leave it.
+        self._untagged_pending: Dict[str, PredicateEntry] = {}
+        #: shared name -> {canonical -> entry} for active untagged entries.
+        self._untagged_by_name: Dict[str, Dict[str, PredicateEntry]] = {}
 
     # ------------------------------------------------------------------
     # Registration / bookkeeping
@@ -150,6 +196,11 @@ class ConditionManager:
 
     def __len__(self) -> int:
         return len(self._table)
+
+    @property
+    def incremental(self) -> bool:
+        """True when dirty-set (incremental) relay search is engaged."""
+        return self._tracker is not None
 
     def known_predicates(self) -> Iterable[str]:
         """Canonical forms of every predicate currently in the table."""
@@ -218,8 +269,18 @@ class ConditionManager:
 
     def _activate(self, entry: PredicateEntry) -> None:
         with self._stats.time_bucket("tag_manager_time"):
+            self._order_seq += 1
+            entry.order_seq = self._order_seq
+            if self._tracker is not None:
+                # A reactivated entry may be reusing a retired table row, so
+                # any cleanliness recorded in a previous life is void.
+                entry.seen_clock = None
+                globalized = entry.globalized
+                entry.tracked_names = (
+                    None if globalized.uses_queries() else globalized.read_set()
+                )
             if not self.use_tags:
-                self._untagged[entry.canonical] = entry
+                self._add_untagged(entry)
             else:
                 for tag in entry.globalized.tags:
                     self._stats.tag_insertions += 1
@@ -233,7 +294,7 @@ class ConditionManager:
                         else:
                             index.upper_heap.add(tag.key, tag.op, entry)
                     else:
-                        self._untagged[entry.canonical] = entry
+                        self._add_untagged(entry)
             entry.active = True
 
     def _deactivate(self, entry: PredicateEntry) -> None:
@@ -267,8 +328,35 @@ class ConditionManager:
             entry.pending_signals = 0
         self._retire(entry)
 
+    def _add_untagged(self, entry: PredicateEntry) -> None:
+        canonical = entry.canonical
+        self._untagged[canonical] = entry
+        if self._tracker is None:
+            return
+        # A freshly activated entry has never been evaluated, so it starts
+        # pending; name-bucket membership lets later writes re-pend it.
+        self._untagged_pending[canonical] = entry
+        names = entry.tracked_names
+        if names:
+            by_name = self._untagged_by_name
+            for name in names:
+                by_name.setdefault(name, {})[canonical] = entry
+
     def _discard_untagged(self, entry: PredicateEntry) -> None:
-        self._untagged.pop(entry.canonical, None)
+        canonical = entry.canonical
+        self._untagged.pop(canonical, None)
+        if self._tracker is None:
+            return
+        self._untagged_pending.pop(canonical, None)
+        names = entry.tracked_names
+        if names:
+            by_name = self._untagged_by_name
+            for name in names:
+                bucket = by_name.get(name)
+                if bucket is not None:
+                    bucket.pop(canonical, None)
+                    if not bucket:
+                        del by_name[name]
 
     def _drop_index_if_empty(self, index: _ExpressionIndex) -> None:
         if index.is_empty():
@@ -349,7 +437,9 @@ class ConditionManager:
         The FIFO-fair relay primitive: evaluates every active predicate with
         un-signalled waiters and, among the true ones, signals the entry
         whose oldest un-promised waiter has the smallest enqueue sequence
-        number.  Exhaustive by construction (no tag pruning), so relay
+        number.  No tag pruning, but with a write tracker the pass still
+        skips entries proved false and untouched since — skipping known-false
+        entries cannot change which true entry wins the tie-break, so relay
         invariance holds exactly as for :meth:`relay_signal`.
         """
         self._stats.relay_signal_calls += 1
@@ -357,18 +447,28 @@ class ConditionManager:
             ctx = self._eval_context()
             best: Optional[PredicateEntry] = None
             best_seq: Optional[int] = None
-            # Without tags every active entry lives in _untagged, which skips
-            # the retired/shared entries _table keeps around; with tags the
-            # table is the only complete view.
-            entries = (
-                self._table.values() if self.use_tags else self._untagged.values()
-            )
+            incremental = self._tracker is not None and not self.use_tags
+            if incremental:
+                entries, clock = self._untagged_candidates()
+                self._stats.relay_entries_skipped += (
+                    len(self._untagged) - len(entries)
+                )
+            else:
+                clock = 0
+                # Without tags every active entry lives in _untagged, which
+                # skips the retired/shared entries _table keeps around; with
+                # tags the table is the only complete view.
+                entries = (
+                    self._table.values() if self.use_tags else self._untagged.values()
+                )
             for entry in entries:
                 if not entry.active or entry.unsignalled_waiters <= 0:
                     continue
                 self._stats.exhaustive_checks += 1
                 self._stats.predicate_evaluations += 1
                 if not ctx.holds(entry.globalized):
+                    if incremental:
+                        self._mark_clean(entry, ctx, clock)
                     continue
                 seq = entry.next_unsignalled_seq
                 if best is None or (
@@ -475,12 +575,49 @@ class ConditionManager:
                 heap.push_node(node)
         return signalled
 
-    # -- exhaustive search ---------------------------------------------------
+    # -- exhaustive / dirty-set search ---------------------------------------
 
     def _search_untagged(self, limit: int, ctx: EvalContext) -> int:
-        return self._signal_true(
-            self._untagged.values(), limit, ctx, count_as_exhaustive=True
+        if self._tracker is None:
+            return self._signal_true(
+                self._untagged.values(), limit, ctx, count_as_exhaustive=True
+            )
+        ordered, clock = self._untagged_candidates()
+        self._stats.relay_entries_skipped += len(self._untagged) - len(ordered)
+        eligible = [
+            entry
+            for entry in ordered
+            if entry.active and entry.unsignalled_waiters > 0
+        ]
+        if not eligible:
+            return 0
+        return self._signal_candidates(
+            eligible, limit, ctx, count_as_exhaustive=True, clock=clock
         )
+
+    def _untagged_candidates(self) -> tuple:
+        """Drain dirty names into the pending set and return it in order.
+
+        Returns ``(entries, clock)`` where *entries* are the pending untagged
+        entries sorted by activation order (matching the insertion order an
+        exhaustive walk over ``_untagged`` would use) and *clock* is the
+        tracker clock the whole pass evaluates at (shared state cannot change
+        mid-pass: the monitor lock is held).
+        """
+        tracker = self._tracker
+        clock = tracker.clock
+        dirty = tracker.drain()
+        pending = self._untagged_pending
+        if dirty:
+            by_name = self._untagged_by_name
+            for name in dirty:
+                bucket = by_name.get(name)
+                if bucket:
+                    pending.update(bucket)
+        if not pending:
+            return [], clock
+        ordered = sorted(pending.values(), key=lambda e: e.order_seq)
+        return ordered, clock
 
     def _signal_true(
         self,
@@ -496,22 +633,166 @@ class ConditionManager:
         waiters is ready by the same evaluation.  Signalling never mutates
         the tag structures (deactivation happens when the woken waiter
         re-acquires the lock), so iterating the live containers is safe.
+
+        With a write tracker, entries evaluated false at some earlier clock
+        and untouched since are skipped outright (they are still false), and
+        entries evaluated false now are marked clean at the current clock.
         """
-        signalled = 0
+        tracker = self._tracker
+        candidates: List[PredicateEntry] = []
+        skipped = 0
         for entry in entries:
-            if signalled >= limit:
-                break
             if not entry.active or entry.unsignalled_waiters <= 0:
                 continue
-            if count_as_exhaustive:
-                self._stats.exhaustive_checks += 1
-            self._stats.predicate_evaluations += 1
-            if ctx.holds(entry.globalized):
-                wake = min(entry.unsignalled_waiters, limit - signalled)
-                for _ in range(wake):
-                    self._signal(entry)
-                signalled += wake
+            if tracker is not None and self._is_clean(entry):
+                skipped += 1
+                continue
+            candidates.append(entry)
+        if skipped:
+            self._stats.relay_entries_skipped += skipped
+        if not candidates:
+            return 0
+        clock = tracker.clock if tracker is not None else 0
+        return self._signal_candidates(
+            candidates, limit, ctx, count_as_exhaustive, clock
+        )
+
+    def _is_clean(self, entry: PredicateEntry) -> bool:
+        """True when *entry* was false at ``seen_clock`` and no tracked name
+        has been written since (so it is still false)."""
+        seen = entry.seen_clock
+        if seen is None:
+            return False
+        names = entry.tracked_names
+        if names is None:
+            return False
+        versions = self._tracker.versions
+        for name in names:
+            if versions.get(name, 0) > seen:
+                return False
+        return True
+
+    def _mark_clean(self, entry: PredicateEntry, ctx: EvalContext, clock: int) -> None:
+        """Record that *entry* evaluated false at *clock*, if that is sound.
+
+        Cleanliness is only recorded when every shared name the predicate
+        reads either is a declared tracked store (scenario-compiled monitors)
+        or currently holds an immutable scalar — an in-place mutation of a
+        list/dict/set field never goes through ``__setattr__``, so container
+        fields cannot be trusted to stay unchanged.
+        """
+        names = entry.tracked_names
+        if names is None:
+            return
+        declared = self._declared_tracked
+        owner = self._owner
+        for name in names:
+            if name in declared:
+                continue
+            try:
+                value = ctx.read_shared(owner, name)
+            except EvaluationError:
+                return
+            if type(value) not in SCALAR_TYPES:
+                return
+        entry.seen_clock = clock
+        self._untagged_pending.pop(entry.canonical, None)
+
+    def _signal_candidates(
+        self,
+        candidates: List[PredicateEntry],
+        limit: int,
+        ctx: EvalContext,
+        count_as_exhaustive: bool,
+        clock: int,
+    ) -> int:
+        """Evaluate *candidates* (already filtered) and signal the true ones.
+
+        When several candidates are evaluated per pass (``limit > 1``) and
+        the compiled engine is active, candidates are grouped by predicate
+        *shape* and each group is evaluated through one fused batch closure
+        (see :func:`repro.predicates.codegen.compile_batch`) — one generated
+        loop sharing one EvalContext instead of one call per predicate.
+        Chunking bounds how far past the limit a batch may evaluate;
+        falseness established beyond the limit is still recorded as clean.
+        """
+        stats = self._stats
+        tracker = self._tracker
+        signalled = 0
+        use_batch = (
+            limit > 1 and len(candidates) > 1 and self.eval_engine == "compiled"
+        )
+        for start in range(0, len(candidates), BATCH_CHUNK):
+            if signalled >= limit:
+                break
+            chunk = candidates[start:start + BATCH_CHUNK]
+            if use_batch and len(chunk) > 1:
+                results = self._batch_evaluate(chunk, ctx, count_as_exhaustive)
+            else:
+                results = [None] * len(chunk)
+            for entry, result in zip(chunk, results):
+                if signalled >= limit:
+                    if result is False and tracker is not None:
+                        self._mark_clean(entry, ctx, clock)
+                    continue
+                if result is None:
+                    if count_as_exhaustive:
+                        stats.exhaustive_checks += 1
+                    stats.predicate_evaluations += 1
+                    result = ctx.holds(entry.globalized)
+                if result:
+                    wake = min(entry.unsignalled_waiters, limit - signalled)
+                    for _ in range(wake):
+                        self._signal(entry)
+                    signalled += wake
+                elif tracker is not None:
+                    self._mark_clean(entry, ctx, clock)
         return signalled
+
+    def _batch_evaluate(
+        self,
+        chunk: List[PredicateEntry],
+        ctx: EvalContext,
+        count_as_exhaustive: bool,
+    ) -> List[Optional[bool]]:
+        """Evaluate *chunk* through fused batch closures where possible.
+
+        Returns one result slot per entry; None means "not handled here" and
+        the caller falls back to per-entry evaluation (codegen declined the
+        shape, the group had a single row, or the batch call raised — the
+        per-entry retry then reproduces the exact failing predicate).
+        Counters are bumped only for rows a batch actually answered.
+        """
+        results: List[Optional[bool]] = [None] * len(chunk)
+        groups: Dict[object, List[tuple]] = {}
+        for i, entry in enumerate(chunk):
+            form = entry.globalized.batch_form()
+            if form is None:
+                continue
+            fn, params = form
+            groups.setdefault(fn, []).append((i, params))
+        stats = self._stats
+        for fn, rows in groups.items():
+            if len(rows) < 2:
+                continue
+            try:
+                values = fn(
+                    [params for _, params in rows],
+                    ctx.state,
+                    ctx.read_shared,
+                    _EMPTY_LOCALS,
+                )
+            except EvaluationError:
+                continue
+            for (i, _), value in zip(rows, values):
+                results[i] = value
+            count = len(rows)
+            stats.predicate_evaluations += count
+            stats.compiled_evaluations += count
+            stats.batched_evaluations += count
+            if count_as_exhaustive:
+                stats.exhaustive_checks += count
+        return results
 
     def _signal(self, entry: PredicateEntry) -> None:
         entry.condition.notify()

@@ -47,6 +47,15 @@ class MonitorStats:
     shared_read_cache_hits: int = 0
     #: Shared-expression evaluations answered from an EvalContext's cache.
     shared_expr_cache_hits: int = 0
+    #: Shared-variable writes observed by the monitor's write tracker.
+    tracked_writes: int = 0
+    #: Candidate entries a relay pass skipped because no variable in their
+    #: read set was written since their last false evaluation (the
+    #: incremental relay path; exhaustive search never skips).
+    relay_entries_skipped: int = 0
+    #: Predicate evaluations served by a fused batch closure (a subset of
+    #: ``compiled_evaluations``; the per-waiter-call ones are the rest).
+    batched_evaluations: int = 0
 
     # --- time buckets (seconds), populated only when profiling ----------
     await_time: float = 0.0

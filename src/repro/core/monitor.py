@@ -48,6 +48,7 @@ from repro.core.condition_manager import DEFAULT_INACTIVE_CAPACITY, ConditionMan
 from repro.core.errors import MonitorUsageError
 from repro.core.instrumentation import MonitorStats
 from repro.core.signalling import SignallingPolicy, create_policy
+from repro.core.write_tracking import WriteTracker, incremental_enabled
 from repro.predicates.classify import ClassificationError
 from repro.predicates.codegen import DEFAULT_ENGINE, validate_engine
 from repro.predicates.evaluator import _EMPTY_LOCALS, read_shared
@@ -243,7 +244,23 @@ class AutoSynchMonitor(MonitorBase):
         fallback to the interpreter for anything codegen declines) or
         ``"interpreted"`` (the tree-walking evaluator; the ablation
         baseline).
+    incremental_relay:
+        Whether relay passes may use dirty-set search (skip re-evaluating
+        predicates none of whose shared variables were written since their
+        last false evaluation).  ``None`` — the default — defers to the
+        process-wide toggle
+        (:func:`repro.core.write_tracking.incremental_enabled`).  Either
+        way the monitor silently falls back to exhaustive search whenever
+        write tracking cannot be trusted (a subclass overriding
+        ``__setattr__``, preprocessor-transformed classes, the interpreted
+        engine) — incremental relay is a pure optimisation, never a
+        behaviour change.
     """
+
+    #: The monitor's write tracker (None when incremental relay is off or
+    #: write tracking is unsupported for this class).  A class-level default
+    #: so ``__setattr__`` works during ``__init__`` itself.
+    _write_tracker: Optional[WriteTracker] = None
 
     def __init__(
         self,
@@ -254,6 +271,7 @@ class AutoSynchMonitor(MonitorBase):
         tracer: Optional[object] = None,
         validate: bool = False,
         eval_engine: str = DEFAULT_ENGINE,
+        incremental_relay: Optional[bool] = None,
     ) -> None:
         super().__init__(backend, profile, tracer)
         self._validate = validate
@@ -261,6 +279,13 @@ class AutoSynchMonitor(MonitorBase):
         self._inactive_capacity = inactive_capacity
         self._predicate_cache: Dict[Tuple[str, frozenset], CompiledPredicate] = {}
         self._shared_name_cache: Optional[frozenset] = None
+        wants_tracking = (
+            incremental_relay
+            if incremental_relay is not None
+            else incremental_enabled()
+        )
+        if wants_tracking and self._write_tracking_supported():
+            self._write_tracker = WriteTracker()
         if isinstance(signalling, str):
             try:
                 self._policy = create_policy(signalling)
@@ -273,7 +298,58 @@ class AutoSynchMonitor(MonitorBase):
         self._policy.bind(self)
         self._cond_mgr: Optional[ConditionManager] = self._policy.condition_manager
 
+    # -- write tracking ---------------------------------------------------------
+
+    def __setattr__(self, name: str, value: object) -> None:
+        # Every assignment to a public field is a shared-variable write the
+        # incremental relay path must see.  In-place container mutation does
+        # not come through here — which is why the condition manager only
+        # trusts the version vector for scalar-valued (or declared-tracked)
+        # reads.
+        object.__setattr__(self, name, value)
+        if not name.startswith("_"):
+            tracker = self._write_tracker
+            if tracker is not None:
+                tracker.bump(name)
+                self._stats.tracked_writes += 1
+
+    def _write_tracking_supported(self) -> bool:
+        """Whether this class's shared-variable writes all reach our
+        ``__setattr__`` hook.
+
+        A subclass overriding ``__setattr__`` and classes produced by the
+        source-to-source preprocessor (markers ``__autosynch_source__`` /
+        ``_autosynch_options``) may assign state in ways the hook never
+        sees, so they get the exhaustive fallback.
+        """
+        cls = type(self)
+        if cls.__setattr__ is not AutoSynchMonitor.__setattr__:
+            return False
+        if getattr(cls, "__autosynch_source__", None) is not None:
+            return False
+        if getattr(cls, "_autosynch_options", None) is not None:
+            return False
+        return True
+
+    def _bump_write(self, name: str) -> None:
+        """Record a shared-variable write that bypassed ``__setattr__``.
+
+        The scenario runtime calls this for compiled subscript stores
+        (``container[i] = value`` mutates in place); anything else that
+        mutates a tracked field without assigning it must do the same.
+        """
+        tracker = self._write_tracker
+        if tracker is not None:
+            tracker.bump(name)
+            self._stats.tracked_writes += 1
+
     # -- public API ------------------------------------------------------------
+
+    @property
+    def write_tracker(self) -> Optional[WriteTracker]:
+        """The monitor's shared-variable write tracker (None when the
+        incremental relay path is disabled or unsupported)."""
+        return self._write_tracker
 
     @property
     def signalling(self) -> str:
@@ -316,8 +392,15 @@ class AutoSynchMonitor(MonitorBase):
 
     # -- services the signalling policies build on -------------------------------
 
-    def _create_condition_manager(self, use_tags: bool) -> ConditionManager:
-        """Build a condition manager wired to this monitor's lock and stats."""
+    def _create_condition_manager(
+        self, use_tags: bool, incremental: bool = True
+    ) -> ConditionManager:
+        """Build a condition manager wired to this monitor's lock and stats.
+
+        ``incremental=False`` (the exhaustive-by-design policies, e.g. the
+        AutoSynch-T ablation) withholds the write tracker so every pass
+        stays a full search no matter what the monitor supports.
+        """
         return ConditionManager(
             owner=self,
             backend=self._backend,
@@ -327,6 +410,7 @@ class AutoSynchMonitor(MonitorBase):
             inactive_capacity=self._inactive_capacity,
             tracer=self._tracer,
             eval_engine=self._eval_engine,
+            write_tracker=self._write_tracker if incremental else None,
         )
 
     def _evaluate_predicate(

@@ -120,6 +120,10 @@ class RelayPolicyBase(SignallingPolicy):
 
     #: Whether the condition manager builds tag structures (Fig. 7).
     use_tags: ClassVar[bool] = False
+    #: Whether the condition manager may use the monitor's write tracker for
+    #: dirty-set (incremental) relay search.  Ablation policies set this to
+    #: False so they keep measuring the pure exhaustive baseline.
+    use_incremental: ClassVar[bool] = True
 
     def __init__(self) -> None:
         super().__init__()
@@ -130,7 +134,9 @@ class RelayPolicyBase(SignallingPolicy):
         return self._manager
 
     def _setup(self, monitor: "AutoSynchMonitor") -> None:
-        self._manager = monitor._create_condition_manager(use_tags=self.use_tags)
+        self._manager = monitor._create_condition_manager(
+            use_tags=self.use_tags, incremental=self.use_incremental
+        )
 
     # -- the customisation point ---------------------------------------------
 
@@ -177,8 +183,18 @@ class RelayPolicyBase(SignallingPolicy):
 
     def _relay_checked(self) -> bool:
         """One relay step, with the monitor's validate-mode invariance check."""
-        signalled = self.relay()
         monitor = self.monitor
+        stats = monitor.stats
+        skipped_before = stats.relay_entries_skipped
+        signalled = self.relay()
+        self.on_relay_pass(
+            signalled, stats.relay_entries_skipped - skipped_before
+        )
         if monitor._validate and not signalled:
             monitor._check_no_missed_signal()
         return signalled
+
+    def on_relay_pass(self, signalled: bool, skipped: int) -> None:
+        """Observe one relay pass: whether it signalled and how many entries
+        the dirty-set search skipped (0 on exhaustive passes).  Policies may
+        override this to adapt or report; the default does nothing."""

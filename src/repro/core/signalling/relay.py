@@ -27,8 +27,14 @@ class RelayTaggedPolicy(RelayPolicyBase):
 
 @register_policy
 class RelayExhaustivePolicy(RelayPolicyBase):
-    """Relay signalling with exhaustive predicate search (AutoSynch-T)."""
+    """Relay signalling with exhaustive predicate search (AutoSynch-T).
+
+    As the ablation baseline this policy also opts out of the dirty-set
+    incremental search, so its measurements stay a true "no pruning of any
+    kind" reference point.
+    """
 
     name = "autosynch_t"
     description = "relay signalling, exhaustive predicate search (AutoSynch-T)"
     use_tags = False
+    use_incremental = False

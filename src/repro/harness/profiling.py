@@ -191,6 +191,12 @@ class EvalEngineBreakdown:
     interpreted_eval_time: float
     shared_read_cache_hits: int
     shared_expr_cache_hits: int
+    #: Entries relay passes skipped via dirty-set search (0 when the
+    #: incremental path is off — exhaustive search never skips).
+    relay_entries_skipped: int = 0
+    #: Evaluations served by fused batch closures (a subset of
+    #: ``compiled_evaluations``).
+    batched_evaluations: int = 0
 
     @property
     def total_evaluations(self) -> int:
@@ -214,6 +220,8 @@ def eval_engine_breakdown(result: RunResult) -> EvalEngineBreakdown:
         interpreted_eval_time=stats.get("interpreted_eval_time", 0.0),
         shared_read_cache_hits=int(stats.get("shared_read_cache_hits", 0)),
         shared_expr_cache_hits=int(stats.get("shared_expr_cache_hits", 0)),
+        relay_entries_skipped=int(stats.get("relay_entries_skipped", 0)),
+        batched_evaluations=int(stats.get("batched_evaluations", 0)),
     )
 
 
@@ -232,6 +240,8 @@ def eval_engine_rows(
                 breakdown.compiled_eval_time,
                 breakdown.interpreted_eval_time,
                 breakdown.shared_read_cache_hits + breakdown.shared_expr_cache_hits,
+                breakdown.relay_entries_skipped,
+                breakdown.batched_evaluations,
             ]
         )
     return rows

@@ -46,6 +46,7 @@ __all__ = [
     "is_complex_predicate",
     "local_names_used",
     "shared_names_used",
+    "uses_monitor_queries",
 ]
 
 
@@ -134,6 +135,21 @@ def shared_names_used(expr: Expr) -> Set[str]:
 def local_names_used(expr: Expr) -> Set[str]:
     """Names in *expr* that resolve to thread-local values."""
     return {n for n, scope in free_names(expr).items() if scope is Scope.LOCAL}
+
+
+def uses_monitor_queries(expr: Expr) -> bool:
+    """True when evaluating *expr* calls anything beyond the pure builtins.
+
+    Query methods (and method calls on shared objects) may read monitor
+    state that no field assignment ever touches, so the incremental relay
+    path must never version-track a predicate containing one — its shared
+    *names* do not bound its read set.
+    """
+    for node in walk(expr):
+        if isinstance(node, Call):
+            if node.receiver is not None or node.func not in ALLOWED_BUILTINS:
+                return True
+    return False
 
 
 def _reads_monitor_state(node: Expr) -> bool:

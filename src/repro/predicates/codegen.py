@@ -55,37 +55,31 @@ from repro.predicates.ast_nodes import (
     UnaryOp,
     unparse,
 )
-from repro.predicates.evaluator import _BUILTINS, EvaluationError
+# The engine constants live in the evaluator (the module both engines share)
+# and are re-exported here for backwards compatibility.
+from repro.predicates.evaluator import (
+    _BUILTINS,
+    DEFAULT_ENGINE,
+    ENGINES,
+    EvaluationError,
+    validate_engine,
+)
 
 __all__ = [
     "ENGINES",
     "DEFAULT_ENGINE",
     "validate_engine",
     "compile_expr",
+    "compile_batch",
     "compiled_source",
+    "parametrize_expr",
 ]
-
-#: The available predicate-evaluation engines.
-ENGINES = ("compiled", "interpreted")
-
-#: Engine used when nothing is configured: compiled closures with transparent
-#: interpreter fallback.
-DEFAULT_ENGINE = "compiled"
 
 #: How many distinct lowered predicates are kept compiled.  Complex
 #: predicates globalize to a fresh tree per distinct local value, so the
 #: cache must be bounded; 1024 comfortably covers every workload in the
 #: benchmark suite while capping memory on adversarial ones.
 CODEGEN_CACHE_SIZE = 1024
-
-
-def validate_engine(name: str) -> str:
-    """Return *name* if it is a known evaluation engine, raise otherwise."""
-    if name not in ENGINES:
-        raise ValueError(
-            f"unknown eval engine {name!r}; expected one of {', '.join(ENGINES)}"
-        )
-    return name
 
 
 class _Unsupported(Exception):
@@ -175,6 +169,30 @@ _NATIVE_BINOPS = {"+", "-", "*"}
 _WRAPPED_BINOPS = {"/": "__cg_div", "//": "__cg_floordiv", "%": "__cg_mod"}
 
 
+class _Slot:
+    """Placeholder constant: row-parameter *index* in a fused batch closure.
+
+    :func:`parametrize_expr` substitutes one of these for every literal
+    constant, so predicates that differ only in their constants (the typical
+    shape after globalization freezes each thread's local values) collapse
+    to a single *shape* — and a single generated batch function.
+    """
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is _Slot and other.index == self.index
+
+    def __hash__(self) -> int:
+        return hash((_Slot, self.index))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<slot {self.index}>"
+
+
 def _emit_const(value: object, consts: List[object]) -> str:
     """Emit a constant: literal source when repr round-trips, else a slot in
     the function's constant tuple.
@@ -183,6 +201,8 @@ def _emit_const(value: object, consts: List[object]) -> str:
     ``__eq__``) must keep its identity, so it goes through the constant
     tuple rather than being reconstructed from a literal.
     """
+    if type(value) is _Slot:
+        return f"__cg_p[{value.index}]"
     if value is None or value is True or value is False:
         return repr(value)
     if type(value) in (int, str):
@@ -294,3 +314,107 @@ def compiled_source(expr: Expr) -> Optional[str]:
     """Return the generated source for *expr* (None when codegen declined)."""
     fn = compile_expr(expr)
     return getattr(fn, "__cg_source__", None) if fn is not None else None
+
+
+# ---------------------------------------------------------------------------
+# Fused batch closures: one generated loop for a whole group of predicates
+# ---------------------------------------------------------------------------
+
+
+def parametrize_expr(expr: Expr) -> tuple:
+    """Split *expr* into its constant-free *shape* and its constants.
+
+    Returns ``(shape, params)`` where every :class:`Const` of *expr* has been
+    replaced by a positional slot (in left-to-right order) and ``params`` is
+    the tuple of extracted values.  Two globalized predicates that differ
+    only in their frozen local values — ``serving == 3`` and
+    ``serving == 7`` — share the same shape, which is what lets one fused
+    batch closure (see :func:`compile_batch`) evaluate all of them in a
+    single generated loop.  ``BoolConst`` stays inline: it is structural
+    (``and True`` simplifications), not data.
+    """
+    params: List[object] = []
+
+    def rebuild(node: Expr) -> Expr:
+        kind = type(node)
+        if kind is Const:
+            params.append(node.value)
+            return Const(_Slot(len(params) - 1))
+        if kind in (BoolConst, Name):
+            return node
+        if kind is Attribute:
+            return Attribute(rebuild(node.value), node.attr)
+        if kind is Subscript:
+            return Subscript(rebuild(node.value), rebuild(node.index))
+        if kind is Call:
+            receiver = rebuild(node.receiver) if node.receiver is not None else None
+            return Call(node.func, tuple(rebuild(a) for a in node.args), receiver)
+        if kind is UnaryOp:
+            return UnaryOp(node.op, rebuild(node.operand))
+        if kind is BinOp:
+            return BinOp(node.op, rebuild(node.left), rebuild(node.right))
+        if kind is Compare:
+            return Compare(node.op, rebuild(node.left), rebuild(node.right))
+        if kind is Not:
+            return Not(rebuild(node.operand))
+        if kind is And:
+            return And(tuple(rebuild(op) for op in node.operands))
+        if kind is Or:
+            return Or(tuple(rebuild(op) for op in node.operands))
+        raise _Unsupported(f"codegen does not support IR node type {kind!r}")
+
+    try:
+        shape = rebuild(expr)
+    except _Unsupported:
+        return None, ()
+    return shape, tuple(params)
+
+
+@lru_cache(maxsize=CODEGEN_CACHE_SIZE)
+def _compile_batch_cached(shape: Expr) -> Optional[Callable]:
+    consts: List[object] = []
+    try:
+        body = _emit(shape, consts)
+    except _Unsupported:
+        return None
+    source = (
+        "def __cg_batch(__cg_rows, state, __cg_read, __cg_locals):\n"
+        "    __cg_out = []\n"
+        "    __cg_append = __cg_out.append\n"
+        "    for __cg_p in __cg_rows:\n"
+        f"        __cg_append(bool({body}))\n"
+        "    return __cg_out\n"
+    )
+    namespace = dict(_NAMESPACE)
+    namespace["__cg_consts"] = tuple(consts)
+    try:
+        code = compile(source, f"<batch predicate: {unparse(shape)[:80]}>", "exec")
+        exec(code, namespace)
+    except (SyntaxError, ValueError):  # pragma: no cover - defensive fallback
+        return None
+    fn = namespace["__cg_batch"]
+    fn.__cg_source__ = source
+    return fn
+
+
+def compile_batch(shape: Expr) -> Optional[Callable]:
+    """Lower a parametrized *shape* (see :func:`parametrize_expr`) to a fused
+    batch function, or None when unsupported.
+
+    The returned function has signature
+    ``fn(rows, state, reader, locals_map) -> List[bool]`` where each row is
+    one predicate's extracted constant tuple: all rows are evaluated in a
+    single generated loop sharing one reader (and therefore one
+    :class:`~repro.predicates.evaluator.EvalContext` cache), with no
+    per-predicate Python call.  Results are bool-coerced exactly like
+    ``EvalContext.holds``.  Memoized on the shape, so every predicate group
+    with the same structure shares one compilation.
+    """
+    if shape is None:
+        return None
+    try:
+        return _compile_batch_cached(shape)
+    except TypeError:
+        # An unhashable constant survived into the shape (no IR the parser
+        # emits, but defensive): compile without memoization.
+        return _compile_batch_cached.__wrapped__(shape)

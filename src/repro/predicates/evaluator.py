@@ -54,12 +54,35 @@ from repro.predicates.ast_nodes import (
 from repro.predicates.errors import PredicateError
 
 __all__ = [
+    "ENGINES",
+    "DEFAULT_ENGINE",
     "EvaluationError",
     "EvalContext",
     "evaluate",
     "evaluate_bool",
     "read_shared",
+    "validate_engine",
 ]
+
+#: The available predicate-evaluation engines.
+ENGINES = ("compiled", "interpreted")
+
+#: Engine used when nothing is configured: compiled closures with transparent
+#: interpreter fallback.
+DEFAULT_ENGINE = "compiled"
+
+
+def validate_engine(name: str) -> str:
+    """Return *name* if it is a known evaluation engine, raise otherwise.
+
+    The error mirrors the plugin registries' unknown-name message, so a
+    typo'd ``eval_engine`` reads the same as a typo'd policy or scheduler.
+    """
+    if name not in ENGINES:
+        raise ValueError(
+            f"unknown eval engine {name!r}; available engines: {ENGINES}"
+        )
+    return name
 
 _BUILTINS = {
     "len": len,
@@ -321,10 +344,10 @@ class EvalContext:
     __slots__ = ("state", "engine", "stats", "_reads", "_shared_exprs")
 
     def __init__(
-        self, state: object, engine: str = "compiled", stats: Optional[object] = None
+        self, state: object, engine: str = DEFAULT_ENGINE, stats: Optional[object] = None
     ) -> None:
         self.state = state
-        self.engine = engine
+        self.engine = validate_engine(engine)
         self.stats = stats
         self._reads: Dict[str, object] = {}
         self._shared_exprs: Dict[str, object] = {}

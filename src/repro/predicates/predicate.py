@@ -23,8 +23,13 @@ from dataclasses import dataclass, field
 from typing import Callable, Mapping, Optional, Tuple
 
 from repro.predicates.ast_nodes import Expr
-from repro.predicates.classify import classify, local_names_used, shared_names_used
-from repro.predicates.codegen import compile_expr
+from repro.predicates.classify import (
+    classify,
+    local_names_used,
+    shared_names_used,
+    uses_monitor_queries,
+)
+from repro.predicates.codegen import compile_batch, compile_expr, parametrize_expr
 from repro.predicates.dnf import DNFPredicate, to_dnf
 from repro.predicates.evaluator import _EMPTY_LOCALS, evaluate_bool, read_shared
 from repro.predicates.globalization import globalize
@@ -57,6 +62,19 @@ class GlobalizedPredicate:
     _compiled_fn: object = field(
         default=_UNCOMPILED, init=False, repr=False, compare=False
     )
+    #: Per-instance cache of the fused-batch form (lazily built, see
+    #: :meth:`batch_form`).
+    _batch_form: object = field(
+        default=_UNCOMPILED, init=False, repr=False, compare=False
+    )
+    #: Per-instance cache of :meth:`read_set`.
+    _read_set: object = field(
+        default=_UNCOMPILED, init=False, repr=False, compare=False
+    )
+    #: Per-instance cache of :meth:`uses_queries`.
+    _uses_queries: object = field(
+        default=_UNCOMPILED, init=False, repr=False, compare=False
+    )
 
     def compiled_fn(self) -> Optional[Callable]:
         """The predicate lowered to a native closure, or None (cached)."""
@@ -65,6 +83,48 @@ class GlobalizedPredicate:
             fn = compile_expr(self.expr)
             object.__setattr__(self, "_compiled_fn", fn)
         return fn
+
+    def read_set(self) -> frozenset:
+        """The shared-variable names this predicate reads (cached).
+
+        This is the dirty-set key of the incremental relay path: an entry
+        evaluated false can be skipped while no name in its read set has
+        been written since.
+        """
+        names = self._read_set
+        if names is _UNCOMPILED:
+            names = frozenset(shared_names_used(self.expr))
+            object.__setattr__(self, "_read_set", names)
+        return names
+
+    def uses_queries(self) -> bool:
+        """True when the predicate calls monitor query methods (cached).
+
+        Query results are not bounded by the predicate's shared *names*, so
+        the incremental relay path never version-tracks such a predicate.
+        """
+        flag = self._uses_queries
+        if flag is _UNCOMPILED:
+            flag = uses_monitor_queries(self.expr)
+            object.__setattr__(self, "_uses_queries", flag)
+        return flag
+
+    def batch_form(self) -> Optional[Tuple[Callable, Tuple[object, ...]]]:
+        """The predicate's fused-batch handle ``(fn, params)``, or None.
+
+        ``fn`` is the shape's generated batch function (shared by every
+        predicate with the same constant-free structure) and ``params`` is
+        this predicate's extracted constant tuple — one row of the batch.
+        None when codegen cannot lower the shape; callers fall back to
+        per-predicate evaluation.
+        """
+        form = self._batch_form
+        if form is _UNCOMPILED:
+            shape, params = parametrize_expr(self.expr)
+            fn = compile_batch(shape)
+            form = (fn, params) if fn is not None else None
+            object.__setattr__(self, "_batch_form", form)
+        return form
 
     def holds(self, state: object) -> bool:
         """Evaluate the predicate against the monitor *state* (interpreted)."""

@@ -81,6 +81,10 @@ class _CompiledAssignment:
         else:
             container = getattr(monitor, self.target)
             container[evaluate(self.index, monitor, local_values)] = value
+            # A subscript store mutates the container in place, bypassing the
+            # monitor's __setattr__ write tracking; report it explicitly so
+            # the incremental relay path stays sound for container fields.
+            monitor._bump_write(self.target)
 
 
 class _ActionRuntime:
@@ -153,6 +157,11 @@ def compile_scenario_monitor(spec: ScenarioSpec) -> type:
         ),
         "__module__": __name__,
         "scenario_name": spec.name,
+        # Every state update funnels through _CompiledAssignment.apply, which
+        # reports subscript stores via _bump_write; declaring the state names
+        # lets the condition manager trust write tracking even for container
+        # fields on scenario-compiled monitors.
+        "_tracked_write_names": state_names,
     }
     for runtime in runtimes:
         namespace[runtime.name] = _make_action_method(runtime)

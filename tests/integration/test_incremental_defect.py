@@ -1,0 +1,87 @@
+"""Seeded defect: a broken write tracker must be caught as a missed signal.
+
+The incremental relay path's soundness rests entirely on the write tracker
+seeing every shared-variable write.  This suite plants a tracker that
+*forgets* writes (its ``bump`` does nothing) behind an otherwise-correct
+FIFO relay policy: entries evaluated false are marked clean and, since no
+write ever dirties them again, are skipped forever.  Schedule exploration
+must then find a run where all threads deadlock while a waiter's predicate
+is true — the explorer's ``missed_signal`` classification — proving the
+equivalence suite's oracle actually has teeth.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.signalling import register_policy, unregister_policy
+from repro.core.signalling.fifo import FifoRelayPolicy
+from repro.core.write_tracking import WriteTracker
+from repro.explore import ExploreTask, explore_dfs
+
+BROKEN = "amnesiac_relay_test"
+
+
+class _AmnesiacTracker(WriteTracker):
+    """A write tracker that forgets every write (deliberately unsound)."""
+
+    def bump(self, name: str) -> None:  # noqa: ARG002 - defect by design
+        return None
+
+
+class AmnesiacFifoPolicy(FifoRelayPolicy):
+    """FIFO relay whose monitor's write tracker drops every write.
+
+    Predicates evaluated false get marked clean and never re-dirtied, so the
+    dirty-set search skips them even after the state change that made them
+    true — the exact failure mode the equivalence/validation oracles exist
+    to catch.
+    """
+
+    name = BROKEN
+    description = "fifo relay with a write tracker that drops writes (defect)"
+
+    def _setup(self, monitor) -> None:
+        if monitor._write_tracker is not None:
+            monitor._write_tracker = _AmnesiacTracker()
+        super()._setup(monitor)
+
+
+@pytest.fixture
+def broken_policy():
+    register_policy(AmnesiacFifoPolicy)
+    try:
+        yield BROKEN
+    finally:
+        unregister_policy(BROKEN)
+
+
+class TestBrokenTrackerIsCaught:
+    def test_dfs_finds_missed_signal(self, broken_policy):
+        task = ExploreTask(
+            problem="round_robin",
+            mechanism=broken_policy,
+            threads=2,
+            total_ops=4,
+        )
+        report = explore_dfs(task)
+        assert report.complete
+        assert report.failures_total > 0, "the dropped write went undetected"
+        kinds = {failure.kind for failure in report.failures}
+        assert "missed_signal" in kinds, (
+            f"expected a missed_signal classification, got {kinds}"
+        )
+
+    def test_honest_tracker_passes_same_exploration(self):
+        # Control: the same configuration under the real FIFO relay (honest
+        # write tracker) has zero failing schedules, so the detection above
+        # is the planted defect's.
+        task = ExploreTask(
+            problem="round_robin",
+            mechanism="relay_fifo",
+            threads=2,
+            total_ops=4,
+        )
+        report = explore_dfs(task)
+        assert report.complete
+        assert report.failures_total == 0

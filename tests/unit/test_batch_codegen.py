@@ -1,0 +1,73 @@
+"""Unit tests for the fused batch closures (parametrize_expr / compile_batch)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.predicates import EvaluationError, compile_predicate, evaluate
+from repro.predicates.codegen import compile_batch, parametrize_expr
+from repro.predicates.evaluator import _EMPTY_LOCALS, read_shared
+
+
+def expr_of(source, shared):
+    return compile_predicate(source, shared).globalized().expr
+
+
+class TestParametrize:
+    def test_constants_become_slots(self):
+        shape, params = parametrize_expr(expr_of("count > 3", {"count"}))
+        assert params == (3,)
+        other_shape, other_params = parametrize_expr(expr_of("count > 7", {"count"}))
+        assert other_params == (7,)
+        # Same structure, different constants: one shared shape.
+        assert shape == other_shape
+
+    def test_different_structure_different_shape(self):
+        shape_gt, _ = parametrize_expr(expr_of("count > 1", {"count"}))
+        shape_eq, _ = parametrize_expr(expr_of("count == 1", {"count"}))
+        shape_other_name, _ = parametrize_expr(expr_of("total > 1", {"total"}))
+        assert shape_gt != shape_eq
+        assert shape_gt != shape_other_name
+
+    def test_constant_free_predicate_has_empty_params(self):
+        shape, params = parametrize_expr(expr_of("flag", {"flag"}))
+        assert params == ()
+        assert compile_batch(shape) is not None
+
+
+class TestCompileBatch:
+    def test_batch_matches_per_predicate_evaluation(self):
+        state = {"count": 5}
+        sources = [f"count > {i}" for i in range(10)]
+        exprs = [expr_of(source, {"count"}) for source in sources]
+        forms = [parametrize_expr(expr) for expr in exprs]
+        shapes = {shape for shape, _ in forms}
+        assert len(shapes) == 1, "same-structure predicates must share a shape"
+        fn = compile_batch(next(iter(shapes)))
+        assert fn is not None
+        rows = [params for _, params in forms]
+        results = fn(rows, state, read_shared, _EMPTY_LOCALS)
+        expected = [bool(evaluate(expr, state)) for expr in exprs]
+        assert results == expected == [True] * 5 + [False] * 5
+
+    def test_batch_fn_is_memoized_per_shape(self):
+        shape_a, _ = parametrize_expr(expr_of("count >= 2", {"count"}))
+        shape_b, _ = parametrize_expr(expr_of("count >= 9", {"count"}))
+        assert compile_batch(shape_a) is compile_batch(shape_b)
+
+    def test_none_shape_returns_none(self):
+        assert compile_batch(None) is None
+
+    def test_batch_raises_evaluation_error_like_the_engines(self):
+        shape, params = parametrize_expr(expr_of("missing > 1", {"missing"}))
+        fn = compile_batch(shape)
+        assert fn is not None
+        with pytest.raises(EvaluationError):
+            fn([params], {}, read_shared, _EMPTY_LOCALS)
+
+    def test_batch_results_are_bools(self):
+        shape, params = parametrize_expr(expr_of("count + 1", {"count"}))
+        fn = compile_batch(shape)
+        results = fn([params], {"count": 3}, read_shared, _EMPTY_LOCALS)
+        assert results == [True]
+        assert isinstance(results[0], bool)

@@ -166,6 +166,8 @@ class TestValidationMode:
             if manager is not None:
                 manager._indices.clear()
                 manager._untagged.clear()
+                manager._untagged_pending.clear()
+                manager._untagged_by_name.clear()
 
         # Order matters: the consumer must wait first, then the saboteur runs,
         # then the producer's exit triggers relay + validation.
