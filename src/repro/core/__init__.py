@@ -16,7 +16,12 @@ The public API a downstream user needs:
 """
 
 from repro.core.condition_manager import ConditionManager, PredicateEntry
-from repro.core.errors import MonitorError, MonitorUsageError, RelayInvarianceError
+from repro.core.errors import (
+    MonitorError,
+    MonitorUsageError,
+    RelayInvarianceError,
+    WaitTimeout,
+)
 from repro.core.heaps import ThresholdHeap
 from repro.core.instrumentation import MonitorStats, Stopwatch
 from repro.core.monitor import (
@@ -52,6 +57,7 @@ __all__ = [
     "ThresholdHeap",
     "TraceEvent",
     "Tracer",
+    "WaitTimeout",
     "available_policies",
     "describe_policy",
     "entry_method",

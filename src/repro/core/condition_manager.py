@@ -488,7 +488,9 @@ class ConditionManager:
             )
         return best is not None
 
-    def find_missed_waiter(self) -> Optional[PredicateEntry]:
+    def find_missed_waiter(
+        self, include_promised: bool = False
+    ) -> Optional[PredicateEntry]:
         """Exhaustively look for a waiting predicate that is true but has no
         pending signal.
 
@@ -496,17 +498,42 @@ class ConditionManager:
         returned False, a non-None result here means the tag structures
         pruned away a predicate they should not have — a violation of the
         soundness property behind relay invariance.
+
+        With ``include_promised`` every entry with waiters qualifies, even
+        when each waiter has already been promised a signal — the
+        self-healing path uses this because a promised signal may have been
+        lost in flight (a dropped notification), in which case the promise
+        will never be honoured.
         """
         # A stats-less context: the validate-mode recheck is diagnostic and
         # must not skew the engine-attribution counters (which would break
         # the invariant compiled + interpreted == predicate_evaluations).
         ctx = EvalContext(self._owner, engine=self.eval_engine)
         for entry in self._table.values():
-            if not entry.active or entry.unsignalled_waiters <= 0:
+            if not entry.active:
+                continue
+            pool = entry.waiters if include_promised else entry.unsignalled_waiters
+            if pool <= 0:
                 continue
             if ctx.holds(entry.globalized):
                 return entry
         return None
+
+    def demote_to_exhaustive(self) -> None:
+        """Permanently disable dirty-set search for this manager.
+
+        The self-healing path calls this when the write tracker can no
+        longer be trusted (a deadlock was reached while an entry the tracker
+        skipped had a true predicate): the tracker is dropped, the
+        incremental bookkeeping is cleared and every entry's recorded
+        cleanliness is voided, so every future pass is a full exhaustive
+        search — the always-sound fallback.
+        """
+        self._tracker = None
+        self._untagged_pending.clear()
+        self._untagged_by_name.clear()
+        for entry in self._table.values():
+            entry.seen_clock = None
 
     # -- tag-directed search -------------------------------------------------
 

@@ -16,3 +16,22 @@ class RelayInvarianceError(MonitorError):
     predicate is true, has un-signalled waiters, yet ``relay_signal`` found
     nothing to wake.  A dedicated type so tooling (e.g. the schedule
     explorer's failure classification) need not match message text."""
+
+
+class WaitTimeout(MonitorError):
+    """Raised by ``wait_until(..., timeout=...)`` when the deadline expires
+    with the predicate still false.
+
+    A timed wait that gives up is a *classified* outcome, not a hang: the
+    waiter leaves the predicate table cleanly (its entry is deactivated when
+    it was the last waiter) and the exception carries the predicate so the
+    schedule explorer can report which wait starved.
+    """
+
+    def __init__(self, predicate: str, timeout: float) -> None:
+        super().__init__(
+            f"wait_until({predicate!r}) timed out after {timeout} time unit(s) "
+            "with the predicate still false"
+        )
+        self.predicate = predicate
+        self.timeout = timeout

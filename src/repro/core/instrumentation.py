@@ -56,6 +56,22 @@ class MonitorStats:
     #: Predicate evaluations served by a fused batch closure (a subset of
     #: ``compiled_evaluations``; the per-waiter-call ones are the rest).
     batched_evaluations: int = 0
+    #: Timed ``wait_until`` calls that gave up (raised ``WaitTimeout``).
+    wait_timeouts: int = 0
+    #: Predicates demoted from the compiled engine to the interpreter after
+    #: their compiled closure raised a non-semantic error (self-healing
+    #: degradation; the run continues on the interpreter).
+    predicate_quarantines: int = 0
+    #: Times this monitor's condition manager stopped trusting its write
+    #: tracker and fell back to exhaustive relay search for good (triggered
+    #: by self-healing after a detected tracker inconsistency).
+    incremental_demotions: int = 0
+    #: Lost signals recovered by :meth:`AutoSynchMonitor.try_self_heal`
+    #: (a true waiting predicate re-signalled instead of deadlocking).
+    self_heal_recoveries: int = 0
+    #: Faults a :class:`repro.faults.FaultInjector` injected into this
+    #: monitor's run (chaos mode; 0 outside fault-injection runs).
+    faults_injected: int = 0
 
     # --- time buckets (seconds), populated only when profiling ----------
     await_time: float = 0.0

@@ -46,6 +46,7 @@ from typing import Callable, Dict, Mapping, Optional, Tuple
 
 from repro.core.condition_manager import DEFAULT_INACTIVE_CAPACITY, ConditionManager
 from repro.core.errors import MonitorUsageError
+from repro.predicates.evaluator import EvaluationError
 from repro.core.instrumentation import MonitorStats
 from repro.core.signalling import SignallingPolicy, create_policy
 from repro.core.write_tracking import WriteTracker, incremental_enabled
@@ -215,6 +216,7 @@ _NEVER_WRAPPED = frozenset(
         "signal",
         "signal_all",
         "condition_manager",
+        "try_self_heal",
     }
 )
 
@@ -262,6 +264,11 @@ class AutoSynchMonitor(MonitorBase):
     #: so ``__setattr__`` works during ``__init__`` itself.
     _write_tracker: Optional[WriteTracker] = None
 
+    #: Fault-injection hook (a :class:`repro.faults.FaultInjector`), consulted
+    #: before every compiled predicate evaluation.  Class-level default so
+    #: monitors without fault injection pay one attribute read, nothing more.
+    _fault_hook: Optional[object] = None
+
     def __init__(
         self,
         backend: Optional[Backend] = None,
@@ -272,9 +279,14 @@ class AutoSynchMonitor(MonitorBase):
         validate: bool = False,
         eval_engine: str = DEFAULT_ENGINE,
         incremental_relay: Optional[bool] = None,
+        wait_timeout: Optional[float] = None,
     ) -> None:
         super().__init__(backend, profile, tracer)
         self._validate = validate
+        #: Default timeout applied to every ``wait_until`` that does not pass
+        #: its own (None: wait forever).  Measured in the backend's time
+        #: units — seconds on real threads, scheduling steps under simulation.
+        self._wait_timeout = wait_timeout
         self._eval_engine = validate_engine(eval_engine)
         self._inactive_capacity = inactive_capacity
         self._predicate_cache: Dict[Tuple[str, frozenset], CompiledPredicate] = {}
@@ -371,7 +383,12 @@ class AutoSynchMonitor(MonitorBase):
         """The policy's condition manager (None for broadcast policies)."""
         return self._cond_mgr
 
-    def wait_until(self, predicate: str, **local_values: object) -> None:
+    def wait_until(
+        self,
+        predicate: str,
+        timeout: Optional[float] = None,
+        **local_values: object,
+    ) -> None:
         """Block until *predicate* holds (the paper's ``waituntil`` statement).
 
         *predicate* is a Python boolean expression over the monitor's public
@@ -379,13 +396,24 @@ class AutoSynchMonitor(MonitorBase):
         keyword arguments, which play the role of the calling thread's local
         variables and are frozen to their current values (globalization).
 
+        *timeout* bounds the wait, in the backend's time units (seconds on
+        real threads, scheduling steps under simulation — see
+        :meth:`Backend.now`); when it expires with the predicate still
+        false, :class:`~repro.core.errors.WaitTimeout` is raised with the
+        monitor lock re-held.  None falls back to the monitor-wide
+        ``wait_timeout`` default (itself None: wait forever).  ``timeout``
+        is therefore a reserved name — a local variable of that name cannot
+        be passed through ``local_values``.
+
         Must be called from inside an entry method.
         """
         self._require_monitor_held("wait_until")
         compiled = self._compiled(predicate, local_values)
         if self._evaluate_predicate(compiled, local_values):
             return
-        self._policy.on_wait(compiled, local_values)
+        if timeout is None:
+            timeout = self._wait_timeout
+        self._policy.on_wait(compiled, local_values, timeout=timeout)
 
     def _before_release(self) -> None:
         self._policy.on_monitor_exit()
@@ -428,8 +456,18 @@ class AutoSynchMonitor(MonitorBase):
             fn = compiled.compiled_fn()
             if fn is not None:
                 stats.compiled_evaluations += 1
-                with stats.time_bucket("compiled_eval_time"):
-                    return bool(fn(self, read_shared, local_values or _EMPTY_LOCALS))
+                try:
+                    hook = self._fault_hook
+                    if hook is not None:
+                        hook.on_compiled_eval(self)
+                    with stats.time_bucket("compiled_eval_time"):
+                        return bool(
+                            fn(self, read_shared, local_values or _EMPTY_LOCALS)
+                        )
+                except EvaluationError:
+                    raise
+                except Exception:
+                    self._quarantine(compiled, stats)
         stats.interpreted_evaluations += 1
         with stats.time_bucket("interpreted_eval_time"):
             return compiled.evaluate(self, local_values)
@@ -447,25 +485,87 @@ class AutoSynchMonitor(MonitorBase):
             fn = globalized.compiled_fn()
             if fn is not None:
                 stats.compiled_evaluations += 1
-                with stats.time_bucket("compiled_eval_time"):
-                    return bool(fn(self, read_shared, _EMPTY_LOCALS))
+                try:
+                    hook = self._fault_hook
+                    if hook is not None:
+                        hook.on_compiled_eval(self)
+                    with stats.time_bucket("compiled_eval_time"):
+                        return bool(fn(self, read_shared, _EMPTY_LOCALS))
+                except EvaluationError:
+                    raise
+                except Exception:
+                    self._quarantine(globalized, stats)
         stats.interpreted_evaluations += 1
         with stats.time_bucket("interpreted_eval_time"):
             return globalized.holds(self)
+
+    @staticmethod
+    def _quarantine(predicate: object, stats: MonitorStats) -> None:
+        """Demote a misbehaving compiled closure to the interpreter.
+
+        ``EvaluationError`` never lands here — it has guaranteed class
+        parity with the interpreter, so re-raising is the honest outcome;
+        anything else means the closure diverged from the tree walker and
+        can no longer be trusted.  The compiled-evaluation counter is
+        rolled back so ``compiled + interpreted == predicate_evaluations``
+        still holds after the interpreter answers instead.
+        """
+        predicate.quarantine()
+        stats.compiled_evaluations -= 1
+        stats.predicate_quarantines += 1
 
     def _create_condition(self) -> ConditionAPI:
         """Create a condition variable tied to the monitor lock."""
         return self._backend.create_condition(self._mutex)
 
-    def _block_on(self, condition: ConditionAPI) -> None:
+    def _block_on(
+        self, condition: ConditionAPI, timeout: Optional[float] = None
+    ) -> bool:
         """Release the monitor and block on *condition* (owner bookkeeping
-        and the ``await_time`` bucket included)."""
+        and the ``await_time`` bucket included).
+
+        Returns whether the wake-up was a notification (False: the timed
+        wait expired); either way the monitor lock is re-held."""
         self._owner_id = None
         try:
             with self._stats.time_bucket("await_time"):
-                condition.wait()
+                return condition.wait(timeout)
         finally:
             self._owner_id = self._backend.current_id()
+
+    def try_self_heal(self) -> Optional[ConditionAPI]:
+        """Attempt to recover from an imminent deadlock (pure bookkeeping).
+
+        Designed as a deadlock-recovery hook for the simulation kernel
+        (:meth:`SimulationBackend.set_deadlock_recovery`), which calls it
+        with its scheduler lock held from outside any simulated thread — so
+        this method must not touch any backend primitive.  It exhaustively
+        looks for a waiting predicate that is true (including waiters whose
+        promised signal may have been lost in flight); if one is found while
+        the dirty-set relay path is engaged, the write tracker evidently
+        missed a write, so the manager is demoted to exhaustive search for
+        good.  Either way the lost signal is re-promised, and the condition
+        to wake is returned for the kernel to deliver — None when there is
+        nothing to heal.
+        """
+        manager = self._cond_mgr
+        if manager is None:
+            return None
+        entry = manager.find_missed_waiter(include_promised=True)
+        if entry is None:
+            return None
+        stats = self._stats
+        if manager.incremental:
+            # The tracker let a true predicate be skipped: its dirty-set
+            # bookkeeping can no longer be trusted for this monitor.
+            manager.demote_to_exhaustive()
+            stats.incremental_demotions += 1
+        entry.pending_signals = min(entry.pending_signals + 1, entry.waiters)
+        stats.signals_sent += 1
+        stats.self_heal_recoveries += 1
+        if self._tracer is not None:
+            self._tracer.record("self_heal", None, predicate=entry.canonical)
+        return entry.condition
 
     def _check_no_missed_signal(self) -> None:
         """Validation mode: after a relay that signalled nobody, no waiting

@@ -27,7 +27,7 @@ from __future__ import annotations
 import abc
 from typing import TYPE_CHECKING, ClassVar, Mapping, Optional
 
-from repro.core.errors import MonitorUsageError
+from repro.core.errors import MonitorUsageError, WaitTimeout
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.condition_manager import ConditionManager, PredicateEntry
@@ -86,12 +86,18 @@ class SignallingPolicy(abc.ABC):
 
     @abc.abstractmethod
     def on_wait(
-        self, compiled: "CompiledPredicate", local_values: Mapping[str, object]
+        self,
+        compiled: "CompiledPredicate",
+        local_values: Mapping[str, object],
+        timeout: Optional[float] = None,
     ) -> None:
         """Block the calling thread until *compiled* holds.
 
         Called with the monitor lock held, after the predicate evaluated to
         false once.  Must return with the lock held and the predicate true.
+        With a *timeout* (in the backend's time units), the wait must raise
+        :class:`~repro.core.errors.WaitTimeout` — lock re-held — once the
+        deadline passes with the predicate still false.
         """
 
     @abc.abstractmethod
@@ -147,16 +153,21 @@ class RelayPolicyBase(SignallingPolicy):
     # -- hook implementations --------------------------------------------------
 
     def on_wait(
-        self, compiled: "CompiledPredicate", local_values: Mapping[str, object]
+        self,
+        compiled: "CompiledPredicate",
+        local_values: Mapping[str, object],
+        timeout: Optional[float] = None,
     ) -> None:
         monitor = self.monitor
         manager = self._manager
         stats = monitor.stats
+        backend = monitor.backend
         globalized = compiled.globalized(local_values)
         entry = manager.acquire_entry(
             globalized, from_shared_predicate=compiled.is_shared
         )
         manager.add_waiter(entry)
+        deadline = backend.now() + timeout if timeout is not None else None
         try:
             while True:
                 # Relay rule: a thread about to wait passes the monitor on to
@@ -164,12 +175,24 @@ class RelayPolicyBase(SignallingPolicy):
                 self._relay_checked()
                 stats.waits += 1
                 monitor._trace("wait", predicate=entry.canonical)
-                monitor._block_on(entry.condition)
+                remaining = (
+                    max(deadline - backend.now(), 0.0)
+                    if deadline is not None
+                    else None
+                )
+                notified = monitor._block_on(entry.condition, timeout=remaining)
                 stats.wakeups += 1
-                self.consume(entry)
+                if notified:
+                    # An expired wait consumed no signal; a promise made to
+                    # this entry stays valid for its remaining waiters.
+                    self.consume(entry)
                 if monitor._predicate_holds(globalized):
                     monitor._trace("wakeup", predicate=entry.canonical)
                     return
+                if deadline is not None and backend.now() >= deadline:
+                    stats.wait_timeouts += 1
+                    monitor._trace("wait_timeout", predicate=entry.canonical)
+                    raise WaitTimeout(compiled.source, timeout)
                 stats.spurious_wakeups += 1
                 monitor._trace("spurious_wakeup", predicate=entry.canonical)
         finally:

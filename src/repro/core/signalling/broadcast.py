@@ -9,8 +9,9 @@ waiters instead of the number of satisfied predicates.
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Mapping, Optional
 
+from repro.core.errors import WaitTimeout
 from repro.core.signalling.base import SignallingPolicy
 from repro.core.signalling.registry import register_policy
 
@@ -37,19 +38,33 @@ class BroadcastPolicy(SignallingPolicy):
         self.monitor._trace("signal_all")
         self._condition.notify_all()
 
-    def on_wait(self, compiled, local_values: Mapping[str, object]) -> None:
+    def on_wait(
+        self,
+        compiled,
+        local_values: Mapping[str, object],
+        timeout: Optional[float] = None,
+    ) -> None:
         monitor = self.monitor
         stats = monitor.stats
+        backend = monitor.backend
+        deadline = backend.now() + timeout if timeout is not None else None
         while True:
             # Going to wait is a monitor exit too: wake everybody first.
             self._broadcast()
             stats.waits += 1
             monitor._trace("wait", predicate=compiled.source)
-            monitor._block_on(self._condition)
+            remaining = (
+                max(deadline - backend.now(), 0.0) if deadline is not None else None
+            )
+            monitor._block_on(self._condition, timeout=remaining)
             stats.wakeups += 1
             if monitor._evaluate_predicate(compiled, local_values):
                 monitor._trace("wakeup", predicate=compiled.source)
                 return
+            if deadline is not None and backend.now() >= deadline:
+                stats.wait_timeouts += 1
+                monitor._trace("wait_timeout", predicate=compiled.source)
+                raise WaitTimeout(compiled.source, timeout)
             stats.spurious_wakeups += 1
             monitor._trace("spurious_wakeup", predicate=compiled.source)
 

@@ -79,15 +79,21 @@ class WriteTracker:
     relay passes alike), so no extra synchronization is needed.
     """
 
-    __slots__ = ("clock", "versions", "_dirty")
+    __slots__ = ("clock", "versions", "_dirty", "suppressed")
 
     def __init__(self) -> None:
         self.clock: int = 0
         self.versions: Dict[str, int] = {}
         self._dirty: Set[str] = set()
+        #: Fault-injection switch: a suppressed tracker silently drops every
+        #: write (the ``tracker_amnesia`` fault), modelling a tracker whose
+        #: view of the monitor's writes has diverged from reality.
+        self.suppressed: bool = False
 
     def bump(self, name: str) -> None:
         """Record a write to *name* at a fresh logical time."""
+        if self.suppressed:
+            return
         self.clock += 1
         self.versions[name] = self.clock
         self._dirty.add(name)

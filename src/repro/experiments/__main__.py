@@ -110,6 +110,29 @@ def _build_parser() -> argparse.ArgumentParser:
         help="list the executor registry contents and exit",
     )
     parser.add_argument(
+        "--run-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "wall-clock safety net per run cell (simulation backend): a "
+            "cell exceeding it fails with a hang verdict and parked-thread "
+            "autopsy instead of wedging the sweep (default: the kernel's "
+            "600s)"
+        ),
+    )
+    parser.add_argument(
+        "--cell-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "re-attempt a failing run cell up to N times with exponential "
+            "backoff (default: fail fast); worker-process crashes are "
+            "always resubmitted to a rebuilt pool, bounded separately"
+        ),
+    )
+    parser.add_argument(
         "--eval-engine",
         choices=ENGINES,
         default=None,
@@ -162,6 +185,8 @@ def _run_one(experiment, args: argparse.Namespace) -> bool:
         eval_engine=args.eval_engine,
         executor=args.executor,
         jobs=args.jobs,
+        run_timeout=args.run_timeout,
+        cell_retries=args.cell_retries,
     )
     print(experiment.report(series))
     if args.csv_dir:
@@ -187,7 +212,13 @@ def _run_one(experiment, args: argparse.Namespace) -> bool:
     if args.also_wall_clock:
         config = experiment.quick_config if args.scale == "quick" else experiment.full_config
         config = experiment.configured(
-            config, args.mechanism_names, args.eval_engine, args.executor, args.jobs
+            config,
+            args.mechanism_names,
+            args.eval_engine,
+            args.executor,
+            args.jobs,
+            args.run_timeout,
+            args.cell_retries,
         )
         wall_config = replace(config, backend="threading")
         wall_series = runner.run(wall_config)
@@ -206,6 +237,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.jobs is not None and args.jobs < 1:
         raise SystemExit("--jobs must be >= 1")
+    if args.cell_retries is not None and args.cell_retries < 0:
+        raise SystemExit("--cell-retries must be >= 0")
+    if args.run_timeout is not None and args.run_timeout <= 0:
+        raise SystemExit("--run-timeout must be positive")
     if args.jobs is not None and args.executor is None:
         # --jobs without an executor would silently run serial (the serial
         # executor ignores the count); parallelism was clearly the intent.

@@ -106,6 +106,8 @@ class Experiment:
         eval_engine: Optional[str] = None,
         executor: Optional[str] = None,
         jobs: Optional[int] = None,
+        run_timeout: Optional[float] = None,
+        cell_retries: Optional[int] = None,
     ) -> ExperimentSeries:
         """Run the experiment at the given scale and return its series.
 
@@ -116,11 +118,16 @@ class Experiment:
         automatic monitors' predicate-evaluation engine the same way, and
         *executor*/*jobs* select how the sweep's cells are executed (any
         registered executor; the merged series is identical either way).
+        *run_timeout* caps each cell's wall-clock (hang verdict instead of
+        a wedged sweep) and *cell_retries* turns on per-cell retry with
+        backoff.
         """
         if scale not in ("quick", "full"):
             raise ValueError(f"unknown scale {scale!r}; expected 'quick' or 'full'")
         config = self.quick_config if scale == "quick" else self.full_config
-        config = self.configured(config, mechanisms, eval_engine, executor, jobs)
+        config = self.configured(
+            config, mechanisms, eval_engine, executor, jobs, run_timeout, cell_retries
+        )
         runner = runner or ExperimentRunner()
         return runner.run(config)
 
@@ -131,14 +138,21 @@ class Experiment:
         eval_engine: Optional[str] = None,
         executor: Optional[str] = None,
         jobs: Optional[int] = None,
+        run_timeout: Optional[float] = None,
+        cell_retries: Optional[int] = None,
     ) -> RunConfig:
-        """Return *config* with mechanisms / eval engine / executor overridden."""
+        """Return *config* with mechanisms / eval engine / executor /
+        robustness knobs overridden (``None`` keeps the current value)."""
         from dataclasses import replace
 
         if mechanisms:
             config = replace(config, mechanisms=tuple(mechanisms))
         if eval_engine is not None:
             config = replace(config, eval_engine=eval_engine)
+        if run_timeout is not None:
+            config = replace(config, run_timeout=run_timeout)
+        if cell_retries is not None:
+            config = replace(config, cell_retries=cell_retries)
         return config.with_executor(executor, jobs)
 
     def report(self, series: ExperimentSeries) -> str:

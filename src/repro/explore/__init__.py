@@ -23,12 +23,25 @@ each compiled and registered on the fly with its invariants enforced as
 oracles, so exploration sweeps policy × scheduler × scenario instead of
 only the paper's seven problems.
 
+Chaos mode (:mod:`repro.explore.chaos`, ``python -m repro.explore --mode
+chaos``) sweeps :mod:`repro.faults` fault plans across problems and
+signalling policies and holds every run to the recovery-or-classified
+contract: an injected fault must either be absorbed/self-healed (the run
+completes, with degradation counters as evidence) or end in a bounded
+verdict the plan declares acceptable — never a silent hang.
+
 Every failing schedule is shrunk to a near-minimal decision prefix
 (:mod:`repro.explore.shrink`) and can be written to a JSON repro file that
 ``python -m repro.explore --replay FILE`` re-executes bit-identically
 (:mod:`repro.explore.repro_files`).
 """
 
+from repro.explore.chaos import (
+    ChaosFailure,
+    ChaosReport,
+    chaos_sweep,
+    kind_is_acceptable,
+)
 from repro.explore.engine import (
     ExplorationFailure,
     ExplorationReport,
@@ -51,6 +64,8 @@ from repro.explore.repro_files import (
 from repro.explore.shrink import ShrinkResult, shrink_failure
 
 __all__ = [
+    "ChaosFailure",
+    "ChaosReport",
     "ExplorationFailure",
     "ExplorationReport",
     "ExploreTask",
@@ -61,9 +76,11 @@ __all__ = [
     "ScheduleOutcome",
     "ShrinkResult",
     "StarvationBudgetWatcher",
+    "chaos_sweep",
     "explore_dfs",
     "explore_swarm",
     "fuzz_scenarios",
+    "kind_is_acceptable",
     "load_repro",
     "replay_repro",
     "repro_payload",

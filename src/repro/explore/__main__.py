@@ -21,7 +21,14 @@ Explore a declarative scenario loaded from a JSON spec file::
 
     python -m repro.explore --scenario scenarios/ping_pong.json --mode dfs --ops 4
 
-Replay a failure repro file bit-identically::
+Chaos sweep: every registered fault plan across two problems, with
+self-healing recovery on, asserting the recovery-or-classified contract::
+
+    python -m repro.explore --mode chaos --problem bounded_buffer,h2o \
+        --mechanism all --schedules 10
+
+Replay a failure repro file bit-identically (fault plans embedded in a
+chaos repro are re-injected automatically)::
 
     python -m repro.explore --replay repros/bounded_buffer_....json
 """
@@ -42,6 +49,7 @@ from repro.explore.engine import (
     explore_dfs,
     explore_swarm,
 )
+from repro.explore.chaos import DEFAULT_SCHEDULES_PER_CONFIG, chaos_sweep
 from repro.explore.fuzz import (
     DEFAULT_SCENARIO_COUNT,
     DEFAULT_SCHEDULES,
@@ -95,11 +103,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--mode",
-        choices=("dfs", "swarm", "fuzz"),
+        choices=("dfs", "swarm", "fuzz", "chaos"),
         default="dfs",
         help=(
             "dfs = bounded exhaustive search, swarm = seeded random "
-            "sampling, fuzz = swarm over seeded *generated* scenarios"
+            "sampling, fuzz = swarm over seeded *generated* scenarios, "
+            "chaos = fault-injection sweep under the recovery oracle"
         ),
     )
     parser.add_argument(
@@ -190,6 +199,47 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="re-execute a repro file bit-identically and report the verdict",
+    )
+    parser.add_argument(
+        "--fault",
+        action="append",
+        default=None,
+        metavar="PLAN",
+        help=(
+            "chaos: fault plan(s) to inject (repeatable; see --list-faults; "
+            "default: every registered plan)"
+        ),
+    )
+    parser.add_argument(
+        "--run-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "wall-clock safety net per run; when it fires the run is "
+            "classified 'hang' with a parked-thread autopsy "
+            "(default: the kernel's 600s)"
+        ),
+    )
+    parser.add_argument(
+        "--wait-timeout",
+        type=float,
+        default=None,
+        metavar="STEPS",
+        help=(
+            "default wait_until timeout in scheduling steps; expiry "
+            "classifies the run as 'timeout' (default: unbounded waits)"
+        ),
+    )
+    parser.add_argument(
+        "--no-self-heal",
+        action="store_true",
+        help="chaos: run without the monitor's self-healing recovery hook",
+    )
+    parser.add_argument(
+        "--list-faults",
+        action="store_true",
+        help="list registered fault types and fault plans and exit",
     )
     parser.add_argument(
         "--list-schedulers",
@@ -340,8 +390,76 @@ def _run_fuzz(args: argparse.Namespace, specs=None) -> int:
     return 1 if any_failures else 0
 
 
+def _run_chaos(args: argparse.Namespace) -> int:
+    problems = [
+        name.strip()
+        for name in (args.problem or "bounded_buffer").split(",")
+        if name.strip()
+    ]
+    out_dir = Path(args.out)
+    any_failures = False
+    for problem in problems:
+        mechanisms = [
+            name
+            for name in _resolve_mechanisms(problem, args.mechanism)
+            # Fault scheduling is defined on the monitor's signalling
+            # machinery; the hand-written explicit twin has none to degrade.
+            if name != "explicit"
+        ]
+        try:
+            report = chaos_sweep(
+                problems=[problem],
+                mechanisms=mechanisms,
+                plans=args.fault,
+                schedules_per_config=(
+                    args.schedules
+                    if args.schedules is not None
+                    else DEFAULT_SCHEDULES_PER_CONFIG
+                ),
+                base_seed=args.seed,
+                threads=args.threads,
+                total_ops=args.ops,
+                self_heal=not args.no_self_heal,
+                wait_timeout=args.wait_timeout,
+                run_timeout=args.run_timeout,
+                max_steps=args.max_steps,
+                problem_params=_parse_params(args.param),
+                repro_dir=out_dir,
+                shrink=not args.no_shrink,
+            )
+        except ValueError as error:
+            # Unknown fault plan / bad problem parameter: a usage error; the
+            # plan registry's message already lists every registered plan.
+            raise SystemExit(f"cannot run chaos sweep: {error}") from None
+        print(report.summary())
+        for failure in report.failures:
+            if failure.repro_path is not None:
+                print(f"  repro written: {failure.repro_path}")
+        print()
+        if not report.ok:
+            any_failures = True
+    return 1 if any_failures else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.list_faults:
+        from repro.faults import (
+            available_fault_plans,
+            available_faults,
+            describe_fault,
+            describe_fault_plan,
+        )
+
+        print("fault types:")
+        width = max(len(name) for name in available_faults())
+        for name in available_faults():
+            print(f"  {name:{width}s}  {describe_fault(name)}")
+        print("fault plans:")
+        width = max(len(name) for name in available_fault_plans())
+        for name in available_fault_plans():
+            print(f"  {name:{width}s}  {describe_fault_plan(name)}")
+        return 0
     if args.list_schedulers:
         width = max(len(name) for name in available_schedulers())
         for name in available_schedulers():
@@ -369,6 +487,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"{args.problem!r}; drop --problem or make them agree"
             )
         args.problem = spec.name
+    if args.mode == "chaos":
+        if spec is not None:
+            raise SystemExit("--scenario is not supported with --mode chaos")
+        return _run_chaos(args)
     if args.mode == "fuzz":
         # With --scenario, fuzz the loaded spec; otherwise fuzz generated ones.
         return _run_fuzz(args, specs=[spec] if spec is not None else None)
@@ -381,6 +503,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     params = _parse_params(args.param)
     mechanisms = _resolve_mechanisms(args.problem, args.mechanism)
     out_dir = Path(args.out)
+    fault_plan = None
+    if args.fault:
+        if len(args.fault) > 1:
+            raise SystemExit(
+                "dfs/swarm explore one fault plan at a time; use --mode "
+                "chaos to sweep several"
+            )
+        from repro.faults import create_fault_plan
+
+        try:
+            fault_plan = create_fault_plan(args.fault[0]).to_dict()
+        except ValueError as error:
+            raise SystemExit(str(error)) from None
     any_failures = False
     for mechanism in mechanisms:
         task = ExploreTask(
@@ -397,6 +532,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             # registry; carry the spec so pool workers (and repro replays)
             # are self-contained.
             scenario=spec.to_dict() if spec is not None else None,
+            fault_plan=fault_plan,
+            self_heal=fault_plan is not None and not args.no_self_heal,
+            run_timeout=args.run_timeout,
+            wait_timeout=args.wait_timeout,
         )
         try:
             if args.mode == "dfs":

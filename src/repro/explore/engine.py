@@ -29,18 +29,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.core.errors import MonitorError, RelayInvarianceError
+from repro.core.errors import MonitorError, RelayInvarianceError, WaitTimeout
 from repro.core.monitor import MonitorBase
 from repro.harness.execution import FrozenMapping, create_executor
 from repro.predicates.codegen import DEFAULT_ENGINE
 from repro.problems import get_problem
 from repro.runtime.simulation import (
     DeadlockError,
+    MonitorAbandonedError,
     PrefixScheduler,
     ScheduleDivergenceError,
     ScheduleTrace,
     Scheduler,
     SimulationBackend,
+    SimulationHangError,
     SimulationLimitError,
 )
 from repro.runtime.simulation.schedulers import RandomScheduler, SchedulePoint
@@ -137,6 +139,19 @@ class ExploreTask:
     #: fresh replay process re-registers the scenario before resolving the
     #: problem name.
     scenario: Optional[dict] = None
+    #: Fault plan injected into every run of this task: a registered plan
+    #: name or an embedded plan dictionary (see :mod:`repro.faults.plan`).
+    #: Carried in repro files so chaos failures replay with their faults.
+    fault_plan: Optional[object] = None
+    #: Install the monitor's self-healing deadlock-recovery hook
+    #: (:meth:`AutoSynchMonitor.try_self_heal`) on the kernel.
+    self_heal: bool = False
+    #: Wall-clock safety net per run, in seconds (None: the kernel default).
+    #: When it fires, the run is classified ``hang`` with a full autopsy.
+    run_timeout: Optional[float] = None
+    #: Default ``wait_until`` timeout in scheduling steps (None: waits are
+    #: unbounded); an expiry classifies the run as ``timeout``.
+    wait_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.problem_params, FrozenMapping):
@@ -177,6 +192,14 @@ class ExploreTask:
         }
         if self.scenario is not None:
             data["scenario"] = self.scenario
+        if self.fault_plan is not None:
+            data["fault_plan"] = self.fault_plan
+        if self.self_heal:
+            data["self_heal"] = True
+        if self.run_timeout is not None:
+            data["run_timeout"] = self.run_timeout
+        if self.wait_timeout is not None:
+            data["wait_timeout"] = self.wait_timeout
         return data
 
     @classmethod
@@ -194,6 +217,11 @@ class ScheduleOutcome:
     trace: ScheduleTrace
     digest: str
     backend_metrics: dict
+    #: Monitor counters after the run (quarantines, demotions, self-heal
+    #: recoveries, faults injected, ...) — what chaos oracles assert on.
+    monitor_stats: dict = field(default_factory=dict)
+    #: Fault firings recorded by the injector, in order (empty without one).
+    fault_events: Tuple[dict, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -300,6 +328,33 @@ class _MissedSignalProbe:
         return "missed_signal" if self.missed is not None else "deadlock"
 
 
+def _waiter_autopsy(monitor: MonitorBase) -> Callable[[], Optional[str]]:
+    """Hang-inspector closure over *monitor*'s predicate table.
+
+    When the kernel's wall-clock safety net fires, this contributes the
+    monitor-level half of the autopsy: which predicates threads are parked
+    on, how many waiters each has, and how many signals were promised but
+    never consumed.
+    """
+
+    def inspect() -> Optional[str]:
+        manager = getattr(monitor, "condition_manager", None)
+        if manager is None:
+            return None
+        parts = []
+        for canonical in manager.known_predicates():
+            entry = manager.entry_for(canonical)
+            if entry is None or entry.waiters == 0:
+                continue
+            parts.append(
+                f"{canonical!r}: {entry.waiters} waiter(s), "
+                f"{entry.pending_signals} promised signal(s)"
+            )
+        return "; ".join(parts) if parts else None
+
+    return inspect
+
+
 def run_schedule(task: ExploreTask, scheduler: Scheduler) -> ScheduleOutcome:
     """Run one schedule of *task* under *scheduler* and classify the result.
 
@@ -308,11 +363,15 @@ def run_schedule(task: ExploreTask, scheduler: Scheduler) -> ScheduleOutcome:
     problem's oracles at every decision point.
     """
     problem = task.resolve_problem()
+    backend_kwargs = {}
+    if task.run_timeout is not None:
+        backend_kwargs["run_timeout"] = task.run_timeout
     backend = SimulationBackend(
         seed=task.seed,
         policy=scheduler,
         max_steps=task.max_steps,
         record_trace=True,
+        **backend_kwargs,
     )
     spec = problem.build(
         task.mechanism,
@@ -324,6 +383,19 @@ def run_schedule(task: ExploreTask, scheduler: Scheduler) -> ScheduleOutcome:
         eval_engine=task.eval_engine,
         **dict(task.problem_params),
     )
+    if task.wait_timeout is not None:
+        spec.monitor._wait_timeout = task.wait_timeout
+    injector = None
+    if task.fault_plan is not None:
+        from repro.faults import create_fault_plan
+
+        injector = create_fault_plan(task.fault_plan).build()
+        injector.attach(backend, spec.monitor)
+    if task.self_heal:
+        heal = getattr(spec.monitor, "try_self_heal", None)
+        if heal is not None:
+            backend.set_deadlock_recovery(heal)
+    backend.set_hang_inspector(_waiter_autopsy(spec.monitor))
     oracles = problem.oracles(spec.monitor)
     budget = task.starvation_budget
     if budget is None:
@@ -357,8 +429,17 @@ def run_schedule(task: ExploreTask, scheduler: Scheduler) -> ScheduleOutcome:
     except RelayInvarianceError as exc:
         # Validate mode caught a relay step losing a signal mid-run.
         status, kind, message = "failure", "missed_signal", str(exc)
+    except WaitTimeout as exc:
+        # Before MonitorError: WaitTimeout is a MonitorError, but an expired
+        # timed wait is a bounded, classified verdict — not a generic error.
+        status, kind, message = "failure", "timeout", str(exc)
+    except MonitorAbandonedError as exc:
+        status, kind, message = "failure", "abandonment", str(exc)
     except MonitorError as exc:
         status, kind, message = "failure", f"error:{type(exc).__name__}", str(exc)
+    except SimulationHangError as exc:
+        # The wall-clock safety net fired; the message carries the autopsy.
+        status, kind, message = "failure", "hang", str(exc)
     except SimulationLimitError as exc:
         status, kind, message = "failure", "step_limit", str(exc)
     except ScheduleDivergenceError as exc:
@@ -368,6 +449,7 @@ def run_schedule(task: ExploreTask, scheduler: Scheduler) -> ScheduleOutcome:
     except Exception as exc:
         status, kind, message = "failure", f"error:{type(exc).__name__}", str(exc)
     trace = backend.schedule_trace
+    stats = getattr(spec.monitor, "stats", None)
     return ScheduleOutcome(
         status=status,
         kind=kind,
@@ -375,6 +457,8 @@ def run_schedule(task: ExploreTask, scheduler: Scheduler) -> ScheduleOutcome:
         trace=trace,
         digest=trace.digest(),
         backend_metrics=backend.metrics.snapshot(),
+        monitor_stats=stats.snapshot() if stats is not None else {},
+        fault_events=tuple(injector.events) if injector is not None else (),
     )
 
 

@@ -1,0 +1,79 @@
+"""Deterministic fault injection for the monitor stack.
+
+Faults — spurious wakeups, dropped or delayed signals, thread crashes while
+holding the monitor, compiled-predicate failures, write-tracker amnesia —
+fire at recorded decision points of the simulation kernel, so a chaos run is
+exactly as reproducible as a fault-free one: the same seed, scheduling
+policy and :class:`FaultPlan` replay the same faults at the same steps.
+
+Layering:
+
+* :class:`Fault` (one failure mode, registered by name) —
+  :mod:`repro.faults.base`, builtins in :mod:`repro.faults.builtin`;
+* :class:`FaultInjector` (dispatches one run's hooks) —
+  :mod:`repro.faults.injector`;
+* :class:`FaultPlan` / :class:`FaultSpec` (named, JSON-round-trippable fault
+  schedules, embedded in repro files) — :mod:`repro.faults.plan`.
+
+The recovery surface these faults exercise lives elsewhere: timed waits and
+``WaitTimeout`` in the monitor, quarantine of misbehaving compiled
+predicates, self-healing degradation of the incremental relay path
+(``AutoSynchMonitor.try_self_heal``), and the kernel's abandonment
+detection and hang autopsy.
+"""
+
+from repro.faults.base import (
+    Fault,
+    InjectedFaultError,
+    available_faults,
+    create_fault,
+    describe_fault,
+    get_fault,
+    register_fault,
+    unregister_fault,
+)
+from repro.faults.builtin import (
+    DelayedSignalFault,
+    DroppedSignalFault,
+    PredicateErrorFault,
+    SpuriousWakeupFault,
+    ThreadCrashFault,
+    TrackerAmnesiaFault,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FaultPlan,
+    FaultSpec,
+    available_fault_plans,
+    create_fault_plan,
+    describe_fault_plan,
+    get_fault_plan,
+    register_fault_plan,
+    unregister_fault_plan,
+)
+
+__all__ = [
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFaultError",
+    "DelayedSignalFault",
+    "DroppedSignalFault",
+    "PredicateErrorFault",
+    "SpuriousWakeupFault",
+    "ThreadCrashFault",
+    "TrackerAmnesiaFault",
+    "available_fault_plans",
+    "available_faults",
+    "create_fault",
+    "create_fault_plan",
+    "describe_fault",
+    "describe_fault_plan",
+    "get_fault",
+    "get_fault_plan",
+    "register_fault",
+    "register_fault_plan",
+    "unregister_fault",
+    "unregister_fault_plan",
+]

@@ -1,0 +1,149 @@
+"""The fault abstraction: one injectable failure mode, registered by name.
+
+A :class:`Fault` is a small strategy object the
+:class:`~repro.faults.injector.FaultInjector` dispatches kernel and monitor
+hooks to.  All hooks run with the simulation kernel's scheduler lock held, so
+a fault must restrict itself to the kernel's ``inject_*`` methods and to pure
+bookkeeping on the monitor — never to backend primitives.
+
+Fault types share the codebase-wide plugin-registry contract
+(:class:`~repro.core.plugin_registry.PluginRegistry`): decorator
+registration, ``replace=True`` shadow guard and unknown-name errors that
+list every registered fault type.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, ClassVar, Dict, FrozenSet, Tuple, Type, Union
+
+from repro.core.plugin_registry import PluginRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
+    from repro.runtime.simulation.kernel import SimulationBackend
+    from repro.runtime.simulation.sync import SimCondition
+
+__all__ = [
+    "Fault",
+    "InjectedFaultError",
+    "register_fault",
+    "unregister_fault",
+    "get_fault",
+    "available_faults",
+    "describe_fault",
+    "create_fault",
+]
+
+
+class InjectedFaultError(Exception):
+    """Raised *by* an injected fault (e.g. inside a compiled predicate
+    closure).  Deliberately not a :class:`PredicateError` subclass: the
+    quarantine machinery must treat it as a non-semantic failure."""
+
+
+class Fault:
+    """One injectable failure mode.
+
+    Subclasses set :attr:`name` / :attr:`description`, declare which
+    explore-classification kinds are legitimate outcomes when the fault
+    fires (:attr:`acceptable_kinds` — the chaos oracle treats anything else
+    as a real failure; ``"hang"`` is never acceptable), and override the
+    hooks they need.  Constructor keyword arguments are the fault's
+    parameters; they must round-trip through :attr:`params` so a
+    :class:`~repro.faults.plan.FaultPlan` embedding this fault serializes.
+    """
+
+    #: Registry name of the fault type.
+    name: ClassVar[str] = "abstract"
+    #: One-line human-readable label.
+    description: ClassVar[str] = ""
+    #: Explore-classification kinds this fault may legitimately cause.  A
+    #: ``"kind:"``-prefixed family (``"error"``, ``"oracle"``) matches every
+    #: classification of that family.
+    acceptable_kinds: ClassVar[FrozenSet[str]] = frozenset({"ok"})
+
+    def __init__(self, **params: object) -> None:
+        #: The constructor arguments, for plan serialization.
+        self.params: Dict[str, object] = dict(params)
+
+    def describe(self) -> str:
+        """One-line label used by reports and ``--list-faults``."""
+        return self.description or self.name
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def on_attach(self, injector: "FaultInjector") -> None:
+        """The injector was attached to a backend; reset per-run state."""
+
+    # -- kernel hooks (scheduler lock held) ----------------------------------
+
+    def on_decision(
+        self, injector: "FaultInjector", kernel: "SimulationBackend", step: int
+    ) -> None:
+        """Called at every scheduling decision, before a thread is chosen."""
+
+    def on_notify(
+        self,
+        injector: "FaultInjector",
+        kernel: "SimulationBackend",
+        condition: "SimCondition",
+        wake_all: bool,
+    ) -> bool:
+        """Called for every notification with waiters; return True to
+        suppress the delivery (the fault took responsibility for it)."""
+        return False
+
+    def on_no_runnable(
+        self, injector: "FaultInjector", kernel: "SimulationBackend"
+    ) -> bool:
+        """Last word before deadlock handling; return True when the fault
+        made progress (e.g. force-delivered an in-flight signal)."""
+        return False
+
+    # -- monitor hooks (monitor lock held) -----------------------------------
+
+    def on_compiled_eval(self, injector: "FaultInjector", monitor: object) -> None:
+        """Called before each compiled predicate evaluation on the attached
+        monitor; may raise :class:`InjectedFaultError`."""
+
+
+#: The shared plugin registry holding every fault-type class.
+_REGISTRY = PluginRegistry(
+    kind="fault type",
+    base=Fault,
+    noun="fault",
+    plural="fault types",
+    spec_noun="fault",
+)
+
+FaultSpecType = Union[str, Fault, Type[Fault]]
+
+
+def register_fault(fault_cls: Type[Fault], replace: bool = False) -> Type[Fault]:
+    """Register *fault_cls* under its ``name`` attribute (class decorator)."""
+    return _REGISTRY.register(fault_cls, replace=replace)
+
+
+def unregister_fault(name: str) -> None:
+    """Remove a registered fault type by name (for tests)."""
+    _REGISTRY.unregister(name)
+
+
+def get_fault(name: str) -> Type[Fault]:
+    """Look up a fault-type class by registry name."""
+    return _REGISTRY.get(name)
+
+
+def available_faults() -> Tuple[str, ...]:
+    """Names of every registered fault type, in registration order."""
+    return _REGISTRY.names()
+
+
+def describe_fault(name: str) -> str:
+    """The one-line human-readable label of a registered fault type."""
+    return _REGISTRY.describe(name)
+
+
+def create_fault(spec: FaultSpecType, **params: object) -> Fault:
+    """Resolve *spec* (name, class or instance) to a fault instance."""
+    return _REGISTRY.create(spec, **params)

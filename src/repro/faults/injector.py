@@ -1,0 +1,108 @@
+"""The fault injector: dispatches kernel and monitor hooks to a fault set.
+
+One injector serves one run.  It is attached to a
+:class:`~repro.runtime.simulation.SimulationBackend` (whose scheduling loop
+calls the ``on_*`` hooks) and optionally to an
+:class:`~repro.core.AutoSynchMonitor` (whose compiled-predicate evaluations
+consult ``on_compiled_eval``), records every fault that actually fired, and
+counts firings into the monitor's ``faults_injected`` stat.
+
+Because every fault decision happens at a recorded scheduling decision point
+(or at a notification, which is itself ordered by the schedule), a run with
+fault injection is exactly as deterministic as one without: replaying the
+same seed, policy and fault plan reproduces the same faults at the same
+steps, bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from repro.faults.base import Fault
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.simulation.kernel import SimulationBackend
+    from repro.runtime.simulation.sync import SimCondition
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Dispatch fault hooks for one simulation run.
+
+    Implements the kernel's fault-injector protocol
+    (:meth:`SimulationBackend.set_fault_injector`) and the monitor's
+    ``_fault_hook`` protocol; :meth:`attach` wires both up.
+    """
+
+    def __init__(self, faults: Sequence[Fault]) -> None:
+        self.faults: List[Fault] = list(faults)
+        #: One dict per fault firing: ``{"fault": name, "step": n, "detail": s}``.
+        self.events: List[Dict[str, object]] = []
+        self._monitor: Optional[object] = None
+
+    @property
+    def monitor(self) -> Optional[object]:
+        """The attached monitor (None before :meth:`attach`)."""
+        return self._monitor
+
+    @property
+    def fired(self) -> int:
+        """Total number of fault firings recorded so far."""
+        return len(self.events)
+
+    def attach(
+        self, backend: "SimulationBackend", monitor: Optional[object] = None
+    ) -> "FaultInjector":
+        """Wire this injector into *backend* (and *monitor*, when given).
+
+        Only the simulation backend supports injection — fault scheduling is
+        defined in terms of its decision points.
+        """
+        set_injector = getattr(backend, "set_fault_injector", None)
+        if set_injector is None:
+            raise TypeError(
+                f"backend {type(backend).__name__!r} does not support fault "
+                "injection; faults require the simulation backend"
+            )
+        self._monitor = monitor
+        if monitor is not None:
+            monitor._fault_hook = self
+        for fault in self.faults:
+            fault.on_attach(self)
+        set_injector(self)
+        return self
+
+    def record(self, fault: Fault, step: int, detail: str) -> None:
+        """Log that *fault* fired (called by fault hooks)."""
+        self.events.append({"fault": fault.name, "step": step, "detail": detail})
+        monitor = self._monitor
+        if monitor is not None:
+            monitor.stats.faults_injected += 1
+
+    # -- kernel protocol (scheduler lock held) -------------------------------
+
+    def on_decision(self, kernel: "SimulationBackend", step: int) -> None:
+        for fault in self.faults:
+            fault.on_decision(self, kernel, step)
+
+    def on_notify(
+        self, kernel: "SimulationBackend", condition: "SimCondition", wake_all: bool
+    ) -> bool:
+        for fault in self.faults:
+            if fault.on_notify(self, kernel, condition, wake_all):
+                return True
+        return False
+
+    def on_no_runnable(self, kernel: "SimulationBackend") -> bool:
+        progressed = False
+        for fault in self.faults:
+            if fault.on_no_runnable(self, kernel):
+                progressed = True
+        return progressed
+
+    # -- monitor protocol (monitor lock held) --------------------------------
+
+    def on_compiled_eval(self, monitor: object) -> None:
+        for fault in self.faults:
+            fault.on_compiled_eval(self, monitor)

@@ -1,0 +1,231 @@
+"""Fault plans: named, serializable schedules of faults for one run.
+
+A :class:`FaultPlan` bundles a list of :class:`FaultSpec` rows (fault-type
+name + parameters).  Plans are JSON-round-trippable, so a chaos repro file
+embeds the exact plan alongside the schedule trace, and :meth:`FaultPlan.build`
+constructs a fresh :class:`~repro.faults.injector.FaultInjector` per run —
+fault state never leaks between runs.
+
+Named plans live in the usual plugin registry (one builtin plan per fault
+type plus a mixed plan), so ``--fault dropped_signal`` works out of the box
+and unknown names fail with the full registered list.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, Dict, FrozenSet, List, Mapping, Sequence, Tuple, Union
+
+from repro.core.plugin_registry import PluginRegistry
+from repro.faults import builtin  # noqa: F401  (registers the builtin fault types)
+from repro.faults.base import create_fault, get_fault
+from repro.faults.injector import FaultInjector
+
+__all__ = [
+    "FaultSpec",
+    "FaultPlan",
+    "register_fault_plan",
+    "unregister_fault_plan",
+    "get_fault_plan",
+    "available_fault_plans",
+    "describe_fault_plan",
+    "create_fault_plan",
+]
+
+
+class FaultSpec:
+    """One row of a fault plan: a fault-type name plus its parameters."""
+
+    __slots__ = ("kind", "params")
+
+    def __init__(self, kind: str, params: Mapping[str, object] = ()) -> None:
+        self.kind = kind
+        self.params: Dict[str, object] = dict(params)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "FaultSpec":
+        return cls(kind=data["kind"], params=data.get("params", {}))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, FaultSpec):
+            return self.kind == other.kind and self.params == other.params
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultSpec({self.kind!r}, {self.params!r})"
+
+
+class FaultPlan:
+    """A named, serializable set of faults injected into one run."""
+
+    #: "No name defined" sentinel for the plan registry.
+    name: ClassVar[str] = "abstract"
+    description: str = ""
+
+    def __init__(
+        self,
+        name: str,
+        faults: Sequence[FaultSpec],
+        description: str = "",
+    ) -> None:
+        self.name = name
+        self.faults: Tuple[FaultSpec, ...] = tuple(faults)
+        self.description = description
+
+    def describe(self) -> str:
+        """One-line label used by reports and ``--list-faults``."""
+        return self.description or ", ".join(spec.kind for spec in self.faults)
+
+    @property
+    def acceptable_kinds(self) -> FrozenSet[str]:
+        """Classification kinds a run under this plan may legitimately end
+        with: the union over the plan's fault types (each fault alone can
+        cause its own outcomes, and any fault may simply not fire — "ok").
+        Never contains "hang": a silent hang is a failure under every plan.
+        """
+        kinds = {"ok"}
+        for spec in self.faults:
+            kinds.update(get_fault(spec.kind).acceptable_kinds)
+        kinds.discard("hang")
+        return frozenset(kinds)
+
+    def build(self) -> FaultInjector:
+        """Construct a fresh injector with fresh fault instances."""
+        return FaultInjector(
+            [create_fault(spec.kind, **spec.params) for spec in self.faults]
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "faults": [spec.to_dict() for spec in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "FaultPlan":
+        return cls(
+            name=data["name"],
+            faults=[FaultSpec.from_dict(row) for row in data["faults"]],
+            description=data.get("description", ""),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, FaultPlan):
+            return (
+                self.name == other.name
+                and self.faults == other.faults
+                and self.description == other.description
+            )
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan({self.name!r}, {list(self.faults)!r})"
+
+
+#: The registry of named plans (stores ready instances, like the problem
+#: catalogue).
+_REGISTRY = PluginRegistry(
+    kind="fault plan",
+    base=FaultPlan,
+    noun="plan",
+    plural="plans",
+    spec_noun="fault_plan",
+    stores_instances=True,
+)
+
+PlanSpec = Union[str, FaultPlan, Mapping[str, object]]
+
+
+def register_fault_plan(plan: FaultPlan, replace: bool = False) -> FaultPlan:
+    """Register *plan* under its name."""
+    return _REGISTRY.register(plan, replace=replace)
+
+
+def unregister_fault_plan(name: str) -> None:
+    """Remove a registered plan by name (for tests)."""
+    _REGISTRY.unregister(name)
+
+
+def get_fault_plan(name: str) -> FaultPlan:
+    """Look up a named plan; unknown names list every registered plan."""
+    return _REGISTRY.get(name)
+
+
+def available_fault_plans() -> Tuple[str, ...]:
+    """Names of every registered plan, in registration order."""
+    return _REGISTRY.names()
+
+
+def describe_fault_plan(name: str) -> str:
+    """The one-line human-readable label of a registered plan."""
+    return _REGISTRY.describe(name)
+
+
+def create_fault_plan(spec: PlanSpec) -> FaultPlan:
+    """Resolve *spec* to a :class:`FaultPlan`.
+
+    Accepts a registered plan name, an already-built plan, or a plan
+    dictionary (the embedded form repro files carry).
+    """
+    if isinstance(spec, str):
+        return get_fault_plan(spec)
+    if isinstance(spec, FaultPlan):
+        return spec
+    if isinstance(spec, Mapping):
+        return FaultPlan.from_dict(spec)
+    raise TypeError(
+        "fault_plan must be a registered plan name, a FaultPlan or a plan "
+        f"dictionary; got {spec!r}"
+    )
+
+
+def _register_builtin_plans() -> None:
+    plans: List[FaultPlan] = [
+        FaultPlan(
+            "spurious_wakeup",
+            [FaultSpec("spurious_wakeup", {"at_step": 5})],
+            "one spurious wakeup at step 5",
+        ),
+        FaultPlan(
+            "dropped_signal",
+            [FaultSpec("dropped_signal", {"nth": 1})],
+            "swallow the first notification",
+        ),
+        FaultPlan(
+            "delayed_signal",
+            [FaultSpec("delayed_signal", {"nth": 1, "delay": 8})],
+            "hold the first notification back 8 steps",
+        ),
+        FaultPlan(
+            "thread_crash",
+            [FaultSpec("thread_crash", {"at_step": 6})],
+            "kill a lock owner at or after step 6",
+        ),
+        FaultPlan(
+            "predicate_error",
+            [FaultSpec("predicate_error", {"nth": 1})],
+            "poison the first compiled predicate evaluation",
+        ),
+        FaultPlan(
+            "tracker_amnesia",
+            [FaultSpec("tracker_amnesia", {"at_step": 0})],
+            "write tracker stops recording immediately",
+        ),
+        FaultPlan(
+            "mixed",
+            [
+                FaultSpec("spurious_wakeup", {"at_step": 3}),
+                FaultSpec("dropped_signal", {"nth": 2}),
+            ],
+            "a spurious wakeup plus a dropped signal",
+        ),
+    ]
+    for plan in plans:
+        if plan.name not in _REGISTRY:
+            _REGISTRY.register(plan)
+
+
+_REGISTRY.set_populate(_register_builtin_plans)

@@ -17,7 +17,13 @@ Both produce bit-identical merged series for the same config; the
 equivalence is enforced by ``tests/integration/test_parallel_equivalence``.
 """
 
-from repro.harness.execution.base import Executor, ProgressCallback, TaskProgressCallback
+from repro.harness.execution.base import (
+    DEFAULT_RETRY_BACKOFF,
+    Executor,
+    ProgressCallback,
+    TaskProgressCallback,
+    call_with_retries,
+)
 from repro.harness.execution.cells import (
     FrozenMapping,
     RunCell,
@@ -34,9 +40,16 @@ from repro.harness.execution.registry import (
     register_executor,
 )
 from repro.harness.execution.serial import SerialExecutor
-from repro.harness.execution.process import ProcessExecutor, default_job_count
+from repro.harness.execution.process import (
+    MAX_POOL_REBUILDS,
+    ProcessExecutor,
+    default_job_count,
+)
 
 __all__ = [
+    "DEFAULT_RETRY_BACKOFF",
+    "MAX_POOL_REBUILDS",
+    "call_with_retries",
     "Executor",
     "ProgressCallback",
     "TaskProgressCallback",

@@ -22,12 +22,46 @@ registry), which is what the ``RunConfig.executor`` knob and the
 from __future__ import annotations
 
 import abc
+import time
 from typing import Any, Callable, List, Optional, Sequence
 
 from repro.harness.execution.cells import RunCell, execute_cell
 from repro.harness.results import RunResult
 
-__all__ = ["ProgressCallback", "TaskProgressCallback", "Executor"]
+__all__ = [
+    "DEFAULT_RETRY_BACKOFF",
+    "ProgressCallback",
+    "TaskProgressCallback",
+    "Executor",
+    "call_with_retries",
+]
+
+#: Base delay (seconds) between retry attempts; doubles per attempt.
+DEFAULT_RETRY_BACKOFF = 0.1
+
+
+def call_with_retries(
+    fn: Callable[[Any], Any],
+    task: Any,
+    retries: int = 0,
+    backoff: float = DEFAULT_RETRY_BACKOFF,
+) -> Any:
+    """Call ``fn(task)``, retrying failures with exponential backoff.
+
+    A top-level, picklable function so process pools can ship the retry
+    loop *into* the worker (a transient failure then never crosses the
+    process boundary).  ``retries`` counts re-attempts after the first
+    call; each waits ``backoff * 2**attempt`` seconds.  The final failure
+    propagates unchanged.
+    """
+    for attempt in range(retries + 1):
+        try:
+            return fn(task)
+        except Exception:
+            if attempt >= retries:
+                raise
+            time.sleep(backoff * (2 ** attempt))
+    raise AssertionError("unreachable")  # pragma: no cover
 
 #: ``progress(index, cell, result)`` — called once per completed cell, in
 #: cell-index order, from the parent process.
@@ -47,12 +81,25 @@ class Executor(abc.ABC):
     #: Human-readable one-liner shown by ``--list-executors``.
     description: str = ""
 
-    def __init__(self, jobs: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        retries: int = 0,
+        retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+    ) -> None:
         if jobs is None:
             jobs = self.default_jobs()
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if retry_backoff < 0:
+            raise ValueError(f"retry_backoff must be >= 0, got {retry_backoff}")
         self.jobs = int(jobs)
+        #: Per-task re-attempts after a failure (0 = fail fast, the default).
+        self.retries = int(retries)
+        #: Base delay between attempts; doubles per attempt.
+        self.retry_backoff = float(retry_backoff)
 
     @classmethod
     def default_jobs(cls) -> int:

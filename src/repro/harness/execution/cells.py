@@ -125,6 +125,11 @@ class RunCell:
     #: ``RunConfig.scenario_json``); lets worker processes resolve the
     #: problem name without inheriting the parent's registry.
     scenario_json: Optional[str] = None
+    #: Wall-clock safety net for this cell's run, in seconds (simulation
+    #: backend only; ``None`` keeps the kernel default).  When it fires the
+    #: kernel raises a hang verdict with a parked-thread autopsy instead of
+    #: blocking the sweep forever.
+    run_timeout: Optional[float] = None
 
     def describe(self) -> str:
         """One-line label used by progress reporting."""
@@ -162,6 +167,7 @@ def enumerate_cells(config: "RunConfig") -> Tuple[RunCell, ...]:
                         eval_engine=config.eval_engine,
                         problem_params=params,
                         scenario_json=config.scenario_json,
+                        run_timeout=config.run_timeout,
                     )
                 )
     return tuple(cells)
@@ -189,7 +195,7 @@ def execute_cell(cell: RunCell) -> RunResult:
                 ScenarioSpec.from_json(cell.scenario_json), replace=True
             )
     problem = get_problem(cell.problem)
-    backend = make_backend(cell.backend, seed=cell.seed)
+    backend = make_backend(cell.backend, seed=cell.seed, run_timeout=cell.run_timeout)
     return run_workload(
         problem,
         cell.mechanism,

@@ -1,15 +1,26 @@
-"""The process executor: shard cells over a ``multiprocessing`` pool.
+"""The process executor: shard cells over a worker-process pool.
 
 Cells are independent by construction (each carries its own seed and
 builds its own backend), so a sweep parallelizes embarrassingly: the pool
 maps :func:`~repro.harness.execution.cells.execute_cell` over the cell
 list and the parent reassembles results in cell order.
 
-``imap`` (ordered) rather than ``imap_unordered`` is used deliberately:
-workers still *execute* out of order, but the parent consumes completions
-in submission order, which is what lets progress reporting honour the
-executor contract (one ordered callback per cell, parent process only)
-without any extra sequencing machinery.
+Built on :class:`concurrent.futures.ProcessPoolExecutor` rather than the
+raw ``multiprocessing.Pool`` for one robustness property: a worker that
+*dies* (killed by the OS, ``os._exit`` in task code, a segfaulting C
+extension) surfaces as :class:`~concurrent.futures.process.BrokenProcessPool`
+instead of hanging the parent forever.  ``run_tasks`` treats that as a
+recoverable infrastructure fault — the pool is rebuilt and the unfinished
+tasks resubmitted, a bounded number of times — while ordinary task
+exceptions still fail fast.  Per-task transient failures are additionally
+retried *inside* the worker (``retries``/``retry_backoff``, see
+:func:`~repro.harness.execution.base.call_with_retries`), so a retryable
+failure never pays pool-rebuild costs.
+
+Completions are consumed in submission order (workers still execute out of
+order), which is what lets progress reporting honour the executor contract
+(one ordered callback per task, parent process only) without extra
+sequencing machinery.
 
 The ``fork`` start method is preferred where available (workers inherit
 the imported problem/policy registries instead of re-importing them);
@@ -22,13 +33,29 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, List, Optional, Sequence
 
-from repro.harness.execution.base import Executor, TaskProgressCallback
+from repro.harness.execution.base import (
+    Executor,
+    TaskProgressCallback,
+    call_with_retries,
+)
 from repro.harness.execution.registry import register_executor
 from repro.harness.execution.serial import SerialExecutor
 
-__all__ = ["ProcessExecutor", "default_job_count", "serial_fallback_reason"]
+__all__ = [
+    "MAX_POOL_REBUILDS",
+    "ProcessExecutor",
+    "default_job_count",
+    "serial_fallback_reason",
+]
+
+#: How many times a broken pool (worker death) is rebuilt and the
+#: unfinished tasks resubmitted before the sweep fails.  Bounded: a task
+#: that *deterministically* kills its worker must not respawn pools forever.
+MAX_POOL_REBUILDS = 2
 
 
 def default_job_count() -> int:
@@ -59,7 +86,7 @@ class ProcessExecutor(Executor):
     """Execute cells in parallel across ``jobs`` worker processes."""
 
     name = "process"
-    description = "shard cells across worker processes (multiprocessing pool)"
+    description = "shard cells across worker processes (process pool)"
 
     @classmethod
     def default_jobs(cls) -> int:
@@ -91,15 +118,58 @@ class ProcessExecutor(Executor):
             # A pool cannot pay for itself here (one effective worker, or a
             # single-CPU host where workers would just time-slice); run
             # in-process so the result is still produced the same way.
-            return SerialExecutor().run_tasks(fn, tasks, progress)
-        jobs = min(self.jobs, len(tasks))
-        results: List[Any] = []
-        with self._pool_context().Pool(processes=jobs) as pool:
-            # chunksize=1: tasks are coarse units of work (a whole saturation
-            # or exploration run each), so per-task dispatch overhead is
-            # negligible and fine-grained dispatch keeps workers load-balanced.
-            for index, result in enumerate(pool.imap(fn, tasks, chunksize=1)):
-                results.append(result)
-                if progress is not None:
-                    progress(index, tasks[index], result)
+            return SerialExecutor(
+                retries=self.retries, retry_backoff=self.retry_backoff
+            ).run_tasks(fn, tasks, progress)
+        results: List[Any] = [None] * len(tasks)
+        pending = list(range(len(tasks)))
+        rebuilds = 0
+        context = self._pool_context()
+        while pending:
+            jobs = min(self.jobs, len(pending))
+            broken = False
+            still_pending: List[int] = []
+            with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
+                futures = [
+                    (
+                        index,
+                        pool.submit(
+                            call_with_retries,
+                            fn,
+                            tasks[index],
+                            self.retries,
+                            self.retry_backoff,
+                        ),
+                    )
+                    for index in pending
+                ]
+                for index, future in futures:
+                    if broken:
+                        # The pool already died; everything not yet consumed
+                        # goes to the next incarnation.
+                        future.cancel()
+                        still_pending.append(index)
+                        continue
+                    try:
+                        results[index] = future.result()
+                    except BrokenProcessPool:
+                        # A worker died mid-task (not a task exception, which
+                        # pickles back and propagates below): infrastructure
+                        # fault, resubmit the unfinished work.
+                        broken = True
+                        still_pending.append(index)
+                        continue
+                    if progress is not None:
+                        progress(index, tasks[index], results[index])
+            if not broken:
+                return results
+            rebuilds += 1
+            if rebuilds > MAX_POOL_REBUILDS:
+                raise BrokenProcessPool(
+                    f"worker pool died {rebuilds} times running "
+                    f"{len(still_pending)} unfinished task(s); giving up after "
+                    f"{MAX_POOL_REBUILDS} rebuild(s) — a task is likely "
+                    "killing its worker deterministically"
+                )
+            pending = still_pending
         return results

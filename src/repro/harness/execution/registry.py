@@ -64,7 +64,12 @@ def describe_executor(name: str) -> str:
     return _REGISTRY.describe(name)
 
 
-def create_executor(spec: ExecutorSpec, jobs: Optional[int] = None) -> Executor:
+def create_executor(
+    spec: ExecutorSpec,
+    jobs: Optional[int] = None,
+    retries: Optional[int] = None,
+    retry_backoff: Optional[float] = None,
+) -> Executor:
     """Resolve *spec* to a ready-to-use executor instance.
 
     Accepts a registry name (``"serial"``, ``"process"``), an
@@ -72,6 +77,14 @@ def create_executor(spec: ExecutorSpec, jobs: Optional[int] = None) -> Executor:
     own ``jobs`` setting then wins — the hook for passing configured
     executors straight to the runner).  ``jobs=None`` leaves the worker
     count to the executor's own default (1 for ``serial``, one per core
-    for ``process``).
+    for ``process``).  *retries*/*retry_backoff* configure per-task retry
+    with exponential backoff; ``None`` keeps the executor defaults (fail
+    fast), and is only forwarded when set so executors with a legacy
+    ``__init__(jobs)`` signature keep working.
     """
-    return _REGISTRY.create(spec, jobs=jobs)
+    kwargs: dict = {"jobs": jobs}
+    if retries is not None:
+        kwargs["retries"] = retries
+    if retry_backoff is not None:
+        kwargs["retry_backoff"] = retry_backoff
+    return _REGISTRY.create(spec, **kwargs)

@@ -9,7 +9,11 @@ from __future__ import annotations
 
 from typing import Any, Callable, List, Optional, Sequence
 
-from repro.harness.execution.base import Executor, TaskProgressCallback
+from repro.harness.execution.base import (
+    Executor,
+    TaskProgressCallback,
+    call_with_retries,
+)
 from repro.harness.execution.registry import register_executor
 
 __all__ = ["SerialExecutor"]
@@ -30,7 +34,7 @@ class SerialExecutor(Executor):
     ) -> List[Any]:
         results: List[Any] = []
         for index, task in enumerate(tasks):
-            result = fn(task)
+            result = call_with_retries(fn, task, self.retries, self.retry_backoff)
             results.append(result)
             if progress is not None:
                 progress(index, task, result)

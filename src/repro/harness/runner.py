@@ -94,6 +94,16 @@ class RunConfig:
     #: registry (the ``spawn`` start method).  A JSON string (not a dict)
     #: keeps the config hashable.
     scenario_json: Optional[str] = None
+    #: Wall-clock safety net per run cell, in seconds (simulation backend
+    #: only; ``None`` keeps the kernel's default).  A cell that exceeds it
+    #: fails with a hang verdict and a parked-thread autopsy instead of
+    #: wedging the whole sweep.
+    run_timeout: Optional[float] = None
+    #: Per-cell re-attempts after a failure (0 = fail fast).  Retries run
+    #: with exponential backoff, inside the worker for parallel executors.
+    cell_retries: int = 0
+    #: Base delay in seconds between cell retry attempts; doubles each time.
+    retry_backoff: float = 0.1
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "thread_counts", tuple(self.thread_counts))
@@ -210,7 +220,14 @@ class ExperimentRunner:
                 f"unknown mechanism(s) {unknown} for problem {config.problem!r}; "
                 f"supported: {supported}"
             )
-        executor = create_executor(config.executor, jobs=config.jobs)
+        executor = create_executor(
+            config.executor,
+            jobs=config.jobs,
+            # Forwarded only when retrying is on, so custom executors with a
+            # legacy __init__(jobs) signature keep working by default.
+            retries=config.cell_retries or None,
+            retry_backoff=config.retry_backoff if config.cell_retries else None,
+        )
         cells = enumerate_cells(config)
         progress = None
         if self._progress is not None:

@@ -23,15 +23,23 @@ __all__ = ["BACKENDS", "make_backend", "run_workload"]
 BACKENDS = ("simulation", "threading")
 
 
-def make_backend(kind: str, seed: int = 0) -> Backend:
+def make_backend(
+    kind: str, seed: int = 0, run_timeout: Optional[float] = None
+) -> Backend:
     """Create a backend by name (one of :data:`BACKENDS`).
 
     Both this function and :func:`run_workload` are top-level entry points
     that depend only on their arguments: the execution subsystem's worker
     processes rebuild a fresh backend per run cell through here, so a
     backend instance never has to cross a process boundary.
+
+    *run_timeout* is the simulation kernel's wall-clock safety net in
+    seconds (``None`` keeps its default); the threading backend runs
+    unguarded, so the knob is ignored there.
     """
     if kind == "simulation":
+        if run_timeout is not None:
+            return SimulationBackend(seed=seed, run_timeout=run_timeout)
         return SimulationBackend(seed=seed)
     if kind == "threading":
         return ThreadingBackend()

@@ -391,15 +391,28 @@ class EvalContext:
         if self.engine == "compiled":
             fn = globalized.compiled_fn()
             if fn is not None:
-                if stats is None:
+                try:
+                    if stats is None:
+                        return bool(fn(self.state, self.read_shared, _EMPTY_LOCALS))
+                    stats.compiled_evaluations += 1
+                    if stats.profiling:
+                        started = time.perf_counter()
+                        result = bool(fn(self.state, self.read_shared, _EMPTY_LOCALS))
+                        stats.compiled_eval_time += time.perf_counter() - started
+                        return result
                     return bool(fn(self.state, self.read_shared, _EMPTY_LOCALS))
-                stats.compiled_evaluations += 1
-                if stats.profiling:
-                    started = time.perf_counter()
-                    result = bool(fn(self.state, self.read_shared, _EMPTY_LOCALS))
-                    stats.compiled_eval_time += time.perf_counter() - started
-                    return result
-                return bool(fn(self.state, self.read_shared, _EMPTY_LOCALS))
+                except EvaluationError:
+                    # Semantic errors have guaranteed class parity with the
+                    # interpreter; re-running would raise the same thing.
+                    raise
+                except Exception:
+                    # The closure misbehaved in a way the interpreter cannot
+                    # (by construction their semantics agree): quarantine it
+                    # and degrade to the interpreter, this pass and forever.
+                    globalized.quarantine()
+                    if stats is not None:
+                        stats.compiled_evaluations -= 1
+                        stats.predicate_quarantines += 1
         if stats is None:
             return bool(_ev(globalized.expr, self.state, _EMPTY_LOCALS, self.read_shared))
         stats.interpreted_evaluations += 1

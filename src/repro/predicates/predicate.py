@@ -75,14 +75,38 @@ class GlobalizedPredicate:
     _uses_queries: object = field(
         default=_UNCOMPILED, init=False, repr=False, compare=False
     )
+    #: Set by :meth:`quarantine` when the compiled closure misbehaved; a
+    #: quarantined predicate evaluates through the interpreter forever.
+    _quarantined: bool = field(
+        default=False, init=False, repr=False, compare=False
+    )
 
     def compiled_fn(self) -> Optional[Callable]:
         """The predicate lowered to a native closure, or None (cached)."""
+        if self._quarantined:
+            return None
         fn = self._compiled_fn
         if fn is _UNCOMPILED:
             fn = compile_expr(self.expr)
             object.__setattr__(self, "_compiled_fn", fn)
         return fn
+
+    def quarantine(self) -> None:
+        """Permanently demote this predicate to the interpreted engine.
+
+        Called when the compiled closure raised a non-semantic exception
+        (anything but ``EvaluationError``, whose class parity with the
+        interpreter is guaranteed): rather than failing the run, evaluation
+        falls back to the tree walker, which shares the closure's semantics
+        by construction.  Irreversible by design — a closure that
+        misbehaved once cannot be trusted again.
+        """
+        object.__setattr__(self, "_quarantined", True)
+
+    @property
+    def quarantined(self) -> bool:
+        """Whether the compiled closure has been quarantined."""
+        return self._quarantined
 
     def read_set(self) -> frozenset:
         """The shared-variable names this predicate reads (cached).
@@ -118,6 +142,10 @@ class GlobalizedPredicate:
         None when codegen cannot lower the shape; callers fall back to
         per-predicate evaluation.
         """
+        if self._quarantined:
+            # A quarantined predicate must not be evaluated through any
+            # generated code, fused batches included.
+            return None
         form = self._batch_form
         if form is _UNCOMPILED:
             shape, params = parametrize_expr(self.expr)
@@ -157,6 +185,8 @@ class CompiledPredicate:
     _compiled_fn: object = field(
         default=_UNCOMPILED, repr=False, compare=False
     )
+    #: See :meth:`GlobalizedPredicate.quarantine`.
+    _quarantined: bool = field(default=False, repr=False, compare=False)
 
     @property
     def is_shared(self) -> bool:
@@ -174,11 +204,23 @@ class CompiledPredicate:
         from the ``locals_map`` argument, so it serves the monitor's initial
         ``wait_until`` check before globalization.
         """
+        if self._quarantined:
+            return None
         fn = self._compiled_fn
         if fn is _UNCOMPILED:
             fn = compile_expr(self.expr)
             self._compiled_fn = fn
         return fn
+
+    def quarantine(self) -> None:
+        """Demote this predicate to the interpreter for good (see
+        :meth:`GlobalizedPredicate.quarantine`)."""
+        self._quarantined = True
+
+    @property
+    def quarantined(self) -> bool:
+        """Whether the compiled closure has been quarantined."""
+        return self._quarantined
 
     def evaluate(
         self, state: object, local_values: Optional[Mapping[str, object]] = None

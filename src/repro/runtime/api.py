@@ -9,6 +9,7 @@ deterministic simulator (for exact context-switch and evaluation counts).
 from __future__ import annotations
 
 import abc
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
@@ -38,9 +39,15 @@ class ConditionAPI(abc.ABC):
     """A condition variable tied to a :class:`LockAPI`."""
 
     @abc.abstractmethod
-    def wait(self) -> None:
+    def wait(self, timeout: Optional[float] = None) -> bool:
         """Atomically release the lock and block until notified, then
-        re-acquire the lock before returning."""
+        re-acquire the lock before returning.
+
+        With a *timeout* (in the backend's time units — see
+        :meth:`Backend.now`), the wait gives up once the deadline passes and
+        returns False; a wait that ended by notification returns True.
+        Either way the lock is re-acquired before returning.
+        """
 
     @abc.abstractmethod
     def notify(self) -> None:
@@ -161,6 +168,17 @@ class Backend(abc.ABC):
         Monitors use this for re-entrancy checks; workloads may use it for
         thread identity (e.g. the round-robin access pattern).
         """
+
+    def now(self) -> float:
+        """The backend's monotonic clock, in the units timed waits use.
+
+        The threading backend reports wall-clock seconds; the simulation
+        backend reports *scheduling steps* (its only notion of time), so a
+        ``wait_until(..., timeout=50)`` under simulation gives up after 50
+        scheduling decisions.  Deadline arithmetic
+        (``deadline = now() + timeout``) is uniform either way.
+        """
+        return time.monotonic()
 
     def reset_metrics(self) -> None:
         """Zero the backend counters before a measured run."""

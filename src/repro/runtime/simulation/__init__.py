@@ -17,8 +17,10 @@ reference.
 
 from repro.runtime.simulation.kernel import (
     DeadlockError,
+    MonitorAbandonedError,
     SimulationBackend,
     SimulationError,
+    SimulationHangError,
     SimulationLimitError,
 )
 from repro.runtime.simulation.schedulers import (
@@ -41,6 +43,8 @@ from repro.runtime.simulation.schedulers import (
 __all__ = [
     "DeadlockError",
     "FifoScheduler",
+    "MonitorAbandonedError",
+    "SimulationHangError",
     "PrefixScheduler",
     "RandomScheduler",
     "ReplayScheduler",

@@ -32,6 +32,8 @@ __all__ = [
     "SimulationError",
     "DeadlockError",
     "SimulationLimitError",
+    "SimulationHangError",
+    "MonitorAbandonedError",
     "SimulationBackend",
 ]
 
@@ -39,6 +41,15 @@ __all__ = [
 #: lock held, right after the decision was recorded; an exception raised by
 #: the observer aborts the run and surfaces from :meth:`SimulationBackend.run`.
 DecisionObserver = Callable[[SchedulePoint], None]
+
+#: Maximum times the deadlock-recovery hook (see
+#: :meth:`SimulationBackend.set_deadlock_recovery`) may rescue one run; a
+#: bound so a hook that keeps "recovering" without real progress cannot
+#: livelock the kernel.
+RECOVERY_ATTEMPT_LIMIT = 32
+
+#: How many trailing schedule decisions a hang autopsy reports.
+HANG_AUTOPSY_DECISIONS = 10
 
 
 class SimulationError(Exception):
@@ -54,10 +65,33 @@ class SimulationLimitError(SimulationError):
     steps (a guard against livelock in tests)."""
 
 
+class SimulationHangError(SimulationError):
+    """Raised when the wall-clock ``run_timeout`` fires: the simulation made
+    no progress, but unlike a detected deadlock the kernel cannot say why
+    (typically a simulated thread blocked on something outside the kernel's
+    control).  The message carries a full autopsy — parked threads, their
+    block reasons, the hang inspector's predicate report and the last few
+    schedule decisions — instead of a bare "did not finish"."""
+
+
+class MonitorAbandonedError(SimulationError):
+    """Raised when a simulated thread finished (crashed or was killed by
+    fault injection) while still owning a lock that other threads are
+    blocked behind: the monitor was *abandoned*, and no schedule can ever
+    run the blocked threads again.  A classified verdict, not a hang."""
+
+
 class _SimulationAbort(BaseException):
     """Internal control-flow exception used to unwind simulated threads when
     the kernel aborts a run.  Derives from ``BaseException`` so ordinary
     ``except Exception`` blocks in user code do not swallow it."""
+
+
+class _InjectedDeath(BaseException):
+    """Raised inside a doomed simulated thread (the ``thread_crash`` fault)
+    at its next kernel primitive.  The carrier treats it as a silent thread
+    exit — no failure is recorded; whatever the sudden death breaks (an
+    abandoned lock, an unfinished workload) must surface on its own."""
 
 
 class _State(enum.Enum):
@@ -80,6 +114,7 @@ class _SimThread:
         "real_thread",
         "real_ident",
         "block_reason",
+        "timed_out",
     )
 
     def __init__(self, tid: int, name: str, target: Callable[[], None]) -> None:
@@ -91,6 +126,9 @@ class _SimThread:
         self.real_thread: Optional[threading.Thread] = None
         self.real_ident: Optional[int] = None
         self.block_reason: Optional[str] = None
+        #: Set by the kernel when a timed condition wait expired; consumed
+        #: by :meth:`SimulationBackend.condition_wait` on resumption.
+        self.timed_out = False
 
 
 class _SimHandle(ThreadHandle):
@@ -169,7 +207,15 @@ class SimulationBackend(Backend):
         self._trace: Optional[ScheduleTrace] = ScheduleTrace() if record_trace else None
         self._observer = observer
         self._deadlock_inspector: Optional[Callable[[], Optional[str]]] = None
+        self._hang_inspector: Optional[Callable[[], Optional[str]]] = None
+        self._recovery_hook: Optional[Callable[[], Optional[SimCondition]]] = None
+        self._fault_injector: Optional[object] = None
         self._condition_count = 0
+        #: Every lock/condition this backend created, in creation order —
+        #: the deterministic universe fault injection and abandonment
+        #: detection scan.
+        self._locks: List[SimLock] = []
+        self._conditions: List[SimCondition] = []
 
         self._lock = threading.Lock()
         #: Fast path for :meth:`current_thread`: each carrier thread stores
@@ -184,10 +230,18 @@ class SimulationBackend(Backend):
         self._running = False
         self._abort = False
         self._deadlock_message: Optional[str] = None
+        self._abandonment_message: Optional[str] = None
         self._limit_exceeded = False
         self._failures: List[BaseException] = []
         self._done = threading.Event()
         self._steps = 0
+        #: tid -> (condition, deadline) for threads in a timed condition
+        #: wait; deadlines are in scheduling steps (see :meth:`now`).
+        self._timed_waits: Dict[int, tuple] = {}
+        #: tids the ``thread_crash`` fault marked for death; they raise
+        #: :class:`_InjectedDeath` at their next kernel primitive.
+        self._doomed: set = set()
+        self._recovery_attempts = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -208,6 +262,20 @@ class SimulationBackend(Backend):
         """The recorded decision trace of the latest run (None unless the
         backend was constructed with ``record_trace=True``)."""
         return self._trace
+
+    @property
+    def steps(self) -> int:
+        """Scheduling decisions made so far in the current run."""
+        return self._steps
+
+    def now(self) -> float:
+        """Simulation time: the number of scheduling decisions made.
+
+        Timed waits measure their deadlines in these units, so a timeout of
+        50 means "give up after 50 scheduling decisions" — deterministic and
+        replayable, unlike wall-clock time.
+        """
+        return float(self._steps)
 
     def blocked_threads(self) -> tuple:
         """``(tid, name, block_reason)`` for every currently blocked thread.
@@ -243,12 +311,52 @@ class SimulationBackend(Backend):
         """
         self._deadlock_inspector = inspector
 
+    def set_hang_inspector(self, inspector: Optional[Callable[[], Optional[str]]]) -> None:
+        """Install a callback consulted when the wall-clock ``run_timeout``
+        fires, *before* the stuck threads are unwound.
+
+        Whatever string it returns is appended to the
+        :class:`SimulationHangError` autopsy — the schedule explorer uses it
+        to list the parked waiters' predicates, which only the monitor's
+        condition manager knows.
+        """
+        self._hang_inspector = inspector
+
+    def set_deadlock_recovery(
+        self, hook: Optional[Callable[[], Optional[SimCondition]]]
+    ) -> None:
+        """Install a self-healing hook consulted when a deadlock is imminent.
+
+        The hook runs with the kernel lock held, after timed waits have been
+        expired but before the deadlock is declared.  It must not call any
+        kernel primitive; instead it may repair its own bookkeeping (e.g.
+        re-promise a lost signal, demote a corrupt write tracker) and return
+        the :class:`SimCondition` whose longest waiter the kernel should
+        wake — or None to decline.  Recovery attempts are bounded by
+        :data:`RECOVERY_ATTEMPT_LIMIT` per run so a hook that keeps
+        "recovering" without progress cannot livelock the kernel.
+        """
+        self._recovery_hook = hook
+
+    def set_fault_injector(self, injector: Optional[object]) -> None:
+        """Attach a :class:`repro.faults.FaultInjector` (or None to clear).
+
+        The injector's ``on_decision`` hook runs at every scheduling
+        decision, ``on_notify`` intercepts condition notifications, and
+        ``on_no_runnable`` gets a last word before deadlock handling —
+        all with the kernel lock held, restricted to the ``inject_*``
+        kernel methods below.
+        """
+        self._fault_injector = injector
+
     # ------------------------------------------------------------------
     # Backend factory methods
     # ------------------------------------------------------------------
 
     def create_lock(self, label: Optional[str] = None) -> SimLock:
-        return SimLock(self, label=label)
+        lock = SimLock(self, label=label)
+        self._locks.append(lock)
+        return lock
 
     def create_condition(self, lock: SimLock, label: Optional[str] = None) -> SimCondition:
         if not isinstance(lock, SimLock):
@@ -264,7 +372,9 @@ class SimulationBackend(Backend):
             # a fresh backend's.
             label = f"cond-{self._condition_count}"
         self._condition_count += 1
-        return SimCondition(self, lock, label=label)
+        condition = SimCondition(self, lock, label=label)
+        self._conditions.append(condition)
+        return condition
 
     def spawn(self, target: Callable[[], None], name: Optional[str] = None) -> _SimHandle:
         """Add a new simulated thread.
@@ -324,12 +434,17 @@ class SimulationBackend(Backend):
         finished = self._done.wait(self._run_timeout)
         if not finished:
             with self._lock:
+                # Autopsy first: the abort below unwinds the very
+                # bookkeeping (block reasons, waiter queues, predicate
+                # entries) the diagnosis needs.
+                autopsy = self._hang_autopsy_locked()
                 self._abort = True
                 self._wake_all_locked()
             self._done.wait(5.0)
             self._running = False
-            raise SimulationError(
-                f"simulation did not finish within {self._run_timeout} seconds"
+            raise SimulationHangError(
+                f"simulation did not finish within {self._run_timeout} "
+                f"seconds\n{autopsy}"
             )
 
         for sim_thread in self._threads.values():
@@ -337,6 +452,8 @@ class SimulationBackend(Backend):
                 sim_thread.real_thread.join(timeout=5.0)
         self._running = False
 
+        if self._abandonment_message is not None:
+            raise MonitorAbandonedError(self._abandonment_message)
         if self._deadlock_message is not None:
             raise DeadlockError(self._deadlock_message)
         if self._limit_exceeded:
@@ -359,10 +476,14 @@ class SimulationBackend(Backend):
         self._current = None
         self._abort = False
         self._deadlock_message = None
+        self._abandonment_message = None
         self._limit_exceeded = False
         self._failures = []
         self._done = threading.Event()
         self._steps = 0
+        self._timed_waits = {}
+        self._doomed = set()
+        self._recovery_attempts = 0
         self._scheduler.reset(self._seed)
         if self._record_trace:
             self._trace = ScheduleTrace()
@@ -395,6 +516,11 @@ class SimulationBackend(Backend):
             try:
                 sim_thread.target()
             except _SimulationAbort:
+                pass
+            except _InjectedDeath:
+                # The thread_crash fault: die silently, exactly as if the
+                # thread vanished mid-flight.  Locks it owns stay owned —
+                # abandonment detection (not this handler) reports that.
                 pass
             except BaseException as exc:
                 with self._lock:
@@ -444,6 +570,14 @@ class SimulationBackend(Backend):
         """
         if self._abort:
             return None
+        if self._timed_waits:
+            self._expire_due_waits_locked()
+        if self._fault_injector is not None:
+            try:
+                self._fault_injector.on_decision(self, self._steps)
+            except BaseException as exc:
+                self._fail_locked(exc)
+                return None
         if self._max_steps is not None and self._steps >= self._max_steps:
             self._limit_exceeded = True
             self._abort = True
@@ -514,9 +648,60 @@ class SimulationBackend(Backend):
             if not live:
                 self._done.set()
             return None
+        # Timed waiters outrank deadlock: with nothing runnable, simulation
+        # time jumps to the earliest pending deadline (real time would pass
+        # anyway) and the expired waiter gets the monitor back.
+        if self._timed_waits:
+            self._expire_earliest_waits_locked()
+            if self._runnable:
+                return self._pick_next_locked(reason="wait timeout")
+            return self._handle_no_runnable_locked()
+        # Fault injection gets a last word (e.g. a delayed signal still in
+        # flight is force-delivered rather than reported as a deadlock).
+        if self._fault_injector is not None:
+            try:
+                rescued = self._fault_injector.on_no_runnable(self)
+            except BaseException as exc:
+                self._fail_locked(exc)
+                return None
+            if rescued:
+                if self._runnable:
+                    return self._pick_next_locked(reason="delayed signal")
+                return self._handle_no_runnable_locked()
         details = ", ".join(
             f"{t.name} ({t.block_reason or 'blocked'})" for t in sorted(blocked, key=lambda t: t.tid)
         )
+        # A lock owned by a finished thread can never be released: classify
+        # as monitor abandonment, not a generic deadlock.
+        abandoned = self._find_abandoned_lock_locked()
+        if abandoned is not None:
+            lock, owner = abandoned
+            label = lock.label or "monitor lock"
+            self._abandonment_message = (
+                f"monitor abandoned: thread {owner.name} finished while "
+                f"holding lock {label}; {len(blocked)} blocked thread(s) "
+                f"can never run again — {details}"
+            )
+            self._abort = True
+            self._wake_all_locked()
+            return None
+        # Self-healing: let the recovery hook re-promise a lost signal
+        # before the deadlock is declared final.
+        if (
+            self._recovery_hook is not None
+            and self._recovery_attempts < RECOVERY_ATTEMPT_LIMIT
+        ):
+            self._recovery_attempts += 1
+            try:
+                condition = self._recovery_hook()
+            except Exception:  # recovery must never mask the deadlock
+                condition = None
+            if condition is not None and condition.waiters:
+                waiter_tid = condition.waiters.popleft()
+                self._grant_lock_to_waiter_locked(condition, waiter_tid)
+                if self._runnable:
+                    return self._pick_next_locked(reason="self-heal")
+                return self._handle_no_runnable_locked()
         message = (
             f"deadlock: all {len(blocked)} live simulated threads are blocked — {details}"
         )
@@ -566,6 +751,15 @@ class SimulationBackend(Backend):
             return
         if next_thread is not None:
             next_thread.go.set()
+        if self._abort:
+            # Never park once the run is unwinding: a thread re-entering a
+            # primitive during exception cleanup (e.g. a condition waiter
+            # re-acquiring the monitor lock) has already consumed its
+            # one-shot wake-all token, so parking here would wedge it until
+            # the external run timeout.  Any abort set after this check is
+            # caught below — its wake-all sets the event this thread is
+            # about to wait on.
+            raise _SimulationAbort()
         sim_thread.go.wait()
         sim_thread.go.clear()
         if self._abort:
@@ -598,6 +792,7 @@ class SimulationBackend(Backend):
         """Voluntarily hand control to another runnable thread (if any)."""
         sim_thread = self.current_thread()
         with self._lock:
+            self._check_doomed_locked(sim_thread)
             self._runnable.append(sim_thread.tid)
             sim_thread.state = _State.RUNNABLE
             next_thread = self._pick_next_locked(reason="yield")
@@ -610,6 +805,7 @@ class SimulationBackend(Backend):
     def lock_acquire(self, lock: SimLock) -> None:
         sim_thread = self.current_thread()
         with self._lock:
+            self._check_doomed_locked(sim_thread)
             if lock.owner is None:
                 lock.owner = sim_thread.tid
                 self.metrics.lock_acquisitions += 1
@@ -635,6 +831,7 @@ class SimulationBackend(Backend):
     def lock_release(self, lock: SimLock) -> None:
         sim_thread = self.current_thread()
         with self._lock:
+            self._check_doomed_locked(sim_thread)
             if lock.owner != sim_thread.tid:
                 raise SimulationError(
                     f"thread {sim_thread.name} released a lock it does not hold"
@@ -653,15 +850,23 @@ class SimulationBackend(Backend):
     # Condition operations (called by SimCondition)
     # ------------------------------------------------------------------
 
-    def condition_wait(self, condition: SimCondition) -> None:
+    def condition_wait(
+        self, condition: SimCondition, timeout: Optional[float] = None
+    ) -> bool:
         sim_thread = self.current_thread()
         with self._lock:
+            self._check_doomed_locked(sim_thread)
             if condition.lock.owner != sim_thread.tid:
                 raise SimulationError(
                     f"thread {sim_thread.name} called wait() without holding the monitor lock"
                 )
             condition.waiters.append(sim_thread.tid)
             self.metrics.condition_waits += 1
+            if timeout is not None:
+                # Deadlines are measured in scheduling steps (see now());
+                # expiry happens at the next scheduling decision at or past
+                # the deadline, or immediately when nothing else can run.
+                self._timed_waits[sim_thread.tid] = (condition, self._steps + timeout)
             self._release_lock_locked(condition.lock)
             label = condition.label if condition.label is not None else f"{id(condition):#x}"
             next_thread = self._block_and_pick_next_locked(
@@ -669,14 +874,18 @@ class SimulationBackend(Backend):
             )
         self._handoff_and_wait(sim_thread, next_thread)
         with self._lock:
+            timed_out = sim_thread.timed_out
+            sim_thread.timed_out = False
             if condition.lock.owner != sim_thread.tid:
                 raise SimulationError(
                     "internal error: thread resumed from condition wait without the lock"
                 )
+        return not timed_out
 
     def condition_notify(self, condition: SimCondition, wake_all: bool) -> None:
         sim_thread = self.current_thread()
         with self._lock:
+            self._check_doomed_locked(sim_thread)
             if condition.lock.owner != sim_thread.tid:
                 raise SimulationError(
                     f"thread {sim_thread.name} called notify without holding the monitor lock"
@@ -687,18 +896,187 @@ class SimulationBackend(Backend):
             else:
                 self.metrics.notifies += 1
                 count = min(1, len(condition.waiters))
+            if count and self._fault_injector is not None and not self._abort:
+                try:
+                    suppressed = self._fault_injector.on_notify(
+                        self, condition, wake_all
+                    )
+                except BaseException as exc:
+                    self._fail_locked(exc)
+                    raise _SimulationAbort()
+                if suppressed:
+                    # The fault swallowed (or detached, for delayed delivery)
+                    # this notification; the waiters stay parked.
+                    return
             for _ in range(count):
                 waiter_tid = condition.waiters.popleft()
                 self.metrics.notified_threads += 1
-                # A notified thread must re-acquire the monitor lock before it
-                # can run again, exactly like a Java signalled thread moving
-                # to the lock's entry queue.
-                if condition.lock.owner is None:
-                    condition.lock.owner = waiter_tid
-                    self._make_runnable_locked(waiter_tid)
-                else:
-                    condition.lock.queue.append(waiter_tid)
+                self._grant_lock_to_waiter_locked(condition, waiter_tid)
+
+    def _grant_lock_to_waiter_locked(
+        self, condition: SimCondition, waiter_tid: int
+    ) -> None:
+        """Move a dequeued waiter to the lock's entry queue (or grant the
+        lock outright), exactly like a Java signalled thread.
+
+        Shared by notification, timed-wait expiry and the self-heal path;
+        cancels any pending timed-wait deadline for the waiter.
+        """
+        self._timed_waits.pop(waiter_tid, None)
+        # A notified thread must re-acquire the monitor lock before it
+        # can run again, exactly like a Java signalled thread moving
+        # to the lock's entry queue.
+        if condition.lock.owner is None:
+            condition.lock.owner = waiter_tid
+            self._make_runnable_locked(waiter_tid)
+        else:
+            condition.lock.queue.append(waiter_tid)
 
     def condition_waiter_count(self, condition: SimCondition) -> int:
         with self._lock:
             return len(condition.waiters)
+
+    # ------------------------------------------------------------------
+    # Timed waits
+    # ------------------------------------------------------------------
+
+    def _expire_due_waits_locked(self) -> None:
+        """Expire every timed wait whose deadline has passed (in step time)."""
+        due = sorted(
+            (deadline, tid)
+            for tid, (_, deadline) in self._timed_waits.items()
+            if deadline <= self._steps
+        )
+        for _, tid in due:
+            self._expire_wait_locked(tid)
+
+    def _expire_earliest_waits_locked(self) -> None:
+        """Jump simulation time to the earliest pending deadline and expire
+        every wait due then.  Called only when nothing is runnable."""
+        earliest = min(deadline for (_, deadline) in self._timed_waits.values())
+        due = sorted(
+            (deadline, tid)
+            for tid, (_, deadline) in self._timed_waits.items()
+            if deadline <= earliest
+        )
+        for _, tid in due:
+            self._expire_wait_locked(tid)
+
+    def _expire_wait_locked(self, tid: int) -> None:
+        condition, _ = self._timed_waits.pop(tid)
+        sim_thread = self._threads.get(tid)
+        if sim_thread is None or sim_thread.state is not _State.BLOCKED:
+            # Already notified/aborted between scheduling decisions.
+            return
+        try:
+            condition.waiters.remove(tid)
+        except ValueError:
+            # Notified concurrently with expiry: the notification wins.
+            return
+        sim_thread.timed_out = True
+        if condition.lock.owner is None:
+            condition.lock.owner = tid
+            self._make_runnable_locked(tid)
+        else:
+            condition.lock.queue.append(tid)
+
+    # ------------------------------------------------------------------
+    # Fault injection surface (called by repro.faults with the kernel
+    # lock held, from injector hooks only)
+    # ------------------------------------------------------------------
+
+    def _check_doomed_locked(self, sim_thread: _SimThread) -> None:
+        if self._doomed and sim_thread.tid in self._doomed:
+            self._doomed.discard(sim_thread.tid)
+            raise _InjectedDeath()
+
+    def inject_wake_one_waiter_locked(self) -> Optional[int]:
+        """Spuriously wake the longest waiter of the first populated
+        condition; returns its tid, or None when nobody is waiting."""
+        for condition in self._conditions:
+            if condition.waiters:
+                waiter_tid = condition.waiters.popleft()
+                self._grant_lock_to_waiter_locked(condition, waiter_tid)
+                return waiter_tid
+        return None
+
+    def inject_doom_lock_owner_locked(self) -> Optional[int]:
+        """Mark the first live lock owner for death at its next kernel
+        primitive; returns its tid, or None when no lock is held."""
+        for lock in self._locks:
+            owner = lock.owner
+            if owner is None:
+                continue
+            sim_thread = self._threads.get(owner)
+            if sim_thread is not None and sim_thread.state is not _State.FINISHED:
+                self._doomed.add(owner)
+                return owner
+        return None
+
+    def inject_detach_waiter_locked(self, condition: SimCondition) -> Optional[int]:
+        """Remove (without waking) the longest waiter of *condition*;
+        returns its tid, or None.  The delayed-signal fault re-delivers the
+        detached waiter later via :meth:`inject_deliver_waiter_locked`."""
+        if condition.waiters:
+            return condition.waiters.popleft()
+        return None
+
+    def inject_deliver_waiter_locked(self, condition: SimCondition, tid: int) -> bool:
+        """Deliver a previously detached waiter back into *condition*'s lock
+        queue, as if its notification just arrived.  Returns False when the
+        thread is gone or already runnable (e.g. its timed wait expired)."""
+        sim_thread = self._threads.get(tid)
+        if sim_thread is None or sim_thread.state is not _State.BLOCKED:
+            return False
+        if condition.lock.owner == tid or tid in condition.lock.queue:
+            return False
+        self.metrics.notified_threads += 1
+        self._grant_lock_to_waiter_locked(condition, tid)
+        return True
+
+    # ------------------------------------------------------------------
+    # Hang autopsy and abandonment detection
+    # ------------------------------------------------------------------
+
+    def _find_abandoned_lock_locked(self) -> Optional[tuple]:
+        """A ``(lock, owner)`` pair where the owner finished while threads
+        still queue behind the lock (directly or via its conditions)."""
+        for lock in self._locks:
+            if lock.owner is None:
+                continue
+            owner = self._threads.get(lock.owner)
+            if owner is None or owner.state is not _State.FINISHED:
+                continue
+            if lock.queue or any(
+                c.waiters for c in self._conditions if c.lock is lock
+            ):
+                return (lock, owner)
+        return None
+
+    def _hang_autopsy_locked(self) -> str:
+        """Diagnose a wall-clock hang: who is parked, why, and what the
+        scheduler last did.  Built *before* the abort unwinds the waiters."""
+        live = [t for t in self._threads.values() if t.state is not _State.FINISHED]
+        blocked = [t for t in live if t.state is _State.BLOCKED]
+        lines = [
+            f"hang autopsy: {len(blocked)}/{len(live)} live thread(s) blocked "
+            f"after {self._steps} scheduling step(s)"
+        ]
+        for t in sorted(blocked, key=lambda t: t.tid):
+            lines.append(f"  parked: {t.name} — {t.block_reason or 'blocked'}")
+        if self._hang_inspector is not None:
+            try:
+                extra = self._hang_inspector()
+            except Exception:  # diagnostics must never mask the hang
+                extra = None
+            if extra:
+                lines.append(f"  waiters: {extra}")
+        if self._trace is not None and len(self._trace):
+            tail = list(self._trace)[-HANG_AUTOPSY_DECISIONS:]
+            lines.append(f"  last {len(tail)} schedule decision(s):")
+            for point in tail:
+                lines.append(
+                    f"    step {point.step}: chose {point.chosen} "
+                    f"of {list(point.runnable)} ({point.reason})"
+                )
+        return "\n".join(lines)

@@ -56,8 +56,8 @@ class SimCondition(ConditionAPI):
         self.label = label
         self.waiters: Deque[int] = deque()
 
-    def wait(self) -> None:
-        self._kernel.condition_wait(self)
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._kernel.condition_wait(self, timeout=timeout)
 
     def notify(self) -> None:
         self._kernel.condition_notify(self, wake_all=False)

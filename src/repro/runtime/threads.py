@@ -59,15 +59,16 @@ class _ThreadingCondition(ConditionAPI):
         self._waiters = 0
         self.label: Optional[str] = label
 
-    def wait(self) -> None:
+    def wait(self, timeout: Optional[float] = None) -> bool:
         self._waiters += 1
         self._backend._record("condition_waits")
         try:
-            self._condition.wait()
+            notified = self._condition.wait(timeout)
         finally:
             self._waiters -= 1
         # Returning from wait() means this thread was scheduled back in.
         self._backend._record("context_switches")
+        return notified
 
     def notify(self) -> None:
         self._backend._record("notifies")

@@ -1,0 +1,387 @@
+"""The chaos contract, per fault type: recovered or classified, never hung.
+
+Each injected fault must leave the run in one of two states:
+
+* **recovered** — the run completes ``ok``, with the monitor's degradation
+  counters showing how (self-heal wake, predicate quarantine, incremental
+  demotion, wait timeout);
+* **classified** — a bounded verdict the fault's plan declares acceptable
+  (``timeout``, ``abandonment``, ``missed_signal``, ``deadlock``, ...).
+
+A silent hang is never acceptable.  The tests scan a deterministic band of
+seeds (the simulation kernel makes every schedule replayable) rather than
+hard-coding single magic seeds.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.explore import (
+    ChaosReport,
+    ExploreTask,
+    chaos_sweep,
+    kind_is_acceptable,
+    replay_repro,
+    run_schedule,
+)
+from repro.faults import (
+    DroppedSignalFault,
+    FaultPlan,
+    FaultSpec,
+    create_fault_plan,
+    get_fault_plan,
+    register_fault,
+    register_fault_plan,
+    unregister_fault,
+    unregister_fault_plan,
+)
+from repro.runtime.simulation import RandomScheduler
+
+SEED_BAND = range(20)
+THREADS = 3
+OPS = 6
+
+
+def _run(plan, seed, problem="bounded_buffer", mechanism="autosynch",
+         self_heal=True, wait_timeout=None):
+    task = ExploreTask(
+        problem=problem,
+        mechanism=mechanism,
+        threads=THREADS,
+        total_ops=OPS,
+        seed=seed,
+        fault_plan=create_fault_plan(plan).to_dict(),
+        self_heal=self_heal,
+        wait_timeout=wait_timeout,
+    )
+    return task, run_schedule(task, RandomScheduler(seed=seed))
+
+
+def _scan(plan, **kwargs):
+    """Run the whole seed band; return [(seed, outcome)] in seed order."""
+    return [(seed, _run(plan, seed, **kwargs)[1]) for seed in SEED_BAND]
+
+
+def _assert_contract(plan_name, outcomes):
+    """Every outcome is acceptable to the plan; nothing hung."""
+    acceptable = get_fault_plan(plan_name).acceptable_kinds
+    for seed, outcome in outcomes:
+        assert outcome.kind != "hang", f"seed {seed} hung: {outcome.message}"
+        assert kind_is_acceptable(outcome.kind, acceptable), (
+            f"seed {seed}: kind {outcome.kind!r} outside acceptable set "
+            f"{sorted(acceptable)} — {outcome.message}"
+        )
+
+
+class TestSpuriousWakeup:
+    def test_spurious_wakeups_are_absorbed(self):
+        outcomes = _scan("spurious_wakeup")
+        _assert_contract("spurious_wakeup", outcomes)
+        fired = [o for _, o in outcomes if o.fault_events]
+        assert fired, "fault never fired across the seed band"
+        # Spurious wakeups must be invisible: every faulted run completes.
+        assert all(o.ok for o in fired)
+
+
+class TestDroppedSignal:
+    def test_without_healing_some_seed_deadlocks(self):
+        outcomes = _scan("dropped_signal", self_heal=False)
+        _assert_contract("dropped_signal", outcomes)
+        kinds = {o.kind for _, o in outcomes}
+        assert "deadlock" in kinds, (
+            "no seed in the band lost its signal terminally; "
+            f"saw only {sorted(kinds)}"
+        )
+
+    def test_self_heal_recovers_the_dropped_signal(self):
+        without = {s: o.kind for s, o in _scan("dropped_signal", self_heal=False)}
+        with_heal = _scan("dropped_signal", self_heal=True)
+        _assert_contract("dropped_signal", with_heal)
+        healed = [
+            o for s, o in with_heal
+            if without[s] == "deadlock"
+        ]
+        assert healed, "no deadlocking seed to contrast against"
+        for outcome in healed:
+            assert outcome.ok, f"self-heal did not recover: {outcome.message}"
+            assert outcome.monitor_stats["self_heal_recoveries"] > 0
+
+    def test_wait_timeout_recovers_the_run_without_a_verdict(self):
+        # A dropped notification loses the wake-up but not the state change,
+        # so the timed wake re-evaluates the predicate, finds it already
+        # true, and continues: the run completes with no verdict at all.
+        without = _scan("dropped_signal", self_heal=False)
+        deadlocked = [s for s, o in without if o.kind == "deadlock"]
+        assert deadlocked
+        for seed in deadlocked:
+            _, outcome = _run(
+                "dropped_signal", seed, self_heal=False, wait_timeout=200
+            )
+            assert outcome.ok, (
+                f"seed {seed}: timed wake did not recover: {outcome.message}"
+            )
+
+
+class TestTimeoutVerdict:
+    def test_stranded_waiters_get_a_timeout_verdict_not_a_deadlock(self):
+        # A crashed thread can strand its peers on predicates that will
+        # never become true (unlike a dropped signal, the state change is
+        # lost with the thread).  Untimed: deadlock.  Timed: the expiry
+        # surfaces as a bounded, classified ``timeout`` verdict.
+        deadlocked = [
+            seed
+            for seed, outcome in _scan(
+                "thread_crash", problem="sleeping_barber", self_heal=False
+            )
+            if outcome.kind == "deadlock"
+        ]
+        assert deadlocked, "no crash seed stranded a waiter"
+        for seed in deadlocked:
+            _, outcome = _run(
+                "thread_crash",
+                seed,
+                problem="sleeping_barber",
+                self_heal=False,
+                wait_timeout=50,
+            )
+            assert outcome.kind == "timeout", (
+                f"seed {seed}: expected timeout, got {outcome.kind}: "
+                f"{outcome.message}"
+            )
+            assert outcome.monitor_stats["wait_timeouts"] > 0
+
+
+class TestAbortUnwindNeverReparks:
+    @pytest.mark.parametrize("seed", [5, 8])
+    def test_crash_plus_wait_timeout_classifies_instead_of_hanging(self, seed):
+        # Regression: when a WaitTimeout aborted the run, the stranded
+        # peers unwound through their condition waits and re-entered
+        # lock_acquire during cleanup — where, with their one-shot wake-all
+        # token already consumed, the kernel parked them again and the run
+        # wedged (zero CPU) until the external run timeout declared a hang.
+        # The kernel must refuse to park once the run is unwinding.  These
+        # two seeds hit the exact interleaving; run_timeout=30 bounds the
+        # test if the hang ever comes back.
+        task = ExploreTask(
+            problem="sleeping_barber",
+            mechanism="baseline",
+            threads=THREADS,
+            total_ops=OPS,
+            seed=seed,
+            fault_plan=create_fault_plan("thread_crash").to_dict(),
+            self_heal=False,
+            wait_timeout=100,
+            run_timeout=30,
+        )
+        outcome = run_schedule(task, RandomScheduler(seed=seed))
+        assert outcome.kind == "timeout", (
+            f"expected a classified timeout, got {outcome.kind!r}: "
+            f"{outcome.message}"
+        )
+
+
+class TestDelayedSignal:
+    def test_delays_are_bounded_verdicts_or_recovered(self):
+        outcomes = _scan("delayed_signal")
+        _assert_contract("delayed_signal", outcomes)
+        assert any(o.fault_events for _, o in outcomes)
+
+
+class TestThreadCrash:
+    def test_crashes_are_always_classified(self):
+        outcomes = _scan("thread_crash")
+        _assert_contract("thread_crash", outcomes)
+        fired = [o for _, o in outcomes if o.fault_events]
+        assert fired
+        # A crash that leaves the monitor abandoned (or the workload short)
+        # must surface as a verdict, not a hang; at least one seed in the
+        # band shows the non-ok side of the contract.
+        assert any(not o.ok for o in fired)
+
+
+class TestPredicateError:
+    def test_compiled_failures_quarantine_to_the_interpreter(self):
+        outcomes = _scan("predicate_error")
+        _assert_contract("predicate_error", outcomes)
+        fired = [o for _, o in outcomes if o.fault_events]
+        assert fired
+        for outcome in fired:
+            # Acceptable set is {"ok"}: every faulted run must fully recover
+            # by demoting the poisoned predicate to the interpreter.
+            assert outcome.ok
+            assert outcome.monitor_stats["predicate_quarantines"] > 0
+
+
+class TestTrackerAmnesia:
+    def test_amnesia_defeats_tracker_guided_relay(self):
+        outcomes = _scan(
+            "tracker_amnesia", mechanism="relay_fifo", self_heal=False
+        )
+        _assert_contract("tracker_amnesia", outcomes)
+        kinds = {o.kind for _, o in outcomes}
+        assert kinds & {"missed_signal", "deadlock", "timeout"}, (
+            f"amnesia never bit under relay_fifo; saw {sorted(kinds)}"
+        )
+
+    def test_self_heal_demotes_to_exhaustive_relay(self):
+        outcomes = _scan(
+            "tracker_amnesia", mechanism="relay_fifo", self_heal=True
+        )
+        _assert_contract("tracker_amnesia", outcomes)
+        demoted = [
+            o for _, o in outcomes
+            if o.monitor_stats.get("incremental_demotions", 0) > 0
+        ]
+        assert demoted, "no run needed (or performed) the demotion"
+        for outcome in demoted:
+            assert outcome.ok, (
+                f"demotion did not recover the run: {outcome.message}"
+            )
+
+
+class TestMixedPlan:
+    def test_mixed_plan_honours_the_union_contract(self):
+        outcomes = _scan("mixed")
+        _assert_contract("mixed", outcomes)
+        assert any(o.fault_events for _, o in outcomes)
+
+
+class TestChaosSweep:
+    def test_sweep_is_clean_under_self_healing(self, tmp_path):
+        report = chaos_sweep(
+            problems=["bounded_buffer"],
+            mechanisms=["autosynch", "relay_fifo"],
+            plans=["dropped_signal", "predicate_error", "tracker_amnesia"],
+            schedules_per_config=5,
+            repro_dir=tmp_path,
+        )
+        assert isinstance(report, ChaosReport)
+        assert report.ok, report.summary()
+        assert report.runs == 3 * 2 * 5
+        assert report.configs == 6
+        assert report.runs_faulted > 0
+        assert report.runs_recovered + report.runs_classified == report.runs_faulted
+        assert report.recovery_counts.get("faults_injected", 0) > 0
+        assert not list(tmp_path.iterdir()), "clean sweep wrote repro files"
+
+    def test_summary_reports_degradation_and_kinds(self):
+        report = chaos_sweep(
+            problems=["bounded_buffer"],
+            mechanisms=["autosynch"],
+            plans=["dropped_signal"],
+            schedules_per_config=5,
+        )
+        text = report.summary()
+        assert "chaos sweep" in text
+        assert "dropped_signal" in text
+
+    def test_contract_violation_is_shrunk_written_and_replayable(self, tmp_path):
+        # A deliberately unreasonable fault: drops a signal but accepts
+        # nothing short of a perfect run, so the deadlock it causes is a
+        # contract violation — exercising the shrink + repro + replay path.
+        class StrictDropFault(DroppedSignalFault):
+            name = "test_strict_drop"
+            description = "dropped signal that tolerates no verdicts"
+            acceptable_kinds = frozenset({"ok"})
+
+        register_fault(StrictDropFault)
+        plan = FaultPlan(
+            "test_strict_plan",
+            [FaultSpec("test_strict_drop", {})],
+            "strict drop",
+        )
+        register_fault_plan(plan)
+        try:
+            report = chaos_sweep(
+                problems=["bounded_buffer"],
+                mechanisms=["autosynch"],
+                plans=["test_strict_plan"],
+                schedules_per_config=len(SEED_BAND),
+                self_heal=False,
+                repro_dir=tmp_path,
+            )
+            assert not report.ok
+            assert report.failures_total > 0
+            failure = report.failures[0]
+            assert failure.plan == "test_strict_plan"
+            assert failure.kind == "deadlock"
+            assert failure.repro_path is not None
+
+            payload = json.loads(failure.repro_path.read_text())
+            assert payload["mode"] == "chaos"
+            assert payload["task"]["fault_plan"]["name"] == "test_strict_plan"
+            # self_heal=False is the default, so to_dict omits it.
+            assert payload["task"].get("self_heal", False) is False
+
+            # In-process replay (the fault type is registered here):
+            # bit-identical — same kind, same trace digest.
+            result = replay_repro(failure.repro_path)
+            assert result.reproduced, result.describe()
+            assert result.outcome.kind == "deadlock"
+        finally:
+            unregister_fault_plan("test_strict_plan")
+            unregister_fault("test_strict_drop")
+
+
+class TestTaskRoundTrip:
+    def test_chaos_fields_survive_the_dict_round_trip(self):
+        plan = create_fault_plan("mixed")
+        task = ExploreTask(
+            problem="bounded_buffer",
+            mechanism="autosynch",
+            threads=3,
+            total_ops=6,
+            seed=7,
+            fault_plan=plan.to_dict(),
+            self_heal=True,
+            run_timeout=30.0,
+            wait_timeout=500.0,
+        )
+        data = task.to_dict()
+        assert json.loads(json.dumps(data)) == data
+        restored = ExploreTask.from_dict(data)
+        assert restored == task
+
+    def test_plain_task_dict_omits_chaos_fields(self):
+        task = ExploreTask(problem="bounded_buffer", mechanism="autosynch")
+        data = task.to_dict()
+        for key in ("fault_plan", "self_heal", "run_timeout", "wait_timeout"):
+            assert key not in data
+        assert ExploreTask.from_dict(data) == task
+
+
+class TestChaosCLI:
+    def test_mode_chaos_runs_clean(self, capsys):
+        from repro.explore.__main__ import main
+
+        code = main([
+            "--mode", "chaos",
+            "--problem", "bounded_buffer",
+            "--mechanism", "autosynch",
+            "--fault", "dropped_signal",
+            "--schedules", "3",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "chaos sweep" in out
+
+    def test_list_faults(self, capsys):
+        from repro.explore.__main__ import main
+
+        assert main(["--list-faults"]) == 0
+        out = capsys.readouterr().out
+        assert "dropped_signal" in out
+        assert "mixed" in out
+
+    def test_unknown_fault_plan_is_a_clean_error(self):
+        from repro.explore.__main__ import main
+
+        with pytest.raises(SystemExit, match="no_such_plan"):
+            main([
+                "--mode", "chaos",
+                "--problem", "bounded_buffer",
+                "--fault", "no_such_plan",
+            ])

@@ -1,0 +1,187 @@
+"""Unit tests for the fault-injection subsystem (registries, plans, injector)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    DroppedSignalFault,
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    available_fault_plans,
+    available_faults,
+    create_fault,
+    create_fault_plan,
+    describe_fault,
+    describe_fault_plan,
+    get_fault,
+    get_fault_plan,
+    register_fault,
+    register_fault_plan,
+    unregister_fault,
+    unregister_fault_plan,
+)
+from repro.runtime import SimulationBackend, ThreadingBackend
+
+BUILTIN_FAULTS = (
+    "spurious_wakeup",
+    "dropped_signal",
+    "delayed_signal",
+    "thread_crash",
+    "predicate_error",
+    "tracker_amnesia",
+)
+
+
+class TestFaultRegistry:
+    def test_builtin_faults_registered(self):
+        names = available_faults()
+        for name in BUILTIN_FAULTS:
+            assert name in names
+
+    def test_unknown_fault_lists_registered_names(self):
+        with pytest.raises(ValueError) as excinfo:
+            get_fault("no_such_fault")
+        message = str(excinfo.value)
+        assert "no_such_fault" in message
+        for name in BUILTIN_FAULTS:
+            assert name in message
+
+    def test_create_fault_passes_params(self):
+        fault = create_fault("dropped_signal", nth=3)
+        assert isinstance(fault, DroppedSignalFault)
+        assert fault.nth == 3
+        assert fault.params == {"nth": 3}
+
+    def test_describe_fault(self):
+        assert "notification" in describe_fault("dropped_signal")
+
+    def test_register_and_unregister_custom_fault(self):
+        class NopFault(Fault):
+            name = "test_nop"
+            description = "does nothing"
+
+        register_fault(NopFault)
+        try:
+            assert get_fault("test_nop") is NopFault
+        finally:
+            unregister_fault("test_nop")
+        with pytest.raises(ValueError):
+            get_fault("test_nop")
+
+    def test_acceptable_kinds_never_contain_hang(self):
+        for name in available_faults():
+            assert "hang" not in get_fault(name).acceptable_kinds
+
+
+class TestFaultPlans:
+    def test_builtin_plans_cover_every_fault_type(self):
+        plans = available_fault_plans()
+        for name in BUILTIN_FAULTS:
+            assert name in plans
+        assert "mixed" in plans
+
+    def test_unknown_plan_lists_registered_names(self):
+        with pytest.raises(ValueError) as excinfo:
+            get_fault_plan("no_such_plan")
+        message = str(excinfo.value)
+        assert "no_such_plan" in message
+        assert "dropped_signal" in message
+        assert "mixed" in message
+
+    def test_plan_dict_round_trip(self):
+        plan = get_fault_plan("mixed")
+        data = plan.to_dict()
+        assert FaultPlan.from_dict(data) == plan
+        # JSON-serializable: every leaf is a plain type.
+        import json
+
+        assert json.loads(json.dumps(data)) == data
+
+    def test_create_fault_plan_resolves_all_forms(self):
+        by_name = create_fault_plan("dropped_signal")
+        assert create_fault_plan(by_name) is by_name
+        from_dict = create_fault_plan(by_name.to_dict())
+        assert from_dict == by_name
+
+    def test_create_fault_plan_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            create_fault_plan(42)
+
+    def test_acceptable_kinds_union_and_ok(self):
+        plan = get_fault_plan("mixed")
+        expected = set()
+        for spec in plan.faults:
+            expected |= set(get_fault(spec.kind).acceptable_kinds)
+        expected.add("ok")
+        expected.discard("hang")
+        assert plan.acceptable_kinds == frozenset(expected)
+        assert "hang" not in plan.acceptable_kinds
+
+    def test_build_returns_fresh_instances(self):
+        plan = get_fault_plan("dropped_signal")
+        first = plan.build()
+        second = plan.build()
+        assert first is not second
+        assert first.faults[0] is not second.faults[0]
+
+    def test_register_and_unregister_plan(self):
+        plan = FaultPlan(
+            "test_plan", [FaultSpec("dropped_signal", {"nth": 2})], "two"
+        )
+        register_fault_plan(plan)
+        try:
+            assert get_fault_plan("test_plan") is plan
+            assert describe_fault_plan("test_plan") == "two"
+        finally:
+            unregister_fault_plan("test_plan")
+
+    def test_fault_spec_equality_and_round_trip(self):
+        spec = FaultSpec("dropped_signal", {"nth": 2})
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+        assert spec != FaultSpec("dropped_signal", {"nth": 3})
+
+
+class TestFaultInjector:
+    def test_attach_rejects_threading_backend(self):
+        injector = FaultInjector([create_fault("dropped_signal")])
+        with pytest.raises(TypeError, match="simulation backend"):
+            injector.attach(ThreadingBackend())
+
+    def test_attach_wires_backend_and_monitor(self):
+        backend = SimulationBackend(seed=0)
+        injector = FaultInjector([create_fault("dropped_signal")])
+
+        class MonitorStub:
+            class stats:
+                faults_injected = 0
+
+            _fault_hook = None
+
+        monitor = MonitorStub()
+        assert injector.attach(backend, monitor) is injector
+        assert monitor._fault_hook is injector
+        assert injector.monitor is monitor
+
+    def test_record_counts_events_and_stats(self):
+        backend = SimulationBackend(seed=0)
+        fault = create_fault("dropped_signal")
+        injector = FaultInjector([fault])
+
+        class Stats:
+            faults_injected = 0
+
+        class MonitorStub:
+            stats = Stats()
+            _fault_hook = None
+
+        monitor = MonitorStub()
+        injector.attach(backend, monitor)
+        injector.record(fault, 7, "something happened")
+        assert injector.fired == 1
+        assert injector.events == [
+            {"fault": "dropped_signal", "step": 7, "detail": "something happened"}
+        ]
+        assert monitor.stats.faults_injected == 1

@@ -1,0 +1,190 @@
+"""Kernel robustness: thread-crash abandonment, hang autopsy, self-healing hook."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.faults import FaultInjector, create_fault
+from repro.runtime import SimulationBackend
+from repro.runtime.simulation import (
+    DeadlockError,
+    MonitorAbandonedError,
+    SimulationError,
+    SimulationHangError,
+)
+
+
+class TestAbandonmentDetection:
+    def _crash_owner_run(self):
+        """Two threads; a fault kills the lock owner, the other stays queued."""
+        backend = SimulationBackend(seed=0)
+        injector = FaultInjector([create_fault("thread_crash", at_step=0)])
+        injector.attach(backend)
+        lock = backend.create_lock(label="monitor-lock")
+
+        def victim():
+            lock.acquire()
+            # The doom lands at the next primitive call; the lock is never
+            # released.
+            backend.yield_control()
+            lock.release()
+
+        def waiter():
+            backend.yield_control()
+            lock.acquire()
+            lock.release()
+
+        return backend, injector, victim, waiter
+
+    def test_dead_lock_owner_is_classified_as_abandonment(self):
+        backend, injector, victim, waiter = self._crash_owner_run()
+        with pytest.raises(MonitorAbandonedError) as excinfo:
+            backend.run([victim, waiter], ["victim", "waiter"])
+        message = str(excinfo.value)
+        assert "victim" in message
+        assert injector.fired == 1
+
+    def test_abandonment_is_not_a_deadlock(self):
+        backend, _, victim, waiter = self._crash_owner_run()
+        # MonitorAbandonedError must not be swallowed by handlers that catch
+        # DeadlockError (it is a sibling, both SimulationError).
+        assert not issubclass(MonitorAbandonedError, DeadlockError)
+        assert issubclass(MonitorAbandonedError, SimulationError)
+        with pytest.raises(SimulationError):
+            backend.run([victim, waiter])
+
+    def test_crash_without_contention_just_finishes(self):
+        backend = SimulationBackend(seed=0)
+        injector = FaultInjector([create_fault("thread_crash", at_step=0)])
+        injector.attach(backend)
+        lock = backend.create_lock()
+        done = []
+
+        def victim():
+            lock.acquire()
+            backend.yield_control()
+            lock.release()
+
+        def bystander():
+            done.append(True)
+
+        # Nobody is stuck behind the abandoned lock: the run completes.
+        backend.run([victim, bystander])
+        assert done == [True]
+        assert injector.fired == 1
+
+
+class TestHangAutopsy:
+    def _hanging_run(self, run_timeout=0.5):
+        backend = SimulationBackend(seed=0, run_timeout=run_timeout)
+        lock = backend.create_lock()
+        condition = backend.create_condition(lock, label="never-signalled")
+        release = threading.Event()
+
+        def parked():
+            lock.acquire()
+            condition.wait()
+            lock.release()
+
+        def stuck():
+            # Blocks outside the kernel: the simulation makes no progress
+            # but is not deadlocked, so only the wall-clock net catches it.
+            # The short self-expiry keeps the kernel's post-abort drain
+            # grace from padding the test with its full 5s.
+            release.wait(timeout=run_timeout + 0.3)
+
+        return backend, release, parked, stuck
+
+    def test_wall_clock_hang_raises_with_autopsy(self):
+        backend, release, parked, stuck = self._hanging_run()
+        try:
+            with pytest.raises(SimulationHangError) as excinfo:
+                backend.run([parked, stuck], ["parked-thread", "stuck-thread"])
+        finally:
+            release.set()
+        message = str(excinfo.value)
+        assert "parked-thread" in message
+        assert "parked" in message
+
+    def test_hang_autopsy_includes_recent_decisions(self):
+        backend, release, parked, stuck = self._hanging_run()
+        try:
+            with pytest.raises(SimulationHangError) as excinfo:
+                backend.run([parked, stuck])
+        finally:
+            release.set()
+        assert "step" in str(excinfo.value)
+
+    def test_hang_inspector_contributes_detail(self):
+        backend, release, parked, stuck = self._hanging_run()
+        backend.set_hang_inspector(lambda: "three widgets still pending")
+        try:
+            with pytest.raises(SimulationHangError) as excinfo:
+                backend.run([parked, stuck])
+        finally:
+            release.set()
+        assert "three widgets still pending" in str(excinfo.value)
+
+    def test_hang_error_is_a_simulation_error(self):
+        # Callers that catch SimulationError for "run did not finish" keep
+        # working when the wall-clock net fires.
+        assert issubclass(SimulationHangError, SimulationError)
+
+
+class TestDeadlockRecoveryHook:
+    def test_recovery_hook_wakes_a_waiter_instead_of_deadlocking(self):
+        backend = SimulationBackend(seed=0)
+        lock = backend.create_lock()
+        condition = backend.create_condition(lock)
+        woken = []
+
+        def waiter():
+            lock.acquire()
+            condition.wait()
+            woken.append(True)
+            lock.release()
+
+        backend.set_deadlock_recovery(lambda: condition)
+        backend.run([waiter])
+        assert woken == [True]
+
+    def test_recovery_hook_returning_none_still_deadlocks(self):
+        backend = SimulationBackend(seed=0)
+        lock = backend.create_lock()
+        condition = backend.create_condition(lock)
+
+        def waiter():
+            lock.acquire()
+            condition.wait()
+            lock.release()
+
+        backend.set_deadlock_recovery(lambda: None)
+        with pytest.raises(DeadlockError):
+            backend.run([waiter])
+
+    def test_recovery_attempts_are_bounded(self):
+        from repro.runtime.simulation.kernel import RECOVERY_ATTEMPT_LIMIT
+
+        backend = SimulationBackend(seed=0)
+        lock = backend.create_lock()
+        condition = backend.create_condition(lock)
+        attempts = []
+
+        def waiter():
+            lock.acquire()
+            while True:
+                # Every recovery wake loops straight back into waiting: a
+                # recovery hook that never fixes anything must not spin the
+                # kernel forever.
+                condition.wait()
+
+        def hook():
+            attempts.append(True)
+            return condition
+
+        backend.set_deadlock_recovery(hook)
+        with pytest.raises(DeadlockError):
+            backend.run([waiter])
+        assert len(attempts) == RECOVERY_ATTEMPT_LIMIT

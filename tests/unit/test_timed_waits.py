@@ -1,0 +1,238 @@
+"""Timed waits: kernel condition timeouts and ``wait_until(timeout=...)``.
+
+Simulation time is scheduling steps (``Backend.now()`` returns the step
+counter), so a timeout of N means "N scheduling decisions", fully
+deterministic; on the threading backend the same API is wall-clock seconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AutoSynchMonitor, MonitorError, WaitTimeout
+from repro.runtime import SimulationBackend, ThreadingBackend
+
+
+class NeverReady(AutoSynchMonitor):
+    """The predicate is never true: every wait must time out (or hang)."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.ready = False
+
+    def await_ready(self, timeout=None):
+        self.wait_until("ready", timeout=timeout)
+
+    def make_ready(self):
+        self.ready = True
+
+
+class Cell(AutoSynchMonitor):
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.value = None
+
+    def put(self, value):
+        self.wait_until("value is None")
+        self.value = value
+
+    def take(self, timeout=None):
+        self.wait_until("value is not None", timeout=timeout)
+        value = self.value
+        self.value = None
+        return value
+
+
+class TestKernelTimedWait:
+    def test_lone_waiter_times_out(self, sim_backend):
+        lock = sim_backend.create_lock()
+        condition = sim_backend.create_condition(lock)
+        results = []
+
+        def waiter():
+            lock.acquire()
+            results.append(condition.wait(timeout=5))
+            lock.release()
+
+        sim_backend.run([waiter])
+        assert results == [False]
+
+    def test_notification_wins_over_timeout(self, sim_backend):
+        lock = sim_backend.create_lock()
+        condition = sim_backend.create_condition(lock)
+        results = []
+
+        def waiter():
+            lock.acquire()
+            results.append(condition.wait(timeout=500))
+            lock.release()
+
+        def notifier():
+            lock.acquire()
+            condition.notify()
+            lock.release()
+
+        sim_backend.run([waiter, notifier])
+        assert results == [True]
+
+    def test_untimed_wait_api_still_returns_true(self, sim_backend):
+        lock = sim_backend.create_lock()
+        condition = sim_backend.create_condition(lock)
+        results = []
+
+        def waiter():
+            lock.acquire()
+            results.append(condition.wait())
+            lock.release()
+
+        def notifier():
+            lock.acquire()
+            condition.notify()
+            lock.release()
+
+        sim_backend.run([waiter, notifier])
+        assert results == [True]
+
+    def test_timeout_expires_while_others_run(self, sim_backend):
+        lock = sim_backend.create_lock()
+        condition = sim_backend.create_condition(lock)
+        results = []
+
+        def waiter():
+            lock.acquire()
+            results.append(condition.wait(timeout=3))
+            lock.release()
+
+        def busy():
+            for _ in range(40):
+                sim_backend.yield_control()
+
+        sim_backend.run([waiter, busy])
+        assert results == [False]
+
+    def test_now_counts_steps(self, sim_backend):
+        seen = []
+
+        def worker():
+            seen.append(sim_backend.now())
+            sim_backend.yield_control()
+            seen.append(sim_backend.now())
+
+        sim_backend.run([worker])
+        assert seen[1] > seen[0]
+
+
+class TestWaitUntilTimeoutSimulation:
+    def test_wait_until_times_out(self, sim_backend):
+        monitor = NeverReady(backend=sim_backend)
+        errors = []
+
+        def worker():
+            try:
+                monitor.await_ready(timeout=10)
+            except WaitTimeout as exc:
+                errors.append(exc)
+
+        sim_backend.run([worker])
+        assert len(errors) == 1
+        assert errors[0].timeout == 10
+        assert "ready" in errors[0].predicate
+        assert "timed out" in str(errors[0])
+        assert monitor.stats.wait_timeouts == 1
+
+    def test_wait_timeout_is_a_monitor_error(self):
+        assert issubclass(WaitTimeout, MonitorError)
+
+    def test_constructor_default_timeout(self, sim_backend):
+        monitor = NeverReady(backend=sim_backend, wait_timeout=10)
+        errors = []
+
+        def worker():
+            try:
+                monitor.await_ready()  # no per-call timeout: ctor default
+            except WaitTimeout as exc:
+                errors.append(exc)
+
+        sim_backend.run([worker])
+        assert len(errors) == 1
+
+    def test_per_call_timeout_overrides_constructor(self, sim_backend):
+        monitor = NeverReady(backend=sim_backend, wait_timeout=100_000)
+        errors = []
+
+        def worker():
+            try:
+                monitor.await_ready(timeout=5)
+            except WaitTimeout as exc:
+                errors.append(exc)
+
+        sim_backend.run([worker])
+        assert len(errors) == 1
+        assert errors[0].timeout == 5
+
+    def test_satisfied_wait_does_not_time_out(self, sim_backend):
+        cell = Cell(backend=sim_backend)
+        taken = []
+
+        def producer():
+            cell.put("payload")
+
+        def consumer():
+            taken.append(cell.take(timeout=10_000))
+
+        sim_backend.run([producer, consumer])
+        assert taken == ["payload"]
+        assert cell.stats.wait_timeouts == 0
+
+    @pytest.mark.parametrize("signalling", ["autosynch", "baseline"])
+    def test_timeout_under_relay_and_broadcast_policies(self, signalling):
+        backend = SimulationBackend(seed=3)
+        monitor = NeverReady(backend=backend, signalling=signalling)
+        errors = []
+
+        def worker():
+            try:
+                monitor.await_ready(timeout=8)
+            except WaitTimeout as exc:
+                errors.append(exc)
+
+        backend.run([worker])
+        assert len(errors) == 1
+
+
+class TestWaitUntilTimeoutThreading:
+    def test_wait_until_times_out_on_real_threads(self):
+        backend = ThreadingBackend()
+        monitor = NeverReady(backend=backend)
+        errors = []
+
+        def worker():
+            try:
+                monitor.await_ready(timeout=0.1)
+            except WaitTimeout as exc:
+                errors.append(exc)
+
+        backend.run([worker])
+        assert len(errors) == 1
+        assert monitor.stats.wait_timeouts == 1
+
+    def test_notification_beats_timeout_on_real_threads(self):
+        backend = ThreadingBackend()
+        cell = Cell(backend=backend)
+        taken = []
+
+        def producer():
+            cell.put("payload")
+
+        def consumer():
+            taken.append(cell.take(timeout=30.0))
+
+        backend.run([producer, consumer])
+        assert taken == ["payload"]
+        assert cell.stats.wait_timeouts == 0
+
+    def test_backend_now_is_monotonic_seconds(self):
+        backend = ThreadingBackend()
+        first = backend.now()
+        second = backend.now()
+        assert second >= first
