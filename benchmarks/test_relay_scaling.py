@@ -80,6 +80,9 @@ class _Condition:
     def notify(self):
         return None
 
+    def notify_n(self, n):
+        return None
+
     def notify_all(self):
         return None
 
@@ -156,6 +159,10 @@ def _steady_state_passes(manager, owner, tracker, scale):
         "per_pass_seconds": elapsed / PASSES,
         "evals_per_pass": (stats.predicate_evaluations - evals_before) / PASSES,
         "skipped_per_pass": (stats.relay_entries_skipped - skipped_before) / PASSES,
+        # Total contexts constructed across warmup + PASSES relay passes:
+        # the per-manager context pool keeps this at 1 however many passes
+        # run (it was one fresh EvalContext per pass before pooling).
+        "eval_context_allocations": stats.eval_context_allocations,
     }
 
 
@@ -188,6 +195,21 @@ def test_relay_pass_scaling(scale):
     assert exhaustive["evals_per_pass"] == scale
     assert incremental["evals_per_pass"] == 1
     assert incremental["skipped_per_pass"] == scale - 1
+
+
+def test_eval_context_pooling_caps_allocations():
+    """The pooled per-manager EvalContext must hold allocations at ~1 however
+    many relay passes run (one warmup + PASSES steady-state passes each
+    allocated a fresh context before pooling)."""
+    largest = max(SCALES)
+    record = _RESULTS["scales"][str(largest)]
+    for mode in ("incremental", "exhaustive"):
+        allocations = record[mode]["eval_context_allocations"]
+        assert allocations <= 2, (
+            f"{mode} manager allocated {allocations} EvalContexts over "
+            f"{PASSES + 1} relay passes at {largest} waiters — the context "
+            "pool is not engaging"
+        )
 
 
 def test_incremental_pass_cost_is_sublinear():

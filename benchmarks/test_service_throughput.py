@@ -1,0 +1,133 @@
+"""Service-tier benchmark: sustained throughput over many parked waiters.
+
+Runs :func:`repro.harness.service_load.run_service_load` on the asyncio
+backend at 1k/10k/100k parked waiters (override with
+``SERVICE_THROUGHPUT_SCALES=1000,10000``; add the million-waiter point by
+setting ``SERVICE_THROUGHPUT_MILLION=1``), measuring sustained ops/s and
+p50/p99 wakeup latency on the builtin ``resource_pool`` scenario, with a
+``fifo_semaphore`` cross-check at the smallest scale.  Each scale also runs
+:func:`~repro.harness.service_load.measure_relay_modes`, so the throughput
+numbers ship with the incremental-vs-exhaustive per-relay-pass ratio that
+explains them.
+
+Everything lands in ``BENCH_service_throughput.json`` at the repository
+root (CI uploads it as an artifact).  Rates are recorded both raw and
+per-core (``ops_per_sec / cpu_count``, the 1-CPU-fallback convention of
+``BENCH_parallel_harness.json``) so numbers from different boxes compare
+honestly.
+
+Acceptance: the 100k-waiter sustained run completes in under 60 seconds,
+and at every scale the incremental relay pass evaluates only the dirtied
+predicate while the exhaustive pass visits all of them — sublinear
+per-pass cost by construction, asserted from the measured counters.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.harness.service_load import measure_relay_modes, run_service_load
+
+#: Where the perf-trajectory snapshot lands (repository root).
+RESULTS_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_service_throughput.json"
+)
+
+#: Parked-waiter counts, overridable for CI smoke runs.
+SCALES = tuple(
+    int(raw)
+    for raw in os.environ.get(
+        "SERVICE_THROUGHPUT_SCALES", "1000,10000,100000"
+    ).split(",")
+    if raw.strip()
+)
+if os.environ.get("SERVICE_THROUGHPUT_MILLION"):
+    SCALES = SCALES + (1_000_000,)
+
+#: Admission window (concurrently held slots) for the sustained-load runs.
+WINDOW = 64
+
+#: Wall-clock budget for the 100k-waiter (and larger) sustained runs.
+MAX_SECONDS_AT_100K = 60.0
+
+_RESULTS: dict = {"cpu_count": os.cpu_count() or 1, "scales": {}}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_results():
+    """Write the collected numbers to BENCH_service_throughput.json at teardown."""
+    yield
+    if _RESULTS["scales"]:
+        RESULTS_PATH.write_text(json.dumps(_RESULTS, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_sustained_service_load(scale):
+    """One sustained-load run per scale on the asyncio backend."""
+    result = run_service_load(
+        scale, scenario="resource_pool", window=min(WINDOW, scale)
+    )
+    record = result.as_record()
+    _RESULTS["scales"].setdefault(str(scale), {})["resource_pool"] = record
+
+    # Every admission beyond the initial window rides one release.
+    assert result.operations == 2 * scale
+    assert result.latency_samples == scale - min(WINDOW, scale)
+    assert result.p50_wakeup_seconds <= result.p99_wakeup_seconds
+    if scale >= 100_000:
+        assert result.duration_seconds < MAX_SECONDS_AT_100K, (
+            f"{scale} waiters took {result.duration_seconds:.1f}s "
+            f"(budget: {MAX_SECONDS_AT_100K:.0f}s)"
+        )
+
+
+def test_fifo_semaphore_cross_check():
+    """The ticket-FIFO scenario sustains the same protocol at the smallest scale."""
+    scale = min(SCALES)
+    result = run_service_load(
+        scale, scenario="fifo_semaphore", window=min(WINDOW, scale)
+    )
+    _RESULTS["scales"].setdefault(str(scale), {})["fifo_semaphore"] = (
+        result.as_record()
+    )
+    assert result.operations == 2 * scale
+    assert result.latency_samples == scale - min(WINDOW, scale)
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_relay_modes_sublinear(scale):
+    """Incremental relay must beat exhaustive per-pass cost at every scale.
+
+    The sharded-guard manager harness re-evaluates one predicate per
+    incremental pass however many are parked; the exhaustive pass visits
+    every registered predicate, so its per-pass evaluation count grows
+    linearly with the waiter count and the ratio grows with scale.
+    """
+    record = measure_relay_modes(scale)
+    _RESULTS["scales"].setdefault(str(scale), {})["relay_modes"] = record
+
+    assert record["incremental"]["evals_per_pass"] == 1
+    assert record["exhaustive"]["evals_per_pass"] == record["predicates"]
+    assert record["eval_ratio"] >= max(2.0, record["predicates"] / 2), (
+        f"incremental relay only {record['eval_ratio']:.1f}x fewer evaluations "
+        f"than exhaustive at {scale} waiters"
+    )
+    # The pooled EvalContext means passes do not allocate fresh contexts.
+    assert record["incremental"]["eval_context_allocations"] <= 2
+    assert record["exhaustive"]["eval_context_allocations"] <= 2
+
+
+def test_throughput_recorded_per_core():
+    """Every recorded run carries the per-core normalisation fields."""
+    for scale_record in _RESULTS["scales"].values():
+        for name, record in scale_record.items():
+            if name == "relay_modes":
+                continue
+            assert record["cpu_count"] >= 1
+            assert record["ops_per_sec_per_core"] == pytest.approx(
+                record["ops_per_sec"] / record["cpu_count"]
+            )

@@ -16,8 +16,10 @@ disabled the manager degenerates into the paper's *AutoSynch-T* variant: the
 same relay rule, but every active predicate is checked exhaustively.
 
 Every search pass (``_relay_search``, ``relay_signal_fifo``,
-``find_missed_waiter``) evaluates predicates through a fresh per-pass
-:class:`~repro.predicates.evaluator.EvalContext`: the monitor lock is held
+``find_missed_waiter``) evaluates predicates through a per-pass
+:class:`~repro.predicates.evaluator.EvalContext` — a single pooled instance
+reset per pass, so the relay loop does not allocate one (plus its two memo
+dicts) per hand-off: the monitor lock is held
 for the whole pass, so shared state cannot change mid-pass, and the context
 memoizes shared-variable and shared-expression reads — a batch of N entries
 over the same shared expression costs one read instead of N.  The context
@@ -189,6 +191,13 @@ class ConditionManager:
         self._untagged_pending: Dict[str, PredicateEntry] = {}
         #: shared name -> {canonical -> entry} for active untagged entries.
         self._untagged_by_name: Dict[str, Dict[str, PredicateEntry]] = {}
+        #: Pooled per-pass evaluation context: relay passes run back to back
+        #: under the monitor lock, so one reusable context (reset per pass)
+        #: replaces a context + two dict allocations per pass.  The in-use
+        #: flag covers re-entrant passes (a predicate whose query method
+        #: somehow triggers another search) by falling back to a fresh one.
+        self._pooled_ctx: Optional[EvalContext] = None
+        self._pooled_ctx_busy = False
 
     # ------------------------------------------------------------------
     # Registration / bookkeeping
@@ -408,27 +417,54 @@ class ConditionManager:
         return self._relay_search(limit)
 
     def _eval_context(self) -> EvalContext:
-        """A fresh per-pass evaluation context (memoized shared reads)."""
-        return EvalContext(self._owner, engine=self.eval_engine, stats=self._stats)
+        """The per-pass evaluation context (memoized shared reads).
+
+        Normally the manager's pooled instance, reset for this pass; a
+        fresh context only when the pool is mid-pass (re-entrant search) —
+        release with :meth:`_release_context` when the pass ends.
+        """
+        ctx = self._pooled_ctx
+        if ctx is not None and not self._pooled_ctx_busy:
+            self._pooled_ctx_busy = True
+            ctx.reset()
+            return ctx
+        self._stats.eval_context_allocations += 1
+        ctx = EvalContext(self._owner, engine=self.eval_engine, stats=self._stats)
+        if self._pooled_ctx is None:
+            self._pooled_ctx = ctx
+            self._pooled_ctx_busy = True
+        return ctx
+
+    def _release_context(self, ctx: EvalContext) -> None:
+        """Return a context obtained from :meth:`_eval_context` to the pool."""
+        if ctx is self._pooled_ctx:
+            self._pooled_ctx_busy = False
 
     def _relay_search(self, limit: int) -> int:
         self._stats.relay_signal_calls += 1
         with self._stats.time_bucket("relay_signal_time"):
             ctx = self._eval_context()
-            signalled = 0
-            if self.use_tags:
-                for index in self._indices.values():
-                    signalled += self._search_index(index, limit - signalled, ctx)
-                    if signalled >= limit:
-                        break
-            if signalled < limit:
-                signalled += self._search_untagged(limit - signalled, ctx)
+            try:
+                signalled = self._relay_search_pass(limit, ctx)
+            finally:
+                self._release_context(ctx)
         if self._tracer is not None:
             self._tracer.record(
                 "relay",
                 self._backend.current_id(),
                 detail=f"signalled {signalled}" if signalled else "no waiter ready",
             )
+        return signalled
+
+    def _relay_search_pass(self, limit: int, ctx: EvalContext) -> int:
+        signalled = 0
+        if self.use_tags:
+            for index in self._indices.values():
+                signalled += self._search_index(index, limit - signalled, ctx)
+                if signalled >= limit:
+                    break
+        if signalled < limit:
+            signalled += self._search_untagged(limit - signalled, ctx)
         return signalled
 
     def relay_signal_fifo(self) -> bool:
@@ -445,38 +481,41 @@ class ConditionManager:
         self._stats.relay_signal_calls += 1
         with self._stats.time_bucket("relay_signal_time"):
             ctx = self._eval_context()
-            best: Optional[PredicateEntry] = None
-            best_seq: Optional[int] = None
-            incremental = self._tracker is not None and not self.use_tags
-            if incremental:
-                entries, clock = self._untagged_candidates()
-                self._stats.relay_entries_skipped += (
-                    len(self._untagged) - len(entries)
-                )
-            else:
-                clock = 0
-                # Without tags every active entry lives in _untagged, which
-                # skips the retired/shared entries _table keeps around; with
-                # tags the table is the only complete view.
-                entries = (
-                    self._table.values() if self.use_tags else self._untagged.values()
-                )
-            for entry in entries:
-                if not entry.active or entry.unsignalled_waiters <= 0:
-                    continue
-                self._stats.exhaustive_checks += 1
-                self._stats.predicate_evaluations += 1
-                if not ctx.holds(entry.globalized):
-                    if incremental:
-                        self._mark_clean(entry, ctx, clock)
-                    continue
-                seq = entry.next_unsignalled_seq
-                if best is None or (
-                    seq is not None and (best_seq is None or seq < best_seq)
-                ):
-                    best, best_seq = entry, seq
-            if best is not None:
-                self._signal(best)
+            try:
+                best: Optional[PredicateEntry] = None
+                best_seq: Optional[int] = None
+                incremental = self._tracker is not None and not self.use_tags
+                if incremental:
+                    entries, clock = self._untagged_candidates()
+                    self._stats.relay_entries_skipped += (
+                        len(self._untagged) - len(entries)
+                    )
+                else:
+                    clock = 0
+                    # Without tags every active entry lives in _untagged, which
+                    # skips the retired/shared entries _table keeps around; with
+                    # tags the table is the only complete view.
+                    entries = (
+                        self._table.values() if self.use_tags else self._untagged.values()
+                    )
+                for entry in entries:
+                    if not entry.active or entry.unsignalled_waiters <= 0:
+                        continue
+                    self._stats.exhaustive_checks += 1
+                    self._stats.predicate_evaluations += 1
+                    if not ctx.holds(entry.globalized):
+                        if incremental:
+                            self._mark_clean(entry, ctx, clock)
+                        continue
+                    seq = entry.next_unsignalled_seq
+                    if best is None or (
+                        seq is not None and (best_seq is None or seq < best_seq)
+                    ):
+                        best, best_seq = entry, seq
+                if best is not None:
+                    self._signal(best)
+            finally:
+                self._release_context(ctx)
         if self._tracer is not None:
             self._tracer.record(
                 "relay",
@@ -769,8 +808,7 @@ class ConditionManager:
                     result = ctx.holds(entry.globalized)
                 if result:
                     wake = min(entry.unsignalled_waiters, limit - signalled)
-                    for _ in range(wake):
-                        self._signal(entry)
+                    self._signal_n(entry, wake)
                     signalled += wake
                 elif tracker is not None:
                     self._mark_clean(entry, ctx, clock)
@@ -829,3 +867,26 @@ class ConditionManager:
             self._tracer.record(
                 "signal", self._backend.current_id(), predicate=entry.canonical
             )
+
+    def _signal_n(self, entry: PredicateEntry, count: int) -> None:
+        """Promise and deliver *count* signals to *entry* in one wakeup.
+
+        ``count > 1`` goes through the condition's ``notify_n`` bulk path —
+        one batch of wakeups instead of ``count`` independent notify round
+        trips.  The single-signal case stays on :meth:`_signal` so policies
+        and tests that count individual notifications see identical
+        behaviour when batching never applies.
+        """
+        if count <= 0:
+            return
+        if count == 1:
+            self._signal(entry)
+            return
+        entry.condition.notify_n(count)
+        entry.pending_signals += count
+        self._stats.signals_sent += count
+        if self._tracer is not None:
+            for _ in range(count):
+                self._tracer.record(
+                    "signal", self._backend.current_id(), predicate=entry.canonical
+                )

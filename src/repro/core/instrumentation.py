@@ -49,6 +49,11 @@ class MonitorStats:
     shared_expr_cache_hits: int = 0
     #: Shared-variable writes observed by the monitor's write tracker.
     tracked_writes: int = 0
+    #: EvalContext instances the condition manager actually constructed for
+    #: relay/search passes.  With the per-manager context pool this stays at
+    #: ~1 per manager however many passes run; without pooling it equals the
+    #: number of passes.
+    eval_context_allocations: int = 0
     #: Candidate entries a relay pass skipped because no variable in their
     #: read set was written since their last false evaluation (the
     #: incremental relay path; exhaustive search never skips).

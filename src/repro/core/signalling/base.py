@@ -112,6 +112,55 @@ class SignallingPolicy(abc.ABC):
         :attr:`description`, falling back to the policy name)."""
         return self.description or self.name
 
+    # -- the wait protocol, split from the blocking primitive ------------------
+
+    def wait_steps(
+        self,
+        compiled: "CompiledPredicate",
+        local_values: Mapping[str, object],
+        timeout: Optional[float] = None,
+    ):
+        """The wait loop as a generator of park requests.
+
+        Yields ``(condition, remaining_timeout)`` each time the calling
+        thread must block, and receives the park's ``notified`` flag back
+        via ``send()``.  Returns (``StopIteration``) once the predicate
+        holds; raises :class:`~repro.core.errors.WaitTimeout` when the
+        deadline passes.  All bookkeeping — relay-before-wait, stats,
+        deadline arithmetic in the backend's :meth:`Backend.now` units,
+        waiter registration/removal — lives in the generator, so sync and
+        coroutine drivers cannot diverge: :meth:`on_wait` drives it with
+        ``monitor._block_on`` and the asyncio driver with
+        ``await condition.wait_async``.
+
+        The base implementation reports the policy as not generator-driven;
+        policies overriding only :meth:`on_wait` keep working on blocking
+        backends but cannot host coroutine waiters.
+        """
+        raise MonitorUsageError(
+            f"signalling policy {self.name!r} does not implement the wait_steps "
+            "protocol; it cannot drive coroutine waiters"
+        )
+
+    def _drive_wait(self, steps) -> None:
+        """Run a :meth:`wait_steps` generator on a blocking backend."""
+        monitor = self.monitor
+        try:
+            try:
+                condition, remaining = next(steps)
+            except StopIteration:
+                return
+            while True:
+                notified = monitor._block_on(condition, timeout=remaining)
+                try:
+                    condition, remaining = steps.send(notified)
+                except StopIteration:
+                    return
+        finally:
+            # Closing is idempotent; on an abnormal exit from _block_on it
+            # runs the generator's cleanup (waiter deregistration).
+            steps.close()
+
 
 class RelayPolicyBase(SignallingPolicy):
     """Shared machinery for relay-style policies.
@@ -158,6 +207,14 @@ class RelayPolicyBase(SignallingPolicy):
         local_values: Mapping[str, object],
         timeout: Optional[float] = None,
     ) -> None:
+        self._drive_wait(self.wait_steps(compiled, local_values, timeout))
+
+    def wait_steps(
+        self,
+        compiled: "CompiledPredicate",
+        local_values: Mapping[str, object],
+        timeout: Optional[float] = None,
+    ):
         monitor = self.monitor
         manager = self._manager
         stats = monitor.stats
@@ -167,6 +224,8 @@ class RelayPolicyBase(SignallingPolicy):
             globalized, from_shared_predicate=compiled.is_shared
         )
         manager.add_waiter(entry)
+        # The single place deadlines are computed: backend.now() units on
+        # both ends, so no driver (or backend) can mix clocks.
         deadline = backend.now() + timeout if timeout is not None else None
         try:
             while True:
@@ -180,7 +239,7 @@ class RelayPolicyBase(SignallingPolicy):
                     if deadline is not None
                     else None
                 )
-                notified = monitor._block_on(entry.condition, timeout=remaining)
+                notified = yield entry.condition, remaining
                 stats.wakeups += 1
                 if notified:
                     # An expired wait consumed no signal; a promise made to

@@ -44,6 +44,14 @@ class BroadcastPolicy(SignallingPolicy):
         local_values: Mapping[str, object],
         timeout: Optional[float] = None,
     ) -> None:
+        self._drive_wait(self.wait_steps(compiled, local_values, timeout))
+
+    def wait_steps(
+        self,
+        compiled,
+        local_values: Mapping[str, object],
+        timeout: Optional[float] = None,
+    ):
         monitor = self.monitor
         stats = monitor.stats
         backend = monitor.backend
@@ -56,7 +64,7 @@ class BroadcastPolicy(SignallingPolicy):
             remaining = (
                 max(deadline - backend.now(), 0.0) if deadline is not None else None
             )
-            monitor._block_on(self._condition, timeout=remaining)
+            yield self._condition, remaining
             stats.wakeups += 1
             if monitor._evaluate_predicate(compiled, local_values):
                 monitor._trace("wakeup", predicate=compiled.source)

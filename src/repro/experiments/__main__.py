@@ -26,6 +26,7 @@ from repro.harness.report import format_series_table
 from repro.harness.results import mechanism_label
 from repro.harness.runner import ExperimentRunner
 from repro.problems.base import all_mechanisms
+from repro.runtime.registry import available_backends, describe_backend
 
 __all__ = ["main"]
 
@@ -110,6 +111,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="list the executor registry contents and exit",
     )
     parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help=(
+            "execution backend for every sweep (default: each experiment's "
+            "configured backend, normally 'simulation'); any name in the "
+            "backend registry — see --list-backends"
+        ),
+    )
+    parser.add_argument(
+        "--list-backends",
+        action="store_true",
+        help="list the backend registry contents and exit",
+    )
+    parser.add_argument(
         "--run-timeout",
         type=float,
         default=None,
@@ -187,6 +203,7 @@ def _run_one(experiment, args: argparse.Namespace) -> bool:
         jobs=args.jobs,
         run_timeout=args.run_timeout,
         cell_retries=args.cell_retries,
+        backend=args.backend,
     )
     print(experiment.report(series))
     if args.csv_dir:
@@ -219,6 +236,7 @@ def _run_one(experiment, args: argparse.Namespace) -> bool:
             args.jobs,
             args.run_timeout,
             args.cell_retries,
+            args.backend,
         )
         wall_config = replace(config, backend="threading")
         wall_series = runner.run(wall_config)
@@ -235,6 +253,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for name in available_executors():
             print(f"{name:{width}s}  {describe_executor(name)}")
         return 0
+    if args.list_backends:
+        width = max(len(name) for name in available_backends())
+        for name in available_backends():
+            print(f"{name:{width}s}  {describe_backend(name)}")
+        return 0
+    if args.backend is not None and args.backend not in available_backends():
+        raise SystemExit(
+            f"unknown backend {args.backend!r}; "
+            f"available: {', '.join(available_backends())}"
+        )
     if args.jobs is not None and args.jobs < 1:
         raise SystemExit("--jobs must be >= 1")
     if args.cell_retries is not None and args.cell_retries < 0:

@@ -108,6 +108,7 @@ class Experiment:
         jobs: Optional[int] = None,
         run_timeout: Optional[float] = None,
         cell_retries: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> ExperimentSeries:
         """Run the experiment at the given scale and return its series.
 
@@ -120,13 +121,21 @@ class Experiment:
         registered executor; the merged series is identical either way).
         *run_timeout* caps each cell's wall-clock (hang verdict instead of
         a wedged sweep) and *cell_retries* turns on per-cell retry with
-        backoff.
+        backoff.  *backend* overrides the configuration's execution backend
+        (any name in :func:`repro.runtime.registry.available_backends`).
         """
         if scale not in ("quick", "full"):
             raise ValueError(f"unknown scale {scale!r}; expected 'quick' or 'full'")
         config = self.quick_config if scale == "quick" else self.full_config
         config = self.configured(
-            config, mechanisms, eval_engine, executor, jobs, run_timeout, cell_retries
+            config,
+            mechanisms,
+            eval_engine,
+            executor,
+            jobs,
+            run_timeout,
+            cell_retries,
+            backend,
         )
         runner = runner or ExperimentRunner()
         return runner.run(config)
@@ -140,9 +149,11 @@ class Experiment:
         jobs: Optional[int] = None,
         run_timeout: Optional[float] = None,
         cell_retries: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> RunConfig:
         """Return *config* with mechanisms / eval engine / executor /
-        robustness knobs overridden (``None`` keeps the current value)."""
+        backend / robustness knobs overridden (``None`` keeps the current
+        value)."""
         from dataclasses import replace
 
         if mechanisms:
@@ -153,6 +164,8 @@ class Experiment:
             config = replace(config, run_timeout=run_timeout)
         if cell_retries is not None:
             config = replace(config, cell_retries=cell_retries)
+        if backend is not None:
+            config = replace(config, backend=backend)
         return config.with_executor(executor, jobs)
 
     def report(self, series: ExperimentSeries) -> str:

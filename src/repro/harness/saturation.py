@@ -14,36 +14,34 @@ from repro.harness.results import RunResult
 from repro.predicates.codegen import DEFAULT_ENGINE
 from repro.problems.base import Problem
 from repro.runtime.api import Backend
-from repro.runtime.simulation import SimulationBackend
-from repro.runtime.threads import ThreadingBackend
+from repro.runtime.registry import available_backends, create_backend
 
 __all__ = ["BACKENDS", "make_backend", "run_workload"]
 
-#: Backend names accepted by :func:`make_backend`.
-BACKENDS = ("simulation", "threading")
+#: Backend names accepted by :func:`make_backend` (the registry's view;
+#: kept as a module attribute for backwards compatibility).
+BACKENDS = available_backends()
 
 
 def make_backend(
     kind: str, seed: int = 0, run_timeout: Optional[float] = None
 ) -> Backend:
-    """Create a backend by name (one of :data:`BACKENDS`).
+    """Create a backend by registry name (one of :data:`BACKENDS`).
 
     Both this function and :func:`run_workload` are top-level entry points
     that depend only on their arguments: the execution subsystem's worker
     processes rebuild a fresh backend per run cell through here, so a
-    backend instance never has to cross a process boundary.
+    backend instance never has to cross a process boundary.  Resolution
+    goes through :mod:`repro.runtime.registry`, so third-party backends
+    registered with :func:`~repro.runtime.registry.register_backend` are
+    constructible here too; unknown names raise ``ValueError`` listing the
+    registered backends.
 
     *run_timeout* is the simulation kernel's wall-clock safety net in
-    seconds (``None`` keeps its default); the threading backend runs
-    unguarded, so the knob is ignored there.
+    seconds (``None`` keeps its default); backends without such a knob
+    (threading, asyncio) ignore it, as they do *seed*.
     """
-    if kind == "simulation":
-        if run_timeout is not None:
-            return SimulationBackend(seed=seed, run_timeout=run_timeout)
-        return SimulationBackend(seed=seed)
-    if kind == "threading":
-        return ThreadingBackend()
-    raise ValueError(f"unknown backend {kind!r}; expected one of {BACKENDS}")
+    return create_backend(kind, seed=seed, run_timeout=run_timeout)
 
 
 def run_workload(

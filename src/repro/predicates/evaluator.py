@@ -352,6 +352,17 @@ class EvalContext:
         self._reads: Dict[str, object] = {}
         self._shared_exprs: Dict[str, object] = {}
 
+    def reset(self) -> None:
+        """Drop both memo caches, making the context safe for a new pass.
+
+        The pooling alternative to discarding: the condition manager keeps
+        one context per manager and resets it at the start of each relay
+        pass, so a high-rate relay loop stops allocating a context (and two
+        dicts) per pass.
+        """
+        self._reads.clear()
+        self._shared_exprs.clear()
+
     def read_shared(self, state: object, name: str) -> object:
         """Memoized :func:`read_shared` (reader-protocol compatible)."""
         cache = self._reads

@@ -1,6 +1,6 @@
 """Execution backends for the AutoSynch monitors.
 
-Two interchangeable backends implement the same small synchronization API
+Three interchangeable backends implement the same small synchronization API
 (locks, condition variables, thread spawning):
 
 * :mod:`repro.runtime.threads` — real ``threading`` primitives, used for
@@ -9,9 +9,14 @@ Two interchangeable backends implement the same small synchronization API
   which exactly one simulated thread runs at a time.  It counts context
   switches and scheduling decisions exactly and reproducibly, independent of
   the GIL, which is what the paper's evaluation argument is really about.
+* :mod:`repro.runtime.asyncio_backend` — event-loop tasks as waiters, for
+  service-tier workloads parking 10^5-10^6 waiters on one monitor.
 
 Monitors (:mod:`repro.core`) are written against the abstract API in
-:mod:`repro.runtime.api` and work unchanged on either backend.
+:mod:`repro.runtime.api` and work unchanged on any backend.  Backends are
+pluggable through :mod:`repro.runtime.registry` (``register_backend`` /
+``available_backends``), the same registry idiom the signalling policies
+and executors use.
 """
 
 from repro.runtime.api import (
@@ -20,6 +25,15 @@ from repro.runtime.api import (
     ConditionAPI,
     LockAPI,
     ThreadHandle,
+)
+from repro.runtime.asyncio_backend import AsyncioBackend
+from repro.runtime.registry import (
+    available_backends,
+    create_backend,
+    describe_backend,
+    get_backend,
+    register_backend,
+    unregister_backend,
 )
 from repro.runtime.threads import ThreadingBackend
 from repro.runtime.simulation import (
@@ -37,6 +51,7 @@ from repro.runtime.simulation import (
 )
 
 __all__ = [
+    "AsyncioBackend",
     "Backend",
     "BackendMetrics",
     "ConditionAPI",
@@ -51,7 +66,13 @@ __all__ = [
     "SimulationBackend",
     "ThreadHandle",
     "ThreadingBackend",
+    "available_backends",
     "available_schedulers",
+    "create_backend",
     "create_scheduler",
+    "describe_backend",
+    "get_backend",
+    "register_backend",
     "register_scheduler",
+    "unregister_backend",
 ]

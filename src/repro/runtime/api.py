@@ -53,6 +53,27 @@ class ConditionAPI(abc.ABC):
     def notify(self) -> None:
         """Wake one thread waiting on this condition (if any)."""
 
+    def notify_n(self, n: int) -> None:
+        """Wake up to *n* threads waiting on this condition, in FIFO order.
+
+        The bulk-wakeup contract, identical across backends:
+
+        - wakes ``min(n, waiter_count())`` threads — asking for more than
+          are waiting wakes everyone waiting and is not an error;
+        - waiters are woken in the order they called :meth:`wait` (FIFO);
+        - ``n == 0`` is a no-op (no metrics recorded, no error);
+        - ``n < 0`` raises :class:`ValueError`.
+
+        The default implementation loops over :meth:`notify`; backends
+        override it with a single batched wakeup where the primitive
+        supports one (``threading.Condition.notify(n)``, one simulation
+        kernel pass, one batch of future resolutions on asyncio).
+        """
+        if n < 0:
+            raise ValueError(f"notify_n requires n >= 0, got {n}")
+        for _ in range(n):
+            self.notify()
+
     @abc.abstractmethod
     def notify_all(self) -> None:
         """Wake every thread waiting on this condition."""
@@ -121,11 +142,30 @@ class BackendMetrics:
 class Backend(abc.ABC):
     """Factory for locks, conditions and threads, plus run-wide metrics."""
 
-    #: Short identifier used in reports ("threading" or "simulation").
+    #: Short identifier used in reports ("threading", "simulation", "asyncio").
     name: str = "abstract"
+
+    #: One-line summary surfaced by the backend registry (``--list-backends``).
+    description: str = ""
+
+    #: The unit :meth:`now` counts in — ``"seconds"`` (wall clock) or
+    #: ``"steps"`` (simulation scheduling decisions).  Timeouts handed to
+    #: :meth:`ConditionAPI.wait` and ``wait_until`` are in this unit.
+    time_unit: str = "seconds"
 
     def __init__(self) -> None:
         self.metrics = BackendMetrics()
+
+    @classmethod
+    def build(cls, seed: int = 0, run_timeout: Optional[float] = None) -> "Backend":
+        """Construct an instance from the harness's uniform knobs.
+
+        Real-time backends have no use for a scheduling seed or a modelled
+        run timeout, so the default ignores both; the simulation backend
+        overrides this to thread them into its kernel.
+        """
+        del seed, run_timeout
+        return cls()
 
     @abc.abstractmethod
     def create_lock(self, label: Optional[str] = None) -> LockAPI:
@@ -172,11 +212,20 @@ class Backend(abc.ABC):
     def now(self) -> float:
         """The backend's monotonic clock, in the units timed waits use.
 
-        The threading backend reports wall-clock seconds; the simulation
-        backend reports *scheduling steps* (its only notion of time), so a
-        ``wait_until(..., timeout=50)`` under simulation gives up after 50
-        scheduling decisions.  Deadline arithmetic
-        (``deadline = now() + timeout``) is uniform either way.
+        This is the single time-unit contract every timed wait is built on:
+
+        - the value is monotonically non-decreasing and starts at an
+          arbitrary origin (only differences are meaningful);
+        - the unit is :attr:`time_unit` — wall-clock **seconds** for the
+          threading and asyncio backends, **scheduling steps** for the
+          simulation backend (its only notion of time), so a
+          ``wait_until(..., timeout=50)`` under simulation gives up after
+          50 scheduling decisions;
+        - deadline arithmetic is uniform: callers compute
+          ``deadline = now() + timeout`` once and pass
+          ``max(deadline - now(), 0)`` as each remaining wait, never
+          mixing clocks — the signalling policies centralise this in one
+          place so no backend can drift.
         """
         return time.monotonic()
 

@@ -1,0 +1,443 @@
+"""Event-loop backend: each waiter is a coroutine task, not an OS thread.
+
+``ThreadingBackend`` tops out at a few thousand OS threads, so the relay
+machinery's sublinear pass cost can never be demonstrated at service scale.
+This backend hosts 10^5-10^6 waiters by making every waiter an ``asyncio``
+task: locks and condition variables keep their state under a cheap
+``threading.Lock`` and park waiters as a FIFO of per-waiter futures, so a
+``notify_n(k)`` is one pass popping k futures and one batch of resolutions.
+
+The backend is a hybrid, because monitor code is synchronous:
+
+* **Coroutine targets** (``async def``) run as tasks on one event loop and
+  enter monitors through the coroutine driver
+  (:mod:`repro.core.async_driver`), which awaits :meth:`_AsyncioLock.
+  acquire_async` / :meth:`_AsyncioCondition.wait_async` instead of blocking.
+* **Plain callables** run on bridged OS threads (exactly like the threading
+  backend) and may call the ordinary blocking ``acquire``/``wait``; their
+  futures are ``concurrent.futures.Future`` objects resolved directly.
+
+Both kinds of waiter share the same FIFO queues, so mixed workloads — a
+million parked coroutines woken by a handful of real threads, or vice versa
+— keep strict FIFO wakeup order across the boundary.  Time is wall-clock
+seconds (:meth:`Backend.now`), the same unit the threading backend uses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import threading
+from collections import deque
+from typing import Callable, Deque, Optional, Sequence
+
+from repro.runtime.api import Backend, ConditionAPI, LockAPI, ThreadHandle
+
+__all__ = ["AsyncioBackend"]
+
+
+class _Waiter:
+    """One parked waiter: a future plus the loop that must resolve it.
+
+    ``loop`` is None for bridged-thread waiters (``concurrent.futures.
+    Future``, resolvable from any thread) and the owning event loop for
+    coroutine waiters (``asyncio.Future``, resolved via
+    ``call_soon_threadsafe`` when woken from another thread).
+    """
+
+    __slots__ = ("future", "loop")
+
+    def __init__(self, future, loop) -> None:
+        self.future = future
+        self.loop = loop
+
+
+def _set_result_safe(future) -> None:
+    # A waiter may have timed out (future cancelled) between being popped
+    # from the queue and this callback running; the pop already decided the
+    # wait counts as notified, so a done future just means nothing to do.
+    if not future.done():
+        future.set_result(True)
+
+
+class _AsyncioLock(LockAPI):
+    """FIFO mutex shared by coroutine and bridged-thread waiters.
+
+    Release hands the lock directly to the head of the queue (the lock never
+    becomes free while waiters are queued), so wakeup order is strict FIFO
+    and no barging thread can starve a parked coroutine.
+    """
+
+    def __init__(self, backend: "AsyncioBackend", label: Optional[str] = None) -> None:
+        self._backend = backend
+        self.label = label
+        self._state = threading.Lock()
+        self._locked = False
+        self._queue: Deque[_Waiter] = deque()
+
+    def acquire(self) -> None:
+        backend = self._backend
+        with self._state:
+            if not self._locked:
+                self._locked = True
+                backend._record("lock_acquisitions")
+                return
+            if backend._on_loop_thread():
+                raise RuntimeError(
+                    "blocking acquire of a contended asyncio-backend lock from "
+                    "the event-loop thread; coroutine waiters must go through "
+                    "the coroutine driver (acquire_async)"
+                )
+            waiter = _Waiter(concurrent.futures.Future(), None)
+            self._queue.append(waiter)
+            backend._record("lock_contentions")
+        waiter.future.result()
+        backend._record("lock_acquisitions")
+        backend._record("context_switches")
+
+    async def acquire_async(self) -> None:
+        backend = self._backend
+        with self._state:
+            if not self._locked:
+                self._locked = True
+                backend._record("lock_acquisitions")
+                return
+            loop = asyncio.get_running_loop()
+            waiter = _Waiter(loop.create_future(), loop)
+            self._queue.append(waiter)
+            backend._record("lock_contentions")
+        await waiter.future
+        backend._record("lock_acquisitions")
+        backend._record("context_switches")
+
+    def release(self) -> None:
+        with self._state:
+            if not self._locked:
+                raise RuntimeError("release of an unheld asyncio-backend lock")
+            if self._queue:
+                waiter = self._queue.popleft()  # direct handoff: stays locked
+            else:
+                self._locked = False
+                waiter = None
+        if waiter is not None:
+            self._backend._resolve(waiter)
+
+    @property
+    def locked(self) -> bool:
+        with self._state:
+            return self._locked
+
+
+class _AsyncioCondition(ConditionAPI):
+    """Condition variable over a FIFO deque of per-waiter futures."""
+
+    def __init__(
+        self,
+        backend: "AsyncioBackend",
+        lock: _AsyncioLock,
+        label: Optional[str] = None,
+    ) -> None:
+        self._backend = backend
+        self._lock = lock
+        self.label = label
+        # Shares the lock's state mutex: a waiter enqueues itself *before*
+        # releasing the monitor lock, so a notify between release and park
+        # can never be missed.
+        self._state = lock._state
+        self._waiters: Deque[_Waiter] = deque()
+
+    def _discard(self, waiter: _Waiter) -> bool:
+        """Remove *waiter* after a timeout; False means a concurrent notify
+        already popped it (the notification wins, the wait counts as
+        notified)."""
+        with self._state:
+            try:
+                self._waiters.remove(waiter)
+            except ValueError:
+                return False
+            return True
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        backend = self._backend
+        if backend._on_loop_thread():
+            raise RuntimeError(
+                "blocking wait on the event-loop thread; coroutine waiters "
+                "must go through the coroutine driver (wait_async)"
+            )
+        backend._record("condition_waits")
+        waiter = _Waiter(concurrent.futures.Future(), None)
+        with self._state:
+            self._waiters.append(waiter)
+        self._lock.release()
+        notified = True
+        try:
+            waiter.future.result(timeout)
+        except concurrent.futures.TimeoutError:
+            notified = not self._discard(waiter)
+        backend._record("context_switches")
+        self._lock.acquire()
+        return notified
+
+    async def wait_async(self, timeout: Optional[float] = None) -> bool:
+        backend = self._backend
+        backend._record("condition_waits")
+        loop = asyncio.get_running_loop()
+        waiter = _Waiter(loop.create_future(), loop)
+        with self._state:
+            self._waiters.append(waiter)
+        self._lock.release()
+        notified = True
+        try:
+            if timeout is None:
+                await waiter.future
+            else:
+                await asyncio.wait_for(waiter.future, timeout)
+        except asyncio.TimeoutError:
+            notified = not self._discard(waiter)
+        backend._record("context_switches")
+        await self._lock.acquire_async()
+        return notified
+
+    def _pop_waiters(self, n: Optional[int]) -> list:
+        with self._state:
+            if n is None:
+                popped = list(self._waiters)
+                self._waiters.clear()
+            else:
+                popped = [
+                    self._waiters.popleft()
+                    for _ in range(min(n, len(self._waiters)))
+                ]
+        return popped
+
+    def notify(self) -> None:
+        backend = self._backend
+        backend._record("notifies")
+        popped = self._pop_waiters(1)
+        if popped:
+            backend._record("notified_threads")
+            backend._resolve(popped[0])
+
+    def notify_n(self, n: int) -> None:
+        if n < 0:
+            raise ValueError(f"notify_n requires n >= 0, got {n}")
+        if n == 0:
+            return
+        backend = self._backend
+        backend._record("notifies")
+        popped = self._pop_waiters(n)
+        if popped:
+            backend._record("notified_threads", len(popped))
+            backend._resolve_batch(popped)
+
+    def notify_all(self) -> None:
+        backend = self._backend
+        backend._record("notify_alls")
+        popped = self._pop_waiters(None)
+        if popped:
+            backend._record("notified_threads", len(popped))
+            backend._resolve_batch(popped)
+
+    def waiter_count(self) -> int:
+        with self._state:
+            return len(self._waiters)
+
+
+class _AsyncioThreadHandle(ThreadHandle):
+    """Handle for a bridged OS thread."""
+
+    def __init__(self, thread: threading.Thread) -> None:
+        self._thread = thread
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        self._thread.join(timeout)
+
+    @property
+    def name(self) -> str:
+        return self._thread.name
+
+    @property
+    def alive(self) -> bool:
+        return self._thread.is_alive()
+
+
+class _AsyncioTaskHandle(ThreadHandle):
+    """Handle for a coroutine task; joinable only after ``run`` returned."""
+
+    def __init__(self, task: "asyncio.Task", name: str) -> None:
+        self._task = task
+        self._name = name
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        # run() awaits every task before returning; by the time user code
+        # can call join the task has finished.
+        del timeout
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def alive(self) -> bool:
+        return not self._task.done()
+
+
+class AsyncioBackend(Backend):
+    """Backend hosting waiters as coroutine tasks on one event loop."""
+
+    name = "asyncio"
+    description = "event-loop tasks as waiters; scales to 10^5-10^6 parked waiters (seconds)"
+    time_unit = "seconds"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._metrics_lock = threading.Lock()
+        self._failures: list[BaseException] = []
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._loop_thread_id: Optional[int] = None
+
+    # -- internals ---------------------------------------------------------
+
+    def _record(self, counter: str, amount: int = 1) -> None:
+        with self._metrics_lock:
+            setattr(self.metrics, counter, getattr(self.metrics, counter) + amount)
+
+    def _on_loop_thread(self) -> bool:
+        return (
+            self._loop_thread_id is not None
+            and self._loop_thread_id == threading.get_ident()
+        )
+
+    def _resolve(self, waiter: _Waiter) -> None:
+        if waiter.loop is None or self._on_loop_thread():
+            _set_result_safe(waiter.future)
+        else:
+            waiter.loop.call_soon_threadsafe(_set_result_safe, waiter.future)
+
+    def _resolve_batch(self, waiters: Sequence[_Waiter]) -> None:
+        """Resolve a bulk wakeup: loop-local futures in one pass, foreign-
+        loop futures through a single scheduled callback per loop."""
+        foreign: dict = {}
+        for waiter in waiters:
+            if waiter.loop is None or self._on_loop_thread():
+                _set_result_safe(waiter.future)
+            else:
+                foreign.setdefault(waiter.loop, []).append(waiter.future)
+        for loop, futures in foreign.items():
+            loop.call_soon_threadsafe(
+                lambda batch=futures: [_set_result_safe(f) for f in batch]
+            )
+
+    # -- factory API -------------------------------------------------------
+
+    def create_lock(self, label: Optional[str] = None) -> _AsyncioLock:
+        return _AsyncioLock(self, label=label)
+
+    def create_condition(
+        self, lock: LockAPI, label: Optional[str] = None
+    ) -> _AsyncioCondition:
+        if not isinstance(lock, _AsyncioLock):
+            raise TypeError("an AsyncioBackend condition requires an AsyncioBackend lock")
+        return _AsyncioCondition(self, lock, label=label)
+
+    def spawn(
+        self,
+        target: Callable[[], None],
+        name: Optional[str] = None,
+    ) -> ThreadHandle:
+        """Start *target*: a coroutine function becomes a task on the running
+        loop (loop thread only); a plain callable gets a bridged OS thread."""
+        if asyncio.iscoroutinefunction(target):
+            if not self._on_loop_thread():
+                raise RuntimeError(
+                    "coroutine targets can only be spawned from inside "
+                    "AsyncioBackend.run's event loop"
+                )
+            self._record("threads_spawned")
+            task = self._loop.create_task(self._run_task(target), name=name)
+            return _AsyncioTaskHandle(task, name or "task")
+
+        def runner() -> None:
+            try:
+                target()
+            except BaseException as exc:  # propagated to the caller by run()
+                with self._metrics_lock:
+                    self._failures.append(exc)
+
+        thread = threading.Thread(target=runner, name=name, daemon=True)
+        self._record("threads_spawned")
+        thread.start()
+        return _AsyncioThreadHandle(thread)
+
+    async def _run_task(self, target) -> None:
+        try:
+            await target()
+        except BaseException as exc:
+            with self._metrics_lock:
+                self._failures.append(exc)
+
+    def current_id(self) -> object:
+        if self._on_loop_thread():
+            task = asyncio.current_task()
+            if task is not None:
+                return task
+        return threading.get_ident()
+
+    def run(
+        self,
+        targets: Sequence[Callable[[], None]],
+        names: Optional[Sequence[str]] = None,
+    ) -> None:
+        """Run all *targets* concurrently and wait for every one.
+
+        Coroutine functions become tasks on a fresh event loop; plain
+        callables run on bridged threads alongside it.  With no coroutine
+        target at all there is no loop: the run degenerates to plain
+        threads over the same future-FIFO primitives, which is how the
+        backend hosts unmodified (synchronous) problem workloads.
+        """
+        self._failures = []
+        if any(asyncio.iscoroutinefunction(target) for target in targets):
+            asyncio.run(self._run_async(targets, names))
+        else:
+            handles = []
+            for index, target in enumerate(targets):
+                name = names[index] if names else f"worker-{index}"
+                handles.append(self.spawn(target, name=name))
+            for handle in handles:
+                handle.join()
+        if self._failures:
+            raise self._failures[0]
+
+    async def _run_async(
+        self,
+        targets: Sequence[Callable[[], None]],
+        names: Optional[Sequence[str]],
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        self._loop_thread_id = threading.get_ident()
+        tasks = []
+        handles = []
+        try:
+            for index, target in enumerate(targets):
+                name = names[index] if names else f"worker-{index}"
+                if asyncio.iscoroutinefunction(target):
+                    self._record("threads_spawned")
+                    tasks.append(loop.create_task(self._run_task(target), name=name))
+                else:
+                    handles.append(self.spawn(target, name=name))
+            if tasks:
+                # _run_task never raises (failures are collected), so gather
+                # waits for every task even when some fail.
+                await asyncio.gather(*tasks)
+            if handles:
+                await asyncio.to_thread(self._join_handles, handles)
+        finally:
+            self._loop = None
+            self._loop_thread_id = None
+
+    @staticmethod
+    def _join_handles(handles: Sequence[ThreadHandle]) -> None:
+        for handle in handles:
+            handle.join()

@@ -1,0 +1,107 @@
+"""Name-based registry of execution backends.
+
+The registry is what makes the backend layer pluggable the same way the
+signalling policies, executors, schedulers and the problem catalogue are:
+the harness (:func:`repro.harness.saturation.make_backend`), the service
+tier and ``--backend`` / ``--list-backends`` on ``python -m
+repro.experiments`` all resolve backend names through it instead of
+hard-coding a mode tuple.  Registering a new backend immediately makes it
+selectable everywhere a backend name is accepted.
+
+The registration/lookup contract (decorator registration, ``replace=True``
+shadow guard, list-on-unknown-name errors) is the shared
+:class:`~repro.core.plugin_registry.PluginRegistry` idiom; this module is
+the backend-flavoured face of it.  The three standard backends —
+``threading``, ``simulation``, ``asyncio`` — are registered lazily on
+first use so importing this module never drags in the whole simulation
+kernel.
+
+Unlike policies, backends are constructed through the classmethod
+:meth:`~repro.runtime.api.Backend.build` (not bare ``cls()``) so the
+harness can pass ``seed`` / ``run_timeout`` uniformly and each backend
+keeps what it understands.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Type
+
+from repro.core.plugin_registry import PluginRegistry
+from repro.runtime.api import Backend
+
+__all__ = [
+    "register_backend",
+    "unregister_backend",
+    "get_backend",
+    "available_backends",
+    "describe_backend",
+    "create_backend",
+]
+
+#: The shared plugin registry holding every backend class, in registration
+#: order (the populate hook registers the standard three first, so
+#: ``available_backends`` leads with ``simulation`` — the default).
+_REGISTRY = PluginRegistry(kind="backend", base=Backend, noun="backend")
+
+
+def _register_builtin_backends() -> None:
+    from repro.runtime.asyncio_backend import AsyncioBackend
+    from repro.runtime.simulation import SimulationBackend
+    from repro.runtime.threads import ThreadingBackend
+
+    for backend_cls in (SimulationBackend, ThreadingBackend, AsyncioBackend):
+        # Never clobber a name a user claimed before first lookup.
+        if backend_cls.name not in _REGISTRY:
+            _REGISTRY.register(backend_cls)
+
+
+_REGISTRY.set_populate(_register_builtin_backends)
+
+
+def register_backend(
+    backend_cls: Type[Backend], replace: bool = False
+) -> Type[Backend]:
+    """Register *backend_cls* under its ``name`` attribute.
+
+    Usable as a class decorator.  Re-registering an existing name raises
+    unless ``replace=True`` (guards against accidental shadowing of the
+    standard backends).
+    """
+    return _REGISTRY.register(backend_cls, replace=replace)
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a registered backend by name.
+
+    Exists for tests that register throwaway backends and must restore the
+    registry afterwards.  Unknown names raise the same error as
+    :func:`get_backend`.
+    """
+    _REGISTRY.unregister(name)
+
+
+def get_backend(name: str) -> Type[Backend]:
+    """Look up a backend class by registry name."""
+    return _REGISTRY.get(name)
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of every registered backend, in registration order."""
+    return _REGISTRY.names()
+
+
+def describe_backend(name: str) -> str:
+    """The one-line human-readable label of a registered backend."""
+    return _REGISTRY.describe(name)
+
+
+def create_backend(
+    name: str, seed: int = 0, run_timeout: Optional[float] = None
+) -> Backend:
+    """Create a ready backend instance by registry name.
+
+    Construction goes through :meth:`Backend.build` so every backend
+    receives the harness's ``seed`` and ``run_timeout`` knobs uniformly;
+    backends that have no use for them (threading, asyncio) ignore them.
+    """
+    return get_backend(name).build(seed=seed, run_timeout=run_timeout)

@@ -185,6 +185,14 @@ class SimulationBackend(Backend):
     """
 
     name = "simulation"
+    description = "deterministic cooperative scheduler; time is scheduling steps"
+    time_unit = "steps"
+
+    @classmethod
+    def build(cls, seed: int = 0, run_timeout: Optional[float] = None) -> "SimulationBackend":
+        if run_timeout is not None:
+            return cls(seed=seed, run_timeout=run_timeout)
+        return cls(seed=seed)
 
     def __init__(
         self,
@@ -882,7 +890,16 @@ class SimulationBackend(Backend):
                 )
         return not timed_out
 
-    def condition_notify(self, condition: SimCondition, wake_all: bool) -> None:
+    def condition_notify(
+        self, condition: SimCondition, wake_all: bool, count: int = 1
+    ) -> None:
+        """Wake waiters of *condition*: all of them (``wake_all``) or up to
+        *count* in FIFO order (``notify_n`` passes ``count > 1``).
+
+        A bulk wakeup is one notification event — a single ``notifies``
+        metric increment and a single fault-injection point, so a suppressed
+        notify drops the whole batch exactly like a lost ``notify(n)``.
+        """
         sim_thread = self.current_thread()
         with self._lock:
             self._check_doomed_locked(sim_thread)
@@ -895,7 +912,7 @@ class SimulationBackend(Backend):
                 count = len(condition.waiters)
             else:
                 self.metrics.notifies += 1
-                count = min(1, len(condition.waiters))
+                count = min(count, len(condition.waiters))
             if count and self._fault_injector is not None and not self._abort:
                 try:
                     suppressed = self._fault_injector.on_notify(

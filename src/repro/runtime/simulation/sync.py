@@ -62,6 +62,13 @@ class SimCondition(ConditionAPI):
     def notify(self) -> None:
         self._kernel.condition_notify(self, wake_all=False)
 
+    def notify_n(self, n: int) -> None:
+        if n < 0:
+            raise ValueError(f"notify_n requires n >= 0, got {n}")
+        if n == 0:
+            return
+        self._kernel.condition_notify(self, wake_all=False, count=n)
+
     def notify_all(self) -> None:
         self._kernel.condition_notify(self, wake_all=True)
 

@@ -76,6 +76,19 @@ class _ThreadingCondition(ConditionAPI):
             self._backend._record("notified_threads")
         self._condition.notify()
 
+    def notify_n(self, n: int) -> None:
+        if n < 0:
+            raise ValueError(f"notify_n requires n >= 0, got {n}")
+        if n == 0:
+            return
+        # One bulk wakeup: a single notifies event, however many threads it
+        # actually reaches.
+        self._backend._record("notifies")
+        woken = min(n, self._waiters)
+        if woken > 0:
+            self._backend._record("notified_threads", woken)
+        self._condition.notify(n)
+
     def notify_all(self) -> None:
         self._backend._record("notify_alls")
         self._backend._record("notified_threads", self._waiters)
@@ -105,6 +118,7 @@ class ThreadingBackend(Backend):
     """Backend using ordinary Python threads and locks."""
 
     name = "threading"
+    description = "real OS threads; wall-clock measurements (seconds)"
 
     def __init__(self) -> None:
         super().__init__()

@@ -162,6 +162,11 @@ def compile_scenario_monitor(spec: ScenarioSpec) -> type:
         # lets the condition manager trust write tracking even for container
         # fields on scenario-compiled monitors.
         "_tracked_write_names": state_names,
+        # The precompiled action table, so the coroutine driver
+        # (repro.core.async_driver.run_action) can execute the same
+        # binds -> pre -> guard -> effects sequence without re-entering the
+        # synchronous entry-method wrappers.
+        "_action_runtimes": {runtime.name: runtime for runtime in runtimes},
     }
     for runtime in runtimes:
         namespace[runtime.name] = _make_action_method(runtime)

@@ -1,0 +1,76 @@
+"""Validate-mode invariance sweep: asyncio vs threading, every problem.
+
+The asyncio backend must be a drop-in execution substrate: for every
+builtin problem and declarative scenario, a validate-mode run (relay
+invariance checked at every step) must complete with the problem's own
+invariants verified, produce the same operation count as the threading
+backend, and never lose a signal.  Workloads here are sync entry methods —
+the asyncio backend bridges them onto threads — so this sweep pins the
+backend's lock/condition semantics, not the coroutine driver (which has
+its own suite).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.saturation import make_backend, run_workload
+from repro.problems.registry import available_problems, get_problem
+
+#: Small but non-trivial sweep: enough threads to force real contention.
+THREADS = 4
+TOTAL_OPS = 24
+
+
+def _run(problem_name, backend_name):
+    problem = get_problem(problem_name)
+    backend = make_backend(backend_name)
+    return run_workload(
+        problem,
+        "autosynch",
+        backend,
+        threads=THREADS,
+        total_ops=TOTAL_OPS,
+        verify=True,       # problem invariants / conservation oracles
+        validate=True,     # relay-invariance checking at every step
+    )
+
+
+@pytest.mark.parametrize("problem_name", available_problems())
+def test_asyncio_matches_threading_in_validate_mode(problem_name):
+    """Same verdict on both backends: runs complete, invariants verified,
+    identical operation counts (the conserved quantity of the sweep)."""
+    threading_result = _run(problem_name, "threading")
+    asyncio_result = _run(problem_name, "asyncio")
+
+    assert threading_result.backend == "threading"
+    assert asyncio_result.backend == "asyncio"
+    assert asyncio_result.operations == threading_result.operations
+    # Both backends drove the full workload through the monitor.
+    assert asyncio_result.monitor_stats["entries"] > 0
+    assert threading_result.monitor_stats["entries"] > 0
+
+
+@pytest.mark.parametrize("problem_name", ["resource_pool", "fifo_semaphore"])
+@pytest.mark.parametrize("mechanism", ["relay_fifo", "baseline"])
+def test_service_scenarios_hold_under_other_policies_on_asyncio(
+    problem_name, mechanism
+):
+    """The service-tier scenarios keep their conservation post-conditions on
+    the asyncio backend under the FIFO relay and broadcast policies too."""
+    result = _run_mechanism(problem_name, mechanism)
+    assert result.operations > 0
+
+
+def _run_mechanism(problem_name, mechanism):
+    problem = get_problem(problem_name)
+    backend = make_backend("asyncio")
+    return run_workload(
+        problem,
+        mechanism,
+        backend,
+        threads=THREADS,
+        total_ops=TOTAL_OPS,
+        verify=True,
+        validate=True,
+    )

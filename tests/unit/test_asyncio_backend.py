@@ -1,0 +1,246 @@
+"""The asyncio backend and the coroutine monitor driver.
+
+Coroutine waiters go through :mod:`repro.core.async_driver` —
+``monitor_entry`` / ``wait_until_async`` / ``run_action`` — which re-drives
+the signalling policy's own ``wait_steps`` generator with awaitable
+primitives, so relay semantics are shared with the blocking path by
+construction.  These tests exercise the asyncio-specific surface: task
+waiters, the coroutine/thread hybrid run, failure propagation, the
+loop-thread blocking guard, and timeouts inside coroutines.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core import AutoSynchMonitor, WaitTimeout
+from repro.core.async_driver import monitor_entry, run_action, wait_until_async
+from repro.core.errors import MonitorUsageError
+from repro.runtime import AsyncioBackend, ThreadingBackend
+
+
+class Counter(AutoSynchMonitor):
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.count = 0
+
+    def bump(self):
+        self.count += 1
+
+    def wait_for(self, threshold, timeout=None):
+        self.wait_until("count >= threshold", threshold=threshold, timeout=timeout)
+
+
+class TestBackendBasics:
+    def test_spawn_requires_run_for_coroutines(self):
+        backend = AsyncioBackend()
+
+        async def body():
+            return None
+
+        with pytest.raises(RuntimeError):
+            backend.spawn(body)
+
+    def test_sync_targets_run_as_bridged_threads(self):
+        backend = AsyncioBackend()
+        seen = []
+
+        def body():
+            seen.append(threading.get_ident())
+
+        backend.run([body, body])
+        assert len(seen) == 2
+
+    def test_coroutine_failure_propagates(self):
+        backend = AsyncioBackend()
+
+        async def body():
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            backend.run([body])
+
+    def test_current_id_distinguishes_tasks(self):
+        backend = AsyncioBackend()
+        ids = []
+
+        async def body():
+            ids.append(backend.current_id())
+
+        backend.run([body, body])
+        assert len(ids) == 2
+        assert ids[0] is not ids[1]
+
+    def test_blocking_acquire_on_loop_thread_is_rejected(self):
+        """A coroutine must never block the loop: a *contended* sync acquire
+        from the loop thread raises instead of deadlocking the loop."""
+        backend = AsyncioBackend()
+        lock = backend.create_lock()
+        errors = []
+
+        async def holder():
+            await lock.acquire_async()
+
+        async def blocker():
+            try:
+                lock.acquire()
+            except RuntimeError as error:
+                errors.append(error)
+            finally:
+                if lock.locked:
+                    lock.release()
+
+        backend.run([holder, blocker])
+        assert len(errors) == 1
+        assert "event-loop thread" in str(errors[0])
+
+    def test_wrong_lock_type_rejected(self):
+        backend = AsyncioBackend()
+        with pytest.raises(TypeError):
+            backend.create_condition(threading.Lock())
+
+
+class TestCoroutineMonitorDriver:
+    def test_coroutine_waiters_relay_in_order(self):
+        backend = AsyncioBackend()
+        monitor = Counter(backend=backend, signalling="autosynch")
+        observed = []
+
+        def waiter(threshold):
+            async def body():
+                async with monitor_entry(monitor, "wait_for"):
+                    await wait_until_async(
+                        monitor, "count >= threshold", threshold=threshold
+                    )
+                    observed.append(threshold)
+
+            return body
+
+        async def bumper():
+            for _ in range(10):
+                async with monitor_entry(monitor, "bump"):
+                    monitor.count += 1
+
+        backend.run([waiter(t) for t in range(1, 6)] + [bumper])
+        assert sorted(observed) == [1, 2, 3, 4, 5]
+        assert monitor.stats.waits >= 1
+
+    def test_coroutines_and_threads_share_one_monitor(self):
+        """Bridged sync threads and coroutine tasks interleave on the same
+        monitor: threads block in wait_until, tasks await wait_until_async."""
+        backend = AsyncioBackend()
+        monitor = Counter(backend=backend, signalling="autosynch")
+        woken = []
+
+        def sync_waiter():
+            monitor.wait_for(3)
+            woken.append("thread")
+
+        async def task_waiter():
+            async with monitor_entry(monitor, "wait_for"):
+                await wait_until_async(monitor, "count >= 3")
+            woken.append("task")
+
+        async def bumper():
+            for _ in range(3):
+                async with monitor_entry(monitor, "bump"):
+                    monitor.count += 1
+
+        backend.run([sync_waiter, task_waiter, bumper])
+        assert sorted(woken) == ["task", "thread"]
+
+    def test_wait_timeout_in_coroutine(self):
+        backend = AsyncioBackend()
+        monitor = Counter(backend=backend, signalling="autosynch")
+        outcomes = []
+
+        async def body():
+            async with monitor_entry(monitor, "wait_for"):
+                try:
+                    await wait_until_async(monitor, "count >= 1", timeout=0.2)
+                except WaitTimeout:
+                    outcomes.append("timeout")
+
+        backend.run([body])
+        assert outcomes == ["timeout"]
+        assert monitor.stats.wait_timeouts == 1
+
+    def test_notification_beats_timeout_in_coroutine(self):
+        backend = AsyncioBackend()
+        monitor = Counter(backend=backend, signalling="autosynch")
+        outcomes = []
+
+        async def waiter():
+            async with monitor_entry(monitor, "wait_for"):
+                await wait_until_async(monitor, "count >= 1", timeout=30.0)
+                outcomes.append(monitor.count)
+
+        async def bumper():
+            async with monitor_entry(monitor, "bump"):
+                monitor.count += 1
+
+        backend.run([waiter, bumper])
+        assert outcomes == [1]
+        assert monitor.stats.wait_timeouts == 0
+
+    def test_monitor_entry_requires_async_primitives(self):
+        monitor = Counter(backend=ThreadingBackend())
+
+        async def body():
+            async with monitor_entry(monitor):
+                pass  # pragma: no cover - never entered
+
+        import asyncio
+
+        with pytest.raises(MonitorUsageError, match="asyncio"):
+            asyncio.run(body())
+
+
+class _Plain(AutoSynchMonitor):
+    pass
+
+
+class TestRunAction:
+    def _scenario_monitor(self, backend):
+        from repro.harness.service_load import _build_scenario_monitor
+
+        monitor, _ = _build_scenario_monitor("fifo_semaphore", 2, backend, "autosynch")
+        return monitor
+
+    def test_run_action_drives_compiled_scenarios(self):
+        backend = AsyncioBackend()
+        monitor = self._scenario_monitor(backend)
+
+        def worker(index):
+            async def body():
+                await run_action(monitor, "acquire")
+                await run_action(monitor, "release")
+
+            return body
+
+        backend.run([worker(index) for index in range(6)])
+        assert monitor.acquired == 6
+        assert monitor.released == 6
+        assert monitor.available == 2  # permits conserved
+
+    def test_unknown_action_lists_actions(self):
+        backend = AsyncioBackend()
+        monitor = self._scenario_monitor(backend)
+
+        async def body():
+            with pytest.raises(MonitorUsageError, match="acquire"):
+                await run_action(monitor, "frobnicate")
+
+        backend.run([body])
+
+    def test_non_scenario_monitor_rejected(self):
+        backend = AsyncioBackend()
+        monitor = _Plain(backend=backend)
+
+        async def body():
+            with pytest.raises(MonitorUsageError, match="scenario"):
+                await run_action(monitor, "anything")
+
+        backend.run([body])

@@ -267,6 +267,9 @@ class TestConditionManagerPrimitives:
         def notify(self):
             self.notify_calls += 1
 
+        def notify_n(self, n):
+            self.notify_calls += n
+
         def notify_all(self):
             pass
 
