@@ -12,6 +12,9 @@ Two exploration modes, both built on the scheduler registry of
 * **DFS** (:func:`explore_dfs`) — bounded exhaustive depth-first search over
   the tree of scheduling decisions.  Feasible for small thread/op counts and
   *complete*: if no schedule violates an oracle, none exists at that size.
+  :func:`explore_dpor` is the same search under dynamic partial-order
+  reduction (:mod:`repro.explore.dpor`): the identical violation set,
+  reached in exponentially fewer runs.
 * **Swarm** (:func:`explore_swarm`) — many independent seeded-random
   schedules for configurations too large to exhaust, sharded across worker
   processes through the existing harness executor registry.
@@ -42,6 +45,7 @@ from repro.explore.chaos import (
     chaos_sweep,
     kind_is_acceptable,
 )
+from repro.explore.dpor import DPOR_MODE, explore_dpor
 from repro.explore.engine import (
     ExplorationFailure,
     ExplorationReport,
@@ -66,6 +70,7 @@ from repro.explore.shrink import ShrinkResult, shrink_failure
 __all__ = [
     "ChaosFailure",
     "ChaosReport",
+    "DPOR_MODE",
     "ExplorationFailure",
     "ExplorationReport",
     "ExploreTask",
@@ -78,6 +83,7 @@ __all__ = [
     "StarvationBudgetWatcher",
     "chaos_sweep",
     "explore_dfs",
+    "explore_dpor",
     "explore_swarm",
     "fuzz_scenarios",
     "kind_is_acceptable",

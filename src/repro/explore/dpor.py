@@ -1,0 +1,450 @@
+"""Dynamic partial-order reduction over the prefix-scheduler decision tree.
+
+Plain DFS (:func:`repro.explore.engine.explore_dfs`) branches on *every*
+untried alternative at every decision point, so it re-executes schedules
+that differ only in ways no oracle, verdict or monitor can observe.  This
+module prunes those redundant schedules while preserving the invariant that
+matters: **on every configuration both explorers can exhaust, DPOR reports
+the identical violation set** (same failure kinds, reachable through the
+same replayable prefixes).
+
+Four reductions compose, each justified by a commutation argument:
+
+1. **Configuration merging.**  Two exploration nodes with equal *abstract
+   configurations* — the monitor's public variables (optionally projected by
+   :meth:`Problem.state_projection`), every kernel thread's scheduling state
+   plus a per-thread progress fingerprint, and all lock/condition queues —
+   root isomorphic schedule subtrees, because every simulated thread is a
+   deterministic function of that state.  The subtree is explored once.
+2. **Symmetry.**  Threads declared interchangeable by
+   :meth:`Problem.symmetry_classes` are canonically renamed before configs
+   are compared, and alternatives that are automorphic images of an
+   already-branched sibling are skipped.
+3. **Sleep sets.**  An alternative whose subtree was already explored at a
+   sibling stays "asleep" along the sibling's other branches until some
+   executed slice is *dependent* with it (per-decision footprints from
+   :mod:`repro.runtime.simulation.footprints`); selecting it earlier would
+   only commute into the explored subtree.
+4. **Persistent singletons.**  A slice whose footprint is empty (no reads,
+   writes, locks or condition operations — e.g. a bare thread exit) commutes
+   with everything, so ``{chosen}`` is a valid persistent set at that
+   decision and no alternative needs branching at all.
+
+Reduction is refused under fault injection: a suppressed ``on_notify`` makes
+two otherwise-independent slices non-commuting (the fault fires by event
+*count*, not by state), which breaks every argument above.  Run plain DFS
+for chaos exploration.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.explore.engine import (
+    DEFAULT_FAILURE_LIMIT,
+    ExplorationFailure,
+    ExplorationReport,
+    ExploreTask,
+    ScheduleOutcome,
+    run_prefix,
+)
+from repro.runtime.simulation.footprints import DecisionFootprint, independent
+
+__all__ = ["explore_dpor", "abstract_value", "DPOR_MODE"]
+
+#: The mode string DPOR reports (and repro files carry as provenance).
+DPOR_MODE = "dfs+dpor"
+
+_SCALARS = (int, float, str, bool, bytes, type(None))
+
+
+def abstract_value(value: object) -> object:
+    """A hashable, run-stable key for one monitor variable's value.
+
+    Scalars stay themselves, containers recurse, and everything else
+    collapses to its type name — monitors hold backend objects (condition
+    handles, profilers) whose identities differ between the fresh backends
+    of two runs even when the runs are equivalent.
+    """
+    if isinstance(value, _SCALARS):
+        return value
+    if isinstance(value, (list, tuple)):
+        return tuple(abstract_value(item) for item in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(repr(item) for item in value))
+    if isinstance(value, dict):
+        return tuple(sorted((key, abstract_value(item)) for key, item in value.items()))
+    return ("obj", type(value).__name__)
+
+
+class _ConfigProbe:
+    """``run_schedule`` instrument: snapshot the abstract state everywhere.
+
+    One snapshot per scheduling decision (via ``observe``) plus one after
+    the run ended (via ``finish``), each capturing the monitor's public
+    variables twice — in full and through the problem's projection — and
+    the kernel's thread/lock/condition state.
+    """
+
+    def __init__(self, backend, monitor, project) -> None:
+        self._backend = backend
+        self._monitor = monitor
+        self._project = project
+        self.snapshots: List[tuple] = []
+
+    def _snap(self) -> None:
+        items = [
+            (name, value)
+            for name, value in sorted(vars(self._monitor).items())
+            if not name.startswith("_")
+        ]
+        vars_full = tuple((name, abstract_value(value)) for name, value in items)
+        project = self._project
+        if project is None:
+            vars_proj = vars_full
+        else:
+            # Re-abstract the projected value: projections concern themselves
+            # with *what detail to keep*, not with hashability or run
+            # stability, so an identity projection of an unhashable value
+            # still needs the conservative collapse.
+            vars_proj = tuple(
+                (name, abstract_value(project(name, value))) for name, value in items
+            )
+        threads, locks, conds = self._backend.sync_state()
+        self.snapshots.append((vars_full, vars_proj, threads, locks, conds))
+
+    def observe(self, point) -> None:
+        self._snap()
+
+    def finish(self) -> None:
+        self._snap()
+
+
+def _build_configs(trace, raw: Sequence[tuple]) -> List[tuple]:
+    """Per-decision abstract configurations from a run's raw snapshots.
+
+    ``configs[d]`` describes the state *at* decision ``d``:
+    ``(projected monitor vars, per-thread (tid, state, block_reason,
+    fingerprint), locks, conds)``.
+
+    The fingerprint is the crux.  Thread state alone cannot distinguish "a
+    runnable producer that has put 1 item" from "a runnable producer that
+    has put 2": both look identical to the kernel, yet their futures differ.
+    Each thread's fingerprint counts its *effectful* slices — those that
+    changed some monitor variable or netted the thread a lock it did not
+    hold before.  Because every workload thread is a deterministic program
+    whose thread-local data feeds back only through monitor and kernel
+    state, that count pins the thread's position in its own program, which
+    is exactly what makes equal configurations root isomorphic subtrees.
+    Slices that wake up, find their predicate false, and re-park (the
+    futile-wakeup cascades of the broadcast baseline) net nothing and
+    advance nothing — which is what lets those cascades merge.
+    """
+    decisions = min(len(trace), max(len(raw) - 1, 0))
+    fingerprints: Dict[int, int] = defaultdict(int)
+    configs: List[tuple] = []
+    for d in range(decisions):
+        _vars_full, vars_proj, threads, locks, conds = raw[d]
+        entries = tuple(
+            (tid, state, reason, fingerprints[tid]) for tid, state, reason in threads
+        )
+        configs.append((vars_proj, entries, locks, conds))
+        # Advance the chosen thread's fingerprint across slice d
+        # (the span between snapshot d and snapshot d+1).
+        chosen = trace[d].chosen
+        pre, post = raw[d], raw[d + 1]
+        wrote = pre[0] != post[0]
+        pre_owned = {i for i, owner, _q in pre[3] if owner == chosen}
+        post_owned = {i for i, owner, _q in post[3] if owner == chosen}
+        if wrote or (post_owned - pre_owned):
+            fingerprints[chosen] += 1
+    return configs
+
+
+def _canonicalize(
+    config: tuple, sym_classes: Tuple[Tuple[int, ...], ...]
+) -> Tuple[tuple, Dict[int, int]]:
+    """The lexicographically-least renaming of *config* under the symmetry.
+
+    Tries every per-class thread permutation (classes are tiny — the
+    problems declare 2-4 interchangeable threads per group) and returns the
+    smallest resulting key plus the renaming that produced it, so callers
+    can translate this run's raw tids into canonical ones.
+    """
+    vars_proj, threads, locks, conds = config
+    best: Optional[tuple] = None
+    best_rename: Dict[int, int] = {}
+    perms_per_class = [list(itertools.permutations(cls)) for cls in sym_classes]
+    for combo in itertools.product(*perms_per_class):
+        rename: Dict[int, int] = {}
+        for cls, perm in zip(sym_classes, combo):
+            for original, renamed in zip(cls, perm):
+                rename[original] = renamed
+        r = rename.get
+        t2 = tuple(sorted((r(t, t), s, br, fp) for t, s, br, fp in threads))
+        l2 = tuple(
+            (i, r(o, o) if o is not None else None, tuple(r(x, x) for x in q))
+            for i, o, q in locks
+        )
+        c2 = tuple((i, tuple(r(x, x) for x in q)) for i, q in conds)
+        key = (vars_proj, t2, l2, c2)
+        if best is None or key < best:
+            best = key
+            best_rename = dict(rename)
+    return best, best_rename
+
+
+def _automorphic_reps(
+    config: tuple,
+    alternatives: Sequence[int],
+    sym_classes: Tuple[Tuple[int, ...], ...],
+) -> List[int]:
+    """One representative per automorphism orbit of *alternatives*.
+
+    An alternative ``t`` is dropped when swapping it with an already-kept
+    same-class alternative ``u`` fixes the configuration: scheduling ``t``
+    then reaches a state that is the symmetric image of scheduling ``u``.
+    """
+    keep: List[int] = []
+    _vars_proj, threads, locks, conds = config
+    base = (
+        tuple(sorted(threads)),
+        tuple((i, o, tuple(q)) for i, o, q in locks),
+        tuple((i, tuple(q)) for i, q in conds),
+    )
+    for t in alternatives:
+        redundant = False
+        for u in keep:
+            if not any(t in cls and u in cls for cls in sym_classes):
+                continue
+            swap = {t: u, u: t}
+            r = swap.get
+            t2 = tuple(sorted((r(a, a), s, br, fp) for a, s, br, fp in threads))
+            l2 = tuple(
+                (i, r(o, o) if o is not None else None, tuple(r(x, x) for x in q))
+                for i, o, q in locks
+            )
+            c2 = tuple((i, tuple(r(x, x) for x in q)) for i, q in conds)
+            if (t2, l2, c2) == base:
+                redundant = True
+                break
+        if not redundant:
+            keep.append(t)
+    return keep
+
+
+#: A sleeping alternative: (raw tid, footprint of its first slice or None).
+_SleepEntry = Tuple[int, Optional[DecisionFootprint]]
+
+_STAT_KEYS = (
+    "merged_configs",
+    "cache_skips",
+    "symmetry_skips",
+    "sleep_skips",
+    "persistent_singletons",
+    "frontier_dedup",
+    "unmerged_decisions",
+)
+
+
+def explore_dpor(
+    task: ExploreTask,
+    max_schedules: Optional[int] = None,
+    max_depth: Optional[int] = None,
+    failure_limit: int = DEFAULT_FAILURE_LIMIT,
+    stop_on_failure: bool = False,
+    progress: Optional[Callable[[int, ScheduleOutcome], None]] = None,
+) -> ExplorationReport:
+    """Exhaustive DFS with dynamic partial-order reduction.
+
+    Drop-in for :func:`~repro.explore.engine.explore_dfs`: same signature,
+    same :class:`ExplorationReport`, same replayable failure prefixes —
+    only ``report.mode`` (``"dfs+dpor"``) and ``report.stats`` (pruning
+    counters) differ.  On any configuration both explorers exhaust, the
+    violation sets are identical; DPOR just reaches every inequivalent
+    schedule once instead of many times.
+
+    Raises ``ValueError`` for tasks with a fault plan — see the module
+    docstring for why reduction is unsound under injected faults.
+    """
+    if task.fault_plan is not None:
+        raise ValueError(
+            "partial-order reduction is unsound under fault injection "
+            "(suppressed notifications break slice commutativity); "
+            "run plain DFS for chaos exploration"
+        )
+    problem = task.resolve_problem()
+    params = dict(task.problem_params)
+    sym = tuple(
+        tuple(cls)
+        for cls in problem.symmetry_classes(task.threads, task.total_ops, **params)
+    )
+    project = problem.state_projection(task.threads, task.total_ops, **params)
+
+    report = ExplorationReport(task=task, mode=DPOR_MODE)
+    stats = report.stats
+    for key in _STAT_KEYS:
+        stats[key] = 0
+
+    seen_configs: set = set()
+    #: (canonical config key, canonical tid) -> (canonical child config key,
+    #: footprint of that slice).  Lets a frontier entry whose destination was
+    #: reached by some other run since it was pushed be skipped at pop time,
+    #: and gives sleeping alternatives their footprints.
+    cache: Dict[tuple, Tuple[tuple, Optional[DecisionFootprint]]] = {}
+    #: (prefix, the cache edge that produced it, sleep entries).
+    frontier: List[Tuple[Tuple[int, ...], Optional[tuple], Tuple[_SleepEntry, ...]]] = [
+        ((), None, ())
+    ]
+    seen_prefixes = {()}
+
+    while frontier:
+        if max_schedules is not None and report.schedules_visited >= max_schedules:
+            return report
+        prefix, edge, sleep = frontier.pop()
+        if edge is not None:
+            cached = cache.get(edge)
+            if cached is not None and cached[0] in seen_configs:
+                stats["cache_skips"] += 1
+                continue
+
+        probes: List[_ConfigProbe] = []
+
+        def instrument(backend, spec, _probes=probes):
+            probe = _ConfigProbe(backend, spec.monitor, project)
+            _probes.append(probe)
+            return probe
+
+        outcome = run_prefix(
+            task, prefix, instrument=instrument, record_footprints=True
+        )
+        report.schedules_visited += 1
+        report.max_trace_steps = max(report.max_trace_steps, outcome.steps)
+        report.max_decision_depth = max(
+            report.max_decision_depth,
+            sum(1 for point in outcome.trace.points if point.branching > 1),
+        )
+        if progress is not None:
+            progress(report.schedules_visited, outcome)
+
+        trace = outcome.trace
+        footprints = trace.footprints or []
+        raw = probes[0].snapshots if probes else []
+        configs = _build_configs(trace, raw)
+        choices = trace.choices()
+        branch_until = len(choices)
+        if max_depth is not None and branch_until > max_depth + 1:
+            branch_until = max_depth + 1
+            report.depth_capped += 1
+
+        # Canonicalize every decision's config along the executed path (one
+        # past the branching horizon, for the cache's child keys).
+        canon = [
+            _canonicalize(configs[d], sym)
+            for d in range(min(len(configs), branch_until + 1))
+        ]
+        for d in range(min(branch_until, len(canon) - 1)):
+            key, rename = canon[d]
+            chosen = trace[d].chosen
+            fp = footprints[d] if d < len(footprints) else None
+            cache[(key, rename.get(chosen, chosen))] = (canon[d + 1][0], fp)
+
+        # Walk the executed path: maintain this branch's sleep set slice by
+        # slice and branch untried alternatives at every decision at or
+        # beyond the prefix.  (Decisions inside the prefix were enumerated
+        # by the ancestors that forced them; their slices still wake
+        # sleeping entries — the sleep set was created at the last forced
+        # decision.)
+        active_sleep: List[_SleepEntry] = list(sleep)
+        walk_from = len(prefix) - 1 if prefix else 0
+        for d in range(walk_from, branch_until):
+            fp_d = footprints[d] if d < len(footprints) else None
+            if d >= len(prefix):
+                if d >= len(canon):
+                    # The run aborted (observer exception) before this
+                    # decision was snapshotted: no config to merge on, so
+                    # branch every alternative unreduced — correctness
+                    # before reduction.
+                    stats["unmerged_decisions"] += 1
+                    for alt in range(1, trace[d].branching):
+                        child_prefix = choices[:d] + (alt,)
+                        if child_prefix not in seen_prefixes:
+                            seen_prefixes.add(child_prefix)
+                            frontier.append((child_prefix, None, ()))
+                    continue
+                key, rename = canon[d]
+                if key in seen_configs:
+                    stats["merged_configs"] += 1
+                else:
+                    seen_configs.add(key)
+                    point = trace[d]
+                    runnable = sorted(point.runnable)
+                    chosen = point.chosen
+                    if fp_d is not None and fp_d.empty:
+                        # The executed slice touched nothing shared: it
+                        # commutes with every alternative, so {chosen} is a
+                        # persistent set here and nothing else needs trying.
+                        stats["persistent_singletons"] += 1
+                    else:
+                        reps = _automorphic_reps(configs[d], runnable, sym)
+                        emitted: List[_SleepEntry] = []
+                        for t in runnable:
+                            if t == chosen:
+                                continue
+                            if t not in reps:
+                                stats["symmetry_skips"] += 1
+                                continue
+                            if any(entry[0] == t for entry in active_sleep):
+                                stats["sleep_skips"] += 1
+                                continue
+                            tc = rename.get(t, t)
+                            cached = cache.get((key, tc))
+                            if cached is not None and cached[0] in seen_configs:
+                                stats["cache_skips"] += 1
+                                continue
+                            child_prefix = choices[:d] + (runnable.index(t),)
+                            if child_prefix in seen_prefixes:
+                                stats["frontier_dedup"] += 1
+                                continue
+                            seen_prefixes.add(child_prefix)
+                            # The child falls asleep on everything explored
+                            # before it at this node: the surviving inherited
+                            # entries, the executed continuation, and its
+                            # earlier siblings.
+                            child_sleep = (
+                                tuple(active_sleep)
+                                + ((chosen, fp_d),)
+                                + tuple(emitted)
+                            )
+                            frontier.append((child_prefix, (key, tc), child_sleep))
+                            emitted.append(
+                                (t, cached[1] if cached is not None else None)
+                            )
+            if active_sleep:
+                # Slice d wakes every sleeping alternative it does not
+                # provably commute with (unknown footprints are dependent).
+                active_sleep = [
+                    entry
+                    for entry in active_sleep
+                    if independent(fp_d, entry[1])
+                ]
+
+        if not outcome.ok:
+            report.failures_total += 1
+            if len(report.failures) < failure_limit:
+                report.failures.append(
+                    ExplorationFailure(
+                        kind=outcome.kind,
+                        message=outcome.message,
+                        prefix=choices,
+                        trace=trace,
+                        digest=outcome.digest,
+                    )
+                )
+            if stop_on_failure:
+                return report
+
+    report.complete = True
+    return report

@@ -262,10 +262,26 @@ class ExplorationReport:
     failures: List[ExplorationFailure] = field(default_factory=list)
     #: Total failing schedules seen (``failures`` is capped; this is not).
     failures_total: int = 0
-    max_depth: int = 0
+    #: Longest recorded trace, in scheduling steps (every hand-off counts,
+    #: including forced ones with a single runnable thread).
+    max_trace_steps: int = 0
+    #: Deepest *decision* reached: the most decision points with >= 2
+    #: runnable threads seen in any single run.  This — not the step count —
+    #: is what ``max_depth`` bounds during DFS branching.
+    max_decision_depth: int = 0
     #: DFS only: how many runs kept making decisions beyond the depth bound
     #: (their deeper alternatives were not branched on).
     depth_capped: int = 0
+    #: Mode-specific counters (the DPOR explorer reports its pruning stats
+    #: here); empty for plain DFS/swarm.
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def max_depth(self) -> int:
+        """Deprecated alias for :attr:`max_trace_steps` (the historical
+        field conflated trace steps with decision depth; both are now
+        reported distinctly)."""
+        return self.max_trace_steps
 
     @property
     def ok(self) -> bool:
@@ -288,7 +304,8 @@ class ExplorationReport:
             f"{self.mode} exploration of {self.task.problem} "
             f"[{self.task.mechanism}] threads={self.task.threads} "
             f"ops={self.task.total_ops}: {self.schedules_visited} schedules "
-            f"({shape}), max depth {self.max_depth}, "
+            f"({shape}), max {self.max_trace_steps} steps / "
+            f"{self.max_decision_depth} decisions, "
             f"{self.failures_total} failing"
         ]
         for kind, count in sorted(self.failure_kinds().items()):
@@ -355,12 +372,27 @@ def _waiter_autopsy(monitor: MonitorBase) -> Callable[[], Optional[str]]:
     return inspect
 
 
-def run_schedule(task: ExploreTask, scheduler: Scheduler) -> ScheduleOutcome:
+def run_schedule(
+    task: ExploreTask,
+    scheduler: Scheduler,
+    instrument: Optional[Callable[[SimulationBackend, "WorkloadSpec"], object]] = None,
+    record_footprints: bool = False,
+) -> ScheduleOutcome:
     """Run one schedule of *task* under *scheduler* and classify the result.
 
     Builds a fresh backend and monitor (schedules are only comparable when
     nothing leaks between runs), records the decision trace, and checks the
     problem's oracles at every decision point.
+
+    ``instrument``, when given, is called with the fresh backend and built
+    workload before the run; the object it returns may expose ``observe(point)``
+    (chained after the oracles at every decision) and ``finish()`` (called
+    once after the run, however it ended).  The DPOR explorer uses this to
+    snapshot abstract configurations at every decision point.
+
+    ``record_footprints`` makes the kernel record per-decision read/write/
+    lock/condition footprints and attaches them to the returned trace
+    (``outcome.trace.footprints``) for independence analysis.
     """
     problem = task.resolve_problem()
     backend_kwargs = {}
@@ -371,6 +403,7 @@ def run_schedule(task: ExploreTask, scheduler: Scheduler) -> ScheduleOutcome:
         policy=scheduler,
         max_steps=task.max_steps,
         record_trace=True,
+        record_footprints=record_footprints,
         **backend_kwargs,
     )
     spec = problem.build(
@@ -405,6 +438,12 @@ def run_schedule(task: ExploreTask, scheduler: Scheduler) -> ScheduleOutcome:
     watcher = (
         StarvationBudgetWatcher(backend, budget) if budget is not None else None
     )
+    probe_observe = None
+    probe_finish = None
+    if instrument is not None:
+        instrument_probe = instrument(backend, spec)
+        probe_observe = getattr(instrument_probe, "observe", None)
+        probe_finish = getattr(instrument_probe, "finish", None)
 
     def observer(point: SchedulePoint) -> None:
         for oracle in oracles:
@@ -413,6 +452,8 @@ def run_schedule(task: ExploreTask, scheduler: Scheduler) -> ScheduleOutcome:
                 raise OracleViolationError(oracle.name, message, kind=oracle.kind)
         if watcher is not None:
             watcher.observe(point)
+        if probe_observe is not None:
+            probe_observe(point)
 
     backend.set_observer(observer)
     probe = _MissedSignalProbe(spec.monitor)
@@ -448,7 +489,11 @@ def run_schedule(task: ExploreTask, scheduler: Scheduler) -> ScheduleOutcome:
         status, kind, message = "failure", "postcondition", str(exc)
     except Exception as exc:
         status, kind, message = "failure", f"error:{type(exc).__name__}", str(exc)
+    if probe_finish is not None:
+        probe_finish()
     trace = backend.schedule_trace
+    if record_footprints:
+        trace.footprints = backend.schedule_footprints
     stats = getattr(spec.monitor, "stats", None)
     return ScheduleOutcome(
         status=status,
@@ -462,9 +507,19 @@ def run_schedule(task: ExploreTask, scheduler: Scheduler) -> ScheduleOutcome:
     )
 
 
-def run_prefix(task: ExploreTask, prefix: Sequence[int]) -> ScheduleOutcome:
+def run_prefix(
+    task: ExploreTask,
+    prefix: Sequence[int],
+    instrument: Optional[Callable[[SimulationBackend, "WorkloadSpec"], object]] = None,
+    record_footprints: bool = False,
+) -> ScheduleOutcome:
     """Run the schedule identified by a decision *prefix* (DFS coordinates)."""
-    return run_schedule(task, PrefixScheduler(prefix))
+    return run_schedule(
+        task,
+        PrefixScheduler(prefix),
+        instrument=instrument,
+        record_footprints=record_footprints,
+    )
 
 
 #: Keep at most this many failures in a report by default (every failing
@@ -499,25 +554,40 @@ def explore_dfs(
     """
     report = ExplorationReport(task=task, mode="dfs")
     pending: List[Tuple[int, ...]] = [()]
+    # Two different prefixes can identify the same *executed* schedule (a
+    # shorter prefix whose forced continuation happens to make the same
+    # choices), and sibling branches at different depths can enqueue one
+    # prefix twice; keying the frontier by the prefix tuple keeps each
+    # schedule to a single run.
+    seen_prefixes = {()}
     while pending:
         if max_schedules is not None and report.schedules_visited >= max_schedules:
             return report
         prefix = pending.pop()
         outcome = run_prefix(task, prefix)
         report.schedules_visited += 1
-        report.max_depth = max(report.max_depth, outcome.steps)
+        report.max_trace_steps = max(report.max_trace_steps, outcome.steps)
+        report.max_decision_depth = max(
+            report.max_decision_depth,
+            sum(1 for point in outcome.trace.points if point.branching > 1),
+        )
         if progress is not None:
             progress(report.schedules_visited, outcome)
         choices = outcome.trace.choices()
         # Branch: alternatives not taken at every decision at or beyond the
         # prefix (decisions inside the prefix were enumerated by its parent).
+        # ``max_depth`` is an inclusive decision index: alternatives at
+        # exactly that depth are still branched (hence the ``+ 1``).
         branch_until = len(choices)
-        if max_depth is not None and branch_until > max_depth:
-            branch_until = max_depth
+        if max_depth is not None and branch_until > max_depth + 1:
+            branch_until = max_depth + 1
             report.depth_capped += 1
         for depth in range(len(prefix), branch_until):
             for alt in range(1, outcome.trace[depth].branching):
-                pending.append(choices[:depth] + (alt,))
+                child = choices[:depth] + (alt,)
+                if child not in seen_prefixes:
+                    seen_prefixes.add(child)
+                    pending.append(child)
         if not outcome.ok:
             report.failures_total += 1
             if len(report.failures) < failure_limit:
@@ -576,7 +646,11 @@ def explore_swarm(
 
     def on_probe(index: int, probe: _SwarmProbe, outcome: ScheduleOutcome) -> None:
         report.schedules_visited += 1
-        report.max_depth = max(report.max_depth, outcome.steps)
+        report.max_trace_steps = max(report.max_trace_steps, outcome.steps)
+        report.max_decision_depth = max(
+            report.max_decision_depth,
+            sum(1 for point in outcome.trace.points if point.branching > 1),
+        )
         if progress is not None:
             progress(report.schedules_visited, outcome)
         if outcome.ok:

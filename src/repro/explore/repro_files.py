@@ -56,6 +56,12 @@ def repro_payload(
     payload = {
         "format": REPRO_FORMAT,
         "mode": mode,
+        # Provenance: found by reduced (DPOR) exploration.  Replay is
+        # unaffected — the full trace is recorded and re-driven either way,
+        # so a reduced-exploration repro replays bit-identically — but the
+        # flag tells a reader that the *absence* of sibling repros may be a
+        # reduction artefact rather than a clean bill of health.
+        "reduced": mode.endswith("+dpor"),
         "task": task.to_dict(),
         "failure": {
             "kind": failure.kind,

@@ -9,7 +9,11 @@ same failure.  The shrinker exploits exactly that structure:
   dropped outright (same schedule, shorter prefix);
 * any single decision can be tried at the default (0) or at a smaller
   alternative, and the candidate kept whenever the re-run still fails with
-  the same kind.
+  the same *identity* — the same kind, and for kinds whose name does not
+  already pin the culprit (``postcondition``, ``error:<Type>``) the same
+  failure message modulo numbers.  Kind alone is not enough: a workload
+  with several assertions can be over-shrunk onto a *different* broken
+  invariant, silently swapping the bug the repro documents.
 
 The loop is greedy to a fixpoint, so the result is near-minimal (no single
 decision can be defaulted or lowered without losing the failure) rather than
@@ -19,12 +23,13 @@ bounded number of re-runs.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.explore.engine import ExploreTask, ScheduleOutcome, run_prefix
 
-__all__ = ["ShrinkResult", "shrink_failure"]
+__all__ = ["ShrinkResult", "shrink_failure", "failure_identity"]
 
 #: Upper bound on shrink re-runs (each re-run is a full, if tiny, simulation).
 DEFAULT_SHRINK_BUDGET = 2_000
@@ -66,25 +71,54 @@ def _forced(prefix: Tuple[int, ...]) -> int:
     return sum(1 for choice in prefix if choice != 0)
 
 
+def failure_identity(kind: str, message: Optional[str]) -> Tuple[str, Optional[str]]:
+    """What must stay fixed while shrinking: which failure *is* this?
+
+    Oracle violations and classified verdicts already name the culprit in
+    the kind itself (``oracle:<name>``, ``missed_signal``, ``deadlock``, ...),
+    so the kind suffices.  ``postcondition`` and ``error:<Type>`` do not —
+    one workload can fail several distinct assertions, all classified
+    ``postcondition`` — so the message joins the identity, with digit runs
+    masked (counters legitimately differ between the original failure and a
+    shorter schedule exhibiting the same broken invariant).
+    """
+    if message is not None and (kind == "postcondition" or kind.startswith("error:")):
+        return kind, re.sub(r"\d+", "N", message)
+    return kind, None
+
+
 def shrink_failure(
     task: ExploreTask,
     prefix: Tuple[int, ...],
     kind: str,
     budget: int = DEFAULT_SHRINK_BUDGET,
+    message: Optional[str] = None,
 ) -> ShrinkResult:
     """Shrink *prefix* while the re-run keeps failing with *kind*.
+
+    *message* is the original failure's message; when given, candidates must
+    preserve the full :func:`failure_identity`, not merely the kind — see
+    the module docstring for why kind alone over-shrinks.
 
     *prefix* must actually fail (the function re-runs it first and raises
     ``ValueError`` if it does not — shrinking a non-failure is always a bug
     in the caller).
     """
     attempts = 0
+    identity = failure_identity(kind, message)
 
     def attempt(candidate: Tuple[int, ...]) -> Optional[ScheduleOutcome]:
         nonlocal attempts
         attempts += 1
         outcome = run_prefix(task, candidate)
-        return outcome if outcome.kind == kind else None
+        if outcome.kind != kind:
+            return None
+        # Only constrain the message when the caller supplied one (legacy
+        # callers shrink on kind alone).
+        if identity[1] is not None:
+            if failure_identity(outcome.kind, outcome.message) != identity:
+                return None
+        return outcome
 
     original = tuple(int(choice) for choice in prefix)
     current = _trim(original)

@@ -161,6 +161,43 @@ class Problem(abc.ABC):
         """
         return ()
 
+    # -- declarations consumed by partial-order reduction ---------------------
+
+    def symmetry_classes(
+        self, threads: int, total_ops: int, **params: object
+    ) -> Tuple[Tuple[int, ...], ...]:
+        """Groups of interchangeable worker threads, by kernel thread id.
+
+        Two threads are interchangeable when they run the *same program with
+        the same operation quota*, so renaming one to the other maps every
+        schedule to an equivalent schedule.  The DPOR explorer
+        (:mod:`repro.explore.dpor`) uses these classes to canonicalise
+        configurations and to skip alternatives that are automorphic images
+        of ones already branched.  The default — no classes — disables
+        symmetry reduction and is always sound; problems whose
+        :meth:`build` spawns uniform worker groups should override this
+        (and must return () when quotas are split unevenly).
+        """
+        return ()
+
+    def state_projection(
+        self, threads: int, total_ops: int, **params: object
+    ) -> Optional[Callable[[str, object], object]]:
+        """Optional abstraction of monitor state for DPOR config merging.
+
+        The DPOR explorer merges two exploration nodes when their *abstract
+        configurations* — monitor public variables plus kernel thread/lock
+        state — coincide, on the argument that equal configurations have
+        isomorphic schedule subtrees.  That argument needs every variable's
+        abstraction to preserve the monitor's control flow and the problem's
+        oracles.  The default (None) keeps full variable contents, which is
+        always sound; a problem may return ``project(name, value) -> key``
+        mapping a variable to a coarser key (e.g. a queue to its length)
+        when it can promise that nothing observable depends on the dropped
+        detail.
+        """
+        return None
+
     # -- helpers shared by concrete problems ---------------------------------
 
     def supported_mechanisms(self) -> Tuple[str, ...]:

@@ -135,6 +135,35 @@ class BoundedBufferProblem(Problem):
     def oracles(self, monitor) -> Tuple[Oracle, ...]:
         return buffer_oracles(monitor)
 
+    def symmetry_classes(
+        self, threads: int, total_ops: int, **params: object
+    ) -> Tuple[Tuple[int, ...], ...]:
+        # build() spawns producers as tids 0..threads-1 and consumers as
+        # threads..2*threads-1.  Producers differ only in the item *values*
+        # they put (base offsets), which the state projection below erases,
+        # so within each group threads are interchangeable — but only while
+        # _split_ops hands every member the same quota; with an uneven split
+        # renaming changes the remaining work, so declare no symmetry then.
+        items_total = max(threads, total_ops // 2)
+        if items_total % threads != 0:
+            return ()
+        return (tuple(range(threads)), tuple(range(threads, 2 * threads)))
+
+    def state_projection(self, threads: int, total_ops: int, **params: object):
+        # The buffer's control flow (both the waituntil predicates and the
+        # explicit twin's while-loops) depends on ``items`` only through
+        # ``count``/emptiness, and every oracle and the post-run verify()
+        # constrain counters and lengths, never item identity.  Projecting
+        # containers to their length is therefore observation-preserving
+        # here, and it is what lets schedules that interleave *different*
+        # producers converge to one abstract configuration.
+        def project(name: str, value: object) -> object:
+            if isinstance(value, (list, tuple, set, frozenset, dict)):
+                return ("len", len(value))
+            return value
+
+        return project
+
     def build(
         self,
         mechanism: str,

@@ -15,6 +15,10 @@ exactly here, while the threading backend provides wall-clock numbers for
 reference.
 """
 
+from repro.runtime.simulation.footprints import (
+    DecisionFootprint,
+    independent,
+)
 from repro.runtime.simulation.kernel import (
     DeadlockError,
     MonitorAbandonedError,
@@ -42,6 +46,7 @@ from repro.runtime.simulation.schedulers import (
 
 __all__ = [
     "DeadlockError",
+    "DecisionFootprint",
     "FifoScheduler",
     "MonitorAbandonedError",
     "SimulationHangError",
@@ -59,6 +64,7 @@ __all__ = [
     "create_scheduler",
     "describe_scheduler",
     "get_scheduler",
+    "independent",
     "register_scheduler",
     "unregister_scheduler",
 ]

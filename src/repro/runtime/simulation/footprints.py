@@ -1,0 +1,144 @@
+"""Per-decision footprints: what one scheduling slice touched.
+
+Dynamic partial-order reduction (:mod:`repro.explore.dpor`) needs to know
+when two scheduling decisions *commute* — swapping them cannot change any
+observable outcome.  The kernel answers that question operationally: while a
+slice runs (the span between one scheduling decision and the next), it
+records which monitors the slice entered, which shared variables it read and
+wrote, and which locks and condition variables it operated on.  Two slices
+are **independent** when those sets are disjoint; independence is the entire
+interface DPOR consumes.
+
+The sources are the structures the paper already builds: shared-variable
+*reads* come from the predicate classifier (every compiled ``waituntil``
+predicate knows its shared read set), *writes* come from the same
+``__setattr__`` hook that feeds the incremental-relay ``WriteTracker``, and
+monitor identity comes from the kernel's own lock bookkeeping (every monitor
+is one lock; slices that enter the same monitor conflict by definition).
+
+Recording is opt-in (``SimulationBackend(record_footprints=True)``) and
+costs nothing when off — the saturation benchmarks never see it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Tuple
+
+__all__ = ["DecisionFootprint", "FootprintRecorder", "independent"]
+
+
+@dataclass(frozen=True)
+class DecisionFootprint:
+    """Everything one scheduling slice touched.
+
+    ``locks`` and ``conds`` carry stable per-backend identifiers (creation
+    index plus label), so footprints from different runs of the same workload
+    compare equal.  Empty sets on every field mean the slice is independent
+    of *everything* — e.g. a bare thread exit — which lets the explorer treat
+    the singleton ``{chosen}`` as a persistent set at that decision.
+    """
+
+    #: Shared monitor variables the slice read (predicate evaluations).
+    reads: FrozenSet[str] = frozenset()
+    #: Shared monitor variables the slice wrote (``__setattr__`` hook).
+    writes: FrozenSet[str] = frozenset()
+    #: Locks the slice acquired, blocked on, released or handed off.
+    locks: FrozenSet[str] = frozenset()
+    #: Condition variables the slice waited on or notified.
+    conds: FrozenSet[str] = frozenset()
+
+    @property
+    def empty(self) -> bool:
+        """True when the slice touched nothing shared at all."""
+        return not (self.reads or self.writes or self.locks or self.conds)
+
+    def to_dict(self) -> dict:
+        return {
+            "reads": sorted(self.reads),
+            "writes": sorted(self.writes),
+            "locks": sorted(self.locks),
+            "conds": sorted(self.conds),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DecisionFootprint":
+        return cls(
+            reads=frozenset(data.get("reads", ())),
+            writes=frozenset(data.get("writes", ())),
+            locks=frozenset(data.get("locks", ())),
+            conds=frozenset(data.get("conds", ())),
+        )
+
+
+def independent(
+    a: Optional[DecisionFootprint], b: Optional[DecisionFootprint]
+) -> bool:
+    """Whether two slices commute.
+
+    A missing footprint (None — the slice ran without recording, or the
+    recording was lossy) is conservatively dependent on everything.  Two
+    recorded slices conflict when they touch the same lock or condition
+    (same monitor, or the same scenario-level lock), or when one's writes
+    intersect the other's reads or writes — the classic Mazurkiewicz
+    dependence relation over shared variables.
+    """
+    if a is None or b is None:
+        return False
+    if a.locks & b.locks or a.conds & b.conds:
+        return False
+    if a.writes & (b.reads | b.writes):
+        return False
+    if b.writes & (a.reads | a.writes):
+        return False
+    return True
+
+
+class FootprintRecorder:
+    """Accumulates the current slice's events inside the kernel.
+
+    The kernel owns exactly one of these when footprint recording is on and
+    calls ``flush()`` at every scheduling decision: the accumulated events
+    become the footprint of the slice that just ended, and accumulation
+    restarts for the next slice.  All calls happen with the kernel lock held
+    (or from the single running simulated thread), so plain sets suffice.
+    """
+
+    __slots__ = ("_reads", "_writes", "_locks", "_conds", "footprints")
+
+    def __init__(self) -> None:
+        self._reads: set = set()
+        self._writes: set = set()
+        self._locks: set = set()
+        self._conds: set = set()
+        #: One footprint per *completed* slice, aligned with the trace's
+        #: decision points (footprint ``i`` covers the slice started by
+        #: decision ``i``).
+        self.footprints: List[DecisionFootprint] = []
+
+    def note_read(self, names) -> None:
+        self._reads.update(names)
+
+    def note_write(self, name: str) -> None:
+        self._writes.add(name)
+
+    def note_lock(self, lock_id: str) -> None:
+        self._locks.add(lock_id)
+
+    def note_cond(self, cond_id: str) -> None:
+        self._conds.add(cond_id)
+
+    def flush(self) -> None:
+        """Seal the current slice's footprint and start the next one."""
+        self.footprints.append(
+            DecisionFootprint(
+                reads=frozenset(self._reads),
+                writes=frozenset(self._writes),
+                locks=frozenset(self._locks),
+                conds=frozenset(self._conds),
+            )
+        )
+        self._reads.clear()
+        self._writes.clear()
+        self._locks.clear()
+        self._conds.clear()

@@ -109,12 +109,27 @@ class SchedulePoint:
 
 
 class ScheduleTrace:
-    """The ordered list of decision points of one simulation run."""
+    """The ordered list of decision points of one simulation run.
 
-    __slots__ = ("points",)
+    ``footprints``, when present, annotates each decision with what its
+    slice touched (see :mod:`repro.runtime.simulation.footprints`) — the
+    dependence information DPOR consumes.  Footprints are *annotations*:
+    they are excluded from :meth:`digest` and from equality, so a trace
+    recorded with footprint recording on replays bit-identically to one
+    recorded without.
+    """
 
-    def __init__(self, points: Sequence[SchedulePoint] = ()) -> None:
+    __slots__ = ("points", "footprints")
+
+    def __init__(
+        self,
+        points: Sequence[SchedulePoint] = (),
+        footprints: Optional[Sequence] = None,
+    ) -> None:
         self.points: List[SchedulePoint] = list(points)
+        self.footprints: Optional[list] = (
+            list(footprints) if footprints is not None else None
+        )
 
     def append(self, point: SchedulePoint) -> None:
         self.points.append(point)
@@ -157,11 +172,24 @@ class ScheduleTrace:
         return hasher.hexdigest()
 
     def to_dict(self) -> dict:
-        return {"points": [point.to_dict() for point in self.points]}
+        data: dict = {"points": [point.to_dict() for point in self.points]}
+        if self.footprints is not None:
+            data["footprints"] = [fp.to_dict() for fp in self.footprints]
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "ScheduleTrace":
-        return cls(SchedulePoint.from_dict(point) for point in data["points"])
+        footprints = None
+        if "footprints" in data:
+            from repro.runtime.simulation.footprints import DecisionFootprint
+
+            footprints = [
+                DecisionFootprint.from_dict(fp) for fp in data["footprints"]
+            ]
+        return cls(
+            (SchedulePoint.from_dict(point) for point in data["points"]),
+            footprints=footprints,
+        )
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict())

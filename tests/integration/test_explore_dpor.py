@@ -1,0 +1,282 @@
+"""DPOR exploration and the DFS/shrink bugfix sweep.
+
+Covers the invariant the reduction lives or dies by — DPOR must report the
+identical violation set as plain DFS on every configuration both can
+exhaust — plus the three repairs that rode along: the DFS frontier keying
+schedules by prefix (no double execution), the shrinker preserving failure
+*identity* rather than bare kind, and the exploration report separating
+trace step count from decision depth (with branching at exactly
+``max_depth`` included).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.explore import (
+    ExploreTask,
+    explore_dfs,
+    explore_dpor,
+    load_repro,
+    replay_repro,
+    repro_payload,
+    shrink_failure,
+    write_repro,
+)
+from repro.explore import engine as engine_module
+from repro.explore import shrink as shrink_module
+from repro.explore.dpor import DPOR_MODE
+from repro.explore.engine import ScheduleOutcome
+from repro.problems.base import all_mechanisms
+from repro.runtime.simulation.schedulers import SchedulePoint, ScheduleTrace
+
+# Fixture re-use: importing the fixture functions registers them here.
+from test_seeded_defects import lossy_policy, unordered_dining  # noqa: F401
+
+BUFFER_2X2 = dict(
+    problem="bounded_buffer",
+    threads=2,
+    total_ops=4,
+    problem_params={"capacity": 1},
+)
+
+
+def _outcome_for(points, kind="ok", message="") -> ScheduleOutcome:
+    trace = ScheduleTrace(points)
+    return ScheduleOutcome(
+        status="ok" if kind == "ok" else "failure",
+        kind=kind,
+        message=message,
+        trace=trace,
+        digest=trace.digest(),
+        backend_metrics={},
+    )
+
+
+class TestDfsFrontierDedup:
+    def test_bounded_buffer_2x2_runs_each_schedule_once(self, monkeypatch):
+        """Counting regression: every executed prefix is distinct."""
+        executed = []
+        real = engine_module.run_prefix
+
+        def counting(task, prefix, **kwargs):
+            executed.append(tuple(prefix))
+            return real(task, prefix, **kwargs)
+
+        monkeypatch.setattr(engine_module, "run_prefix", counting)
+        task = ExploreTask(mechanism="autosynch", **BUFFER_2X2)
+        report = explore_dfs(task)
+        assert report.complete
+        assert len(executed) == report.schedules_visited
+        assert len(executed) == len(set(executed)), (
+            "the DFS frontier executed the same prefix more than once"
+        )
+
+    def test_diverging_run_cannot_double_enqueue(self, monkeypatch):
+        """A run whose recorded choices ignore its prefix (divergence) used
+        to re-enqueue children its siblings had already produced; the
+        frontier is now keyed by prefix tuple."""
+        # Every run reports the same two-decision trace with two runnable
+        # threads at each decision, choices (0, 0) — regardless of prefix.
+        points = [
+            SchedulePoint(step=0, runnable=(0, 1), chosen=0, reason="start"),
+            SchedulePoint(step=1, runnable=(0, 1), chosen=0, reason="yield"),
+        ]
+        executed = []
+
+        def stubbed(task, prefix, **kwargs):
+            executed.append(tuple(prefix))
+            return _outcome_for(points, kind="divergence", message="stub")
+
+        monkeypatch.setattr(engine_module, "run_prefix", stubbed)
+        task = ExploreTask(mechanism="autosynch", **BUFFER_2X2)
+        report = explore_dfs(task, failure_limit=0)
+        # Tree over the stub: () branches (1,) and (0, 1); each of those
+        # re-branches the same children, which dedup must swallow.
+        assert len(executed) == len(set(executed))
+        assert sorted(executed) == [(), (0, 1), (1,)]
+        assert report.schedules_visited == 3
+
+
+class TestShrinkPreservesIdentity:
+    def test_over_shrink_onto_different_assertion_is_rejected(self, monkeypatch):
+        """Dropping the forced decision flips the run onto a *different*
+        broken invariant with the same ``postcondition`` kind; the shrinker
+        must reject that candidate now that it checks identity."""
+        conservation = "put 4 - taken 2 = 2, but count=0"
+        drained = "buffer should drain completely"
+        point = SchedulePoint(step=0, runnable=(0, 1), chosen=1, reason="start")
+
+        def stubbed(task, prefix, **kwargs):
+            if tuple(prefix) == (1,):
+                return _outcome_for([point], "postcondition", conservation)
+            # Every shrink candidate (the default continuation included)
+            # fails too — but with a different assertion.
+            return _outcome_for([point], "postcondition", drained)
+
+        monkeypatch.setattr(shrink_module, "run_prefix", stubbed)
+        task = ExploreTask(mechanism="autosynch", **BUFFER_2X2)
+        result = shrink_failure(task, (1,), "postcondition", message=conservation)
+        assert result.prefix == (1,), (
+            "the shrinker swapped the repro onto a different assertion"
+        )
+        assert result.outcome.message == conservation
+
+    def test_kind_only_legacy_callers_still_shrink(self, monkeypatch):
+        """Without a message, kind-equality remains the (legacy) criterion."""
+        point = SchedulePoint(step=0, runnable=(0, 1), chosen=1, reason="start")
+
+        def stubbed(task, prefix, **kwargs):
+            return _outcome_for([point], "deadlock", f"msg for {tuple(prefix)}")
+
+        monkeypatch.setattr(shrink_module, "run_prefix", stubbed)
+        task = ExploreTask(mechanism="autosynch", **BUFFER_2X2)
+        result = shrink_failure(task, (1,), "deadlock")
+        assert result.prefix == ()
+
+    def test_digit_masking_tolerates_counter_drift(self):
+        from repro.explore.shrink import failure_identity
+
+        a = failure_identity("postcondition", "expected 4 puts, saw 2")
+        b = failure_identity("postcondition", "expected 8 puts, saw 6")
+        assert a == b
+        c = failure_identity("postcondition", "buffer should drain completely")
+        assert a != c
+        # Kinds that already carry their identity ignore the message.
+        assert failure_identity("missed_signal", "x") == ("missed_signal", None)
+
+
+class TestDepthReporting:
+    def test_trace_steps_and_decision_depth_are_distinct(self):
+        task = ExploreTask(
+            problem="bounded_buffer",
+            mechanism="autosynch",
+            threads=1,
+            total_ops=2,
+            problem_params={"capacity": 1},
+        )
+        report = explore_dfs(task)
+        assert report.complete
+        # Forced decisions (one runnable thread) count as steps but not as
+        # decision depth, and this tiny workload has plenty of them.
+        assert report.max_trace_steps > report.max_decision_depth > 0
+        # Back-compat alias.
+        assert report.max_depth == report.max_trace_steps
+
+    def test_alternatives_at_exactly_max_depth_are_branched(self):
+        task = ExploreTask(mechanism="autosynch", **BUFFER_2X2)
+        traces = []
+        full = explore_dfs(
+            task, progress=lambda n, outcome: traces.append(outcome.trace)
+        )
+        assert full.complete
+        deepest = max(
+            index
+            for trace in traces
+            for index, point in enumerate(trace.points)
+            if point.branching > 1
+        )
+        bounded = explore_dfs(task, max_depth=deepest)
+        # The bound equals the deepest real decision: nothing may be lost.
+        assert bounded.schedules_visited == full.schedules_visited
+        # One decision earlier genuinely prunes.
+        assert explore_dfs(task, max_depth=deepest - 1).schedules_visited < (
+            full.schedules_visited
+        )
+
+
+class TestDporMatchesDfs:
+    @pytest.mark.parametrize("mechanism", all_mechanisms())
+    def test_identical_violation_set_on_2x2(self, mechanism):
+        max_depth = 24 if mechanism == "baseline" else None
+        task = ExploreTask(mechanism=mechanism, **BUFFER_2X2)
+        full = explore_dfs(task, max_depth=max_depth)
+        reduced = explore_dpor(task, max_depth=max_depth)
+        assert full.complete and reduced.complete
+        assert reduced.mode == DPOR_MODE
+        assert reduced.schedules_visited <= full.schedules_visited
+        assert {f.kind for f in reduced.failures} == {
+            f.kind for f in full.failures
+        }
+        assert (reduced.failures_total == 0) == (full.failures_total == 0)
+
+    def test_dpor_refuses_fault_plans(self):
+        task = ExploreTask(
+            mechanism="autosynch",
+            fault_plan={"name": "x", "faults": []},
+            **BUFFER_2X2,
+        )
+        with pytest.raises(ValueError, match="fault injection"):
+            explore_dpor(task)
+
+
+class TestDporFindsSeededDefects:
+    def test_lossy_relay_missed_signal_replays_bit_identically(
+        self, lossy_policy, tmp_path
+    ):
+        task = ExploreTask(
+            problem="bounded_buffer",
+            mechanism=lossy_policy,
+            threads=1,
+            total_ops=2,
+            problem_params={"capacity": 1},
+        )
+        report = explore_dpor(task)
+        assert report.complete
+        kinds = {failure.kind for failure in report.failures}
+        assert "missed_signal" in kinds
+
+        failure = next(f for f in report.failures if f.kind == "missed_signal")
+        result = shrink_failure(
+            task, failure.prefix, failure.kind, message=failure.message
+        )
+        shrunk = failure.__class__(
+            kind=failure.kind,
+            message=result.outcome.message,
+            prefix=result.prefix,
+            trace=result.outcome.trace,
+            digest=result.outcome.digest,
+        )
+        payload = repro_payload(task, shrunk, report.mode)
+        assert payload["reduced"] is True
+        path = write_repro(tmp_path / "lossy_dpor.json", payload)
+        replay = replay_repro(load_repro(path))
+        assert replay.reproduced, replay.describe()
+        assert replay.outcome.kind == "missed_signal"
+        assert replay.outcome.digest == shrunk.digest
+
+    def test_unordered_dining_deadlock_replays_bit_identically(
+        self, unordered_dining, tmp_path
+    ):
+        task = ExploreTask(
+            problem=unordered_dining,
+            mechanism="explicit",
+            threads=2,
+            total_ops=2,
+        )
+        full = explore_dfs(task)
+        report = explore_dpor(task)
+        assert report.complete
+        assert {f.kind for f in report.failures} == {"deadlock"}
+        assert {f.kind for f in full.failures} == {"deadlock"}
+        assert report.schedules_visited <= full.schedules_visited
+
+        failure = report.failures[0]
+        result = shrink_failure(
+            task, failure.prefix, failure.kind, message=failure.message
+        )
+        shrunk = failure.__class__(
+            kind=failure.kind,
+            message=result.outcome.message,
+            prefix=result.prefix,
+            trace=result.outcome.trace,
+            digest=result.outcome.digest,
+        )
+        path = write_repro(
+            tmp_path / "dining_dpor.json",
+            repro_payload(task, shrunk, report.mode),
+        )
+        replay = replay_repro(load_repro(path))
+        assert replay.reproduced, replay.describe()
+        assert replay.outcome.kind == "deadlock"
+        assert replay.outcome.digest == shrunk.digest

@@ -1,0 +1,124 @@
+"""Property: DPOR explores a subset of DFS schedules, same violation set.
+
+For sampled (mechanism, threads, ops, capacity) configurations of the
+bounded buffer — and for the seeded lossy-relay defect — the reduced
+exploration must
+
+* execute only prefixes plain DFS also executes (reduction never invents
+  schedules, so every repro it writes is a plain-DFS repro too), and
+* report the identical violation set: same failure kinds, failures on one
+  side iff failures on the other.
+
+Together these are the soundness contract of
+:func:`repro.explore.dpor.explore_dpor`: pruning may only remove redundant
+interleavings, never evidence.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.signalling import register_policy, unregister_policy
+from repro.core.signalling.relay import RelayTaggedPolicy
+from repro.explore import ExploreTask, explore_dfs, explore_dpor
+from repro.explore import dpor as dpor_module
+from repro.explore import engine as engine_module
+from repro.problems.base import all_mechanisms
+
+LOSSY = "lossy_relay_property_test"
+
+
+class LossyRelayPolicy(RelayTaggedPolicy):
+    """The seeded defect of ``tests/integration/test_seeded_defects.py``:
+    a relay that silently drops its first signalling opportunity.
+    (Re-declared here — test directories are not importable packages.)"""
+
+    name = LOSSY
+    description = "relay that drops the first signalling opportunity (defect)"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._dropped = False
+
+    def on_monitor_exit(self) -> None:
+        if not self._dropped and self._manager.find_missed_waiter() is not None:
+            self._dropped = True
+            return
+        super().on_monitor_exit()
+
+#: The broadcast baseline's schedule tree is infinite (futile-wakeup
+#: cycles); both explorers get the same depth bound so the compared trees
+#: coincide.
+BASELINE_MAX_DEPTH = 12
+
+
+def _executed_prefixes(module, runner):
+    """Run *runner* with the module's ``run_prefix`` wrapped; return the
+    executed prefixes in order."""
+    executed = []
+    original = module.run_prefix
+
+    def recording(task, prefix, **kwargs):
+        executed.append(tuple(prefix))
+        return original(task, prefix, **kwargs)
+
+    module.run_prefix = recording
+    try:
+        report = runner()
+    finally:
+        module.run_prefix = original
+    return report, executed
+
+
+def _check_equivalence(task):
+    max_depth = BASELINE_MAX_DEPTH if task.mechanism == "baseline" else None
+    full, dfs_prefixes = _executed_prefixes(
+        engine_module, lambda: explore_dfs(task, max_depth=max_depth)
+    )
+    reduced, dpor_prefixes = _executed_prefixes(
+        dpor_module, lambda: explore_dpor(task, max_depth=max_depth)
+    )
+    assert full.complete and reduced.complete
+    assert set(dpor_prefixes) <= set(dfs_prefixes), (
+        "DPOR executed a prefix plain DFS never reaches"
+    )
+    assert reduced.schedules_visited <= full.schedules_visited
+    assert {f.kind for f in reduced.failures} == {f.kind for f in full.failures}
+    assert (reduced.failures_total == 0) == (full.failures_total == 0)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    mechanism=st.sampled_from(all_mechanisms()),
+    threads=st.sampled_from([1, 2]),
+    total_ops=st.sampled_from([2, 4]),
+    capacity=st.sampled_from([1, 2]),
+)
+def test_dpor_subset_and_identical_violations(
+    mechanism, threads, total_ops, capacity
+):
+    _check_equivalence(
+        ExploreTask(
+            problem="bounded_buffer",
+            mechanism=mechanism,
+            threads=threads,
+            total_ops=total_ops,
+            problem_params={"capacity": capacity},
+        )
+    )
+
+
+def test_dpor_subset_on_seeded_lossy_defect():
+    register_policy(LossyRelayPolicy)
+    try:
+        _check_equivalence(
+            ExploreTask(
+                problem="bounded_buffer",
+                mechanism=LOSSY,
+                threads=1,
+                total_ops=2,
+                problem_params={"capacity": 1},
+            )
+        )
+    finally:
+        unregister_policy(LOSSY)
