@@ -178,6 +178,9 @@ class ConditionManager:
         #: canonical form in insertion order — O(1) add/remove instead of the
         #: list scans a plain list would need on every activate/deactivate.
         self._untagged: Dict[str, PredicateEntry] = {}
+        #: count of active entries — the relay search's O(1) emptiness
+        #: check, so monitor exits with nobody waiting skip the whole pass.
+        self._active_count: int = 0
         #: monotonically increasing enqueue stamp handed to waiters.
         self._enqueue_seq: int = 0
         #: monotonically increasing activation stamp (see PredicateEntry.order_seq).
@@ -305,6 +308,7 @@ class ConditionManager:
                     else:
                         self._add_untagged(entry)
             entry.active = True
+            self._active_count += 1
 
     def _deactivate(self, entry: PredicateEntry) -> None:
         with self._stats.time_bucket("tag_manager_time"):
@@ -335,6 +339,7 @@ class ConditionManager:
                         self._discard_untagged(entry)
             entry.active = False
             entry.pending_signals = 0
+            self._active_count -= 1
         self._retire(entry)
 
     def _add_untagged(self, entry: PredicateEntry) -> None:
@@ -442,6 +447,12 @@ class ConditionManager:
 
     def _relay_search(self, limit: int) -> int:
         self._stats.relay_signal_calls += 1
+        if self._active_count == 0:
+            # Nobody is waiting on anything: the pass is trivially
+            # exhaustive.  Monitor exits vastly outnumber waits in most
+            # workloads, so skipping the context/timing machinery here is
+            # a measurable win per monitor operation.
+            return 0
         with self._stats.time_bucket("relay_signal_time"):
             ctx = self._eval_context()
             try:
@@ -479,6 +490,8 @@ class ConditionManager:
         invariance holds exactly as for :meth:`relay_signal`.
         """
         self._stats.relay_signal_calls += 1
+        if self._active_count == 0:
+            return False  # nobody waiting: trivially exhaustive
         with self._stats.time_bucket("relay_signal_time"):
             ctx = self._eval_context()
             try:

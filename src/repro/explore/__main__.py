@@ -58,7 +58,7 @@ from repro.explore.fuzz import (
 )
 from repro.explore.repro_files import replay_repro, repro_payload, write_repro
 from repro.explore.shrink import shrink_failure
-from repro.harness.execution import available_executors
+from repro.harness.execution import available_executors, describe_executor
 from repro.problems import available_problems, describe_problem, get_problem
 from repro.runtime.simulation import available_schedulers, describe_scheduler
 from repro.scenarios import ScenarioError, load_scenario_file, register_scenario
@@ -165,12 +165,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--executor",
-        choices=available_executors(),
         default="serial",
-        help="swarm/fuzz: how probes are executed ('process' shards over a pool)",
+        metavar="NAME",
+        help=(
+            "how runs are executed (see --list-executors; 'process' shards "
+            "over a worker pool): swarm/fuzz probes, and dfs/dpor frontier "
+            "runs — the dfs/dpor report stays bit-identical to a serial run"
+        ),
     )
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
-                        help="swarm/fuzz: worker count for parallel executors")
+                        help="worker count for parallel executors")
     parser.add_argument(
         "--starvation-budget",
         type=int,
@@ -267,6 +271,11 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list the exploration modes (incl. dfs + --dpor) and exit",
     )
+    parser.add_argument(
+        "--list-executors",
+        action="store_true",
+        help="list the executor registry contents and exit",
+    )
     return parser
 
 
@@ -314,6 +323,19 @@ def _resolve_mechanisms(problem_name: str, raw: Optional[str]) -> List[str]:
             f"supported: {', '.join(supported)}"
         )
     return names
+
+
+def _resolve_executor(name: str, jobs: Optional[int]) -> str:
+    """Validate --executor/--jobs up front, with the registry-listing UX of
+    --mechanism/--scheduler, instead of a mid-exploration traceback."""
+    if name not in available_executors():
+        raise SystemExit(
+            f"unknown executor {name!r}; "
+            f"registered executors: {', '.join(available_executors())}"
+        )
+    if jobs is not None and jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {jobs}")
+    return name
 
 
 def _write_failures(
@@ -506,6 +528,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for name, description in EXPLORATION_MODES.items():
             print(f"{name:{width}s}  {description}")
         return 0
+    if args.list_executors:
+        width = max(len(name) for name in available_executors())
+        for name in available_executors():
+            print(f"{name:{width}s}  {describe_executor(name)}")
+        return 0
+    _resolve_executor(args.executor, args.jobs)
     if args.dpor and args.mode != "dfs":
         raise SystemExit("--dpor requires --mode dfs (see --list-modes)")
     if args.dpor and args.fault:
@@ -585,11 +613,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         try:
             if args.mode == "dfs" and args.dpor:
                 report = explore_dpor(
-                    task, max_schedules=args.schedules, max_depth=args.max_depth
+                    task,
+                    max_schedules=args.schedules,
+                    max_depth=args.max_depth,
+                    executor=args.executor,
+                    jobs=args.jobs,
                 )
             elif args.mode == "dfs":
                 report = explore_dfs(
-                    task, max_schedules=args.schedules, max_depth=args.max_depth
+                    task,
+                    max_schedules=args.schedules,
+                    max_depth=args.max_depth,
+                    executor=args.executor,
+                    jobs=args.jobs,
                 )
             else:
                 report = explore_swarm(
@@ -609,6 +645,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(
                 "  reduction: "
                 + ", ".join(f"{k}={v}" for k, v in sorted(report.stats.items()))
+            )
+        if report.timings:
+            # `oracle` is a sub-bucket of `run`; print it last so the first
+            # three stages read as an (approximate) wall-clock partition.
+            order = ("build", "run", "classify", "oracle")
+            stages = sorted(
+                report.timings.items(),
+                key=lambda kv: order.index(kv[0]) if kv[0] in order else len(order),
+            )
+            print(
+                "  stages: "
+                + ", ".join(f"{stage}={seconds:.3f}s" for stage, seconds in stages)
             )
         if not report.ok:
             any_failures = True

@@ -48,7 +48,10 @@ from repro.explore.engine import (
     ExplorationReport,
     ExploreTask,
     ScheduleOutcome,
+    _make_pool,
+    _merge_timings,
     run_prefix,
+    task_runtime,
 )
 from repro.runtime.simulation.footprints import DecisionFootprint, independent
 
@@ -86,12 +89,18 @@ class _ConfigProbe:
     the run ended (via ``finish``), each capturing the monitor's public
     variables twice — in full and through the problem's projection — and
     the kernel's thread/lock/condition state.
+
+    ``skip`` suppresses the first *skip* decision snapshots: on a
+    shared-prefix re-execution the parent run already snapshotted (and
+    merged on) those decisions, so the replay skips the abstraction work
+    and ``snapshots[i]`` describes decision ``skip + i``.
     """
 
-    def __init__(self, backend, monitor, project) -> None:
+    def __init__(self, backend, monitor, project, skip: int = 0) -> None:
         self._backend = backend
         self._monitor = monitor
         self._project = project
+        self._to_skip = skip
         self.snapshots: List[tuple] = []
 
     def _snap(self) -> None:
@@ -116,18 +125,33 @@ class _ConfigProbe:
         self.snapshots.append((vars_full, vars_proj, threads, locks, conds))
 
     def observe(self, point) -> None:
+        if self._to_skip:
+            self._to_skip -= 1
+            return
         self._snap()
 
     def finish(self) -> None:
         self._snap()
 
 
-def _build_configs(trace, raw: Sequence[tuple]) -> List[tuple]:
+def _build_configs(
+    trace,
+    raw: Sequence[tuple],
+    start: int = 0,
+    fingerprints: Optional[Dict[int, int]] = None,
+) -> List[Optional[tuple]]:
     """Per-decision abstract configurations from a run's raw snapshots.
 
     ``configs[d]`` describes the state *at* decision ``d``:
     ``(projected monitor vars, per-thread (tid, state, block_reason,
     fingerprint), locks, conds)``.
+
+    ``start``/``fingerprints`` resume the construction mid-run for a
+    shared-prefix re-execution: ``raw[i]`` then describes decision
+    ``start + i``, per-thread fingerprint counting resumes from the
+    *fingerprints* mapping (extracted from the parent run's configuration
+    at that decision), and ``configs[d]`` is ``None`` for ``d < start`` —
+    the parent already merged on those decisions.
 
     The fingerprint is the crux.  Thread state alone cannot distinguish "a
     runnable producer that has put 1 item" from "a runnable producer that
@@ -142,24 +166,26 @@ def _build_configs(trace, raw: Sequence[tuple]) -> List[tuple]:
     futile-wakeup cascades of the broadcast baseline) net nothing and
     advance nothing — which is what lets those cascades merge.
     """
-    decisions = min(len(trace), max(len(raw) - 1, 0))
-    fingerprints: Dict[int, int] = defaultdict(int)
-    configs: List[tuple] = []
-    for d in range(decisions):
-        _vars_full, vars_proj, threads, locks, conds = raw[d]
+    decisions = min(len(trace), start + max(len(raw) - 1, 0))
+    fps: Dict[int, int] = defaultdict(int)
+    if fingerprints:
+        fps.update(fingerprints)
+    configs: List[Optional[tuple]] = [None] * start
+    for d in range(start, decisions):
+        _vars_full, vars_proj, threads, locks, conds = raw[d - start]
         entries = tuple(
-            (tid, state, reason, fingerprints[tid]) for tid, state, reason in threads
+            (tid, state, reason, fps[tid]) for tid, state, reason in threads
         )
         configs.append((vars_proj, entries, locks, conds))
         # Advance the chosen thread's fingerprint across slice d
         # (the span between snapshot d and snapshot d+1).
         chosen = trace[d].chosen
-        pre, post = raw[d], raw[d + 1]
+        pre, post = raw[d - start], raw[d - start + 1]
         wrote = pre[0] != post[0]
         pre_owned = {i for i, owner, _q in pre[3] if owner == chosen}
         post_owned = {i for i, owner, _q in post[3] if owner == chosen}
         if wrote or (post_owned - pre_owned):
-            fingerprints[chosen] += 1
+            fps[chosen] += 1
     return configs
 
 
@@ -238,6 +264,50 @@ def _automorphic_reps(
 #: A sleeping alternative: (raw tid, footprint of its first slice or None).
 _SleepEntry = Tuple[int, Optional[DecisionFootprint]]
 
+
+def _dpor_worker(payload: tuple) -> tuple:
+    """Top-level (hence picklable) DPOR frontier worker entry point.
+
+    Computes the pure, expensive half of one frontier entry — the run plus
+    its raw abstract-state snapshots.  Everything order-sensitive
+    (configuration merging, sleep sets, the caches) stays in the serial
+    reduction loop, which is what keeps parallel reports bit-identical to
+    serial ones.
+    """
+    task_data, prefix, verified_depth, start = payload
+    task = ExploreTask.from_dict(task_data)
+    problem = task.resolve_problem()
+    project = problem.state_projection(
+        task.threads, task.total_ops, **dict(task.problem_params)
+    )
+    probes: List[_ConfigProbe] = []
+
+    def instrument(backend, spec):
+        probe = _ConfigProbe(backend, spec.monitor, project, skip=start)
+        probes.append(probe)
+        return probe
+
+    outcome = run_prefix(
+        task,
+        prefix,
+        instrument=instrument,
+        record_footprints=True,
+        verified_depth=verified_depth,
+        footprints_from=start,
+    )
+    return outcome, (probes[0].snapshots if probes else [])
+
+
+def _dpor_payload_fn(task_data: dict):
+    """Payload extractor for DPOR frontier entries (see :func:`_dpor_worker`)."""
+
+    def payload(entry: tuple) -> tuple:
+        prefix, _edge, _sleep, verified_depth, inherited = entry
+        start = len(prefix) - 1 if (prefix and inherited is not None) else 0
+        return (task_data, tuple(prefix), verified_depth, start)
+
+    return payload
+
 _STAT_KEYS = (
     "merged_configs",
     "cache_skips",
@@ -256,6 +326,8 @@ def explore_dpor(
     failure_limit: int = DEFAULT_FAILURE_LIMIT,
     stop_on_failure: bool = False,
     progress: Optional[Callable[[int, ScheduleOutcome], None]] = None,
+    executor: str = "serial",
+    jobs: Optional[int] = None,
 ) -> ExplorationReport:
     """Exhaustive DFS with dynamic partial-order reduction.
 
@@ -265,6 +337,17 @@ def explore_dpor(
     counters) differ.  On any configuration both explorers exhaust, the
     violation sets are identical; DPOR just reaches every inequivalent
     schedule once instead of many times.
+
+    Frontier entries re-execute their parent's decision prefix on the
+    fast replay path: oracle checks, footprint recording and abstract-state
+    snapshotting are all skipped inside the already-verified prefix, with
+    per-thread fingerprints inherited from the parent's configuration at
+    the divergence point, so a child run costs O(suffix) abstraction work.
+
+    ``executor``/``jobs`` shard the frontier runs (run + raw snapshots)
+    through the executor registry; every reduction decision — merging,
+    sleep sets, caches — is made by this loop in its serial order, so the
+    report stays bit-identical to a serial run.
 
     Raises ``ValueError`` for tasks with a fault plan — see the module
     docstring for why reduction is unsound under injected faults.
@@ -288,64 +371,102 @@ def explore_dpor(
     for key in _STAT_KEYS:
         stats[key] = 0
 
+    runtime = task_runtime(task)
+    pool = _make_pool(
+        task,
+        executor,
+        jobs,
+        worker=_dpor_worker,
+        payload_fn=_dpor_payload_fn(task.to_dict()),
+    )
     seen_configs: set = set()
     #: (canonical config key, canonical tid) -> (canonical child config key,
     #: footprint of that slice).  Lets a frontier entry whose destination was
     #: reached by some other run since it was pushed be skipped at pop time,
     #: and gives sleeping alternatives their footprints.
     cache: Dict[tuple, Tuple[tuple, Optional[DecisionFootprint]]] = {}
-    #: (prefix, the cache edge that produced it, sleep entries).
-    frontier: List[Tuple[Tuple[int, ...], Optional[tuple], Tuple[_SleepEntry, ...]]] = [
-        ((), None, ())
-    ]
+    #: (prefix, the cache edge that produced it, sleep entries, the verified
+    #: depth for the fast replay path, and the parent's per-thread
+    #: fingerprints at the divergence point — None for entries that must
+    #: re-record their whole run, i.e. the root and unmerged children).
+    frontier: List[
+        Tuple[
+            Tuple[int, ...],
+            Optional[tuple],
+            Tuple[_SleepEntry, ...],
+            int,
+            Optional[Dict[int, int]],
+        ]
+    ] = [((), None, (), 0, None)]
     seen_prefixes = {()}
 
     while frontier:
         if max_schedules is not None and report.schedules_visited >= max_schedules:
             return report
-        prefix, edge, sleep = frontier.pop()
+        prefix, edge, sleep, verified_depth, inherited = frontier.pop()
         if edge is not None:
             cached = cache.get(edge)
             if cached is not None and cached[0] in seen_configs:
                 stats["cache_skips"] += 1
                 continue
 
-        probes: List[_ConfigProbe] = []
+        # Decisions below `start` were snapshotted, merged on and
+        # edge-cached by the runs that forced them; this run skips their
+        # abstraction work entirely (snapshots, footprints, fingerprints).
+        start = len(prefix) - 1 if (prefix and inherited is not None) else 0
+        result = pool.fetch(prefix) if pool is not None else None
+        if result is not None:
+            outcome, raw = result
+        else:
+            probes: List[_ConfigProbe] = []
 
-        def instrument(backend, spec, _probes=probes):
-            probe = _ConfigProbe(backend, spec.monitor, project)
-            _probes.append(probe)
-            return probe
+            def instrument(backend, spec, _probes=probes):
+                probe = _ConfigProbe(backend, spec.monitor, project, skip=start)
+                _probes.append(probe)
+                return probe
 
-        outcome = run_prefix(
-            task, prefix, instrument=instrument, record_footprints=True
-        )
+            outcome = run_prefix(
+                task,
+                prefix,
+                instrument=instrument,
+                record_footprints=True,
+                runtime=runtime,
+                verified_depth=verified_depth,
+                footprints_from=start,
+            )
+            raw = probes[0].snapshots if probes else []
         report.schedules_visited += 1
         report.max_trace_steps = max(report.max_trace_steps, outcome.steps)
         report.max_decision_depth = max(
             report.max_decision_depth,
             sum(1 for point in outcome.trace.points if point.branching > 1),
         )
+        _merge_timings(report, outcome)
         if progress is not None:
             progress(report.schedules_visited, outcome)
 
         trace = outcome.trace
         footprints = trace.footprints or []
-        raw = probes[0].snapshots if probes else []
-        configs = _build_configs(trace, raw)
+        configs = _build_configs(trace, raw, start=start, fingerprints=inherited)
         choices = trace.choices()
         branch_until = len(choices)
         if max_depth is not None and branch_until > max_depth + 1:
             branch_until = max_depth + 1
             report.depth_capped += 1
+        # A child shares this run's states up to its own prefix length; all
+        # of them passed this run's oracle checks except, on a failing run,
+        # the final recorded state (the one a mid-run oracle fired on).
+        child_cap = len(choices) if outcome.ok else max(len(choices) - 1, 0)
 
         # Canonicalize every decision's config along the executed path (one
-        # past the branching horizon, for the cache's child keys).
-        canon = [
+        # past the branching horizon, for the cache's child keys).  Below
+        # ``start`` the ancestors already cached identical edges (the replay
+        # is deterministic), so the loops resume from there.
+        canon = [None] * start + [
             _canonicalize(configs[d], sym)
-            for d in range(min(len(configs), branch_until + 1))
+            for d in range(start, min(len(configs), branch_until + 1))
         ]
-        for d in range(min(branch_until, len(canon) - 1)):
+        for d in range(start, min(branch_until, len(canon) - 1)):
             key, rename = canon[d]
             chosen = trace[d].chosen
             fp = footprints[d] if d < len(footprints) else None
@@ -372,7 +493,15 @@ def explore_dpor(
                         child_prefix = choices[:d] + (alt,)
                         if child_prefix not in seen_prefixes:
                             seen_prefixes.add(child_prefix)
-                            frontier.append((child_prefix, None, ()))
+                            frontier.append(
+                                (
+                                    child_prefix,
+                                    None,
+                                    (),
+                                    min(len(child_prefix), child_cap),
+                                    None,
+                                )
+                            )
                     continue
                 key, rename = canon[d]
                 if key in seen_configs:
@@ -382,6 +511,9 @@ def explore_dpor(
                     point = trace[d]
                     runnable = sorted(point.runnable)
                     chosen = point.chosen
+                    #: This configuration's per-thread fingerprints — what a
+                    #: child diverging here resumes its own counting from.
+                    fps_here = {t: fp for t, _s, _br, fp in configs[d][1]}
                     if fp_d is not None and fp_d.empty:
                         # The executed slice touched nothing shared: it
                         # commutes with every alternative, so {chosen} is a
@@ -418,7 +550,15 @@ def explore_dpor(
                                 + ((chosen, fp_d),)
                                 + tuple(emitted)
                             )
-                            frontier.append((child_prefix, (key, tc), child_sleep))
+                            frontier.append(
+                                (
+                                    child_prefix,
+                                    (key, tc),
+                                    child_sleep,
+                                    min(len(child_prefix), child_cap),
+                                    fps_here,
+                                )
+                            )
                             emitted.append(
                                 (t, cached[1] if cached is not None else None)
                             )
@@ -445,6 +585,8 @@ def explore_dpor(
                 )
             if stop_on_failure:
                 return report
+        if pool is not None:
+            pool.refill(frontier)
 
     report.complete = True
     return report

@@ -26,7 +26,11 @@ primitive; both report an :class:`ExplorationReport`.
 
 from __future__ import annotations
 
+import json
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
+from functools import cached_property
+from time import perf_counter
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.errors import MonitorError, RelayInvarianceError, WaitTimeout
@@ -42,6 +46,7 @@ from repro.runtime.simulation import (
     ScheduleTrace,
     Scheduler,
     SimulationBackend,
+    SimulationError,
     SimulationHangError,
     SimulationLimitError,
 )
@@ -51,9 +56,12 @@ __all__ = [
     "OracleViolationError",
     "StarvationBudgetWatcher",
     "ExploreTask",
+    "TaskRuntime",
     "ScheduleOutcome",
     "ExplorationFailure",
     "ExplorationReport",
+    "task_runtime",
+    "clear_runtime_cache",
     "run_schedule",
     "run_prefix",
     "explore_dfs",
@@ -215,13 +223,28 @@ class ScheduleOutcome:
     kind: str  # see the module docstring's table
     message: str
     trace: ScheduleTrace
-    digest: str
     backend_metrics: dict
     #: Monitor counters after the run (quarantines, demotions, self-heal
     #: recoveries, faults injected, ...) — what chaos oracles assert on.
     monitor_stats: dict = field(default_factory=dict)
     #: Fault firings recorded by the injector, in order (empty without one).
     fault_events: Tuple[dict, ...] = ()
+    #: Per-stage wall-clock seconds for this run: ``build`` (problem/monitor
+    #: construction up to the workload start), ``run`` (workload execution +
+    #: verify), ``classify`` (verdict classification and outcome assembly)
+    #: and ``oracle`` (per-decision oracle checks, a sub-bucket of ``run``).
+    timings: Mapping[str, float] = field(default_factory=dict)
+
+    @cached_property
+    def digest(self) -> str:
+        """Stable hex digest of the executed schedule.
+
+        Lazy: DFS/DPOR only read digests on failing runs, so clean
+        exhaustive sweeps skip the hash entirely; swarm/chaos dedup still
+        computes it on first access.  (``cached_property`` writes the
+        instance ``__dict__`` directly, so it works on a frozen dataclass.)
+        """
+        return self.trace.digest()
 
     @property
     def ok(self) -> bool:
@@ -275,6 +298,10 @@ class ExplorationReport:
     #: Mode-specific counters (the DPOR explorer reports its pruning stats
     #: here); empty for plain DFS/swarm.
     stats: Dict[str, int] = field(default_factory=dict)
+    #: Per-stage wall-clock seconds summed over every run (see
+    #: :attr:`ScheduleOutcome.timings`) — the profile future perf work aims
+    #: at.  Excluded from serial-vs-parallel equivalence comparisons.
+    timings: Dict[str, float] = field(default_factory=dict)
 
     @property
     def max_depth(self) -> int:
@@ -372,17 +399,150 @@ def _waiter_autopsy(monitor: MonitorBase) -> Callable[[], Optional[str]]:
     return inspect
 
 
+class TaskRuntime:
+    """Run-invariant artifacts of one :class:`ExploreTask`.
+
+    Exploring a task runs the same configuration thousands of times; the
+    resolved problem, the parsed fault plan and — most importantly — a
+    recyclable :class:`SimulationBackend` with its warm carrier-thread pool
+    are identical across those runs.  A ``TaskRuntime`` holds them so a run
+    only pays backend reset + workload execution instead of a cold build.
+
+    Normally obtained through the process-wide seed-normalized cache
+    (:func:`task_runtime`); tests construct one directly to compare cached
+    against uncached behaviour.
+    """
+
+    def __init__(self, task: ExploreTask, problem: object = None) -> None:
+        self.task = task
+        self.problem = problem if problem is not None else task.resolve_problem()
+        self.params = dict(task.problem_params)
+        self._fault_plan = None
+        if task.fault_plan is not None:
+            from repro.faults import create_fault_plan
+
+            self._fault_plan = create_fault_plan(task.fault_plan)
+        self._backend: Optional[SimulationBackend] = None
+
+    def build_injector(self):
+        """A fresh fault injector from the (pre-parsed) plan, or None."""
+        return self._fault_plan.build() if self._fault_plan is not None else None
+
+    def acquire_backend(
+        self,
+        scheduler: Scheduler,
+        seed: int,
+        record_footprints: bool,
+        footprints_from: int = 0,
+    ) -> SimulationBackend:
+        """The pooled backend, recycled for this run — or a fresh one.
+
+        Recycling resets the backend to fresh-construction state (see
+        :meth:`SimulationBackend.recycle`), so traces and digests compare
+        bit-for-bit with an uncached run's.  A backend tainted by a hung
+        run refuses to recycle and is silently replaced.
+        """
+        backend, self._backend = self._backend, None
+        if backend is not None:
+            try:
+                backend.recycle(
+                    seed=seed,
+                    policy=scheduler,
+                    record_footprints=record_footprints,
+                    footprints_from=footprints_from,
+                )
+                return backend
+            except SimulationError:
+                # Tainted by a hung run: retire what's retirable and fall
+                # through to a fresh build.
+                backend.shutdown()
+        kwargs = {}
+        if self.task.run_timeout is not None:
+            kwargs["run_timeout"] = self.task.run_timeout
+        return SimulationBackend(
+            seed=seed,
+            policy=scheduler,
+            max_steps=self.task.max_steps,
+            record_trace=True,
+            record_footprints=record_footprints,
+            footprints_from=footprints_from,
+            **kwargs,
+        )
+
+    def release_backend(self, backend: SimulationBackend) -> None:
+        """Park *backend* for the next run of this task."""
+        self._backend = backend
+
+    def close(self) -> None:
+        """Retire the parked backend's carrier threads immediately.
+
+        Without this a discarded runtime's carriers linger for the kernel's
+        idle timeout; a workload that churns through runtimes (cache
+        eviction, cold benchmark legs) would pile up idle OS threads.
+        """
+        backend, self._backend = self._backend, None
+        if backend is not None:
+            backend.shutdown()
+
+
+#: Process-wide TaskRuntime cache, keyed by the task's serialized form with
+#: the seed normalized out (swarm/chaos probes differ only by seed and share
+#: one runtime; the per-run seed is applied at backend recycle time).  Small
+#: LRU: exploration focuses on a handful of tasks at a time.
+_RUNTIME_CACHE: "OrderedDict[str, TaskRuntime]" = OrderedDict()
+_RUNTIME_CACHE_LIMIT = 8
+
+
+def _runtime_key(task: ExploreTask) -> str:
+    data = task.to_dict()
+    data["seed"] = 0
+    return json.dumps(data, sort_keys=True, default=str)
+
+
+def task_runtime(task: ExploreTask) -> TaskRuntime:
+    """The cached :class:`TaskRuntime` for *task* (building it on a miss).
+
+    Re-resolves the problem on every call — a registry lookup, plus a spec
+    comparison for scenario tasks — so a scenario re-registered under the
+    same name since the runtime was cached invalidates it instead of
+    serving a stale problem object.
+    """
+    key = _runtime_key(task)
+    runtime = _RUNTIME_CACHE.get(key)
+    current = task.resolve_problem()
+    if runtime is None or runtime.problem is not current:
+        if runtime is not None:
+            runtime.close()  # stale scenario: retire its carriers now
+        runtime = TaskRuntime(task, problem=current)
+        _RUNTIME_CACHE[key] = runtime
+        while len(_RUNTIME_CACHE) > _RUNTIME_CACHE_LIMIT:
+            _RUNTIME_CACHE.popitem(last=False)[1].close()
+    _RUNTIME_CACHE.move_to_end(key)
+    return runtime
+
+
+def clear_runtime_cache() -> None:
+    """Drop every cached :class:`TaskRuntime` (benchmarking/test hook),
+    retiring their carrier threads."""
+    while _RUNTIME_CACHE:
+        _RUNTIME_CACHE.popitem()[1].close()
+
+
 def run_schedule(
     task: ExploreTask,
     scheduler: Scheduler,
     instrument: Optional[Callable[[SimulationBackend, "WorkloadSpec"], object]] = None,
     record_footprints: bool = False,
+    runtime: Optional[TaskRuntime] = None,
+    verified_depth: int = 0,
+    footprints_from: int = 0,
 ) -> ScheduleOutcome:
     """Run one schedule of *task* under *scheduler* and classify the result.
 
-    Builds a fresh backend and monitor (schedules are only comparable when
-    nothing leaks between runs), records the decision trace, and checks the
-    problem's oracles at every decision point.
+    Builds a fresh monitor on a recycled backend (schedules are only
+    comparable when nothing leaks between runs; recycling is
+    bit-equivalent to a fresh backend), records the decision trace, and
+    checks the problem's oracles at every decision point.
 
     ``instrument``, when given, is called with the fresh backend and built
     workload before the run; the object it returns may expose ``observe(point)``
@@ -393,18 +553,26 @@ def run_schedule(
     ``record_footprints`` makes the kernel record per-decision read/write/
     lock/condition footprints and attaches them to the returned trace
     (``outcome.trace.footprints``) for independence analysis.
+
+    ``runtime`` supplies the task's cached build artifacts; None uses the
+    process-wide cache (:func:`task_runtime`).
+
+    ``verified_depth`` marks the first *verified_depth* decisions as a
+    shared prefix whose states the parent run already oracle-checked:
+    stateless oracle checks are skipped inside it (the fast
+    replay-to-depth path).  Callers must only pass depths whose prefix
+    decisions come from a parent run that checked those very states.
+
+    ``footprints_from`` likewise suppresses footprint recording for the
+    first N slices (their entries come out as None — the parent run
+    recorded them); only meaningful with ``record_footprints=True``.
     """
-    problem = task.resolve_problem()
-    backend_kwargs = {}
-    if task.run_timeout is not None:
-        backend_kwargs["run_timeout"] = task.run_timeout
-    backend = SimulationBackend(
-        seed=task.seed,
-        policy=scheduler,
-        max_steps=task.max_steps,
-        record_trace=True,
-        record_footprints=record_footprints,
-        **backend_kwargs,
+    t_start = perf_counter()
+    if runtime is None:
+        runtime = task_runtime(task)
+    problem = runtime.problem
+    backend = runtime.acquire_backend(
+        scheduler, task.seed, record_footprints, footprints_from=footprints_from
     )
     spec = problem.build(
         task.mechanism,
@@ -414,15 +582,12 @@ def run_schedule(
         seed=task.seed,
         validate=task.validate,
         eval_engine=task.eval_engine,
-        **dict(task.problem_params),
+        **runtime.params,
     )
     if task.wait_timeout is not None:
         spec.monitor._wait_timeout = task.wait_timeout
-    injector = None
-    if task.fault_plan is not None:
-        from repro.faults import create_fault_plan
-
-        injector = create_fault_plan(task.fault_plan).build()
+    injector = runtime.build_injector()
+    if injector is not None:
         injector.attach(backend, spec.monitor)
     if task.self_heal:
         heal = getattr(spec.monitor, "try_self_heal", None)
@@ -438,6 +603,10 @@ def run_schedule(
     watcher = (
         StarvationBudgetWatcher(backend, budget) if budget is not None else None
     )
+    if watcher is not None:
+        # Starvation streak counters cross the prefix boundary; the watcher
+        # must observe every decision, so prefix sharing cannot skip it.
+        verified_depth = 0
     probe_observe = None
     probe_finish = None
     if instrument is not None:
@@ -445,13 +614,19 @@ def run_schedule(
         probe_observe = getattr(instrument_probe, "observe", None)
         probe_finish = getattr(instrument_probe, "finish", None)
 
+    oracle_seconds = 0.0
+
     def observer(point: SchedulePoint) -> None:
-        for oracle in oracles:
-            message = oracle.check()
-            if message is not None:
-                raise OracleViolationError(oracle.name, message, kind=oracle.kind)
-        if watcher is not None:
-            watcher.observe(point)
+        nonlocal oracle_seconds
+        if point.step >= verified_depth:
+            t_oracle = perf_counter()
+            for oracle in oracles:
+                message = oracle.check()
+                if message is not None:
+                    raise OracleViolationError(oracle.name, message, kind=oracle.kind)
+            if watcher is not None:
+                watcher.observe(point)
+            oracle_seconds += perf_counter() - t_oracle
         if probe_observe is not None:
             probe_observe(point)
 
@@ -459,6 +634,7 @@ def run_schedule(
     probe = _MissedSignalProbe(spec.monitor)
     backend.set_deadlock_inspector(probe)
 
+    t_built = perf_counter()
     status, kind, message = "ok", "ok", ""
     try:
         backend.run(spec.targets, spec.names)
@@ -489,22 +665,30 @@ def run_schedule(
         status, kind, message = "failure", "postcondition", str(exc)
     except Exception as exc:
         status, kind, message = "failure", f"error:{type(exc).__name__}", str(exc)
+    t_ran = perf_counter()
     if probe_finish is not None:
         probe_finish()
     trace = backend.schedule_trace
     if record_footprints:
         trace.footprints = backend.schedule_footprints
     stats = getattr(spec.monitor, "stats", None)
-    return ScheduleOutcome(
+    outcome = ScheduleOutcome(
         status=status,
         kind=kind,
         message=message,
         trace=trace,
-        digest=trace.digest(),
         backend_metrics=backend.metrics.snapshot(),
         monitor_stats=stats.snapshot() if stats is not None else {},
         fault_events=tuple(injector.events) if injector is not None else (),
+        timings={
+            "build": t_built - t_start,
+            "run": t_ran - t_built,
+            "classify": perf_counter() - t_ran,
+            "oracle": oracle_seconds,
+        },
     )
+    runtime.release_backend(backend)
+    return outcome
 
 
 def run_prefix(
@@ -512,6 +696,9 @@ def run_prefix(
     prefix: Sequence[int],
     instrument: Optional[Callable[[SimulationBackend, "WorkloadSpec"], object]] = None,
     record_footprints: bool = False,
+    runtime: Optional[TaskRuntime] = None,
+    verified_depth: int = 0,
+    footprints_from: int = 0,
 ) -> ScheduleOutcome:
     """Run the schedule identified by a decision *prefix* (DFS coordinates)."""
     return run_schedule(
@@ -519,12 +706,112 @@ def run_prefix(
         PrefixScheduler(prefix),
         instrument=instrument,
         record_footprints=record_footprints,
+        runtime=runtime,
+        verified_depth=verified_depth,
+        footprints_from=footprints_from,
     )
 
 
 #: Keep at most this many failures in a report by default (every failing
 #: schedule is still *counted*; this caps memory, not detection).
 DEFAULT_FAILURE_LIMIT = 25
+
+
+def _merge_timings(report: ExplorationReport, outcome: ScheduleOutcome) -> None:
+    timings = outcome.timings
+    if timings:
+        aggregate = report.timings
+        for stage, seconds in timings.items():
+            aggregate[stage] = aggregate.get(stage, 0.0) + seconds
+
+
+def _pool_worker(payload: tuple) -> ScheduleOutcome:
+    """Top-level (hence picklable) frontier worker entry point.
+
+    Runs one frontier entry exactly as the serial reduction loop would;
+    worker processes warm their own TaskRuntime cache on first use.
+    """
+    task_data, prefix, verified_depth, record_footprints = payload
+    return run_prefix(
+        ExploreTask.from_dict(task_data),
+        prefix,
+        record_footprints=record_footprints,
+        verified_depth=verified_depth,
+    )
+
+
+class _OutcomePool:
+    """Speculative outcome prefetcher for the work-sharing parallel frontier.
+
+    The reduction loop (DFS child generation, DPOR sleep sets and cache
+    skips) stays strictly serial, which makes the report bit-identical to a
+    serial run by construction; what parallelizes is the pure function
+    ``outcome = f(task, prefix, verified_depth)``.  Each ``refill`` takes a
+    wave of not-yet-computed entries from the top of the frontier stack —
+    the entries the serial loop pops next — and computes their outcomes
+    through the executor registry; ``fetch`` hands a precomputed outcome to
+    the serial loop at pop time (falling back to an inline run on a miss).
+    Speculative results for entries the loop later skips are simply
+    discarded, so speculation never changes the search.
+    """
+
+    def __init__(
+        self,
+        task: ExploreTask,
+        executor: str,
+        jobs: Optional[int],
+        worker: Callable = None,
+        payload_fn: Callable = None,
+    ) -> None:
+        task_data = task.to_dict()
+        self._worker = worker if worker is not None else _pool_worker
+        self._payload_fn = (
+            payload_fn
+            if payload_fn is not None
+            else lambda entry: (task_data, tuple(entry[0]), entry[1], False)
+        )
+        self._executor = create_executor(executor, jobs=jobs)
+        self._wave = max(2 * (jobs or 2), 4)
+        self._results: Dict[Tuple[int, ...], object] = {}
+
+    def fetch(self, prefix: Tuple[int, ...]) -> Optional[object]:
+        return self._results.pop(prefix, None)
+
+    def refill(self, frontier: Sequence) -> None:
+        """Prefetch results for the top-of-stack frontier entries.
+
+        Frontier entries lead with the prefix tuple (``entry[0]``); the
+        payload function turns a full entry into the worker's picklable
+        argument.  The stack is popped from the end, so the wave is taken
+        from there.
+        """
+        batch = []
+        for entry in reversed(frontier):
+            if entry[0] not in self._results:
+                batch.append(entry)
+                if len(batch) >= self._wave:
+                    break
+        if not batch:
+            return
+        payloads = [self._payload_fn(entry) for entry in batch]
+        results = self._executor.run_tasks(self._worker, payloads)
+        for entry, result in zip(batch, results):
+            if result is not None:
+                self._results[tuple(entry[0])] = result
+
+
+def _make_pool(
+    task: ExploreTask,
+    executor: str,
+    jobs: Optional[int],
+    worker: Callable = None,
+    payload_fn: Callable = None,
+) -> Optional[_OutcomePool]:
+    """An :class:`_OutcomePool` when parallelism was requested, else None
+    (the serial loop then runs with zero pool overhead)."""
+    if (jobs is None or jobs <= 1) and executor in (None, "serial"):
+        return None
+    return _OutcomePool(task, executor, jobs, worker=worker, payload_fn=payload_fn)
 
 
 def explore_dfs(
@@ -534,6 +821,8 @@ def explore_dfs(
     failure_limit: int = DEFAULT_FAILURE_LIMIT,
     stop_on_failure: bool = False,
     progress: Optional[Callable[[int, ScheduleOutcome], None]] = None,
+    executor: str = "serial",
+    jobs: Optional[int] = None,
 ) -> ExplorationReport:
     """Bounded exhaustive DFS over the scheduling-decision tree of *task*.
 
@@ -551,26 +840,42 @@ def explore_dfs(
     still continue past the bound (with the default continuation) so their
     verdicts are real; only their deeper alternatives are pruned, and
     ``report.depth_capped`` counts how often that happened.
+
+    ``executor``/``jobs`` shard frontier runs through the executor registry
+    (see :class:`_OutcomePool`); the report stays bit-identical to a serial
+    run because every reduction decision is made by this loop, in this
+    order, whatever computed the outcomes.
     """
     report = ExplorationReport(task=task, mode="dfs")
-    pending: List[Tuple[int, ...]] = [()]
+    runtime = task_runtime(task)
+    # Frontier entries are (prefix, verified_depth): the states reached by
+    # the first verified_depth decisions were already oracle-checked by the
+    # parent run that enqueued the entry, so the child's replay of that
+    # prefix skips the stateless oracle checks.
+    pending: List[Tuple[Tuple[int, ...], int]] = [((), 0)]
     # Two different prefixes can identify the same *executed* schedule (a
     # shorter prefix whose forced continuation happens to make the same
     # choices), and sibling branches at different depths can enqueue one
     # prefix twice; keying the frontier by the prefix tuple keeps each
     # schedule to a single run.
     seen_prefixes = {()}
+    pool = _make_pool(task, executor, jobs)
     while pending:
         if max_schedules is not None and report.schedules_visited >= max_schedules:
             return report
-        prefix = pending.pop()
-        outcome = run_prefix(task, prefix)
+        prefix, verified_depth = pending.pop()
+        outcome = pool.fetch(prefix) if pool is not None else None
+        if outcome is None:
+            outcome = run_prefix(
+                task, prefix, runtime=runtime, verified_depth=verified_depth
+            )
         report.schedules_visited += 1
         report.max_trace_steps = max(report.max_trace_steps, outcome.steps)
         report.max_decision_depth = max(
             report.max_decision_depth,
             sum(1 for point in outcome.trace.points if point.branching > 1),
         )
+        _merge_timings(report, outcome)
         if progress is not None:
             progress(report.schedules_visited, outcome)
         choices = outcome.trace.choices()
@@ -582,12 +887,16 @@ def explore_dfs(
         if max_depth is not None and branch_until > max_depth + 1:
             branch_until = max_depth + 1
             report.depth_capped += 1
+        # A child shares this run's states up to its own prefix length; all
+        # of them passed this run's oracle checks except, on a failing run,
+        # the final recorded state (the one a mid-run oracle fired on).
+        child_cap = len(choices) if outcome.ok else max(len(choices) - 1, 0)
         for depth in range(len(prefix), branch_until):
             for alt in range(1, outcome.trace[depth].branching):
                 child = choices[:depth] + (alt,)
                 if child not in seen_prefixes:
                     seen_prefixes.add(child)
-                    pending.append(child)
+                    pending.append((child, min(len(child), child_cap)))
         if not outcome.ok:
             report.failures_total += 1
             if len(report.failures) < failure_limit:
@@ -602,6 +911,8 @@ def explore_dfs(
                 )
             if stop_on_failure:
                 return report
+        if pool is not None:
+            pool.refill(pending)
     report.complete = True
     return report
 
@@ -651,6 +962,7 @@ def explore_swarm(
             report.max_decision_depth,
             sum(1 for point in outcome.trace.points if point.branching > 1),
         )
+        _merge_timings(report, outcome)
         if progress is not None:
             progress(report.schedules_visited, outcome)
         if outcome.ok:

@@ -102,43 +102,60 @@ class FootprintRecorder:
     become the footprint of the slice that just ended, and accumulation
     restarts for the next slice.  All calls happen with the kernel lock held
     (or from the single running simulated thread), so plain sets suffice.
+
+    ``skip`` suppresses recording for the first *skip* slices: their
+    footprints come out as ``None`` placeholders (conservatively dependent
+    on everything, per :func:`independent`).  The schedule explorer uses
+    this on shared-prefix re-execution — the parent run already recorded
+    those slices, so the replay skips the per-event set updates inside the
+    verified prefix.
     """
 
-    __slots__ = ("_reads", "_writes", "_locks", "_conds", "footprints")
+    __slots__ = ("_reads", "_writes", "_locks", "_conds", "_skip", "_active", "footprints")
 
-    def __init__(self) -> None:
+    def __init__(self, skip: int = 0) -> None:
         self._reads: set = set()
         self._writes: set = set()
         self._locks: set = set()
         self._conds: set = set()
+        self._skip = skip
+        self._active = skip <= 0
         #: One footprint per *completed* slice, aligned with the trace's
         #: decision points (footprint ``i`` covers the slice started by
-        #: decision ``i``).
-        self.footprints: List[DecisionFootprint] = []
+        #: decision ``i``; the first ``skip`` entries are ``None``).
+        self.footprints: List[Optional[DecisionFootprint]] = []
 
     def note_read(self, names) -> None:
-        self._reads.update(names)
+        if self._active:
+            self._reads.update(names)
 
     def note_write(self, name: str) -> None:
-        self._writes.add(name)
+        if self._active:
+            self._writes.add(name)
 
     def note_lock(self, lock_id: str) -> None:
-        self._locks.add(lock_id)
+        if self._active:
+            self._locks.add(lock_id)
 
     def note_cond(self, cond_id: str) -> None:
-        self._conds.add(cond_id)
+        if self._active:
+            self._conds.add(cond_id)
 
     def flush(self) -> None:
         """Seal the current slice's footprint and start the next one."""
-        self.footprints.append(
-            DecisionFootprint(
-                reads=frozenset(self._reads),
-                writes=frozenset(self._writes),
-                locks=frozenset(self._locks),
-                conds=frozenset(self._conds),
+        if self._active:
+            self.footprints.append(
+                DecisionFootprint(
+                    reads=frozenset(self._reads),
+                    writes=frozenset(self._writes),
+                    locks=frozenset(self._locks),
+                    conds=frozenset(self._conds),
+                )
             )
-        )
-        self._reads.clear()
-        self._writes.clear()
-        self._locks.clear()
-        self._conds.clear()
+            self._reads.clear()
+            self._writes.clear()
+            self._locks.clear()
+            self._conds.clear()
+        else:
+            self.footprints.append(None)
+        self._active = len(self.footprints) >= self._skip

@@ -18,7 +18,7 @@ import threading
 from collections import deque
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.runtime.api import Backend, ThreadHandle
+from repro.runtime.api import Backend, BackendMetrics, ThreadHandle
 from repro.runtime.simulation.footprints import DecisionFootprint, FootprintRecorder
 from repro.runtime.simulation.schedulers import (
     SchedulePoint,
@@ -103,6 +103,131 @@ class _State(enum.Enum):
     FINISHED = "finished"
 
 
+class _Gate:
+    """One-token handoff gate: a binary semaphore over a raw lock.
+
+    Cheaper than :class:`threading.Event` for the kernel's one-producer,
+    one-consumer control handoffs (an Event pays an internal Condition
+    round-trip per set/wait cycle; a raw lock is a single futex operation).
+    ``set`` deposits a wake token — duplicate sets merge, exactly like
+    ``Event.set`` — and ``wait`` consumes it, so no explicit ``clear`` is
+    needed between handoffs.
+    """
+
+    __slots__ = ("_lock",)
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._lock.acquire()
+
+    def set(self) -> None:
+        try:
+            self._lock.release()
+        except RuntimeError:
+            pass  # token already deposited; duplicates merge
+
+    def wait(self) -> None:
+        self._lock.acquire()
+
+    def wait_for(self, timeout: float) -> bool:
+        return self._lock.acquire(timeout=timeout)
+
+
+class _Latch:
+    """One-shot sticky flag over a raw lock: a cheaper ``threading.Event``.
+
+    ``set`` opens the latch permanently (duplicates merge); ``wait``
+    re-deposits the token after consuming it, so any number of sequential
+    or concurrent waiters pass once it is open.  Used for run/thread
+    completion flags, which are set once and never cleared — unlike
+    :class:`_Gate`, whose token is consumed per handoff.
+    """
+
+    __slots__ = ("_lock",)
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._lock.acquire()
+
+    def set(self) -> None:
+        try:
+            self._lock.release()
+        except RuntimeError:
+            pass  # already open
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        if timeout is None:
+            self._lock.acquire()
+        elif not self._lock.acquire(timeout=timeout):
+            return False
+        self._lock.release()  # stay open for the next waiter
+        return True
+
+
+#: How long a parked carrier waits for its next job before retiring its OS
+#: thread.  Exploration redispatches carriers within microseconds; the
+#: timeout only matters for backends that are discarded without being
+#: recycled, whose carriers would otherwise sleep forever.
+CARRIER_IDLE_TIMEOUT = 10.0
+
+#: Poison job: a carrier dispatched this retires instead of carrying.
+_RETIRE = object()
+
+
+class _Carrier:
+    """A pooled OS thread that carries simulated threads, one run at a time.
+
+    Spawning a fresh OS thread per simulated thread per schedule dominates
+    the cost of short exploration runs, so each backend parks its carriers
+    between runs and re-dispatches them.  A carrier loops forever: wait for
+    a job, carry the simulated thread to completion, park back in the
+    backend's idle pool.  Carriers are daemons; one that never returns from
+    a stuck run is simply abandoned (and the backend marked tainted) rather
+    than reused.
+    """
+
+    __slots__ = ("_backend", "_gate", "_job", "thread")
+
+    def __init__(self, backend: "SimulationBackend") -> None:
+        self._backend = backend
+        self._gate = _Gate()
+        self._job: Optional[_SimThread] = None
+        self.thread = threading.Thread(target=self._loop, name="sim-carrier", daemon=True)
+        self.thread.start()
+
+    def dispatch(self, sim_thread: "_SimThread") -> None:
+        sim_thread.real_thread = self.thread
+        self._job = sim_thread
+        self._gate.set()
+
+    def retire(self) -> None:
+        """Release this carrier's OS thread now instead of after the idle
+        timeout.  Only valid on a carrier already removed from the idle
+        pool (so no dispatch can race the poison job).
+        """
+        self._job = _RETIRE
+        self._gate.set()
+
+    def _loop(self) -> None:
+        while True:
+            if not self._gate.wait_for(CARRIER_IDLE_TIMEOUT):
+                backend = self._backend
+                with backend._lock:
+                    try:
+                        backend._idle_carriers.remove(self)
+                    except ValueError:
+                        # A dispatch (or retire) claimed this carrier
+                        # concurrently with the timeout; its job (and wake
+                        # token) is in flight — loop back and pick it up.
+                        continue
+                return  # retired: idle too long, release the OS thread
+            sim_thread = self._job
+            self._job = None
+            if sim_thread is _RETIRE:
+                return
+            self._backend._carry(self, sim_thread)
+
+
 class _SimThread:
     """Book-keeping for one simulated thread."""
 
@@ -112,6 +237,7 @@ class _SimThread:
         "target",
         "state",
         "go",
+        "done",
         "real_thread",
         "real_ident",
         "block_reason",
@@ -123,7 +249,12 @@ class _SimThread:
         self.name = name
         self.target = target
         self.state = _State.CREATED
-        self.go = threading.Event()
+        self.go = _Gate()
+        #: Set by the carrier once this simulated thread's job is fully over
+        #: — after ``_on_exit`` ran *and* the carrier parked back in the
+        #: idle pool, so waiting on ``done`` for every thread guarantees the
+        #: backend is quiescent and safe to recycle.
+        self.done = _Latch()
         self.real_thread: Optional[threading.Thread] = None
         self.real_ident: Optional[int] = None
         self.block_reason: Optional[str] = None
@@ -141,10 +272,10 @@ class _SimHandle(ThreadHandle):
     def join(self, timeout: Optional[float] = None) -> None:
         # Joining from inside the simulation would deadlock the scheduler, so
         # joining is only meaningful after run() returned; by then the thread
-        # has finished.
-        real = self._sim_thread.real_thread
-        if real is not None:
-            real.join(timeout)
+        # has finished.  Waits on the per-thread completion event rather than
+        # the carrier OS thread, which is pooled and outlives the run.
+        if self._sim_thread.real_thread is not None:
+            self._sim_thread.done.wait(timeout)
 
     @property
     def name(self) -> str:
@@ -209,6 +340,7 @@ class SimulationBackend(Backend):
         run_timeout: float = 600.0,
         record_trace: bool = False,
         record_footprints: bool = False,
+        footprints_from: int = 0,
         observer: Optional[DecisionObserver] = None,
     ) -> None:
         super().__init__()
@@ -222,8 +354,11 @@ class SimulationBackend(Backend):
         self._record_trace = record_trace
         self._trace: Optional[ScheduleTrace] = ScheduleTrace() if record_trace else None
         self._record_footprints = record_footprints
+        #: Suppress footprint recording for the first N slices of a run
+        #: (shared-prefix re-execution; the suppressed entries are None).
+        self._footprints_from = footprints_from
         self._fp: Optional[FootprintRecorder] = (
-            FootprintRecorder() if record_footprints else None
+            FootprintRecorder(skip=footprints_from) if record_footprints else None
         )
         #: id(lock-or-condition) -> stable identifier used in footprints
         #: (creation index + label, so two identically-constructed backends
@@ -243,9 +378,17 @@ class SimulationBackend(Backend):
 
         self._lock = threading.Lock()
         #: Fast path for :meth:`current_thread`: each carrier thread stores
-        #: its own _SimThread here once, in :meth:`_runner`, so simulation
-        #: primitives skip the global lock and the ident->tid dict lookup.
+        #: the _SimThread it is carrying here, in :meth:`_carry`, so
+        #: simulation primitives skip the global lock and the ident->tid
+        #: dict lookup.
         self._tls = threading.local()
+        #: Parked carrier OS threads, reused across runs (see
+        #: :class:`_Carrier`).
+        self._idle_carriers: List[_Carrier] = []
+        #: Set when a run left carrier threads stuck (wall-clock hang);
+        #: a tainted backend refuses :meth:`recycle` — callers must build
+        #: a fresh one.
+        self._tainted = False
         self._threads: Dict[int, _SimThread] = {}
         self._by_ident: Dict[int, int] = {}
         self._runnable: List[int] = []
@@ -257,7 +400,7 @@ class SimulationBackend(Backend):
         self._abandonment_message: Optional[str] = None
         self._limit_exceeded = False
         self._failures: List[BaseException] = []
-        self._done = threading.Event()
+        self._done = _Latch()
         self._steps = 0
         #: tid -> (condition, deadline) for threads in a timed condition
         #: wait; deadlines are in scheduling steps (see :meth:`now`).
@@ -295,11 +438,12 @@ class SimulationBackend(Backend):
         return self._record_footprints
 
     @property
-    def schedule_footprints(self) -> Optional[List[DecisionFootprint]]:
+    def schedule_footprints(self) -> Optional[List[Optional[DecisionFootprint]]]:
         """Per-decision footprints of the latest run, aligned with
         :attr:`schedule_trace` (footprint ``i`` covers the slice started by
-        decision ``i``).  None unless constructed with
-        ``record_footprints=True``; call only after :meth:`run` returned.
+        decision ``i``; the first ``footprints_from`` entries are ``None``).
+        None unless constructed with ``record_footprints=True``; call only
+        after :meth:`run` returned.
         """
         recorder = self._fp
         if recorder is None:
@@ -544,14 +688,17 @@ class SimulationBackend(Backend):
                 self._wake_all_locked()
             self._done.wait(5.0)
             self._running = False
+            # Carriers may still be wedged inside the stuck run; never hand
+            # them another job.
+            self._tainted = True
             raise SimulationHangError(
                 f"simulation did not finish within {self._run_timeout} "
                 f"seconds\n{autopsy}"
             )
 
         for sim_thread in self._threads.values():
-            if sim_thread.real_thread is not None:
-                sim_thread.real_thread.join(timeout=5.0)
+            if sim_thread.real_thread is not None and not sim_thread.done.wait(timeout=5.0):
+                self._tainted = True
         self._running = False
 
         if self._abandonment_message is not None:
@@ -581,7 +728,7 @@ class SimulationBackend(Backend):
         self._abandonment_message = None
         self._limit_exceeded = False
         self._failures = []
-        self._done = threading.Event()
+        self._done = _Latch()
         self._steps = 0
         self._timed_waits = {}
         self._doomed = set()
@@ -590,7 +737,93 @@ class SimulationBackend(Backend):
         if self._record_trace:
             self._trace = ScheduleTrace()
         if self._record_footprints:
-            self._fp = FootprintRecorder()
+            self._fp = FootprintRecorder(skip=self._footprints_from)
+
+    def shutdown(self) -> None:
+        """Retire this backend's parked carrier threads immediately.
+
+        A discarded backend's carriers otherwise linger for
+        :data:`CARRIER_IDLE_TIMEOUT` before releasing their OS threads —
+        harmless one at a time, but a workload that churns through backends
+        (cold benchmark legs, runtime-cache eviction) can accumulate
+        thousands of idle threads and measurably slow the live ones.
+        Idempotent; safe between runs.  Stuck carriers of a tainted backend
+        are not in the idle pool and stay abandoned, as before.
+        """
+        with self._lock:
+            carriers = self._idle_carriers
+            self._idle_carriers = []
+        for carrier in carriers:
+            carrier.retire()
+
+    def recycle(
+        self,
+        seed: Optional[int] = None,
+        policy: Optional[SchedulerSpec] = None,
+        record_footprints: Optional[bool] = None,
+        footprints_from: Optional[int] = None,
+    ) -> None:
+        """Reset this backend to fresh-construction state, keeping the
+        carrier-thread pool.
+
+        After recycling, the backend behaves exactly like a newly
+        constructed ``SimulationBackend(seed=..., policy=..., ...)``: thread
+        ids restart at 0, condition labels restart at ``cond-0``, metrics
+        are zeroed, and all observers/inspectors/injectors are cleared — so
+        recorded traces and digests compare bit-for-bit with a fresh
+        backend's.  The schedule explorer recycles one backend across the
+        thousands of runs of a task instead of paying construction plus OS
+        thread spawns every run.
+
+        Raises :class:`SimulationError` if a run is in progress or a
+        previous run left carriers stuck (wall-clock hang) — callers should
+        fall back to constructing a fresh backend.
+        """
+        if self._running:
+            raise SimulationError("recycle() called while a simulation is in progress")
+        if self._tainted:
+            raise SimulationError(
+                "backend cannot be recycled: a previous run left carrier threads stuck"
+            )
+        if seed is not None:
+            self._seed = seed
+        if policy is not None:
+            self._scheduler = create_scheduler(policy)
+        if record_footprints is not None:
+            self._record_footprints = record_footprints
+        if footprints_from is not None:
+            self._footprints_from = footprints_from
+        self._trace = ScheduleTrace() if self._record_trace else None
+        self._fp = (
+            FootprintRecorder(skip=self._footprints_from)
+            if self._record_footprints
+            else None
+        )
+        self._sync_ids = {}
+        self._observer = None
+        self._deadlock_inspector = None
+        self._hang_inspector = None
+        self._recovery_hook = None
+        self._fault_injector = None
+        self._condition_count = 0
+        self._locks = []
+        self._conditions = []
+        self._threads = {}
+        self._by_ident = {}
+        self._runnable = []
+        self._current = None
+        self._next_tid = 0
+        self._abort = False
+        self._deadlock_message = None
+        self._abandonment_message = None
+        self._limit_exceeded = False
+        self._failures = []
+        self._done = _Latch()
+        self._steps = 0
+        self._timed_waits = {}
+        self._doomed = set()
+        self._recovery_attempts = 0
+        self.metrics = BackendMetrics()
 
     def _create_thread_locked(
         self, target: Callable[[], None], name: Optional[str]
@@ -603,19 +836,22 @@ class SimulationBackend(Backend):
         return sim_thread
 
     def _start_real_thread(self, sim_thread: _SimThread) -> None:
-        real = threading.Thread(
-            target=self._runner, args=(sim_thread,), name=sim_thread.name, daemon=True
-        )
-        sim_thread.real_thread = real
-        real.start()
+        # Reuse a parked carrier when one is idle; spawn a new one otherwise.
+        # List.pop is atomic under the GIL, so both the locked (spawn) and
+        # unlocked (run) call sites are safe.
+        try:
+            carrier = self._idle_carriers.pop()
+        except IndexError:
+            carrier = _Carrier(self)
+        carrier.dispatch(sim_thread)
 
-    def _runner(self, sim_thread: _SimThread) -> None:
+    def _carry(self, carrier: _Carrier, sim_thread: _SimThread) -> None:
+        """Carry one simulated thread through one run (on a carrier thread)."""
         sim_thread.real_ident = threading.get_ident()
         self._tls.sim_thread = sim_thread
         with self._lock:
             self._by_ident[sim_thread.real_ident] = sim_thread.tid
         sim_thread.go.wait()
-        sim_thread.go.clear()
         if not self._abort:
             try:
                 sim_thread.target()
@@ -632,6 +868,13 @@ class SimulationBackend(Backend):
                     self._abort = True
                     self._wake_all_locked()
         self._on_exit(sim_thread)
+        self._tls.sim_thread = None
+        # Park first, then signal completion: once every thread's ``done``
+        # event is set, all carriers are back in the pool and the backend is
+        # quiescent (safe to recycle).
+        with self._lock:
+            self._idle_carriers.append(carrier)
+        sim_thread.done.set()
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -641,10 +884,10 @@ class SimulationBackend(Backend):
         """Return the simulated thread corresponding to the calling thread.
 
         Every simulation primitive (lock, condition, yield) starts here, so
-        the lookup is served from a ``threading.local`` populated once per
-        carrier thread in :meth:`_runner` — no global lock, no dict lookup.
-        The locked ident-table path remains as a fallback for carrier
-        threads that predate the cache (none in practice).
+        the lookup is served from a ``threading.local`` populated per job in
+        :meth:`_carry` — no global lock, no dict lookup.  The locked
+        ident-table path remains as a fallback for carrier threads that
+        predate the cache (none in practice).
         """
         sim_thread = getattr(self._tls, "sim_thread", None)
         if sim_thread is not None:
@@ -869,7 +1112,6 @@ class SimulationBackend(Backend):
             # about to wait on.
             raise _SimulationAbort()
         sim_thread.go.wait()
-        sim_thread.go.clear()
         if self._abort:
             raise _SimulationAbort()
 

@@ -174,7 +174,11 @@ class ScheduleTrace:
     def to_dict(self) -> dict:
         data: dict = {"points": [point.to_dict() for point in self.points]}
         if self.footprints is not None:
-            data["footprints"] = [fp.to_dict() for fp in self.footprints]
+            # None entries are shared-prefix placeholders (the parent run
+            # recorded those slices); they round-trip as JSON nulls.
+            data["footprints"] = [
+                fp.to_dict() if fp is not None else None for fp in self.footprints
+            ]
         return data
 
     @classmethod
@@ -184,7 +188,8 @@ class ScheduleTrace:
             from repro.runtime.simulation.footprints import DecisionFootprint
 
             footprints = [
-                DecisionFootprint.from_dict(fp) for fp in data["footprints"]
+                DecisionFootprint.from_dict(fp) if fp is not None else None
+                for fp in data["footprints"]
             ]
         return cls(
             (SchedulePoint.from_dict(point) for point in data["points"]),

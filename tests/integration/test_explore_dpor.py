@@ -48,7 +48,6 @@ def _outcome_for(points, kind="ok", message="") -> ScheduleOutcome:
         kind=kind,
         message=message,
         trace=trace,
-        digest=trace.digest(),
         backend_metrics={},
     )
 

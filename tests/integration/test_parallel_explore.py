@@ -1,0 +1,141 @@
+"""Serial-vs-parallel equivalence of the exploration engine, and the
+cached-vs-uncached determinism contract of the TaskRuntime build cache.
+
+The tentpole guarantee (mirror of ``test_parallel_equivalence.py`` for the
+experiment harness): ``explore_dfs`` and ``explore_dpor`` produce the same
+report — schedules visited, failure kind/digest set, ``complete`` flag,
+depth metrics and reduction stats — whatever executor or job count computed
+the frontier runs, because every reduction decision is made by the serial
+loop in its serial order.  Per-stage ``timings`` are the only report field
+allowed to differ (they measure the machine, not the search).
+
+The cache half: a run served from the process-wide :func:`task_runtime`
+cache (recycled backend, memoized predicate artifacts) is bit-identical to
+a cold run with a fresh :class:`TaskRuntime` — the contract that lets
+``explore_swarm``, ``--mode chaos`` and the DFS/DPOR frontier all route
+through the cache without changing a single verdict.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.explore.dpor import explore_dpor
+from repro.explore.engine import (
+    ExploreTask,
+    TaskRuntime,
+    clear_runtime_cache,
+    explore_dfs,
+    explore_swarm,
+    run_schedule,
+    task_runtime,
+)
+from repro.runtime.simulation import RandomScheduler
+
+CONFIGS = [
+    ("bounded_buffer", "autosynch", None),
+    ("bounded_buffer", "explicit", 80),
+    ("readers_writers", "autosynch", 80),
+    ("round_robin", "autosynch", 60),
+]
+
+
+def report_signature(report):
+    """Everything a report asserts, minus wall-clock timings."""
+    return (
+        report.schedules_visited,
+        report.complete,
+        report.failures_total,
+        sorted((f.kind, f.digest, f.prefix) for f in report.failures),
+        report.max_trace_steps,
+        report.max_decision_depth,
+        report.depth_capped,
+        dict(report.stats),
+    )
+
+
+class TestSerialParallelEquivalence:
+    @pytest.mark.parametrize("problem,mechanism,cap", CONFIGS)
+    def test_dfs_jobs2_matches_serial(self, problem, mechanism, cap):
+        task = ExploreTask(problem=problem, mechanism=mechanism, threads=2, total_ops=2)
+        serial = explore_dfs(task, max_schedules=cap)
+        parallel = explore_dfs(task, max_schedules=cap, executor="process", jobs=2)
+        assert report_signature(serial) == report_signature(parallel)
+
+    @pytest.mark.parametrize("problem,mechanism,cap", CONFIGS)
+    def test_dpor_jobs2_matches_serial(self, problem, mechanism, cap):
+        task = ExploreTask(problem=problem, mechanism=mechanism, threads=2, total_ops=2)
+        serial = explore_dpor(task, max_schedules=cap)
+        parallel = explore_dpor(task, max_schedules=cap, executor="process", jobs=2)
+        assert report_signature(serial) == report_signature(parallel)
+
+    def test_jobs1_and_jobs4_match(self):
+        task = ExploreTask(problem="bounded_buffer", mechanism="autosynch",
+                           threads=2, total_ops=2)
+        one = explore_dfs(task, executor="process", jobs=1)
+        four = explore_dfs(task, executor="process", jobs=4)
+        assert report_signature(one) == report_signature(four)
+        assert one.complete and four.complete
+
+    def test_parallel_report_carries_timings(self):
+        task = ExploreTask(problem="bounded_buffer", mechanism="autosynch",
+                           threads=2, total_ops=2)
+        report = explore_dfs(task, executor="process", jobs=2)
+        assert set(report.timings) >= {"build", "run", "classify", "oracle"}
+
+    def test_unknown_executor_lists_registry(self):
+        task = ExploreTask(problem="bounded_buffer", mechanism="autosynch",
+                           threads=2, total_ops=2)
+        with pytest.raises(ValueError, match="serial"):
+            explore_dfs(task, executor="bogus", jobs=2)
+
+
+class TestCachedVsUncachedRuns:
+    def setup_method(self):
+        clear_runtime_cache()
+
+    def probe_signature(self, outcome):
+        return (outcome.kind, outcome.digest, outcome.trace.choices(),
+                outcome.fault_events)
+
+    def test_swarm_probe_digests_match_fresh_runtime(self):
+        task = ExploreTask(problem="bounded_buffer", mechanism="autosynch",
+                           threads=2, total_ops=3)
+        for seed in range(6):
+            # Cached: the process-wide runtime (recycled backend after the
+            # first probe).  Uncached: a cold TaskRuntime per probe.
+            cached = run_schedule(task, RandomScheduler(seed))
+            cold = run_schedule(task, RandomScheduler(seed),
+                                runtime=TaskRuntime(task))
+            assert self.probe_signature(cached) == self.probe_signature(cold)
+
+    def test_chaos_probe_digests_match_fresh_runtime(self):
+        # The regression the TaskRuntime routing fixed: chaos probes differ
+        # only by seed, so they share one cached runtime — and the recycled
+        # backend must reproduce a cold run's trace and fault firings.
+        task = ExploreTask(problem="bounded_buffer", mechanism="autosynch",
+                           threads=2, total_ops=3,
+                           fault_plan="dropped_signal", self_heal=True)
+        for seed in range(4):
+            seeded = ExploreTask(**{**task.to_dict(), "seed": seed})
+            cached = run_schedule(seeded, RandomScheduler(seed))
+            cold = run_schedule(seeded, RandomScheduler(seed),
+                                runtime=TaskRuntime(seeded))
+            assert self.probe_signature(cached) == self.probe_signature(cold)
+
+    def test_probes_share_one_runtime_across_seeds(self):
+        task = ExploreTask(problem="bounded_buffer", mechanism="autosynch",
+                           threads=2, total_ops=2)
+        runtimes = {
+            id(task_runtime(ExploreTask(**{**task.to_dict(), "seed": seed})))
+            for seed in range(5)
+        }
+        assert len(runtimes) == 1
+
+    def test_swarm_report_matches_across_executors(self):
+        task = ExploreTask(problem="bounded_buffer", mechanism="autosynch",
+                           threads=2, total_ops=3)
+        serial = explore_swarm(task, schedules=12, base_seed=3)
+        sharded = explore_swarm(task, schedules=12, base_seed=3,
+                                executor="process", jobs=2)
+        assert report_signature(serial) == report_signature(sharded)
